@@ -1,0 +1,53 @@
+// Command tsdbench regenerates the tables and figures of the paper's
+// evaluation (§7) on the synthetic dataset substitutes.
+//
+// Usage:
+//
+//	tsdbench -exp table2          # one experiment
+//	tsdbench -exp all -quick      # everything, small datasets
+//	tsdbench -list                # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trussdiv/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+		quick = flag.Bool("quick", false, "small datasets and fewer Monte-Carlo runs")
+		seed  = flag.Int64("seed", 1, "base RNG seed for simulations")
+		runs  = flag.Int("mcruns", 0, "Monte-Carlo cascade count (0 = default)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %-9s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs}
+	if *expID == "all" {
+		if err := bench.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "tsdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := bench.ByID(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tsdbench: unknown experiment %q; known: %v\n", *expID, bench.IDs())
+		os.Exit(1)
+	}
+	fmt.Printf("### %s (%s): %s\n\n", e.ID, e.Paper, e.Description)
+	if err := e.Run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "tsdbench:", err)
+		os.Exit(1)
+	}
+}

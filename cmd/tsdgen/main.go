@@ -1,0 +1,76 @@
+// Command tsdgen writes synthetic graphs in SNAP edge-list format: the
+// generators that substitute for the paper's datasets (see DESIGN.md §3).
+//
+// Usage:
+//
+//	tsdgen -type ba -n 100000 -attach 5 -out ba.txt
+//	tsdgen -type overlay -n 25000 -cliques 3000 -out social.txt
+//	tsdgen -type collab -out dblp-sim.txt
+//	tsdgen -type fig1 -out example.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+)
+
+func main() {
+	var (
+		typ     = flag.String("type", "ba", "ba|er|rmat|overlay|collab|fig1")
+		n       = flag.Int("n", 10000, "vertex count (ba/er/overlay)")
+		m       = flag.Int("m", 50000, "edge count (er)")
+		attach  = flag.Int("attach", 5, "attachment degree (ba/overlay)")
+		scale   = flag.Int("scale", 14, "log2 vertex count (rmat)")
+		factor  = flag.Int("factor", 8, "edge factor (rmat)")
+		cliques = flag.Int("cliques", 2000, "planted cliques (overlay)")
+		minSize = flag.Int("minclique", 4, "min clique size (overlay)")
+		maxSize = flag.Int("maxclique", 14, "max clique size (overlay)")
+		seed    = flag.Int64("seed", 1, "RNG seed")
+		out     = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *typ {
+	case "ba":
+		g = gen.BarabasiAlbert(*n, *attach, *seed)
+	case "er":
+		g = gen.ErdosRenyiGNM(*n, *m, *seed)
+	case "rmat":
+		g = gen.RMAT(*scale, *factor, *seed)
+	case "overlay":
+		g = gen.CommunityOverlay(gen.OverlayConfig{
+			N: *n, Attach: *attach, Cliques: *cliques,
+			MinSize: *minSize, MaxSize: *maxSize, Seed: *seed,
+		})
+	case "collab":
+		cfg := gen.DefaultCollabConfig()
+		cfg.Seed = *seed
+		g = gen.Collaboration(cfg)
+	case "fig1":
+		g = gen.Fig1Graph()
+	default:
+		fmt.Fprintf(os.Stderr, "tsdgen: unknown type %q\n", *typ)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsdgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteEdgeList(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tsdgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tsdgen: wrote %d vertices, %d edges\n", g.N(), g.M())
+}

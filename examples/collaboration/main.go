@@ -1,0 +1,81 @@
+// Collaboration: the DBLP case study (paper §7.3) on a synthetic
+// co-authorship network.
+//
+// Finds the most structurally diverse author under three diversity models
+// and shows why only the truss-based model decomposes a bridged,
+// hub-centered ego-network into meaningful research groups (paper Figs.
+// 16-17, Table 5).
+//
+// Run with: go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trussdiv/internal/baseline"
+	"trussdiv/internal/core"
+	"trussdiv/internal/ego"
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+)
+
+func main() {
+	const k = 5
+	g := gen.Collaboration(gen.DefaultCollabConfig())
+	fmt.Printf("co-authorship network: %d authors, %d strong ties\n\n", g.N(), g.M())
+
+	// Truss-based winner via the GCT index.
+	res, _, err := core.NewGCT(core.BuildGCTIndex(g)).TopR(k, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	winner := res.TopR[0]
+	fmt.Printf("Truss-Div top-1: author %d with %d research communities (k=%d)\n",
+		winner.V, winner.Score, k)
+	for i, ctx := range res.Contexts[winner.V] {
+		fmt.Printf("  community %d: %d collaborators %v\n", i+1, len(ctx), ctx)
+	}
+
+	// The same ego-network under the competing models.
+	net := ego.ExtractOne(g, winner.V)
+	_, comps := net.G.ConnectedComponents()
+	fmt.Printf("\nego-network of author %d: %d collaborators, %d ties, %d connected component(s)\n",
+		winner.V, len(net.Verts), net.G.M(), comps)
+	fmt.Printf("  Comp-Div sees %d context(s)  (weak ties glue everything together)\n",
+		baseline.NewCompDiv(g).Score(winner.V, k))
+	fmt.Printf("  Core-Div sees %d context(s)  (bridged blocks stay one connected 5-core)\n",
+		baseline.NewCoreDiv(g).Score(winner.V, k))
+	fmt.Printf("  Truss-Div sees %d contexts  (bridges have no triangles, so 5-trusses split)\n\n",
+		winner.Score)
+
+	// Whom would the other models have crowned?
+	comp, err := baseline.TopR(baseline.NewCompDiv(g), g.N(), k, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coreTop, err := baseline.TopR(baseline.NewCoreDiv(g), g.N(), k, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range []struct {
+		model string
+		v     int32
+		score int
+	}{
+		{"Comp-Div", comp[0].V, comp[0].Score},
+		{"Core-Div", coreTop[0].V, coreTop[0].Score},
+	} {
+		nv, mv := egoSize(g, row.v)
+		fmt.Printf("%s top-1: author %d, %d contexts, ego |V|=%d |E|=%d density %.2f\n",
+			row.model, row.v, row.score, nv, mv, float64(mv)/float64(nv))
+	}
+	nv, mv := egoSize(g, winner.V)
+	fmt.Printf("Truss-Div top-1: author %d, %d contexts, ego |V|=%d |E|=%d density %.2f (densest)\n",
+		winner.V, winner.Score, nv, mv, float64(mv)/float64(nv))
+}
+
+func egoSize(g *graph.Graph, v int32) (int, int) {
+	net := ego.ExtractOne(g, v)
+	return len(net.Verts), net.G.M()
+}

@@ -1,0 +1,107 @@
+// Indexserve: build the TSD and GCT indexes once, persist them to disk,
+// reload, and answer a stream of (k, r) queries — the "index once, query
+// many" workflow both indexes were designed for (paper §5-§6). Prints the
+// per-query latency of TSD vs GCT and the size of each artifact.
+//
+// Run with: go run ./examples/indexserve
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/gen"
+)
+
+func main() {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 10000, Attach: 4, Cliques: 1500, MinSize: 4, MaxSize: 12, Seed: 3,
+	})
+	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
+
+	dir, err := os.MkdirTemp("", "trussdiv-index-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build and persist both indexes.
+	start := time.Now()
+	tsdIdx := core.BuildTSDIndex(g)
+	fmt.Printf("TSD-index built in %v\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	gctIdx := core.BuildGCTIndex(g)
+	fmt.Printf("GCT-index built in %v\n", time.Since(start).Round(time.Millisecond))
+
+	tsdPath := filepath.Join(dir, "graph.tsd")
+	gctPath := filepath.Join(dir, "graph.gct")
+	persist(tsdPath, tsdIdx.WriteTo)
+	persist(gctPath, gctIdx.WriteTo)
+
+	// Reload from disk — a fresh process would start here.
+	tsdFile, err := os.Open(tsdPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tsdFile.Close()
+	tsdLoaded, err := core.ReadTSDIndex(tsdFile, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gctFile, err := os.Open(gctPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gctFile.Close()
+	gctLoaded, err := core.ReadGCTIndex(gctFile, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve a mixed query workload: the same index answers every (k, r).
+	fmt.Println("\nquery workload (one index build, many queries):")
+	fmt.Printf("%4s %4s  %12s %12s  %s\n", "k", "r", "TSD", "GCT", "top-1 (score)")
+	tsd := core.NewTSD(tsdLoaded)
+	gct := core.NewGCT(gctLoaded)
+	for _, q := range []struct {
+		k int32
+		r int
+	}{{3, 10}, {3, 100}, {4, 10}, {4, 100}, {5, 10}, {6, 10}} {
+		t0 := time.Now()
+		resT, _, err := tsd.TopR(q.k, q.r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tsdTime := time.Since(t0)
+		t0 = time.Now()
+		resG, _, err := gct.TopR(q.k, q.r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gctTime := time.Since(t0)
+		if resT.TopR[0].Score != resG.TopR[0].Score {
+			log.Fatalf("engines disagree at k=%d r=%d", q.k, q.r)
+		}
+		fmt.Printf("%4d %4d  %12v %12v  vertex %d (%d)\n",
+			q.k, q.r, tsdTime.Round(time.Microsecond), gctTime.Round(time.Microsecond),
+			resG.TopR[0].V, resG.TopR[0].Score)
+	}
+}
+
+func persist(path string, writeTo func(w io.Writer) (int64, error)) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	n, err := writeTo(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted %s (%d bytes)\n", filepath.Base(path), n)
+}

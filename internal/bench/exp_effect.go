@@ -1,0 +1,383 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"trussdiv/internal/baseline"
+	"trussdiv/internal/cascade"
+	"trussdiv/internal/core"
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+)
+
+// effectProbability is the uniform IC edge probability of the
+// effectiveness experiments. The paper uses 0.01 on multi-million-edge
+// networks; on our ~20x smaller substitutes we use 0.05 so cascades reach
+// comparable relative spread (dense-neighborhood amplification, the effect
+// Fig. 13-15 measure, needs non-vanishing within-community percolation).
+const effectProbability = 0.05
+
+// caseStudyProbability is the edge probability of the Table 5 case study.
+const caseStudyProbability = 0.05
+
+// seedCount matches the paper: 50 influence-maximization seeds.
+const seedCount = 50
+
+// seedProbability is the IC probability used only for seed *selection*.
+// The paper runs IMM at p = 0.01; keeping selection at 0.01 also keeps the
+// reverse-reachable sets small enough for the greedy cover to stay fast,
+// while the cascades themselves run at effectProbability.
+const seedProbability = 0.01
+
+// pickSeeds selects influential seeds the way the paper does (IMM [37]);
+// we use RIS greedy coverage, IMM's core technique.
+func pickSeeds(g *graph.Graph, cfg Config) []int32 {
+	samples := 1500
+	if cfg.Quick {
+		samples = 400
+	}
+	return cascade.MaxInfluenceRIS(g, seedProbability, seedCount, samples, cfg.seed())
+}
+
+// runFig13 reproduces Figure 13: partition vertices into four score
+// intervals (k=4) and show that higher truss-based diversity predicts a
+// higher activation rate.
+func runFig13(w io.Writer, cfg Config) error {
+	const k = 4
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		idx := core.BuildGCTIndex(g)
+		seeds := pickSeeds(g, cfg)
+		mc := cascade.NewIC(g, effectProbability).MonteCarlo(seeds, cfg.runs(), cfg.seed()+7)
+
+		// Positive-score vertices, bucketed into four quartile intervals.
+		type vs struct {
+			v     int32
+			score int
+		}
+		var scored []vs
+		for v := int32(0); int(v) < g.N(); v++ {
+			if s := idx.Score(v, k); s > 0 {
+				scored = append(scored, vs{v, s})
+			}
+		}
+		if len(scored) < 4 {
+			fmt.Fprintf(w, "%s: too few scored vertices for Fig. 13\n\n", name)
+			continue
+		}
+		sort.Slice(scored, func(i, j int) bool { return scored[i].score < scored[j].score })
+		t := &Table{
+			Title:   fmt.Sprintf("Activation rate per score interval on %s, k=%d (paper Fig. 13)", name, k),
+			Headers: []string{"interval", "#vertices", "mean act. prob"},
+		}
+		// Paper-style doubling score bands: [1,2], [3,4], [5,8], [9,max].
+		maxScore := scored[len(scored)-1].score
+		bands := [][2]int{{1, 2}, {3, 4}, {5, 8}, {9, maxScore}}
+		idx2 := 0
+		for _, band := range bands {
+			lo, hi := band[0], band[1]
+			if lo > maxScore {
+				break
+			}
+			var sum float64
+			count := 0
+			for idx2 < len(scored) && scored[idx2].score <= hi {
+				sum += mc.Activation[scored[idx2].v]
+				count++
+				idx2++
+			}
+			if count == 0 {
+				continue
+			}
+			t.AddRow(
+				fmt.Sprintf("[%d,%d]", lo, min(hi, maxScore)),
+				count,
+				fmt.Sprintf("%.4f", sum/float64(count)),
+			)
+		}
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// modelTargets returns the top-r vertex sets of the four selectors used in
+// Figures 14-15 (Random, Comp-Div, Core-Div, Truss-Div) at the paper's
+// k=4 setting. The influence seeds are excluded from every target set —
+// a seed is activated by definition, so including one would measure seed
+// overlap rather than contagion susceptibility.
+func modelTargets(g *graph.Graph, gctIdx *core.GCTIndex, r int, seeds []int32, seed int64) (map[string][]int32, error) {
+	const k = 4
+	isSeed := make(map[int32]bool, len(seeds))
+	for _, s := range seeds {
+		isSeed[s] = true
+	}
+	take := func(vs []int32) []int32 {
+		out := make([]int32, 0, r)
+		for _, v := range vs {
+			if !isSeed[v] && len(out) < r {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	vsOf := func(list []baseline.VertexScore) []int32 {
+		out := make([]int32, len(list))
+		for i, e := range list {
+			out[i] = e.V
+		}
+		return out
+	}
+
+	targets := map[string][]int32{}
+	over := r + len(seeds) // rank deep enough to fill r after exclusions
+	comp, err := baseline.TopR(baseline.NewCompDiv(g), g.N(), k, over)
+	if err != nil {
+		return nil, err
+	}
+	targets["Comp-Div"] = take(vsOf(comp))
+	coreTop, err := baseline.TopR(baseline.NewCoreDiv(g), g.N(), k, over)
+	if err != nil {
+		return nil, err
+	}
+	targets["Core-Div"] = take(vsOf(coreTop))
+	res, _, err := core.NewGCT(gctIdx).TopR(k, over)
+	if err != nil {
+		return nil, err
+	}
+	truss := make([]int32, len(res.TopR))
+	for i, e := range res.TopR {
+		truss[i] = e.V
+	}
+	targets["Truss-Div"] = take(truss)
+	targets["Random"] = take(vsOf(baseline.Random(g.N(), over, seed)))
+	return targets, nil
+}
+
+// runFig14 reproduces Figure 14: expected number of activated vertices
+// among the top-r selections of each model, r in 50..100.
+func runFig14(w io.Writer, cfg Config) error {
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		gctIdx := core.BuildGCTIndex(g)
+		seeds := pickSeeds(g, cfg)
+		mc := cascade.NewIC(g, effectProbability).MonteCarlo(seeds, cfg.runs(), cfg.seed()+11)
+		t := &Table{
+			Title:   fmt.Sprintf("Expected activated among top-r on %s (paper Fig. 14)", name),
+			Headers: []string{"r", "Truss-Div", "Core-Div", "Comp-Div", "Random"},
+		}
+		for _, r := range []int{50, 60, 70, 80, 90, 100} {
+			targets, err := modelTargets(g, gctIdx, r, seeds, cfg.seed()+int64(r))
+			if err != nil {
+				return err
+			}
+			t.AddRow(r,
+				fmt.Sprintf("%.2f", mc.ExpectedActivated(targets["Truss-Div"])),
+				fmt.Sprintf("%.2f", mc.ExpectedActivated(targets["Core-Div"])),
+				fmt.Sprintf("%.2f", mc.ExpectedActivated(targets["Comp-Div"])),
+				fmt.Sprintf("%.2f", mc.ExpectedActivated(targets["Random"])))
+		}
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// runFig15 reproduces Figure 15: how many activation rounds it takes to
+// reach the top-100 vertices of each model (cumulative activated per
+// round).
+func runFig15(w io.Writer, cfg Config) error {
+	const r = 100
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		gctIdx := core.BuildGCTIndex(g)
+		seeds := pickSeeds(g, cfg)
+		targets, err := modelTargets(g, gctIdx, r, seeds, cfg.seed()+21)
+		if err != nil {
+			return err
+		}
+		ic := cascade.NewIC(g, effectProbability)
+		curves := map[string][]float64{}
+		maxLen := 0
+		for _, model := range []string{"Truss-Div", "Core-Div", "Comp-Div"} {
+			c := ic.LatencyCurve(seeds, targets[model], cfg.runs(), cfg.seed()+33)
+			curves[model] = c
+			if len(c) > maxLen {
+				maxLen = len(c)
+			}
+		}
+		t := &Table{
+			Title:   fmt.Sprintf("Cumulative activated top-100 per round on %s (paper Fig. 15)", name),
+			Headers: []string{"round", "Truss-Div", "Core-Div", "Comp-Div"},
+		}
+		at := func(c []float64, i int) string {
+			if i < len(c) {
+				return fmt.Sprintf("%.2f", c[i])
+			}
+			if len(c) == 0 {
+				return "0.00"
+			}
+			return fmt.Sprintf("%.2f", c[len(c)-1])
+		}
+		for round := 0; round < maxLen; round++ {
+			t.AddRow(round,
+				at(curves["Truss-Div"], round),
+				at(curves["Core-Div"], round),
+				at(curves["Comp-Div"], round))
+		}
+		t.Fprint(w)
+	}
+	return nil
+}
+
+// caseStudyTop1 returns the top-1 vertex of each model on the DBLP
+// substitute at the paper's case-study setting k=5.
+func caseStudyTop1(g *graph.Graph) (trussV, compV, coreV int32, err error) {
+	const k = 5
+	res, _, err := core.NewGCT(core.BuildGCTIndex(g)).TopR(k, 1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	trussV = res.TopR[0].V
+	comp, err := baseline.TopR(baseline.NewCompDiv(g), g.N(), k, 1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	compV = comp[0].V
+	coreTop, err := baseline.TopR(baseline.NewCoreDiv(g), g.N(), k, 1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	coreV = coreTop[0].V
+	return trussV, compV, coreV, nil
+}
+
+// runExp10 reproduces the Figure 16 case study: the Truss-Div top-1 author
+// on the DBLP substitute and its social contexts, contrasted with what the
+// other two models see in the same ego-network.
+func runExp10(w io.Writer, cfg Config) error {
+	const k = 5
+	g := Collab()
+	scorer := core.NewScorer(g)
+	trussV, _, _, err := caseStudyTop1(g)
+	if err != nil {
+		return err
+	}
+	score, contexts := scorer.ScoreAndContexts(trussV, k)
+	fmt.Fprintf(w, "Truss-Div top-1 on dblp-sim (k=%d): author %d, score(v*) = %d\n",
+		k, trussV, score)
+	for i, ctx := range contexts {
+		fmt.Fprintf(w, "  context %d (%d members): %v\n", i+1, len(ctx), ctx)
+	}
+	// The paper's contrast on the same ego-network:
+	compScore := baseline.NewCompDiv(g).Score(trussV, k)
+	coreScore := baseline.NewCoreDiv(g).Score(trussV, k)
+	fmt.Fprintf(w, "Same ego-network under Comp-Div: %d context(s); under Core-Div: %d context(s)\n",
+		compScore, coreScore)
+	net := ego.ExtractOne(g, trussV)
+	_, comps := net.G.ConnectedComponents()
+	fmt.Fprintf(w, "Ego-network: |V|=%d |E|=%d, %d connected component(s)\n\n",
+		len(net.Verts), net.G.M(), comps)
+	return nil
+}
+
+// runExp11 reproduces Figure 17: the top-1 answers of Comp-Div and
+// Core-Div on the same network, whose contexts are isolated blocks.
+func runExp11(w io.Writer, cfg Config) error {
+	const k = 5
+	g := Collab()
+	_, compV, coreV, err := caseStudyTop1(g)
+	if err != nil {
+		return err
+	}
+	for _, tc := range []struct {
+		model baseline.Model
+		v     int32
+	}{
+		{baseline.NewCompDiv(g), compV},
+		{baseline.NewCoreDiv(g), coreV},
+	} {
+		ctx := tc.model.Contexts(tc.v, k)
+		fmt.Fprintf(w, "%s top-1 (k=%d): author %d with %d context(s); sizes:",
+			tc.model.Name(), k, tc.v, len(ctx))
+		for _, c := range ctx {
+			fmt.Fprintf(w, " %d", len(c))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runTable5 reproduces Table 5: ego-network statistics and the activated
+// probability of each model's top-1 vertex.
+func runTable5(w io.Writer, cfg Config) error {
+	const k = 5
+	g := Collab()
+	trussV, compV, coreV, err := caseStudyTop1(g)
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title:   "Top-1 ego-network quality on dblp-sim, k=5 (paper Table 5)",
+		Headers: []string{"Method", "v*", "|V|(ego)", "|E|(ego)", "Density", "|SC(v)|", "Act.Prob"},
+	}
+	rows := []struct {
+		method string
+		v      int32
+		sc     int
+	}{
+		{"Comp-Div", compV, baseline.NewCompDiv(g).Score(compV, k)},
+		{"Core-Div", coreV, baseline.NewCoreDiv(g).Score(coreV, k)},
+		{"Truss-Div", trussV, core.NewScorer(g).Score(trussV, k)},
+	}
+	for _, row := range rows {
+		nv, mv, density := egoStats(g, row.v)
+		prob := centerActivationProbability(g, row.v, cfg)
+		t.AddRow(row.method, row.v, nv, mv, fmt.Sprintf("%.2f", density),
+			row.sc, fmt.Sprintf("%.2f", prob))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// egoStats returns |V|, |E| and density |E|/|V| of v's ego-network.
+func egoStats(g *graph.Graph, v int32) (int, int, float64) {
+	net := ego.ExtractOne(g, v)
+	nv, mv := len(net.Verts), net.G.M()
+	if nv == 0 {
+		return 0, 0, 0
+	}
+	return nv, mv, float64(mv) / float64(nv)
+}
+
+// centerActivationProbability follows the Table 5 protocol: form H* (the
+// ego-network plus the center and its spokes), set p = 0.05, seed with 10
+// random neighbors, and estimate how often the center activates.
+func centerActivationProbability(g *graph.Graph, v int32, cfg Config) float64 {
+	nbrs := g.Neighbors(v)
+	if len(nbrs) == 0 {
+		return 0
+	}
+	verts := make([]int32, 0, len(nbrs)+1)
+	verts = append(verts, nbrs...)
+	verts = append(verts, v)
+	sub, l2g := g.InducedSubgraph(verts)
+	local := func(global int32) int32 {
+		for l, gv := range l2g {
+			if gv == global {
+				return int32(l)
+			}
+		}
+		return -1
+	}
+	rng := rand.New(rand.NewSource(cfg.seed() + 55))
+	seeds := make([]int32, 0, 10)
+	perm := rng.Perm(len(nbrs))
+	for _, i := range perm[:min(10, len(nbrs))] {
+		seeds = append(seeds, local(nbrs[i]))
+	}
+	mc := cascade.NewIC(sub, caseStudyProbability).MonteCarlo(seeds, cfg.runs(), cfg.seed()+56)
+	return mc.Activation[local(v)]
+}

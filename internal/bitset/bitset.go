@@ -1,0 +1,141 @@
+// Package bitset provides dense, fixed-width bitmaps used as the adjacency
+// representation in bitmap-based truss decomposition (paper §6.2).
+//
+// A Set holds n bits packed into 64-bit words. The operations required by
+// the decomposition are bit set/clear/test, popcount of the intersection of
+// two sets (edge support = |N(u) AND N(v)|), and iteration over the
+// intersection (enumerating the common neighbors of an edge's endpoints).
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Set is a fixed-size bitmap of n bits. The zero value is an empty bitmap
+// of zero bits; use New to create a sized one.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitmap able to hold n bits, all initially zero.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits the set can hold.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) { s.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) { s.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Get reports whether bit i is 1.
+func (s *Set) Get(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of 1 bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset zeroes every bit, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// AndCount returns |s AND t|, the popcount of the intersection. The two sets
+// must have the same length. This is the bitmap edge-support primitive:
+// sup(u,v) = Bits_u AndCount Bits_v.
+func (s *Set) AndCount(t *Set) int {
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// ForEachAnd calls fn for every bit index set in both s and t, in ascending
+// order. Returning false from fn stops the iteration.
+func (s *Set) ForEachAnd(t *Set, fn func(i int) bool) {
+	for wi, w := range s.words {
+		w &= t.words[wi]
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. Returning false
+// from fn stops the iteration.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(base + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Pool amortizes bitmap allocation across many ego-network decompositions.
+// Get hands out zeroed sets of the requested width; Put recycles them.
+// It is not safe for concurrent use.
+type Pool struct {
+	free []*Set
+}
+
+// Get returns a zeroed bitmap with at least n bits of capacity and a logical
+// length of exactly n bits.
+func (p *Pool) Get(n int) *Set {
+	if k := len(p.free); k > 0 {
+		s := p.free[k-1]
+		p.free = p.free[:k-1]
+		need := (n + wordBits - 1) / wordBits
+		if cap(s.words) < need {
+			s.words = make([]uint64, need)
+		} else {
+			s.words = s.words[:need]
+			for i := range s.words {
+				s.words[i] = 0
+			}
+		}
+		s.n = n
+		return s
+	}
+	return New(n)
+}
+
+// Put recycles a bitmap for later reuse.
+func (p *Pool) Put(s *Set) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}

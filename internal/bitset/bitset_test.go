@@ -1,0 +1,153 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Get(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		s.Set(i)
+		if !s.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Reset()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}
+
+func TestAndCountMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		inA := make([]bool, n)
+		inB := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				inA[i] = true
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+				inB[i] = true
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if inA[i] && inB[i] {
+				want++
+			}
+		}
+		if got := a.AndCount(b); got != want {
+			t.Fatalf("n=%d AndCount = %d, want %d", n, got, want)
+		}
+		var iterated []int
+		a.ForEachAnd(b, func(i int) bool { iterated = append(iterated, i); return true })
+		if len(iterated) != want {
+			t.Fatalf("ForEachAnd visited %d bits, want %d", len(iterated), want)
+		}
+		for j := 1; j < len(iterated); j++ {
+			if iterated[j-1] >= iterated[j] {
+				t.Fatalf("ForEachAnd not ascending: %v", iterated)
+			}
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(200)
+	for i := 0; i < 200; i += 3 {
+		s.Set(i)
+	}
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+	count = 0
+	s.ForEachAnd(s, func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("ForEachAnd early stop visited %d, want 3", count)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(70)
+	s.Set(5)
+	s.Set(69)
+	c := s.Clone()
+	c.Clear(5)
+	if !s.Get(5) {
+		t.Fatal("Clone is not independent")
+	}
+	if !c.Get(69) || c.Get(5) {
+		t.Fatal("Clone content wrong")
+	}
+}
+
+// Property: AndCount is symmetric and bounded by both counts.
+func TestAndCountProperties(t *testing.T) {
+	f := func(bitsA, bitsB []uint16) bool {
+		n := 512
+		a, b := New(n), New(n)
+		for _, i := range bitsA {
+			a.Set(int(i) % n)
+		}
+		for _, i := range bitsB {
+			b.Set(int(i) % n)
+		}
+		ab, ba := a.AndCount(b), b.AndCount(a)
+		if ab != ba {
+			return false
+		}
+		return ab <= a.Count() && ab <= b.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	var p Pool
+	s := p.Get(100)
+	s.Set(3)
+	p.Put(s)
+	s2 := p.Get(50)
+	if s2.Len() != 50 {
+		t.Fatalf("recycled Len = %d, want 50", s2.Len())
+	}
+	if s2.Count() != 0 {
+		t.Fatal("recycled bitmap not zeroed")
+	}
+	s3 := p.Get(4096) // larger than recycled capacity
+	if s3.Len() != 4096 || s3.Count() != 0 {
+		t.Fatal("grown bitmap wrong")
+	}
+}

@@ -1,0 +1,78 @@
+package cascade
+
+import (
+	"math/rand"
+	"testing"
+
+	"trussdiv/internal/gen"
+)
+
+func TestLTSeedsAlwaysActive(t *testing.T) {
+	g := gen.Clique(6)
+	lt := NewLT(g)
+	out := lt.Simulate([]int32{2, 4}, rand.New(rand.NewSource(1)))
+	if out.Round[2] != 0 || out.Round[4] != 0 {
+		t.Fatal("seeds must activate at round 0")
+	}
+	if out.Count < 2 {
+		t.Fatalf("count = %d", out.Count)
+	}
+}
+
+func TestLTFullSeedingActivatesNeighbors(t *testing.T) {
+	// If every neighbor of v is a seed, v's influence reaches 1.0, which
+	// meets any threshold θ_v in [0,1).
+	g := gen.Star(5) // center 0, leaves 1..4
+	lt := NewLT(g)
+	out := lt.Simulate([]int32{1, 2, 3, 4}, rand.New(rand.NewSource(2)))
+	if !out.Activated(0) {
+		t.Fatal("fully surrounded center must activate")
+	}
+	if out.Round[0] != 1 {
+		t.Fatalf("center activated at round %d, want 1", out.Round[0])
+	}
+}
+
+func TestLTStaysInComponent(t *testing.T) {
+	g := gen.DisjointUnion(gen.Clique(5), gen.Clique(5))
+	lt := NewLT(g)
+	out := lt.Simulate([]int32{0, 1, 2, 3, 4}, rand.New(rand.NewSource(3)))
+	for v := int32(5); v < 10; v++ {
+		if out.Activated(v) {
+			t.Fatal("LT diffusion crossed components")
+		}
+	}
+}
+
+func TestLTMonteCarloDeterministic(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 400, Attach: 3, Cliques: 80, MinSize: 3, MaxSize: 7, Seed: 4,
+	})
+	lt := NewLT(g)
+	a := lt.MonteCarlo([]int32{0, 1}, 150, 9)
+	b := lt.MonteCarlo([]int32{0, 1}, 150, 9)
+	for v := range a.Activation {
+		if a.Activation[v] != b.Activation[v] {
+			t.Fatal("LT MonteCarlo not deterministic for fixed seed")
+		}
+	}
+	if a.MeanSpread < 2 {
+		t.Fatalf("mean spread = %f", a.MeanSpread)
+	}
+	// Seeds have probability 1.
+	if a.Activation[0] != 1 || a.Activation[1] != 1 {
+		t.Fatal("seed activation must be 1")
+	}
+}
+
+func TestLTMoreSeedsMoreSpread(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 600, Attach: 3, Cliques: 120, MinSize: 3, MaxSize: 8, Seed: 6,
+	})
+	lt := NewLT(g)
+	few := lt.MonteCarlo([]int32{0, 1, 2}, 200, 5).MeanSpread
+	many := lt.MonteCarlo([]int32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 200, 5).MeanSpread
+	if many <= few {
+		t.Fatalf("spread not increasing in seeds: %f vs %f", few, many)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// SparsifyResult reports what graph sparsification removed.
+type SparsifyResult struct {
+	Graph         *graph.Graph // edge-filtered graph, vertex IDs preserved
+	EdgesRemoved  int
+	IsolatedVerts int // vertices that lost all incident edges
+	OriginalEdges int
+	OriginalVerts int
+}
+
+// Sparsify removes from g every edge whose global trussness is below k+1.
+// By Property 1 such edges belong to no maximal connected k-truss of any
+// ego-network, so every score(v) is preserved. Vertex IDs are kept;
+// vertices that become isolated are reported (and skipped by the search).
+func Sparsify(g *graph.Graph, k int32) *SparsifyResult {
+	tau := truss.Decompose(g)
+	sub := g.FilterEdges(func(id int32) bool { return tau[id] >= k+1 })
+	isolated := 0
+	for v := 0; v < sub.N(); v++ {
+		if sub.Degree(int32(v)) == 0 && g.Degree(int32(v)) > 0 {
+			isolated++
+		}
+	}
+	return &SparsifyResult{
+		Graph:         sub,
+		EdgesRemoved:  g.M() - sub.M(),
+		IsolatedVerts: isolated,
+		OriginalEdges: g.M(),
+		OriginalVerts: g.N(),
+	}
+}
+
+// UpperBound is Lemma 2: score(v) <= min{⌊d(v)/k⌋, ⌊2·m_v/(k(k-1))⌋},
+// because every maximal connected k-truss has at least k vertices and at
+// least k(k-1)/2 edges.
+func UpperBound(degree int, egoEdges int32, k int32) int {
+	byVerts := degree / int(k)
+	byEdges := int(2*egoEdges) / int(int(k)*(int(k)-1))
+	if byEdges < byVerts {
+		return byEdges
+	}
+	return byVerts
+}
+
+// Bound is the pruned searcher (paper Algorithm 4): sparsify, compute the
+// Lemma-2 upper bound for every surviving vertex, visit candidates in
+// decreasing bound order, and stop as soon as the next bound cannot beat
+// the current r-th best score.
+type Bound struct {
+	g *graph.Graph
+}
+
+// NewBound returns a Bound searcher over g.
+func NewBound(g *graph.Graph) *Bound { return &Bound{g: g} }
+
+// TopR runs Algorithm 4.
+func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
+	r, err := validate(b.g.N(), k, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp := Sparsify(b.g, k)
+	sub := sp.Graph
+	scorer := NewScorer(sub)
+	stats := &Stats{}
+
+	// Upper bounds on the sparsified graph (its ego-networks are subgraphs
+	// of the originals, so the bound is valid and tighter).
+	mv := sub.TrianglesPerVertex()
+	type candidate struct {
+		v  int32
+		ub int
+	}
+	cands := make([]candidate, 0, sub.N())
+	for v := int32(0); int(v) < sub.N(); v++ {
+		d := sub.Degree(v)
+		if d == 0 {
+			continue // isolated after sparsification: score is 0
+		}
+		if ub := UpperBound(d, mv[v], k); ub > 0 {
+			cands = append(cands, candidate{v, ub})
+		}
+	}
+	stats.Candidates = len(cands)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ub != cands[j].ub {
+			return cands[i].ub > cands[j].ub
+		}
+		return cands[i].v < cands[j].v
+	})
+
+	heap := newTopRHeap(r)
+	for _, c := range cands {
+		if heap.Full() && c.ub <= heap.MinScore() {
+			break // early termination: no remaining candidate can improve S
+		}
+		score := scorer.Score(c.v, k)
+		stats.ScoreComputations++
+		heap.Offer(c.v, score)
+	}
+	// Vertices pruned away all have score 0 (or were dominated); if fewer
+	// than r candidates existed, pad with zero-score vertices for parity
+	// with the online answer size.
+	if !heap.Full() {
+		inAnswer := map[int32]bool{}
+		for _, e := range heap.entries {
+			inAnswer[e.V] = true
+		}
+		for v := int32(0); int(v) < b.g.N() && !heap.Full(); v++ {
+			if !inAnswer[v] {
+				heap.Offer(v, 0)
+			}
+		}
+	}
+	return buildResult(heap.Answer(), k, scorer), stats, nil
+}

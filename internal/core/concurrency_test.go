@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"trussdiv/internal/gen"
+)
+
+// Scorer documents itself as safe for concurrent use; GCT queries are
+// read-only. Run both under -race.
+func TestScorerConcurrentUse(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 500, Attach: 3, Cliques: 100, MinSize: 4, MaxSize: 8, Seed: 5,
+	})
+	scorer := NewScorer(g)
+	want := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		want[v] = scorer.Score(int32(v), 4)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for v := offset; v < g.N(); v += 8 {
+				if got := scorer.Score(int32(v), 4); got != want[v] {
+					t.Errorf("concurrent score(%d) = %d, want %d", v, got, want[v])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestGCTConcurrentQueries(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 500, Attach: 3, Cliques: 100, MinSize: 4, MaxSize: 8, Seed: 6,
+	})
+	idx := BuildGCTIndex(g)
+	want := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		want[v] = idx.Score(int32(v), 4)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for v := offset; v < g.N(); v += 8 {
+				if got := idx.Score(int32(v), 4); got != want[v] {
+					t.Errorf("concurrent GCT score(%d) = %d, want %d", v, got, want[v])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// Dynamic index maintenance (paper §5.3 Remarks): an edge change touches
+// only a bounded set of ego-networks, so the index can be repaired
+// without a full rebuild.
+//
+// Inserting or deleting edge (u,v) changes:
+//   - the ego-network of u (it gains/loses vertex v and v's links into
+//     N(u) ∩ N(v)),
+//   - the ego-network of v (symmetrically), and
+//   - the ego-network of every common neighbor w ∈ N(u) ∩ N(v) (it
+//     gains/loses the edge (u,v)).
+//
+// No other ego-network contains both endpoints of the changed edge, so
+// rebuilding the per-vertex structures of that affected set — against the
+// edited graph — restores the exact index.
+
+// UpdateStats reports the work an incremental update performed.
+type UpdateStats struct {
+	Inserted, Removed int // edges actually changed
+	Affected          int // vertices whose ego-networks were rebuilt
+}
+
+// affectedVertices collects {u, v} ∪ (N(u) ∩ N(v)) for each edit, taking
+// common neighbors in the graph where the edge exists (the new graph for
+// insertions, the old one for deletions).
+func affectedVertices(oldG, newG *graph.Graph, inserted, removed []graph.Edge) []int32 {
+	seen := map[int32]struct{}{}
+	mark := func(v int32) { seen[v] = struct{}{} }
+	var buf []int32
+	for _, e := range inserted {
+		mark(e.U)
+		mark(e.V)
+		buf = newG.CommonNeighbors(buf[:0], e.U, e.V)
+		for _, w := range buf {
+			mark(w)
+		}
+	}
+	for _, e := range removed {
+		mark(e.U)
+		mark(e.V)
+		buf = oldG.CommonNeighbors(buf[:0], e.U, e.V)
+		for _, w := range buf {
+			mark(w)
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// applyEdits builds the edited graph. The vertex count is preserved (new
+// vertices are not supported: add them by rebuilding). Inserting an
+// existing edge or removing a missing one is an error, so update stats
+// stay meaningful.
+func applyEdits(g *graph.Graph, insert, remove []graph.Edge) (*graph.Graph, error) {
+	drop := make(map[graph.Edge]bool, len(remove))
+	for _, e := range remove {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		if e.U < 0 || e.V >= int32(g.N()) || g.EdgeID(e.U, e.V) < 0 {
+			return nil, fmt.Errorf("core: cannot remove missing edge (%d,%d)", e.U, e.V)
+		}
+		drop[e] = true
+	}
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if !drop[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range insert {
+		if e.U >= int32(g.N()) || e.V >= int32(g.N()) || e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("core: insert (%d,%d) out of range [0,%d)", e.U, e.V, g.N())
+		}
+		if g.EdgeID(e.U, e.V) >= 0 {
+			return nil, fmt.Errorf("core: edge (%d,%d) already present", e.U, e.V)
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build(), nil
+}
+
+// Update applies edge insertions and deletions and repairs the TSD index
+// incrementally, rebuilding only the affected ego-network forests. It
+// returns the new index (sharing unaffected per-vertex storage with the
+// receiver, which must not be used afterwards) and the edited graph.
+func (idx *TSDIndex) Update(insert, remove []graph.Edge) (*TSDIndex, *UpdateStats, error) {
+	oldG := idx.g
+	newG, err := applyEdits(oldG, insert, remove)
+	if err != nil {
+		return nil, nil, err
+	}
+	affected := affectedVertices(oldG, newG, insert, remove)
+	out := &TSDIndex{
+		g:     newG,
+		edges: idx.edges, // unaffected entries are reused in place
+		mv:    idx.mv,
+		vtCum: idx.vtCum,
+	}
+	for _, v := range affected {
+		net := ego.ExtractOne(newG, v)
+		out.mv[v] = int32(net.G.M())
+		if net.G.M() == 0 {
+			out.edges[v] = nil
+			out.vtCum[v] = nil
+			continue
+		}
+		tau := truss.Decompose(net.G)
+		out.edges[v] = maxSpanningForest(net.G, tau)
+		out.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
+	}
+	return out, &UpdateStats{
+		Inserted: len(insert),
+		Removed:  len(remove),
+		Affected: len(affected),
+	}, nil
+}
+
+// Update applies edge insertions and deletions and repairs the GCT index
+// incrementally, rebuilding only the affected per-vertex structures. The
+// receiver must not be used afterwards.
+func (idx *GCTIndex) Update(insert, remove []graph.Edge) (*GCTIndex, *UpdateStats, error) {
+	oldG := idx.g
+	newG, err := applyEdits(oldG, insert, remove)
+	if err != nil {
+		return nil, nil, err
+	}
+	affected := affectedVertices(oldG, newG, insert, remove)
+	out := &GCTIndex{g: newG, verts: idx.verts}
+	var decomposer truss.BitmapDecomposer
+	for _, v := range affected {
+		net := ego.ExtractOne(newG, v)
+		if net.G.M() == 0 {
+			out.verts[v] = gctVertex{}
+			continue
+		}
+		tau := decomposer.Decompose(net.G)
+		out.verts[v] = buildGCTVertex(net.G, tau)
+	}
+	return out, &UpdateStats{
+		Inserted: len(insert),
+		Removed:  len(remove),
+		Affected: len(affected),
+	}, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+)
+
+// randomEdits picks a batch of valid insertions (absent pairs) and
+// deletions (present edges) from g.
+func randomEdits(g *graph.Graph, nIns, nDel int, seed int64) (ins, del []graph.Edge) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(g.N())
+	chosen := map[graph.Edge]bool{}
+	for len(ins) < nIns {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := graph.Edge{U: u, V: v}
+		if g.HasEdge(u, v) || chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		ins = append(ins, e)
+	}
+	edges := g.Edges()
+	for len(del) < nDel && len(del) < len(edges) {
+		e := edges[rng.Intn(len(edges))]
+		if chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		del = append(del, e)
+	}
+	return ins, del
+}
+
+func TestTSDUpdateMatchesRebuild(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(35, 170, seed+300)
+		idx := BuildTSDIndex(g)
+		ins, del := randomEdits(g, 6, 6, seed+301)
+		updated, stats, err := idx.Update(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Inserted != len(ins) || stats.Removed != len(del) {
+			t.Fatalf("stats %+v", stats)
+		}
+		if stats.Affected == 0 {
+			t.Fatal("no affected vertices reported")
+		}
+		fresh := BuildTSDIndex(updated.Graph())
+		for k := int32(2); k <= 6; k++ {
+			for v := int32(0); int(v) < g.N(); v++ {
+				if updated.Score(v, k) != fresh.Score(v, k) {
+					t.Fatalf("seed %d k=%d v=%d: incremental %d != rebuild %d",
+						seed, k, v, updated.Score(v, k), fresh.Score(v, k))
+				}
+				if updated.ScoreUpperBound(v, k) != fresh.ScoreUpperBound(v, k) {
+					t.Fatalf("seed %d k=%d v=%d: bounds diverge", seed, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestGCTUpdateMatchesRebuild(t *testing.T) {
+	for seed := int64(10); seed < 18; seed++ {
+		g := randomGraph(35, 170, seed+400)
+		idx := BuildGCTIndex(g)
+		ins, del := randomEdits(g, 5, 5, seed+401)
+		updated, _, err := idx.Update(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := BuildGCTIndex(updated.Graph())
+		for k := int32(2); k <= 6; k++ {
+			for v := int32(0); int(v) < g.N(); v++ {
+				if updated.Score(v, k) != fresh.Score(v, k) {
+					t.Fatalf("seed %d k=%d v=%d: incremental %d != rebuild %d",
+						seed, k, v, updated.Score(v, k), fresh.Score(v, k))
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	g := gen.Clique(4)
+	idx := BuildTSDIndex(g)
+	// Inserting an existing edge fails.
+	if _, _, err := idx.Update([]graph.Edge{{U: 0, V: 1}}, nil); err == nil {
+		t.Fatal("want error inserting existing edge")
+	}
+	// Removing a missing edge fails.
+	if _, _, err := idx.Update(nil, []graph.Edge{{U: 0, V: 9}}); err == nil {
+		t.Fatal("want error removing out-of-range edge")
+	}
+	g2 := gen.Cycle(5)
+	idx2 := BuildTSDIndex(g2)
+	if _, _, err := idx2.Update(nil, []graph.Edge{{U: 0, V: 2}}); err == nil {
+		t.Fatal("want error removing absent edge")
+	}
+	// Out-of-range insertion fails.
+	if _, _, err := idx2.Update([]graph.Edge{{U: 0, V: 99}}, nil); err == nil {
+		t.Fatal("want error inserting out-of-range edge")
+	}
+}
+
+func TestUpdateAffectedSetIsLocal(t *testing.T) {
+	// Two far-apart cliques: editing inside one must not touch the other.
+	g := gen.DisjointUnion(gen.Clique(6), gen.Clique(6))
+	idx := BuildTSDIndex(g)
+	// Delete one edge inside the first clique.
+	updated, stats, err := idx.Update(nil, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Affected = endpoints + their 4 common neighbors = 6 (first clique).
+	if stats.Affected != 6 {
+		t.Fatalf("affected = %d, want 6", stats.Affected)
+	}
+	// Second clique untouched: each vertex's ego is K5, one 5-truss.
+	for v := int32(6); v < 12; v++ {
+		if got := updated.Score(v, 5); got != 1 {
+			t.Fatalf("clique-2 vertex %d score@5 = %d, want 1", v, got)
+		}
+	}
+	// First clique: a non-endpoint's ego is K5 minus an edge, which is a
+	// 4-truss but no longer a 5-truss.
+	for v := int32(2); v < 6; v++ {
+		if got := updated.Score(v, 4); got != 1 {
+			t.Fatalf("clique-1 vertex %d score@4 = %d, want 1", v, got)
+		}
+		if got := updated.Score(v, 5); got != 0 {
+			t.Fatalf("clique-1 vertex %d score@5 = %d, want 0", v, got)
+		}
+	}
+	// The deleted edge's endpoint keeps a K4 ego: one 4-truss.
+	if got := updated.Score(0, 4); got != 1 {
+		t.Fatalf("endpoint score@4 = %d, want 1", got)
+	}
+}
+
+func TestParallelBuildsMatchSerial(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 1200, Attach: 4, Cliques: 250, MinSize: 4, MaxSize: 10, Diffuse: 20, Seed: 77,
+	})
+	serialTSD := BuildTSDIndex(g)
+	serialGCT := BuildGCTIndex(g)
+	for _, workers := range []int{1, 2, 4, 0} {
+		parTSD := BuildTSDIndexParallel(g, workers)
+		parGCT := BuildGCTIndexParallel(g, workers)
+		for k := int32(2); k <= 6; k++ {
+			for v := int32(0); int(v) < g.N(); v++ {
+				if parTSD.Score(v, k) != serialTSD.Score(v, k) {
+					t.Fatalf("workers=%d k=%d v=%d: parallel TSD diverges", workers, k, v)
+				}
+				if parGCT.Score(v, k) != serialGCT.Score(v, k) {
+					t.Fatalf("workers=%d k=%d v=%d: parallel GCT diverges", workers, k, v)
+				}
+			}
+		}
+	}
+}

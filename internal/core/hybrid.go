@@ -1,0 +1,113 @@
+package core
+
+import "trussdiv/internal/graph"
+
+// Hybrid is the competitor of paper Exp-4: it precomputes, for every
+// possible k, the complete vertex ranking by structural diversity, so a
+// top-r query reads the first r entries directly — but it must still
+// recover the social contexts online with Algorithm 2, which is what makes
+// it lose to GCT as r grows.
+type Hybrid struct {
+	g      *graph.Graph
+	scorer *Scorer
+	perK   [][]VertexScore // perK[k] sorted by score desc, vertex asc
+	maxK   int32
+}
+
+// BuildHybrid precomputes the per-k rankings. Scores are read from a GCT
+// index (cheap exact queries); the returned structure owns its rankings.
+func BuildHybrid(idx *GCTIndex) *Hybrid {
+	g := idx.Graph()
+	// Maximum ego trussness bounds the meaningful k range.
+	maxK := int32(2)
+	for v := int32(0); int(v) < g.N(); v++ {
+		taus, _ := idx.Supernodes(v)
+		if len(taus) > 0 && taus[0] > maxK {
+			maxK = taus[0]
+		}
+	}
+	h := &Hybrid{
+		g:      g,
+		scorer: NewScorer(g),
+		perK:   make([][]VertexScore, maxK+1),
+		maxK:   maxK,
+	}
+	for k := int32(2); k <= maxK; k++ {
+		list := make([]VertexScore, 0, g.N())
+		for v := int32(0); int(v) < g.N(); v++ {
+			if s := idx.Score(v, k); s > 0 {
+				list = append(list, VertexScore{V: v, Score: s})
+			}
+		}
+		sortAnswer(list)
+		h.perK[k] = list
+	}
+	return h
+}
+
+// MaxK returns the largest k with a non-trivial ranking.
+func (h *Hybrid) MaxK() int32 { return h.maxK }
+
+// TopR answers from the precomputed ranking, then computes the contexts of
+// each answer vertex online (the dominant cost, per the paper).
+func (h *Hybrid) TopR(k int32, r int) (*Result, *Stats, error) {
+	r, err := validate(h.g.N(), k, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ranked []VertexScore
+	if int(k) < len(h.perK) {
+		ranked = h.perK[k]
+	}
+	answer := make([]VertexScore, 0, r)
+	answer = append(answer, ranked[:min(r, len(ranked))]...)
+	// Pad with zero-score vertices when fewer than r vertices have any
+	// social context, matching the other searchers' answer size.
+	if len(answer) < r {
+		in := make(map[int32]bool, len(answer))
+		for _, e := range answer {
+			in[e.V] = true
+		}
+		for v := int32(0); int(v) < h.g.N() && len(answer) < r; v++ {
+			if !in[v] {
+				answer = append(answer, VertexScore{V: v, Score: 0})
+			}
+		}
+	}
+	stats := &Stats{Candidates: len(ranked)}
+	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
+	for _, e := range answer {
+		// Online social-context recovery (Algorithm 2).
+		res.Contexts[e.V] = h.scorer.Contexts(e.V, k)
+		stats.ScoreComputations++
+	}
+	return res, stats, nil
+}
+
+// SizeBytes reports the ranking storage footprint.
+func (h *Hybrid) SizeBytes() int64 {
+	var b int64
+	for _, list := range h.perK {
+		b += int64(len(list))*8 + 24
+	}
+	return b
+}
+
+// Ranking returns the full precomputed ranking for k (sorted by score
+// descending). The slice aliases internal storage.
+func (h *Hybrid) Ranking(k int32) []VertexScore {
+	if int(k) >= len(h.perK) {
+		return nil
+	}
+	return h.perK[k]
+}
+
+// ScoresAt returns a dense score vector for threshold k computed from a
+// ranking, mainly for tests and the effectiveness experiments.
+func (h *Hybrid) ScoresAt(k int32) []int {
+	out := make([]int, h.g.N())
+	for _, e := range h.Ranking(k) {
+		out[e.V] = e.Score
+	}
+	return out
+}

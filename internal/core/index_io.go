@@ -1,0 +1,207 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"trussdiv/internal/graph"
+)
+
+// Binary serialization of the two indexes. The on-disk sizes are what
+// Table 3 reports as "index size"; SizeBytes gives the in-memory figure.
+
+const (
+	tsdMagic = uint32(0x54534431) // "TSD1"
+	gctMagic = uint32(0x47435431) // "GCT1"
+)
+
+// WriteTo serializes the TSD index (forest edges per vertex). The graph is
+// not embedded; ReadTSDIndex must be given the same graph.
+func (idx *TSDIndex) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put([2]uint32{tsdMagic, uint32(len(idx.edges))}); err != nil {
+		return written, err
+	}
+	if len(idx.mv) > 0 {
+		if err := put(idx.mv); err != nil {
+			return written, err
+		}
+	}
+	for v, edges := range idx.edges {
+		cum := idx.vtCum[v]
+		if err := put([2]uint32{uint32(len(edges)), uint32(len(cum))}); err != nil {
+			return written, err
+		}
+		if len(edges) > 0 {
+			if err := put(edges); err != nil {
+				return written, err
+			}
+		}
+		if len(cum) > 0 {
+			if err := put(cum); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadTSDIndex deserializes a TSD index previously written by WriteTo,
+// binding it to g (which must be the graph it was built from).
+func ReadTSDIndex(r io.Reader, g *graph.Graph) (*TSDIndex, error) {
+	br := bufio.NewReader(r)
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: tsd header: %w", err)
+	}
+	if hdr[0] != tsdMagic {
+		return nil, fmt.Errorf("core: bad TSD magic %#x", hdr[0])
+	}
+	if int(hdr[1]) != g.N() {
+		return nil, fmt.Errorf("core: TSD index has %d vertices, graph has %d", hdr[1], g.N())
+	}
+	idx := &TSDIndex{
+		g:     g,
+		edges: make([][]TSDEdge, hdr[1]),
+		mv:    make([]int32, hdr[1]),
+		vtCum: make([][]int32, hdr[1]),
+	}
+	if hdr[1] > 0 {
+		if err := binary.Read(br, binary.LittleEndian, idx.mv); err != nil {
+			return nil, fmt.Errorf("core: tsd mv: %w", err)
+		}
+	}
+	for v := range idx.edges {
+		var counts [2]uint32
+		if err := binary.Read(br, binary.LittleEndian, counts[:]); err != nil {
+			return nil, fmt.Errorf("core: tsd vertex %d: %w", v, err)
+		}
+		// A forest over N(v) has at most deg(v)-1 edges and the trussness
+		// histogram at most deg(v)+1 levels; larger counts mean a corrupt
+		// or mismatched file, and honoring them would over-allocate.
+		deg := uint32(g.Degree(int32(v)))
+		if counts[0] > deg || counts[1] > deg+2 {
+			return nil, fmt.Errorf("core: tsd vertex %d: corrupt counts %v for degree %d",
+				v, counts, deg)
+		}
+		if counts[0] > 0 {
+			edges := make([]TSDEdge, counts[0])
+			if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
+				return nil, fmt.Errorf("core: tsd vertex %d edges: %w", v, err)
+			}
+			idx.edges[v] = edges
+		}
+		if counts[1] > 0 {
+			cum := make([]int32, counts[1])
+			if err := binary.Read(br, binary.LittleEndian, cum); err != nil {
+				return nil, fmt.Errorf("core: tsd vertex %d vtcum: %w", v, err)
+			}
+			idx.vtCum[v] = cum
+		}
+	}
+	return idx, nil
+}
+
+// WriteTo serializes the GCT index.
+func (idx *GCTIndex) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put([2]uint32{gctMagic, uint32(len(idx.verts))}); err != nil {
+		return written, err
+	}
+	for i := range idx.verts {
+		gv := &idx.verts[i]
+		if err := put([3]uint32{
+			uint32(len(gv.nodeTau)), uint32(len(gv.members)), uint32(len(gv.edges)),
+		}); err != nil {
+			return written, err
+		}
+		if len(gv.nodeTau) == 0 {
+			continue
+		}
+		for _, part := range []any{gv.nodeTau, gv.memberOff, gv.members} {
+			if err := put(part); err != nil {
+				return written, err
+			}
+		}
+		if len(gv.edges) > 0 {
+			if err := put(gv.edges); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadGCTIndex deserializes a GCT index previously written by WriteTo,
+// binding it to g.
+func ReadGCTIndex(r io.Reader, g *graph.Graph) (*GCTIndex, error) {
+	br := bufio.NewReader(r)
+	var hdr [2]uint32
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("core: gct header: %w", err)
+	}
+	if hdr[0] != gctMagic {
+		return nil, fmt.Errorf("core: bad GCT magic %#x", hdr[0])
+	}
+	if int(hdr[1]) != g.N() {
+		return nil, fmt.Errorf("core: GCT index has %d vertices, graph has %d", hdr[1], g.N())
+	}
+	idx := &GCTIndex{g: g, verts: make([]gctVertex, hdr[1])}
+	for i := range idx.verts {
+		var sizes [3]uint32
+		if err := binary.Read(br, binary.LittleEndian, sizes[:]); err != nil {
+			return nil, fmt.Errorf("core: gct vertex %d: %w", i, err)
+		}
+		// Supernodes and members are bounded by deg(v); superedges by the
+		// supernode count (forest). Reject corrupt headers before
+		// allocating.
+		deg := uint32(g.Degree(int32(i)))
+		if sizes[0] > deg || sizes[1] > deg || sizes[2] > sizes[0] {
+			return nil, fmt.Errorf("core: gct vertex %d: corrupt sizes %v for degree %d",
+				i, sizes, deg)
+		}
+		if sizes[0] == 0 {
+			continue
+		}
+		gv := gctVertex{
+			nodeTau:   make([]int32, sizes[0]),
+			memberOff: make([]int32, sizes[0]+1),
+			members:   make([]int32, sizes[1]),
+			edges:     make([]GCTSuperEdge, sizes[2]),
+		}
+		for _, part := range []any{gv.nodeTau, gv.memberOff, gv.members} {
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, fmt.Errorf("core: gct vertex %d parts: %w", i, err)
+			}
+		}
+		if sizes[2] > 0 {
+			if err := binary.Read(br, binary.LittleEndian, gv.edges); err != nil {
+				return nil, fmt.Errorf("core: gct vertex %d edges: %w", i, err)
+			}
+		}
+		gv.edgeW = make([]int32, len(gv.edges))
+		for j, e := range gv.edges {
+			gv.edgeW[j] = e.W
+		}
+		idx.verts[i] = gv
+	}
+	return idx, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"trussdiv/internal/gen"
+)
+
+func TestTSDIndexRoundTrip(t *testing.T) {
+	g := randomGraph(40, 200, 5)
+	idx := BuildTSDIndex(g)
+	var buf bytes.Buffer
+	written, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, buffer has %d", written, buf.Len())
+	}
+	back, err := ReadTSDIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int32(2); k <= 6; k++ {
+		for v := int32(0); int(v) < g.N(); v++ {
+			if idx.Score(v, k) != back.Score(v, k) {
+				t.Fatalf("k=%d v=%d: score differs after round trip", k, v)
+			}
+			if idx.ScoreUpperBound(v, k) != back.ScoreUpperBound(v, k) {
+				t.Fatalf("k=%d v=%d: bound differs after round trip", k, v)
+			}
+		}
+	}
+}
+
+func TestGCTIndexRoundTrip(t *testing.T) {
+	g := randomGraph(40, 200, 6)
+	idx := BuildGCTIndex(g)
+	var buf bytes.Buffer
+	written, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, buffer has %d", written, buf.Len())
+	}
+	back, err := ReadGCTIndex(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int32(2); k <= 6; k++ {
+		for v := int32(0); int(v) < g.N(); v++ {
+			if idx.Score(v, k) != back.Score(v, k) {
+				t.Fatalf("k=%d v=%d: score differs after round trip", k, v)
+			}
+		}
+	}
+}
+
+func TestIndexReadRejectsWrongGraph(t *testing.T) {
+	g := randomGraph(30, 120, 7)
+	other := gen.Clique(5)
+	idx := BuildTSDIndex(g)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTSDIndex(&buf, other); err == nil {
+		t.Fatal("want vertex-count mismatch error")
+	}
+	gct := BuildGCTIndex(g)
+	buf.Reset()
+	if _, err := gct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGCTIndex(&buf, other); err == nil {
+		t.Fatal("want vertex-count mismatch error")
+	}
+}
+
+func TestIndexReadRejectsBadMagic(t *testing.T) {
+	junk := bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})
+	if _, err := ReadTSDIndex(junk, gen.Clique(3)); err == nil {
+		t.Fatal("want bad magic error")
+	}
+	junk = bytes.NewReader([]byte{9, 9, 9, 9, 0, 0, 0, 0})
+	if _, err := ReadGCTIndex(junk, gen.Clique(3)); err == nil {
+		t.Fatal("want bad magic error")
+	}
+}
+
+func TestGCTSmallerThanTSD(t *testing.T) {
+	// Table 3's headline: the GCT compression is smaller than TSD on
+	// triangle-rich graphs (supernode members replace intra-context edges).
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 800, Attach: 3, Cliques: 200, MinSize: 4, MaxSize: 10, Seed: 11,
+	})
+	tsd := BuildTSDIndex(g)
+	gct := BuildGCTIndex(g)
+	var tsdBuf, gctBuf bytes.Buffer
+	if _, err := tsd.WriteTo(&tsdBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gct.WriteTo(&gctBuf); err != nil {
+		t.Fatal(err)
+	}
+	if gctBuf.Len() >= tsdBuf.Len() {
+		t.Fatalf("GCT on-disk %d >= TSD %d; compression lost", gctBuf.Len(), tsdBuf.Len())
+	}
+}
+
+// Corrupt serialized headers must be rejected before any oversized
+// allocation is honored.
+func TestIndexReadRejectsCorruptCounts(t *testing.T) {
+	g := randomGraph(20, 70, 31)
+	tsd := BuildTSDIndex(g)
+	var buf bytes.Buffer
+	if _, err := tsd.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first per-vertex record starts after the 8-byte header plus the
+	// n*4-byte mv array; smash its edge count to a huge value.
+	off := 8 + g.N()*4
+	for i := 0; i < 4; i++ {
+		data[off+i] = 0xff
+	}
+	if _, err := ReadTSDIndex(bytes.NewReader(data), g); err == nil {
+		t.Fatal("corrupt TSD edge count accepted")
+	}
+
+	gct := BuildGCTIndex(g)
+	buf.Reset()
+	if _, err := gct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data = buf.Bytes()
+	for i := 0; i < 4; i++ {
+		data[8+i] = 0xff // first vertex's supernode count
+	}
+	if _, err := ReadGCTIndex(bytes.NewReader(data), g); err == nil {
+		t.Fatal("corrupt GCT supernode count accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"trussdiv/internal/graph"
+)
+
+// validate checks the common (k, r) preconditions of the problem statement
+// (paper §2.3: 1 <= r <= n, k >= 2).
+func validate(n int, k int32, r int) (int, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("core: trussness threshold k = %d, must be >= 2", k)
+	}
+	if r < 1 {
+		return 0, fmt.Errorf("core: r = %d, must be >= 1", r)
+	}
+	if r > n {
+		r = n
+	}
+	return r, nil
+}
+
+// Online is the baseline searcher (paper Algorithm 3): it computes the
+// structural diversity of every vertex from scratch and keeps the best r.
+type Online struct {
+	scorer *Scorer
+}
+
+// NewOnline returns an Online searcher over g.
+func NewOnline(g *graph.Graph) *Online { return &Online{scorer: NewScorer(g)} }
+
+// TopR returns the r vertices with the highest truss-based structural
+// diversity w.r.t. k, together with their social contexts.
+func (o *Online) TopR(k int32, r int) (*Result, *Stats, error) {
+	g := o.scorer.Graph()
+	r, err := validate(g.N(), k, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{Candidates: g.N()}
+	heap := newTopRHeap(r)
+	for v := int32(0); int(v) < g.N(); v++ {
+		score := o.scorer.Score(v, k)
+		stats.ScoreComputations++
+		heap.Offer(v, score)
+	}
+	return buildResult(heap.Answer(), k, o.scorer), stats, nil
+}
+
+// buildResult attaches the social contexts of every answer vertex.
+func buildResult(answer []VertexScore, k int32, scorer *Scorer) *Result {
+	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
+	for _, e := range answer {
+		res.Contexts[e.V] = scorer.Contexts(e.V, k)
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// Parallel index construction. The paper's implementation is
+// single-threaded C++; per-vertex index construction is embarrassingly
+// parallel (each vertex's forest/supernode structure depends only on its
+// own ego-network), so we offer concurrent builders as an engineering
+// extension. Workers write to disjoint slice entries, which is safe
+// without locks; work is handed out via a shared atomic-free counter
+// channeled in blocks to keep contention negligible.
+
+// BuildTSDIndexParallel is BuildTSDIndex using `workers` goroutines
+// (0 or negative = GOMAXPROCS). The result is identical to the serial
+// build.
+func BuildTSDIndexParallel(g *graph.Graph, workers int) *TSDIndex {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	idx := &TSDIndex{
+		g:     g,
+		edges: make([][]TSDEdge, n),
+		mv:    make([]int32, n),
+		vtCum: make([][]int32, n),
+	}
+	const block = 256
+	blocks := make(chan int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lo := range blocks {
+				hi := lo + block
+				if hi > int32(n) {
+					hi = int32(n)
+				}
+				for v := lo; v < hi; v++ {
+					net := ego.ExtractOne(g, v)
+					idx.mv[v] = int32(net.G.M())
+					if net.G.M() == 0 {
+						continue
+					}
+					tau := truss.Decompose(net.G)
+					idx.edges[v] = maxSpanningForest(net.G, tau)
+					idx.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
+				}
+			}
+		}()
+	}
+	for lo := int32(0); lo < int32(n); lo += block {
+		blocks <- lo
+	}
+	close(blocks)
+	wg.Wait()
+	return idx
+}
+
+// BuildGCTIndexParallel is BuildGCTIndex using `workers` goroutines
+// (0 or negative = GOMAXPROCS). The one-shot global extraction stays
+// serial (it is a single triangle-listing pass); the per-vertex bitmap
+// decompositions and compressions run concurrently, each worker with its
+// own bitmap pool.
+func BuildGCTIndexParallel(g *graph.Graph, workers int) *GCTIndex {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	idx := &GCTIndex{g: g, verts: make([]gctVertex, n)}
+	all := ego.ExtractAll(g)
+	const block = 256
+	blocks := make(chan int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var decomposer truss.BitmapDecomposer // per-worker pool
+			for lo := range blocks {
+				hi := lo + block
+				if hi > int32(n) {
+					hi = int32(n)
+				}
+				for v := lo; v < hi; v++ {
+					if all.EdgeCount(v) == 0 {
+						continue
+					}
+					net := all.Network(v)
+					tau := decomposer.Decompose(net.G)
+					idx.verts[v] = buildGCTVertex(net.G, tau)
+				}
+			}
+		}()
+	}
+	for lo := int32(0); lo < int32(n); lo += block {
+		blocks <- lo
+	}
+	close(blocks)
+	wg.Wait()
+	return idx
+}

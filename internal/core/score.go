@@ -1,0 +1,75 @@
+package core
+
+import (
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// Scorer computes truss-based structural diversity scores and social
+// contexts online (paper Algorithm 2): extract the ego-network, truss-
+// decompose it, drop edges below the threshold, and count the connected
+// components that remain.
+//
+// A Scorer carries no mutable state beyond the graph reference and is safe
+// for concurrent use.
+type Scorer struct {
+	g *graph.Graph
+}
+
+// NewScorer returns a Scorer over g.
+func NewScorer(g *graph.Graph) *Scorer { return &Scorer{g: g} }
+
+// Graph returns the underlying graph.
+func (s *Scorer) Graph() *graph.Graph { return s.g }
+
+// Score returns score(v) w.r.t. trussness threshold k (paper Def. 3).
+// k must be >= 2.
+func (s *Scorer) Score(v int32, k int32) int {
+	net := ego.ExtractOne(s.g, v)
+	if net.G.M() == 0 {
+		return 0
+	}
+	tau := truss.Decompose(net.G)
+	return truss.CountComponents(net.G, tau, k)
+}
+
+// Contexts returns the social contexts SC(v): the vertex sets (global IDs,
+// each sorted) of the maximal connected k-trusses of v's ego-network
+// (paper Def. 2).
+func (s *Scorer) Contexts(v int32, k int32) [][]int32 {
+	net := ego.ExtractOne(s.g, v)
+	if net.G.M() == 0 {
+		return nil
+	}
+	tau := truss.Decompose(net.G)
+	return net.GlobalSets(truss.Components(net.G, tau, k))
+}
+
+// ScoreAndContexts computes both in one ego decomposition.
+func (s *Scorer) ScoreAndContexts(v int32, k int32) (int, [][]int32) {
+	net := ego.ExtractOne(s.g, v)
+	if net.G.M() == 0 {
+		return 0, nil
+	}
+	tau := truss.Decompose(net.G)
+	comps := truss.Components(net.G, tau, k)
+	return len(comps), net.GlobalSets(comps)
+}
+
+// EgoTrussness returns the trussness of the edge (a,b) inside the
+// ego-network of v, or 0 when (a,b) is not an ego edge. It exposes the
+// quantity τ_{G_N(v)}(a,b) from the paper's non-symmetry discussion
+// (Observation 1) for analysis and tests.
+func (s *Scorer) EgoTrussness(v, a, b int32) int32 {
+	net := ego.ExtractOne(s.g, v)
+	la, lb := net.Local(a), net.Local(b)
+	if la < 0 || lb < 0 {
+		return 0
+	}
+	id := net.G.EdgeID(la, lb)
+	if id < 0 {
+		return 0
+	}
+	return truss.Decompose(net.G)[id]
+}

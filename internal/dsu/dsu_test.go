@@ -1,0 +1,87 @@
+package dsu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	d := New(6)
+	if d.Sets() != 6 {
+		t.Fatalf("Sets = %d, want 6", d.Sets())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first union reported no-op")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat union reported a merge")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if !d.Same(1, 2) {
+		t.Fatal("1 and 2 should be connected")
+	}
+	if d.Same(1, 4) {
+		t.Fatal("1 and 4 should not be connected")
+	}
+	if d.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+	if d.SizeOf(2) != 4 {
+		t.Fatalf("SizeOf(2) = %d, want 4", d.SizeOf(2))
+	}
+	d.Reset()
+	if d.Sets() != 6 || d.Same(0, 1) {
+		t.Fatal("Reset did not restore singletons")
+	}
+}
+
+// Property: after any union sequence, Sets() == n - (number of effective
+// merges), and Same agrees with a naive component labeling.
+func TestAgainstNaiveLabels(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		d := New(n)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for op := 0; op < 100; op++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			merged := d.Union(x, y)
+			if merged == (labels[x] == labels[y]) {
+				return false
+			}
+			if merged {
+				relabel(labels[x], labels[y])
+			}
+		}
+		distinct := map[int]struct{}{}
+		for _, l := range labels {
+			distinct[l] = struct{}{}
+		}
+		if len(distinct) != d.Sets() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.Same(int32(i), int32(j)) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package ego extracts ego-networks (paper Def. 1): for a vertex v, the
+// subgraph of G induced by N(v), excluding v itself.
+//
+// Two strategies are provided, mirroring the paper's two pipelines:
+//
+//   - ExtractOne performs local triangle listing around a single vertex
+//     (the path used by the online algorithms and TSD-index construction,
+//     §3.2/§5.1). Each triangle through v is touched while building one
+//     ego-network.
+//   - ExtractAll performs one-shot global triangle listing and distributes
+//     each triangle to the three ego-networks it belongs to (the GCT
+//     pipeline, §6.2). Each triangle is enumerated once instead of being
+//     rediscovered by every endpoint, which the paper credits for roughly
+//     halving extraction work.
+package ego
+
+import (
+	"sort"
+
+	"trussdiv/internal/graph"
+)
+
+// Network is the ego-network of Center: a local graph over the neighbors
+// of Center, relabeled 0..len(Verts)-1 in ascending global-ID order.
+type Network struct {
+	Center int32
+	Verts  []int32      // local ID -> global ID (sorted); aliases g's storage
+	G      *graph.Graph // the induced local graph
+}
+
+// Global maps a local vertex ID back to the global ID.
+func (n *Network) Global(local int32) int32 { return n.Verts[local] }
+
+// Local maps a global vertex ID to the local ID, or -1 if the vertex is
+// not a neighbor of the center.
+func (n *Network) Local(global int32) int32 {
+	i := sort.Search(len(n.Verts), func(i int) bool { return n.Verts[i] >= global })
+	if i < len(n.Verts) && n.Verts[i] == global {
+		return int32(i)
+	}
+	return -1
+}
+
+// GlobalSets converts local vertex groups (e.g. social contexts) to global
+// vertex IDs.
+func (n *Network) GlobalSets(local [][]int32) [][]int32 {
+	out := make([][]int32, len(local))
+	for i, grp := range local {
+		g := make([]int32, len(grp))
+		for j, lv := range grp {
+			g[j] = n.Verts[lv]
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// ExtractOne builds the ego-network of v by local triangle listing: for
+// every neighbor u of v, the edge (u,w) is added for each w in
+// N(u) ∩ N(v) with w > u, via a merge of the sorted adjacency lists.
+func ExtractOne(g *graph.Graph, v int32) *Network {
+	verts := g.Neighbors(v)
+	b := graph.NewBuilder(len(verts))
+	for lu, u := range verts {
+		// Merge N(u) with verts, tracking the local index of matches.
+		nu := g.Neighbors(u)
+		i, j := 0, 0
+		for i < len(nu) && j < len(verts) {
+			switch {
+			case nu[i] < verts[j]:
+				i++
+			case nu[i] > verts[j]:
+				j++
+			default:
+				if verts[j] > u { // count each ego edge once
+					b.AddEdge(int32(lu), int32(j))
+				}
+				i++
+				j++
+			}
+		}
+	}
+	return &Network{Center: v, Verts: verts, G: b.Build()}
+}
+
+// All holds the materialized ego-network edge lists of every vertex,
+// produced by one global triangle-listing pass.
+type All struct {
+	g     *graph.Graph
+	off   []int64      // per-vertex slice boundaries into edges
+	edges []graph.Edge // global endpoint pairs of ego edges, grouped by center
+}
+
+// ExtractAll lists each triangle of g exactly once and assigns each of its
+// three edges to the opposite endpoint's ego-network (paper Alg. 7 lines
+// 1-4). Memory is Θ(3T) edge records, allocated exactly via a counting
+// pre-pass.
+func ExtractAll(g *graph.Graph) *All {
+	n := g.N()
+	counts := g.TrianglesPerVertex() // m_v per vertex
+	off := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + int64(counts[v])
+	}
+	edges := make([]graph.Edge, off[n])
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	put := func(center int32, a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		edges[cursor[center]] = graph.Edge{U: a, V: b}
+		cursor[center]++
+	}
+	g.ForEachTriangle(func(t graph.Triangle) bool {
+		put(t.U, t.V, t.W)
+		put(t.V, t.U, t.W)
+		put(t.W, t.U, t.V)
+		return true
+	})
+	return &All{g: g, off: off, edges: edges}
+}
+
+// EdgeCount returns m_v, the number of edges of v's ego-network (equal to
+// the number of triangles through v).
+func (a *All) EdgeCount(v int32) int { return int(a.off[v+1] - a.off[v]) }
+
+// Network materializes the ego-network of v from the precollected edges.
+func (a *All) Network(v int32) *Network {
+	verts := a.g.Neighbors(v)
+	b := graph.NewBuilder(len(verts))
+	lookup := func(global int32) int32 {
+		i := sort.Search(len(verts), func(i int) bool { return verts[i] >= global })
+		return int32(i) // caller guarantees membership
+	}
+	for _, e := range a.edges[a.off[v]:a.off[v+1]] {
+		b.AddEdge(lookup(e.U), lookup(e.V))
+	}
+	return &Network{Center: v, Verts: verts, G: b.Build()}
+}

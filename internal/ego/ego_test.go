@@ -1,0 +1,127 @@
+package ego
+
+import (
+	"math/rand"
+	"testing"
+
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+)
+
+func randomGraph(n, extra int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < extra; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// egoViaInduced is the reference: Def. 1 literally, via InducedSubgraph.
+func egoViaInduced(g *graph.Graph, v int32) (*graph.Graph, []int32) {
+	return g.InducedSubgraph(g.Neighbors(v))
+}
+
+func sameGraph(t *testing.T, got, want *graph.Graph, label string) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("%s: N,M = %d,%d want %d,%d", label, got.N(), got.M(), want.N(), want.M())
+	}
+	for id := int32(0); int(id) < want.M(); id++ {
+		e := want.Edge(id)
+		if !got.HasEdge(e.U, e.V) {
+			t.Fatalf("%s: missing edge (%d,%d)", label, e.U, e.V)
+		}
+	}
+}
+
+func TestExtractOneMatchesInduced(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(30, 140, seed)
+		for v := int32(0); int(v) < g.N(); v++ {
+			net := ExtractOne(g, v)
+			want, l2g := egoViaInduced(g, v)
+			if len(net.Verts) != len(l2g) {
+				t.Fatalf("seed %d v %d: vertex count mismatch", seed, v)
+			}
+			sameGraph(t, net.G, want, "ExtractOne")
+		}
+	}
+}
+
+func TestExtractAllMatchesExtractOne(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(35, 180, seed+50)
+		all := ExtractAll(g)
+		for v := int32(0); int(v) < g.N(); v++ {
+			one := ExtractOne(g, v)
+			batch := all.Network(v)
+			if all.EdgeCount(v) != one.G.M() {
+				t.Fatalf("seed %d v %d: EdgeCount %d != m_v %d",
+					seed, v, all.EdgeCount(v), one.G.M())
+			}
+			sameGraph(t, batch.G, one.G, "ExtractAll")
+		}
+	}
+}
+
+func TestFig1EgoOfV(t *testing.T) {
+	g := gen.Fig1Graph()
+	net := ExtractOne(g, gen.Fig1V)
+	if len(net.Verts) != 14 {
+		t.Fatalf("|N(v)| = %d, want 14", len(net.Verts))
+	}
+	// 6 + 6 clique edges + 2 bridges + 12 octahedron edges.
+	if net.G.M() != 26 {
+		t.Fatalf("ego edges = %d, want 26", net.G.M())
+	}
+	// s1, s2 are not neighbors of v.
+	if net.Local(gen.Fig1S1) != -1 || net.Local(gen.Fig1S2) != -1 {
+		t.Fatal("outsiders leaked into the ego-network")
+	}
+	// Local/Global round-trip.
+	for l := int32(0); int(l) < len(net.Verts); l++ {
+		if net.Local(net.Global(l)) != l {
+			t.Fatalf("Local(Global(%d)) != %d", l, l)
+		}
+	}
+}
+
+func TestFig1EgoOfX1(t *testing.T) {
+	g := gen.Fig1Graph()
+	net := ExtractOne(g, gen.Fig1X1)
+	// N(x1) = {v, x2, x3, x4, s1}.
+	if len(net.Verts) != 5 {
+		t.Fatalf("|N(x1)| = %d, want 5", len(net.Verts))
+	}
+	// Edges: v-x2, v-x3, v-x4, x2-x3, x2-x4, x3-x4, s1-x3.
+	if net.G.M() != 7 {
+		t.Fatalf("ego edges = %d, want 7", net.G.M())
+	}
+}
+
+func TestGlobalSets(t *testing.T) {
+	g := gen.Fig1Graph()
+	net := ExtractOne(g, gen.Fig1V)
+	lx1 := net.Local(gen.Fig1X1)
+	ly1 := net.Local(gen.Fig1Y1)
+	out := net.GlobalSets([][]int32{{lx1, ly1}})
+	if len(out) != 1 || out[0][0] != gen.Fig1X1 || out[0][1] != gen.Fig1Y1 {
+		t.Fatalf("GlobalSets = %v", out)
+	}
+}
+
+func TestEgoOfIsolatedAndLeaf(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1) // 2, 3 isolated... 3 isolated
+	b.AddEdge(1, 2)
+	g := b.Build()
+	net := ExtractOne(g, 3)
+	if len(net.Verts) != 0 || net.G.M() != 0 {
+		t.Fatal("isolated vertex should have empty ego-network")
+	}
+	net = ExtractOne(g, 0)
+	if len(net.Verts) != 1 || net.G.M() != 0 {
+		t.Fatal("leaf ego-network should be a single isolated vertex")
+	}
+}

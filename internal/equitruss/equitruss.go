@@ -1,0 +1,303 @@
+// Package equitruss implements the Equi-Truss index of Akbas & Zhao,
+// PVLDB 2017 — the second k-truss community index the paper's §8.2
+// comparison discusses (it compresses the TCP-index the same way the
+// paper's GCT-index compresses TSD, which is why the paper cites it as
+// the inspiration for GCT).
+//
+// Edges are partitioned into truss-equivalence classes: e1 ≡ e2 iff
+// τ(e1) = τ(e2) = k and the two edges are triangle-connected within the
+// k-truss. Each class becomes a supernode; a superedge links a class to
+// every higher-trussness class it touches through a shared triangle. A
+// k-truss community is then a connected set of supernodes with trussness
+// >= k — found on the (much smaller) supergraph without touching the
+// original edges.
+package equitruss
+
+import (
+	"sort"
+
+	"trussdiv/internal/dsu"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// SuperNode is one truss-equivalence class.
+type SuperNode struct {
+	K     int32   // common trussness of the class edges
+	Edges int32   // number of member edges
+	Verts []int32 // sorted vertices spanned by the member edges
+}
+
+// Index is the Equi-Truss summary of a graph.
+type Index struct {
+	g         *graph.Graph
+	tau       []int32
+	edgeClass []int32     // edge ID -> supernode ID
+	nodes     []SuperNode // supernode ID -> class
+	adj       [][]int32   // supernode adjacency (superedges)
+	byVertex  [][]int32   // vertex -> sorted supernode IDs it appears in
+}
+
+// Build constructs the index: one truss decomposition, then one
+// triangle-connectivity BFS per equivalence class, processing trussness
+// levels in descending order so that superedges always point at
+// already-built higher classes.
+func Build(g *graph.Graph) *Index {
+	tau := truss.Decompose(g)
+	m := g.M()
+	idx := &Index{
+		g:         g,
+		tau:       tau,
+		edgeClass: make([]int32, m),
+	}
+	for i := range idx.edgeClass {
+		idx.edgeClass[i] = -1
+	}
+
+	// Edge IDs sorted by trussness descending.
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return tau[order[i]] > tau[order[j]] })
+
+	stamp := make([]int32, m)
+	stampID := int32(0)
+	queue := make([]int32, 0, 256)
+	superAdj := map[[2]int32]struct{}{}
+
+	for _, start := range order {
+		if idx.edgeClass[start] >= 0 || tau[start] < 3 {
+			// Trussness-2 edges sit in no triangle: each is its own
+			// community seed but has no triangle connectivity; give each
+			// a singleton class below.
+			continue
+		}
+		k := tau[start]
+		classID := int32(len(idx.nodes))
+		idx.edgeClass[start] = classID
+		verts := map[int32]struct{}{}
+		edgeCount := int32(0)
+
+		stampID++
+		stamp[start] = stampID
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if tau[x] == k {
+				e := g.Edge(x)
+				verts[e.U] = struct{}{}
+				verts[e.V] = struct{}{}
+				edgeCount++
+				if idx.edgeClass[x] < 0 {
+					idx.edgeClass[x] = classID
+				}
+			} else {
+				// Higher class touched through a triangle: superedge, and
+				// keep traversing — triangle-connectivity chains between
+				// level-k edges may pass through higher-trussness regions.
+				other := idx.edgeClass[x]
+				if other >= 0 && other != classID {
+					a, b := classID, other
+					if a > b {
+						a, b = b, a
+					}
+					superAdj[[2]int32{a, b}] = struct{}{}
+				}
+			}
+			ed := g.Edge(x)
+			an, ai := g.Arcs(ed.U)
+			bn, bi := g.Arcs(ed.V)
+			i, j := 0, 0
+			for i < len(an) && j < len(bn) {
+				switch {
+				case an[i] < bn[j]:
+					i++
+				case an[i] > bn[j]:
+					j++
+				default:
+					e1, e2 := ai[i], bi[j]
+					if tau[e1] >= k && tau[e2] >= k {
+						for _, y := range [2]int32{e1, e2} {
+							if stamp[y] != stampID {
+								stamp[y] = stampID
+								queue = append(queue, y)
+							}
+						}
+					}
+					i++
+					j++
+				}
+			}
+		}
+		vs := make([]int32, 0, len(verts))
+		for v := range verts {
+			vs = append(vs, v)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		idx.nodes = append(idx.nodes, SuperNode{K: k, Edges: edgeCount, Verts: vs})
+	}
+
+	// Singleton classes for triangle-free edges (trussness 2).
+	for id := int32(0); int(id) < m; id++ {
+		if idx.edgeClass[id] >= 0 {
+			continue
+		}
+		e := g.Edge(id)
+		idx.edgeClass[id] = int32(len(idx.nodes))
+		idx.nodes = append(idx.nodes, SuperNode{
+			K: tau[id], Edges: 1, Verts: []int32{e.U, e.V},
+		})
+	}
+	// Connect trussness-2 classes to nothing (they share no triangle).
+
+	idx.adj = make([][]int32, len(idx.nodes))
+	for pair := range superAdj {
+		idx.adj[pair[0]] = append(idx.adj[pair[0]], pair[1])
+		idx.adj[pair[1]] = append(idx.adj[pair[1]], pair[0])
+	}
+	for _, nbrs := range idx.adj {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+
+	// Vertex -> supernodes.
+	idx.byVertex = make([][]int32, g.N())
+	for sid, node := range idx.nodes {
+		for _, v := range node.Verts {
+			idx.byVertex[v] = append(idx.byVertex[v], int32(sid))
+		}
+	}
+	return idx
+}
+
+// Graph returns the indexed graph.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// NumSuperNodes returns the size of the summary.
+func (idx *Index) NumSuperNodes() int { return len(idx.nodes) }
+
+// SuperNodeOf returns the supernode ID of edge (u,v), or -1 when absent.
+func (idx *Index) SuperNodeOf(u, v int32) int32 {
+	id := idx.g.EdgeID(u, v)
+	if id < 0 {
+		return -1
+	}
+	return idx.edgeClass[id]
+}
+
+// Node returns a supernode by ID.
+func (idx *Index) Node(id int32) SuperNode { return idx.nodes[id] }
+
+// CommunitiesOf returns the k-truss communities containing vertex v as
+// sorted vertex sets, computed entirely on the supergraph: BFS from v's
+// qualifying supernodes across superedges between qualifying supernodes.
+func (idx *Index) CommunitiesOf(v int32, k int32) [][]int32 {
+	var out [][]int32
+	visited := map[int32]bool{}
+	for _, sid := range idx.byVertex[v] {
+		if visited[sid] || idx.nodes[sid].K < k {
+			continue
+		}
+		verts := map[int32]struct{}{}
+		queue := []int32{sid}
+		visited[sid] = true
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range idx.nodes[cur].Verts {
+				verts[u] = struct{}{}
+			}
+			for _, nb := range idx.adj[cur] {
+				if !visited[nb] && idx.nodes[nb].K >= k {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		vs := make([]int32, 0, len(verts))
+		for u := range verts {
+			vs = append(vs, u)
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		out = append(out, vs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// CommunityCount returns how many distinct k-truss communities contain v,
+// without materializing the vertex sets.
+func (idx *Index) CommunityCount(v int32, k int32) int {
+	qualifying := make([]int32, 0, len(idx.byVertex[v]))
+	for _, sid := range idx.byVertex[v] {
+		if idx.nodes[sid].K >= k {
+			qualifying = append(qualifying, sid)
+		}
+	}
+	if len(qualifying) == 0 {
+		return 0
+	}
+	// Union qualifying supernodes through qualifying superedge paths.
+	// BFS per unvisited root over the supergraph.
+	count := 0
+	visited := map[int32]bool{}
+	for _, root := range qualifying {
+		if visited[root] {
+			continue
+		}
+		count++
+		queue := []int32{root}
+		visited[root] = true
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range idx.adj[cur] {
+				if !visited[nb] && idx.nodes[nb].K >= k {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return count
+}
+
+// SizeBytes returns the in-memory footprint of the summary (Table-3-style
+// accounting: supernode headers, vertex lists, superedges).
+func (idx *Index) SizeBytes() int64 {
+	var b int64
+	b += int64(len(idx.edgeClass)) * 4
+	for _, n := range idx.nodes {
+		b += 8 + int64(len(n.Verts))*4
+	}
+	for _, a := range idx.adj {
+		b += int64(len(a)) * 4
+	}
+	return b
+}
+
+// componentsSanity is used by tests: number of supernode-connected
+// components at level k among ALL supernodes (not just v's).
+func (idx *Index) componentsSanity(k int32) int {
+	d := dsu.New(len(idx.nodes))
+	member := make([]bool, len(idx.nodes))
+	count := 0
+	for sid, n := range idx.nodes {
+		if n.K >= k {
+			member[sid] = true
+			count++
+		}
+	}
+	for sid := range idx.nodes {
+		if !member[sid] {
+			continue
+		}
+		for _, nb := range idx.adj[sid] {
+			if member[nb] && d.Union(int32(sid), nb) {
+				count--
+			}
+		}
+	}
+	return count
+}

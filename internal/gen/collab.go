@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"math/rand"
+
+	"trussdiv/internal/graph"
+)
+
+// CollabConfig parameterizes Collaboration, the substitute for the paper's
+// DBLP case-study network (§7.3: 234,879 authors, 542,814 edges, an edge
+// meaning >= 3 co-authored papers).
+//
+// Three author classes reproduce the case study's contrast (paper Figs.
+// 16-17, Table 5):
+//
+//   - Truss hubs publish densely with several research groups AND write
+//     occasional bridge papers that weakly tie consecutive groups together.
+//     Their ego-networks are one connected blob (defeating Comp-Div), whose
+//     bridged dense blocks merge under the core model (defeating Core-Div),
+//     yet split cleanly into one maximal connected k-truss per group.
+//   - Core hubs publish densely with a few groups, without bridges: their
+//     ego-networks decompose under every model, but into fewer contexts.
+//   - Fragmented hubs co-author thin "chains" of pair papers across many
+//     groups: many size->=5 sparse components (high Comp-Div score) with no
+//     dense structure at all (zero Core-Div and Truss-Div score).
+type CollabConfig struct {
+	Authors        int // total number of authors
+	GroupSize      int // authors per research group
+	PapersPerGroup int // background papers inside each group
+	PaperMin       int // minimum authors on a paper
+	PaperMax       int // maximum authors on a paper
+	MinCoauthors   int // co-authorship count needed for an edge (DBLP: 3)
+
+	TrussHubs      int // authors of the first class
+	TrussHubGroups int // groups each truss hub publishes with
+	TrussHubPapers int // papers per (truss hub, group) pair
+
+	CoreHubs      int // authors of the second class
+	CoreHubGroups int // groups each core hub publishes with
+	CoreHubPapers int // papers per (core hub, group) pair
+
+	FragHubs      int // authors of the third class
+	FragHubGroups int // chain-components per fragmented hub
+	ChainLength   int // authors per sparse chain (component size)
+
+	Seed int64
+}
+
+// DefaultCollabConfig reproduces the case-study phenomenon at laptop
+// scale. With k = 5 the expected top-1 context counts mirror the paper's
+// Table 5: Comp-Div 8, Core-Div 3, Truss-Div 6.
+func DefaultCollabConfig() CollabConfig {
+	return CollabConfig{
+		Authors:        4000,
+		GroupSize:      25,
+		PapersPerGroup: 40,
+		PaperMin:       3,
+		PaperMax:       6,
+		MinCoauthors:   2,
+		TrussHubs:      6,
+		TrussHubGroups: 6,
+		TrussHubPapers: 12,
+		CoreHubs:       6,
+		CoreHubGroups:  3,
+		CoreHubPapers:  8,
+		FragHubs:       6,
+		FragHubGroups:  8,
+		ChainLength:    5,
+		Seed:           42,
+	}
+}
+
+// hubClass identifies which class a vertex ID falls into, for tests and
+// the case-study harness.
+func (c CollabConfig) hubs() (truss, core, frag int) {
+	return c.TrussHubs, c.CoreHubs, c.FragHubs
+}
+
+// TrussHubIDs returns the vertex IDs of the truss-hub authors.
+func (c CollabConfig) TrussHubIDs() []int32 { return idRange(0, c.TrussHubs) }
+
+// CoreHubIDs returns the vertex IDs of the core-hub authors.
+func (c CollabConfig) CoreHubIDs() []int32 {
+	return idRange(c.TrussHubs, c.CoreHubs)
+}
+
+// FragHubIDs returns the vertex IDs of the fragmented-hub authors.
+func (c CollabConfig) FragHubIDs() []int32 {
+	return idRange(c.TrussHubs+c.CoreHubs, c.FragHubs)
+}
+
+func idRange(start, count int) []int32 {
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(start + i)
+	}
+	return out
+}
+
+// Collaboration generates the co-authorship graph. Authors beyond the hub
+// classes are partitioned into consecutive research groups; papers are
+// author subsets (cliques in the co-authorship multigraph); an edge
+// survives once two authors share at least MinCoauthors papers.
+func Collaboration(cfg CollabConfig) *graph.Graph {
+	if cfg.PaperMin < 2 {
+		cfg.PaperMin = 2
+	}
+	if cfg.PaperMax < cfg.PaperMin {
+		cfg.PaperMax = cfg.PaperMin
+	}
+	if cfg.MinCoauthors < 1 {
+		cfg.MinCoauthors = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nTruss, nCore, nFrag := cfg.hubs()
+	hubTotal := nTruss + nCore + nFrag
+	regular := cfg.Authors - hubTotal
+	groups := regular / cfg.GroupSize
+	if groups < 1 {
+		groups = 1
+	}
+	groupMembers := func(gi int) (lo, hi int32) {
+		lo = int32(hubTotal + gi*cfg.GroupSize)
+		hi = lo + int32(cfg.GroupSize)
+		if hi > int32(cfg.Authors) {
+			hi = int32(cfg.Authors)
+		}
+		return lo, hi
+	}
+
+	coauth := map[int64]int{}
+	pairKey := func(u, v int32) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	addPaper := func(authors []int32) {
+		for i := 0; i < len(authors); i++ {
+			for j := i + 1; j < len(authors); j++ {
+				coauth[pairKey(authors[i], authors[j])]++
+			}
+		}
+	}
+
+	// Background papers inside every group.
+	var buf []int32
+	for gi := 0; gi < groups; gi++ {
+		lo, hi := groupMembers(gi)
+		span := int(hi - lo)
+		if span < 2 {
+			continue
+		}
+		for p := 0; p < cfg.PapersPerGroup; p++ {
+			size := cfg.PaperMin + rng.Intn(cfg.PaperMax-cfg.PaperMin+1)
+			if size > span {
+				size = span
+			}
+			buf = sampleDistinct(rng, buf[:0], lo, span, size)
+			addPaper(buf)
+		}
+	}
+
+	// sampleCore picks a stable collaborator subset of a group.
+	sampleCore := func(gi, size int) []int32 {
+		lo, hi := groupMembers(gi)
+		span := int(hi - lo)
+		if size > span {
+			size = span
+		}
+		return sampleDistinct(rng, nil, lo, span, size)
+	}
+	// densePapers makes `papers` papers among hub + rotating core subsets.
+	densePapers := func(hub int32, core []int32, papers int) {
+		for p := 0; p < papers; p++ {
+			size := cfg.PaperMin + rng.Intn(cfg.PaperMax-cfg.PaperMin+1)
+			buf = buf[:0]
+			buf = append(buf, hub)
+			perm := rng.Perm(len(core))
+			for _, idx := range perm {
+				if len(buf) > size {
+					break
+				}
+				buf = append(buf, core[idx])
+			}
+			addPaper(buf)
+		}
+	}
+
+	// Truss hubs: dense cores per group plus bridge papers between
+	// consecutive group cores (the paper's "weak ties").
+	for h := 0; h < nTruss; h++ {
+		hub := int32(h)
+		cores := make([][]int32, cfg.TrussHubGroups)
+		for gj := 0; gj < cfg.TrussHubGroups; gj++ {
+			gi := (h*cfg.TrussHubGroups + gj) % groups
+			cores[gj] = sampleCore(gi, cfg.PaperMax+2)
+			densePapers(hub, cores[gj], cfg.TrussHubPapers)
+		}
+		// Bridge papers: hub + one member of group j + one of group j+1,
+		// repeated MinCoauthors times so the weak edge materializes. The
+		// bridge edge has almost no triangles inside the hub's ego, so it
+		// connects components without forming any 5-truss.
+		for gj := 0; gj+1 < len(cores); gj++ {
+			a := cores[gj][rng.Intn(len(cores[gj]))]
+			b := cores[gj+1][rng.Intn(len(cores[gj+1]))]
+			for rep := 0; rep < cfg.MinCoauthors; rep++ {
+				addPaper([]int32{hub, a, b})
+			}
+		}
+	}
+
+	// Core hubs: dense cores, fewer groups, no bridges.
+	for h := 0; h < nCore; h++ {
+		hub := int32(nTruss + h)
+		for gj := 0; gj < cfg.CoreHubGroups; gj++ {
+			gi := (groups/2 + h*cfg.CoreHubGroups + gj) % groups
+			densePapers(hub, sampleCore(gi, cfg.PaperMax+2), cfg.CoreHubPapers)
+		}
+	}
+
+	// Fragmented hubs: sparse chains of pair papers in many groups. Each
+	// chain becomes one size-ChainLength path component in the hub's
+	// ego-network: great Comp-Div scores, nothing for core or truss.
+	for h := 0; h < nFrag; h++ {
+		hub := int32(nTruss + nCore + h)
+		for gj := 0; gj < cfg.FragHubGroups; gj++ {
+			gi := (groups/3 + h*cfg.FragHubGroups + gj) % groups
+			chain := sampleCore(gi, cfg.ChainLength)
+			for i := 0; i+1 < len(chain); i++ {
+				for rep := 0; rep < cfg.MinCoauthors; rep++ {
+					addPaper([]int32{hub, chain[i], chain[i+1]})
+				}
+			}
+		}
+	}
+
+	b := graph.NewBuilder(cfg.Authors)
+	for key, count := range coauth {
+		if count >= cfg.MinCoauthors {
+			b.AddEdge(int32(key>>32), int32(key&0xffffffff))
+		}
+	}
+	return b.Build()
+}
+
+// sampleDistinct appends `size` distinct values from [lo, lo+span) to dst.
+func sampleDistinct(rng *rand.Rand, dst []int32, lo int32, span, size int) []int32 {
+	if size > span {
+		size = span
+	}
+	seen := make(map[int32]struct{}, size)
+	for len(dst) < size {
+		v := lo + int32(rng.Intn(span))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		dst = append(dst, v)
+	}
+	return dst
+}

@@ -1,0 +1,215 @@
+package gen
+
+import "trussdiv/internal/graph"
+
+// Vertex IDs of the paper's running example (Fig. 1). The graph has 17
+// vertices: the query vertex v, two 4-cliques {x1..x4} and {y1..y4} joined
+// by the bridge edges (x2,y1) and (x4,y1), an octahedron {r1..r6}, and two
+// outsiders s1, s2 that are not neighbors of v.
+const (
+	Fig1V  int32 = 0
+	Fig1X1 int32 = 1
+	Fig1X2 int32 = 2
+	Fig1X3 int32 = 3
+	Fig1X4 int32 = 4
+	Fig1Y1 int32 = 5
+	Fig1Y2 int32 = 6
+	Fig1Y3 int32 = 7
+	Fig1Y4 int32 = 8
+	Fig1R1 int32 = 9
+	Fig1R2 int32 = 10
+	Fig1R3 int32 = 11
+	Fig1R4 int32 = 12
+	Fig1R5 int32 = 13
+	Fig1R6 int32 = 14
+	Fig1S1 int32 = 15
+	Fig1S2 int32 = 16
+)
+
+// Fig1Names maps the fixture's vertex IDs to the paper's labels.
+func Fig1Names() []string {
+	return []string{
+		"v", "x1", "x2", "x3", "x4",
+		"y1", "y2", "y3", "y4",
+		"r1", "r2", "r3", "r4", "r5", "r6",
+		"s1", "s2",
+	}
+}
+
+// Fig1Graph reconstructs the running example of the paper's Figure 1.
+// Every number the paper derives from it is reproduced by this fixture:
+//
+//   - the ego-network of v is H1 ∪ H2 where H1 = two 4-cliques bridged by
+//     (x2,y1) and (x4,y1), and H2 = the octahedron on r1..r6;
+//   - in H1, sup(x2,y1) = sup(x4,y1) = 1, sup(x2,x4) = 3, all other
+//     supports are 2 (paper Fig. 2a);
+//   - τ_H1 of the bridges is 3 and of the clique edges 4 (paper Fig. 2b);
+//   - with k = 4, SC(v) = {{x1..x4}, {y1..y4}, {r1..r6}}, score(v) = 3;
+//   - non-symmetry (paper Obs. 1): τ_{G_N(v)}(r1,r2) = 4 while
+//     τ_{G_N(r1)}(v,r2) = 3.
+func Fig1Graph() *graph.Graph {
+	b := graph.NewBuilder(17)
+	// v adjacent to all of x1..x4, y1..y4, r1..r6.
+	for u := Fig1X1; u <= Fig1R6; u++ {
+		b.AddEdge(Fig1V, u)
+	}
+	// 4-clique on x1..x4.
+	for u := Fig1X1; u <= Fig1X4; u++ {
+		for w := u + 1; w <= Fig1X4; w++ {
+			b.AddEdge(u, w)
+		}
+	}
+	// 4-clique on y1..y4.
+	for u := Fig1Y1; u <= Fig1Y4; u++ {
+		for w := u + 1; w <= Fig1Y4; w++ {
+			b.AddEdge(u, w)
+		}
+	}
+	// Bridges between the cliques.
+	b.AddEdge(Fig1X2, Fig1Y1)
+	b.AddEdge(Fig1X4, Fig1Y1)
+	// Octahedron on r1..r6: complete except the three "antipodal" pairs
+	// (r1,r4), (r2,r5), (r3,r6). Every edge sits in exactly two triangles,
+	// so H2 is one maximal connected 4-truss.
+	for u := Fig1R1; u <= Fig1R6; u++ {
+		for w := u + 1; w <= Fig1R6; w++ {
+			if w-u == 3 {
+				continue // antipodal pair
+			}
+			b.AddEdge(u, w)
+		}
+	}
+	// Outsiders keep G connected beyond N(v) as in Fig. 1(a).
+	b.AddEdge(Fig1S1, Fig1X1)
+	b.AddEdge(Fig1S1, Fig1X3)
+	b.AddEdge(Fig1S2, Fig1Y2)
+	return b.Build()
+}
+
+// Vertex IDs of the paper's Figure 18 fixture (the TSD-index vs TCP-index
+// comparison of §8.2).
+const (
+	Fig18Q1 int32 = 0
+	Fig18Q2 int32 = 1
+	Fig18Q3 int32 = 2
+	Fig18Z1 int32 = 3
+	Fig18Z2 int32 = 4
+	Fig18Z3 int32 = 5
+	Fig18Z4 int32 = 6
+	Fig18Z5 int32 = 7
+	Fig18Z6 int32 = 8
+)
+
+// Fig18Names maps the fixture's vertex IDs to the paper's labels.
+func Fig18Names() []string {
+	return []string{"q1", "q2", "q3", "z1", "z2", "z3", "z4", "z5", "z6"}
+}
+
+// Fig18Graph reconstructs the comparison example of the paper's Figure 18:
+// a 9-vertex graph where, for the ego vertex q1,
+//
+//   - the TCP-index of q1 carries weight 4 on every forest edge (each ego
+//     edge participates in a global 4-truss community), while
+//   - the TSD-index of q1 carries weights {3,3,3,3,2}: the two triangles
+//     inside the ego are only 3-trusses locally, and (q2,q3) — globally a
+//     4-truss edge via z5, z6 — has no triangle inside the ego at all, so
+//     its local trussness is 2.
+//
+// Structure: q1,q2,q3 form a triangle; {q1,q2,z1,z2} and {q1,q3,z3,z4} are
+// K4s; {q2,q3,z5,z6} is a K4 whose z-vertices are NOT neighbors of q1.
+func Fig18Graph() *graph.Graph {
+	b := graph.NewBuilder(9)
+	// Central triangle.
+	b.AddEdge(Fig18Q1, Fig18Q2)
+	b.AddEdge(Fig18Q1, Fig18Q3)
+	b.AddEdge(Fig18Q2, Fig18Q3)
+	// K4 {q1,q2,z1,z2}.
+	b.AddEdge(Fig18Q1, Fig18Z1)
+	b.AddEdge(Fig18Q1, Fig18Z2)
+	b.AddEdge(Fig18Q2, Fig18Z1)
+	b.AddEdge(Fig18Q2, Fig18Z2)
+	b.AddEdge(Fig18Z1, Fig18Z2)
+	// K4 {q1,q3,z3,z4}.
+	b.AddEdge(Fig18Q1, Fig18Z3)
+	b.AddEdge(Fig18Q1, Fig18Z4)
+	b.AddEdge(Fig18Q3, Fig18Z3)
+	b.AddEdge(Fig18Q3, Fig18Z4)
+	b.AddEdge(Fig18Z3, Fig18Z4)
+	// K4 {q2,q3,z5,z6} outside N(q1).
+	b.AddEdge(Fig18Q2, Fig18Z5)
+	b.AddEdge(Fig18Q2, Fig18Z6)
+	b.AddEdge(Fig18Q3, Fig18Z5)
+	b.AddEdge(Fig18Q3, Fig18Z6)
+	b.AddEdge(Fig18Z5, Fig18Z6)
+	return b.Build()
+}
+
+// Clique returns the complete graph K_k.
+func Clique(k int) *graph.Graph {
+	b := graph.NewBuilder(k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Path returns the path graph P_n (n vertices, n-1 edges).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.Build()
+}
+
+// Wheel returns the wheel W_{n-1}: center 0 joined to a cycle on 1..n-1.
+func Wheel(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+		next := i + 1
+		if next == n {
+			next = 1
+		}
+		b.AddEdge(int32(i), int32(next))
+	}
+	return b.Build()
+}
+
+// DisjointUnion returns the disjoint union of the given graphs, relabeling
+// the vertices of each block after the previous one.
+func DisjointUnion(gs ...*graph.Graph) *graph.Graph {
+	total := 0
+	for _, g := range gs {
+		total += g.N()
+	}
+	b := graph.NewBuilder(total)
+	base := int32(0)
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			b.AddEdge(base+e.U, base+e.V)
+		}
+		base += int32(g.N())
+	}
+	return b.Build()
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Self-loops are
+// rejected and duplicate edges (in either orientation) are collapsed, so the
+// result is always a simple undirected graph.
+type Builder struct {
+	n     int32
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+// Vertices are implicit: AddEdge grows the vertex count as needed.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: int32(n)}
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops are ignored.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// Build finalizes the graph: deduplicates edges, assigns edge IDs in sorted
+// (U,V) order, and lays out the CSR arrays.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	dedup := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges := make([]Edge, len(dedup))
+	copy(edges, dedup)
+	return fromCanonicalEdges(int(b.n), edges)
+}
+
+// FromEdges builds a graph with n vertices from the given edge list.
+// Edges may appear in any orientation and may contain duplicates or
+// self-loops; the result is a simple graph. Endpoints must be < n.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if e.U >= int32(n) || e.V >= int32(n) || e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build(), nil
+}
+
+// fromCanonicalEdges lays out the CSR arrays from a deduplicated edge list
+// already sorted by (U,V) with U < V. Edge i gets ID i.
+func fromCanonicalEdges(n int, edges []Edge) *Graph {
+	off := make([]int, n+1)
+	for _, e := range edges {
+		off[e.U+1]++
+		off[e.V+1]++
+	}
+	for i := 1; i <= n; i++ {
+		off[i] += off[i-1]
+	}
+	adj := make([]int32, 2*len(edges))
+	eid := make([]int32, 2*len(edges))
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
+	for id, e := range edges {
+		adj[cursor[e.U]] = e.V
+		eid[cursor[e.U]] = int32(id)
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		eid[cursor[e.V]] = int32(id)
+		cursor[e.V]++
+	}
+	// Neighbor lists of U are filled in increasing V because the edge list is
+	// sorted, but the lists of V accumulate U values out of order; sort each
+	// adjacency slice (with its parallel eid slice) to restore the invariant.
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if hi-lo > 1 && !int32sSorted(adj[lo:hi]) {
+			sortArcs(adj[lo:hi], eid[lo:hi])
+		}
+	}
+	return &Graph{off: off, adj: adj, eid: eid, edges: edges}
+}
+
+func int32sSorted(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortArcs sorts a neighbor slice and keeps the edge-ID slice parallel.
+func sortArcs(nbr, ids []int32) {
+	type arc struct{ n, id int32 }
+	arcs := make([]arc, len(nbr))
+	for i := range nbr {
+		arcs[i] = arc{nbr[i], ids[i]}
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i].n < arcs[j].n })
+	for i, a := range arcs {
+		nbr[i], ids[i] = a.n, a.id
+	}
+}

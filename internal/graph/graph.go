@@ -1,0 +1,121 @@
+// Package graph provides the undirected simple-graph substrate the paper's
+// algorithms run on (paper §2): a CSR-style adjacency structure with sorted
+// neighbor lists, stable edge identifiers, triangle listing, connected
+// components, induced subgraphs, and edge-list I/O.
+//
+// Vertices are dense int32 identifiers 0..N()-1. Every undirected edge
+// {u,v} has a single edge ID in 0..M()-1; both directed arcs carry that ID,
+// which lets per-edge algorithms (support counting, truss peeling) index
+// flat arrays.
+package graph
+
+import "sort"
+
+// Edge is an undirected edge with canonical orientation U < V.
+type Edge struct {
+	U, V int32
+}
+
+// Graph is an immutable undirected simple graph in CSR form.
+// Build one with a Builder, FromEdges, or the readers in this package.
+type Graph struct {
+	off   []int   // len N()+1; arc range of vertex v is adj[off[v]:off[v+1]]
+	adj   []int32 // len 2*M(); sorted neighbors per vertex
+	eid   []int32 // len 2*M(); edge ID parallel to adj
+	edges []Edge  // len M(); edges[id] is the canonical endpoint pair
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.off) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return g.off[v+1] - g.off[v] }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// Arcs returns the sorted neighbor list of v together with the parallel
+// slice of edge IDs. Both slices alias internal storage.
+func (g *Graph) Arcs(v int32) (neighbors, edgeIDs []int32) {
+	return g.adj[g.off[v]:g.off[v+1]], g.eid[g.off[v]:g.off[v+1]]
+}
+
+// Edge returns the canonical endpoints of edge id.
+func (g *Graph) Edge(id int32) Edge { return g.edges[id] }
+
+// Edges returns the full edge list indexed by edge ID. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int32) bool { return g.EdgeID(u, v) >= 0 }
+
+// EdgeID returns the ID of edge {u,v}, or -1 when absent. It binary-searches
+// the shorter adjacency list, so it costs O(log min(d(u), d(v))).
+func (g *Graph) EdgeID(u, v int32) int32 {
+	if u == v {
+		return -1
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbr, ids := g.Arcs(u)
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+	if i < len(nbr) && nbr[i] == v {
+		return ids[i]
+	}
+	return -1
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(int32(v)); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// DegreeOrder returns the vertices sorted by (degree, id) ascending, along
+// with rank[v] giving each vertex's position in that order. This "degeneracy
+// style" ordering orients triangle listing so each triangle is enumerated
+// exactly once.
+func (g *Graph) DegreeOrder() (order []int32, rank []int32) {
+	n := g.N()
+	order = make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	rank = make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	return order, rank
+}
+
+// ArboricityBound returns the classical upper bound on the arboricity used
+// in the paper's complexity statements: ρ ≤ min{⌊√m⌋, d_max}.
+func (g *Graph) ArboricityBound() int {
+	m := g.M()
+	s := 0
+	for (s+1)*(s+1) <= m {
+		s++
+	}
+	if d := g.MaxDegree(); d < s {
+		return d
+	}
+	return s
+}

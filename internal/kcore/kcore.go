@@ -1,0 +1,140 @@
+// Package kcore implements k-core decomposition, the substrate of the
+// core-based structural diversity baseline (Core-Div, paper §7 and [20]).
+// A k-core is the largest subgraph in which every vertex has degree at
+// least k; the core number of a vertex is the largest k such that a k-core
+// contains it. Decomposition is the classic O(n+m) bin-sort peeling of
+// Batagelj–Zaveršnik.
+package kcore
+
+import (
+	"sort"
+
+	"trussdiv/internal/dsu"
+	"trussdiv/internal/graph"
+)
+
+// Decompose returns core[v] = the core number of every vertex of g.
+func Decompose(g *graph.Graph) []int32 {
+	n := g.N()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	deg := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bin sort vertices by degree.
+	binStart := make([]int32, maxDeg+2)
+	for _, d := range deg {
+		binStart[d]++
+	}
+	start := int32(0)
+	for d := int32(0); d <= maxDeg; d++ {
+		c := binStart[d]
+		binStart[d] = start
+		start += c
+	}
+	binStart[maxDeg+1] = start
+	sorted := make([]int32, n)
+	pos := make([]int32, n)
+	cursor := make([]int32, maxDeg+1)
+	copy(cursor, binStart[:maxDeg+1])
+	for v := int32(0); int(v) < n; v++ {
+		d := deg[v]
+		sorted[cursor[d]] = v
+		pos[v] = cursor[d]
+		cursor[d]++
+	}
+	for i := 0; i < n; i++ {
+		v := sorted[i]
+		core[v] = deg[v]
+		for _, w := range g.Neighbors(v) {
+			if deg[w] <= deg[v] {
+				continue // already peeled or at the current level
+			}
+			d := deg[w]
+			p, q := pos[w], binStart[d]
+			if p != q {
+				other := sorted[q]
+				sorted[p], sorted[q] = other, w
+				pos[w], pos[other] = q, p
+			}
+			binStart[d]++
+			deg[w] = d - 1
+		}
+	}
+	return core
+}
+
+// Components returns the vertex sets of the maximal connected k-cores of
+// g: connected components of the subgraph induced by vertices with core
+// number >= k, each sorted, ordered by first vertex. For k >= 1 vertices
+// with no qualifying neighbor still form singleton components only if
+// their core number qualifies (which for k >= 1 implies an edge, so
+// singletons appear only for k = 0).
+func Components(g *graph.Graph, core []int32, k int32) [][]int32 {
+	d := dsu.New(g.N())
+	member := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if core[v] >= k {
+			member[v] = true
+		}
+	}
+	for _, e := range g.Edges() {
+		if member[e.U] && member[e.V] {
+			d.Union(e.U, e.V)
+		}
+	}
+	groups := map[int32][]int32{}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if member[v] {
+			r := d.Find(v)
+			groups[r] = append(groups[r], v)
+		}
+	}
+	out := make([][]int32, 0, len(groups))
+	for _, members := range groups {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// CountComponents returns the number of maximal connected k-cores without
+// materializing them.
+func CountComponents(g *graph.Graph, core []int32, k int32) int {
+	n := g.N()
+	member := make([]bool, n)
+	count := 0
+	for v := 0; v < n; v++ {
+		if core[v] >= k {
+			member[v] = true
+			count++
+		}
+	}
+	d := dsu.New(n)
+	for _, e := range g.Edges() {
+		if member[e.U] && member[e.V] && d.Union(e.U, e.V) {
+			count--
+		}
+	}
+	return count
+}
+
+// Degeneracy returns the maximum core number, a classical upper bound on
+// graph arboricity minus one and a common density measure.
+func Degeneracy(core []int32) int32 {
+	best := int32(0)
+	for _, c := range core {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

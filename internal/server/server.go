@@ -1,0 +1,216 @@
+// Package server exposes truss-based structural diversity search as a
+// JSON HTTP service: build the indexes once at startup, answer any
+// (k, r) query cheaply afterwards — the serving shape both paper indexes
+// were designed for.
+//
+// Endpoints:
+//
+//	GET /healthz                         liveness probe
+//	GET /stats                           graph and index statistics
+//	GET /topr?k=4&r=10&engine=gct        top-r search (engine: tsd|gct|hybrid)
+//	GET /score?v=17&k=4                  one vertex's diversity score
+//	GET /contexts?v=17&k=4               one vertex's social contexts
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/graph"
+)
+
+// Server answers structural diversity queries over one graph.
+type Server struct {
+	g      *graph.Graph
+	tsd    *core.TSD
+	gct    *core.GCT
+	hybrid *core.Hybrid
+	built  time.Duration
+}
+
+// New builds the indexes for g and returns a ready Server.
+func New(g *graph.Graph) *Server {
+	start := time.Now()
+	gctIdx := core.BuildGCTIndex(g)
+	s := &Server{
+		g:      g,
+		tsd:    core.NewTSD(core.BuildTSDIndex(g)),
+		gct:    core.NewGCT(gctIdx),
+		hybrid: core.BuildHybrid(gctIdx),
+	}
+	s.built = time.Since(start)
+	return s
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /topr", s.handleTopR)
+	mux.HandleFunc("GET /score", s.handleScore)
+	mux.HandleFunc("GET /contexts", s.handleContexts)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	idx := s.gct.Index()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":        s.g.N(),
+		"edges":           s.g.M(),
+		"max_degree":      s.g.MaxDegree(),
+		"gct_index_bytes": idx.SizeBytes(),
+		"tsd_index_bytes": s.tsd.Index().SizeBytes(),
+		"index_build":     s.built.String(),
+	})
+}
+
+// intParam parses a required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+type topRResponse struct {
+	Engine   string       `json:"engine"`
+	K        int          `json:"k"`
+	R        int          `json:"r"`
+	TookUS   int64        `json:"took_us"`
+	Searched int          `json:"search_space"`
+	Results  []topRResult `json:"results"`
+}
+
+type topRResult struct {
+	Vertex   int32     `json:"vertex"`
+	Score    int       `json:"score"`
+	Contexts [][]int32 `json:"contexts,omitempty"`
+}
+
+func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	rr, err := intParam(r, "r")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	engine := r.URL.Query().Get("engine")
+	if engine == "" {
+		engine = "gct"
+	}
+	var searcher interface {
+		TopR(int32, int) (*core.Result, *core.Stats, error)
+	}
+	switch engine {
+	case "tsd":
+		searcher = s.tsd
+	case "gct":
+		searcher = s.gct
+	case "hybrid":
+		searcher = s.hybrid
+	default:
+		badRequest(w, "unknown engine %q (tsd|gct|hybrid)", engine)
+		return
+	}
+	withContexts := r.URL.Query().Get("contexts") == "true"
+
+	start := time.Now()
+	res, stats, err := searcher.TopR(int32(k), rr)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	body := topRResponse{
+		Engine:   engine,
+		K:        k,
+		R:        rr,
+		TookUS:   time.Since(start).Microseconds(),
+		Searched: stats.ScoreComputations,
+	}
+	for _, e := range res.TopR {
+		out := topRResult{Vertex: e.V, Score: e.Score}
+		if withContexts {
+			out.Contexts = res.Contexts[e.V]
+		}
+		body.Results = append(body.Results, out)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) vertexParam(r *http.Request) (int32, int32, error) {
+	v, err := intParam(r, "v")
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < 0 || v >= s.g.N() {
+		return 0, 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	k, err := intParam(r, "k")
+	if err != nil {
+		return 0, 0, err
+	}
+	if k < 2 {
+		return 0, 0, fmt.Errorf("k = %d, must be >= 2", k)
+	}
+	return int32(v), int32(k), nil
+}
+
+func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
+	v, k, err := s.vertexParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex": v,
+		"k":      k,
+		"score":  s.gct.Index().Score(v, k),
+	})
+}
+
+func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
+	v, k, err := s.vertexParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	contexts := s.gct.Index().Contexts(v, k)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertex":   v,
+		"k":        k,
+		"score":    len(contexts),
+		"contexts": contexts,
+	})
+}

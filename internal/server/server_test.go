@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"trussdiv/internal/gen"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := New(gen.Fig1Graph())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return body
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if body["status"] != "ok" {
+		t.Fatalf("healthz = %v", body)
+	}
+	body = getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if body["vertices"].(float64) != 17 || body["edges"].(float64) != 43 {
+		t.Fatalf("stats = %v", body)
+	}
+	if body["gct_index_bytes"].(float64) <= 0 {
+		t.Fatal("index size missing from stats")
+	}
+}
+
+func TestTopRAllEngines(t *testing.T) {
+	ts := newTestServer(t)
+	for _, engine := range []string{"tsd", "gct", "hybrid"} {
+		body := getJSON(t, ts.URL+"/topr?k=4&r=1&engine="+engine, http.StatusOK)
+		results := body["results"].([]any)
+		if len(results) != 1 {
+			t.Fatalf("%s: results = %v", engine, results)
+		}
+		top := results[0].(map[string]any)
+		if top["vertex"].(float64) != 0 || top["score"].(float64) != 3 {
+			t.Fatalf("%s: top-1 = %v, want vertex 0 score 3", engine, top)
+		}
+		if _, ok := top["contexts"]; ok {
+			t.Fatalf("%s: contexts should be omitted by default", engine)
+		}
+	}
+}
+
+func TestTopRWithContexts(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?k=4&r=1&contexts=true", http.StatusOK)
+	top := body["results"].([]any)[0].(map[string]any)
+	contexts := top["contexts"].([]any)
+	if len(contexts) != 3 {
+		t.Fatalf("contexts = %v, want 3 social contexts", contexts)
+	}
+}
+
+func TestScoreAndContextsEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/score?v=0&k=4", http.StatusOK)
+	if body["score"].(float64) != 3 {
+		t.Fatalf("score = %v", body)
+	}
+	body = getJSON(t, ts.URL+"/contexts?v=0&k=3", http.StatusOK)
+	if body["score"].(float64) != 2 {
+		t.Fatalf("contexts score = %v", body)
+	}
+	if len(body["contexts"].([]any)) != 2 {
+		t.Fatalf("contexts = %v", body["contexts"])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, url := range []string{
+		"/topr?r=1",              // missing k
+		"/topr?k=4",              // missing r
+		"/topr?k=4&r=1&engine=x", // unknown engine
+		"/topr?k=1&r=1",          // k too small
+		"/score?v=99&k=4",        // vertex out of range
+		"/score?v=0&k=1",         // k too small
+		"/contexts?v=abc&k=4",    // non-integer
+	} {
+		body := getJSON(t, ts.URL+url, http.StatusBadRequest)
+		if body["error"] == "" {
+			t.Fatalf("%s: missing error body", url)
+		}
+	}
+}

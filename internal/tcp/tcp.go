@@ -1,0 +1,247 @@
+// Package tcp implements the TCP-index (Triangle Connectivity Preserving
+// index) of Huang et al., SIGMOD 2014 — the state-of-the-art k-truss
+// community index the paper compares its TSD-index against in §8.2 and
+// Figure 18.
+//
+// A k-truss community is a maximal connected k-truss whose edges are
+// pairwise reachable through adjacent triangles (triangle connectivity).
+// The TCP-index keeps, per vertex v, a maximum spanning forest of v's
+// neighborhood where an edge (u,w) with u,w ∈ N(v) is weighted by
+// w(u,w) = min{τ(u,v), τ(v,w), τ(u,w)} — the highest k for which the
+// triangle △uvw survives inside a k-truss. The contrast with TSD
+// (paper Fig. 18): TCP weights speak about *global* truss communities,
+// TSD weights about trussness *local to the ego-network*.
+package tcp
+
+import (
+	"sort"
+
+	"trussdiv/internal/dsu"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// ForestEdge is one edge of a vertex's TCP forest. U and W are global
+// vertex IDs (both neighbors of the index vertex); Wt is the triangle
+// weight min{τ(uv), τ(vw), τ(uw)}.
+type ForestEdge struct {
+	U, W int32
+	Wt   int32
+}
+
+// Index is the TCP-index of a graph: per-vertex maximum spanning forests
+// over triangle weights, plus the global edge trussness used for
+// community reconstruction.
+type Index struct {
+	g      *graph.Graph
+	tau    []int32        // global edge trussness
+	forest [][]ForestEdge // per vertex, weight-descending
+}
+
+// Build constructs the TCP-index: one global truss decomposition, then a
+// Kruskal maximum spanning forest per neighborhood over triangle weights.
+func Build(g *graph.Graph) *Index {
+	tau := truss.Decompose(g)
+	idx := &Index{g: g, tau: tau, forest: make([][]ForestEdge, g.N())}
+
+	// Collect the weighted neighborhood edges of every vertex in one
+	// global triangle pass: triangle (u,v,w) contributes edge (v,w) to
+	// u's forest graph, (u,w) to v's, and (u,v) to w's, all with weight
+	// min of the three trussnesses.
+	counts := make([]int32, g.N())
+	g.ForEachTriangle(func(t graph.Triangle) bool {
+		counts[t.U]++
+		counts[t.V]++
+		counts[t.W]++
+		return true
+	})
+	off := make([]int64, g.N()+1)
+	for v := 0; v < g.N(); v++ {
+		off[v+1] = off[v] + int64(counts[v])
+	}
+	edges := make([]ForestEdge, off[g.N()])
+	cursor := make([]int64, g.N())
+	copy(cursor, off[:g.N()])
+	g.ForEachTriangle(func(t graph.Triangle) bool {
+		wt := t3min(idx.tau[t.EUV], idx.tau[t.EUW], idx.tau[t.EVW])
+		put := func(center, a, b int32) {
+			edges[cursor[center]] = ForestEdge{U: a, W: b, Wt: wt}
+			cursor[center]++
+		}
+		put(t.U, t.V, t.W)
+		put(t.V, t.U, t.W)
+		put(t.W, t.U, t.V)
+		return true
+	})
+
+	for v := int32(0); int(v) < g.N(); v++ {
+		idx.forest[v] = maxSpanningForest(g, v, edges[off[v]:off[v+1]])
+	}
+	return idx
+}
+
+func t3min(a, b, c int32) int32 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// maxSpanningForest runs Kruskal over v's weighted neighborhood edges.
+// Neighbor IDs are mapped to local slots via the sorted neighbor list.
+func maxSpanningForest(g *graph.Graph, v int32, edges []ForestEdge) []ForestEdge {
+	if len(edges) == 0 {
+		return nil
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Wt > edges[j].Wt })
+	nbr := g.Neighbors(v)
+	local := func(global int32) int32 {
+		i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= global })
+		return int32(i)
+	}
+	d := dsu.New(len(nbr))
+	out := make([]ForestEdge, 0, len(nbr)-1)
+	for _, e := range edges {
+		if d.Union(local(e.U), local(e.W)) {
+			out = append(out, e)
+			if len(out) == len(nbr)-1 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Graph returns the indexed graph.
+func (idx *Index) Graph() *graph.Graph { return idx.g }
+
+// Trussness returns the global trussness of edge (u,v), 0 when absent.
+func (idx *Index) Trussness(u, v int32) int32 {
+	id := idx.g.EdgeID(u, v)
+	if id < 0 {
+		return 0
+	}
+	return idx.tau[id]
+}
+
+// Forest returns v's TCP forest (weight-descending). Aliases storage.
+func (idx *Index) Forest(v int32) []ForestEdge { return idx.forest[v] }
+
+// CommunityCount returns the number of distinct k-truss communities that
+// contain vertex v. Forest components at level k seed the communities,
+// but two components can belong to ONE community when its triangle
+// connectivity routes through triangles outside N(v), so — exactly as in
+// Huang et al.'s query algorithm — seeds already covered by a
+// reconstructed community are skipped.
+func (idx *Index) CommunityCount(v int32, k int32) int {
+	return len(idx.CommunitiesOf(v, k))
+}
+
+// CommunitiesOf reconstructs the k-truss communities containing v as
+// sorted vertex sets: one triangle-connected BFS per still-uncovered
+// forest component seed.
+func (idx *Index) CommunitiesOf(v int32, k int32) [][]int32 {
+	forest := idx.forest[v]
+	p := sort.Search(len(forest), func(i int) bool { return forest[i].Wt < k })
+	if p == 0 {
+		return nil
+	}
+	nbr := idx.g.Neighbors(v)
+	local := func(global int32) int32 {
+		i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= global })
+		return int32(i)
+	}
+	d := dsu.New(len(nbr))
+	for _, e := range forest[:p] {
+		d.Union(local(e.U), local(e.W))
+	}
+	seeds := map[int32]graph.Edge{} // component root -> a seed edge (v,u)
+	for _, e := range forest[:p] {
+		root := d.Find(local(e.U))
+		if _, ok := seeds[root]; !ok {
+			// (v, e.U) is an edge of the community: its trussness is >= k
+			// because the triangle weight through v is >= k.
+			seeds[root] = graph.Edge{U: v, V: e.U}
+		}
+	}
+	covered := map[int32]bool{} // edge IDs already claimed by a community
+	out := make([][]int32, 0, len(seeds))
+	for _, seed := range seeds {
+		seedID := idx.g.EdgeID(seed.U, seed.V)
+		if covered[seedID] {
+			continue // same community as an earlier seed
+		}
+		verts, edges := idx.communityFrom(seedID, k)
+		for _, id := range edges {
+			covered[id] = true
+		}
+		out = append(out, verts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// TriangleConnectedCommunity returns the sorted vertex set of the k-truss
+// community containing the given edge: BFS over edges of trussness >= k
+// through shared triangles whose third edge also has trussness >= k.
+func (idx *Index) TriangleConnectedCommunity(seed graph.Edge, k int32) []int32 {
+	startID := idx.g.EdgeID(seed.U, seed.V)
+	if startID < 0 || idx.tau[startID] < k {
+		return nil
+	}
+	verts, _ := idx.communityFrom(startID, k)
+	return verts
+}
+
+// communityFrom runs the triangle-connectivity BFS from an edge known to
+// have trussness >= k, returning the community's sorted vertex set and
+// its member edge IDs.
+func (idx *Index) communityFrom(startID int32, k int32) ([]int32, []int32) {
+	g, tau := idx.g, idx.tau
+	visited := map[int32]bool{startID: true}
+	queue := []int32{startID}
+	edges := []int32{startID}
+	verts := map[int32]struct{}{}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		e := g.Edge(id)
+		verts[e.U] = struct{}{}
+		verts[e.V] = struct{}{}
+		// Expand through every triangle on this edge whose other two
+		// edges also sit in the k-truss.
+		an, ai := g.Arcs(e.U)
+		bn, bi := g.Arcs(e.V)
+		i, j := 0, 0
+		for i < len(an) && j < len(bn) {
+			switch {
+			case an[i] < bn[j]:
+				i++
+			case an[i] > bn[j]:
+				j++
+			default:
+				e1, e2 := ai[i], bi[j]
+				if tau[e1] >= k && tau[e2] >= k {
+					for _, y := range [2]int32{e1, e2} {
+						if !visited[y] {
+							visited[y] = true
+							queue = append(queue, y)
+							edges = append(edges, y)
+						}
+					}
+				}
+				i++
+				j++
+			}
+		}
+	}
+	out := make([]int32, 0, len(verts))
+	for v := range verts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, edges
+}

@@ -1,0 +1,114 @@
+package truss
+
+import (
+	"trussdiv/internal/bitset"
+	"trussdiv/internal/graph"
+)
+
+// BitmapDecomposer performs truss decomposition using per-vertex adjacency
+// bitmaps (paper §6.2): edge support is the popcount of the AND of the two
+// endpoint bitmaps, and removing an edge is two bit-clears, after which
+// common-neighbor enumeration automatically skips deleted edges. Bitmaps
+// are recycled across calls, which matters when decomposing millions of
+// small ego-networks during GCT-index construction.
+//
+// A BitmapDecomposer is not safe for concurrent use.
+type BitmapDecomposer struct {
+	pool bitset.Pool
+	bits []*bitset.Set
+}
+
+// Decompose returns tau[e] for every edge of g, like Decompose, but with
+// the bitmap engine. Intended for small, dense graphs such as
+// ego-networks, where popcount intersection beats merge intersection.
+func (d *BitmapDecomposer) Decompose(g *graph.Graph) []int32 {
+	n, m := g.N(), g.M()
+	tau := make([]int32, m)
+	if m == 0 {
+		return tau
+	}
+	if cap(d.bits) < n {
+		d.bits = make([]*bitset.Set, n)
+	}
+	d.bits = d.bits[:n]
+	for v := 0; v < n; v++ {
+		d.bits[v] = d.pool.Get(n)
+	}
+	defer func() {
+		for v := 0; v < n; v++ {
+			d.pool.Put(d.bits[v])
+			d.bits[v] = nil
+		}
+	}()
+	for _, e := range g.Edges() {
+		d.bits[e.U].Set(int(e.V))
+		d.bits[e.V].Set(int(e.U))
+	}
+
+	// Bitmap support computation: sup(e) = |Bits_u AND Bits_v|.
+	sup := make([]int32, m)
+	maxSup := int32(0)
+	for id, e := range g.Edges() {
+		s := int32(d.bits[e.U].AndCount(d.bits[e.V]))
+		sup[id] = s
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+
+	binStart := make([]int32, maxSup+2)
+	for _, s := range sup {
+		binStart[s]++
+	}
+	start := int32(0)
+	for s := int32(0); s <= maxSup; s++ {
+		c := binStart[s]
+		binStart[s] = start
+		start += c
+	}
+	binStart[maxSup+1] = start
+	sorted := make([]int32, m)
+	pos := make([]int32, m)
+	cursor := make([]int32, maxSup+1)
+	copy(cursor, binStart[:maxSup+1])
+	for e := int32(0); int(e) < m; e++ {
+		s := sup[e]
+		sorted[cursor[s]] = e
+		pos[e] = cursor[s]
+		cursor[s]++
+	}
+	dec := func(e, floor int32) {
+		s := sup[e]
+		if s <= floor {
+			return
+		}
+		p, q := pos[e], binStart[s]
+		if p != q {
+			other := sorted[q]
+			sorted[p], sorted[q] = other, e
+			pos[e], pos[other] = q, p
+		}
+		binStart[s]++
+		sup[e] = s - 1
+	}
+
+	k := int32(2)
+	for i := 0; int(i) < m; i++ {
+		e := sorted[i]
+		if sup[e] > k-2 {
+			k = sup[e] + 2
+		}
+		tau[e] = k
+		ed := g.Edge(e)
+		// Bitmap-based peeling: clear the edge's bits first so the AND
+		// below enumerates only still-live triangles through (u,v).
+		d.bits[ed.U].Clear(int(ed.V))
+		d.bits[ed.V].Clear(int(ed.U))
+		d.bits[ed.U].ForEachAnd(d.bits[ed.V], func(w int) bool {
+			dec(g.EdgeID(ed.U, int32(w)), k-2)
+			dec(g.EdgeID(ed.V, int32(w)), k-2)
+			return true
+		})
+	}
+	return tau
+}

@@ -1,0 +1,171 @@
+// Package truss implements truss decomposition and k-truss extraction
+// (paper §3.1, Algorithm 1), including the bitmap-based variant used for
+// fast ego-network decomposition (paper §6.2).
+//
+// The k-truss of a graph G is the largest subgraph in which every edge is
+// contained in at least k-2 triangles. The trussness τ(e) of an edge is the
+// largest k such that a connected k-truss contains e. Decompose computes
+// τ(e) for every edge by the standard peeling algorithm: repeatedly remove
+// the edge of minimum support, updating the supports of the edges that
+// shared a triangle with it. Bin sorting by support keeps the whole
+// procedure at O(ρ·m) after triangle counting.
+package truss
+
+import (
+	"trussdiv/internal/graph"
+)
+
+// Decompose returns tau[e] = trussness of edge e for every edge of g,
+// indexed by edge ID. Trussness values start at 2 (an edge in no triangle
+// has trussness 2).
+func Decompose(g *graph.Graph) []int32 {
+	return decompose(g, g.Supports())
+}
+
+// DecomposeWithSupports is Decompose for callers that already computed the
+// edge supports. sup is consumed (overwritten during peeling).
+func DecomposeWithSupports(g *graph.Graph, sup []int32) []int32 {
+	return decompose(g, sup)
+}
+
+// decompose peels edges in ascending support order using a bin sort,
+// exactly Algorithm 1 of the paper.
+func decompose(g *graph.Graph, sup []int32) []int32 {
+	m := g.M()
+	tau := make([]int32, m)
+	if m == 0 {
+		return tau
+	}
+	maxSup := int32(0)
+	for _, s := range sup {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	// Bin sort edges by support: sorted is ascending by sup, pos[e] is the
+	// index of e in sorted, binStart[s] is the first index of support s.
+	binStart := make([]int32, maxSup+2)
+	for _, s := range sup {
+		binStart[s]++
+	}
+	start := int32(0)
+	for s := int32(0); s <= maxSup; s++ {
+		c := binStart[s]
+		binStart[s] = start
+		start += c
+	}
+	binStart[maxSup+1] = start
+	sorted := make([]int32, m)
+	pos := make([]int32, m)
+	cursor := make([]int32, maxSup+1)
+	copy(cursor, binStart[:maxSup+1])
+	for e := int32(0); int(e) < m; e++ {
+		s := sup[e]
+		sorted[cursor[s]] = e
+		pos[e] = cursor[s]
+		cursor[s]++
+	}
+
+	removed := make([]bool, m)
+	// dec moves edge e one support bin down, unless it is already at the
+	// current peeling floor.
+	dec := func(e, floor int32) {
+		s := sup[e]
+		if s <= floor {
+			return
+		}
+		p, q := pos[e], binStart[s]
+		if p != q {
+			other := sorted[q]
+			sorted[p], sorted[q] = other, e
+			pos[e], pos[other] = q, p
+		}
+		binStart[s]++
+		sup[e] = s - 1
+	}
+
+	k := int32(2)
+	for i := 0; int(i) < m; i++ {
+		e := sorted[i]
+		if sup[e] > k-2 {
+			k = sup[e] + 2
+		}
+		tau[e] = k
+		removed[e] = true
+		ed := g.Edge(e)
+		forEachCommonArc(g, ed.U, ed.V, func(_ int32, euw, evw int32) {
+			if removed[euw] || removed[evw] {
+				return
+			}
+			dec(euw, k-2)
+			dec(evw, k-2)
+		})
+	}
+	return tau
+}
+
+// forEachCommonArc calls fn(w, id(u,w), id(v,w)) for every common neighbor
+// w of u and v, merging the two sorted adjacency lists.
+func forEachCommonArc(g *graph.Graph, u, v int32, fn func(w, euw, evw int32)) {
+	an, ai := g.Arcs(u)
+	bn, bi := g.Arcs(v)
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch {
+		case an[i] < bn[j]:
+			i++
+		case an[i] > bn[j]:
+			j++
+		default:
+			fn(an[i], ai[i], bi[j])
+			i++
+			j++
+		}
+	}
+}
+
+// MaxTrussness returns the largest trussness in tau, or 0 for an edgeless
+// graph. The paper reports this as τ*_G in Table 1.
+func MaxTrussness(tau []int32) int32 {
+	best := int32(0)
+	for _, t := range tau {
+		if t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// VertexTrussness returns per-vertex trussness: the maximum trussness of
+// any incident edge, 0 for isolated vertices. (Def. 4 extends trussness to
+// vertices; the maximum over incident edges is equivalent because any
+// k-truss containing v contains an incident edge of v.)
+func VertexTrussness(g *graph.Graph, tau []int32) []int32 {
+	vt := make([]int32, g.N())
+	for id, e := range g.Edges() {
+		t := tau[id]
+		if t > vt[e.U] {
+			vt[e.U] = t
+		}
+		if t > vt[e.V] {
+			vt[e.V] = t
+		}
+	}
+	return vt
+}
+
+// Distribution returns hist[t] = the number of edges with trussness t
+// (paper Fig. 3's edge-trussness histogram).
+func Distribution(tau []int32) []int64 {
+	hist := make([]int64, MaxTrussness(tau)+1)
+	for _, t := range tau {
+		hist[t]++
+	}
+	return hist
+}
+
+// KTruss returns the k-truss of g as an edge-filtered subgraph (vertex IDs
+// preserved; vertices outside the k-truss become isolated).
+func KTruss(g *graph.Graph, tau []int32, k int32) *graph.Graph {
+	return g.FilterEdges(func(id int32) bool { return tau[id] >= k })
+}

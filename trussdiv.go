@@ -1,0 +1,200 @@
+// Package trussdiv is the public API of the truss-based structural
+// diversity library, a from-scratch Go implementation of Huang, Huang &
+// Xu, "Truss-based Structural Diversity Search in Large Graphs" (ICDE
+// 2021 / arXiv:2007.05437).
+//
+// The structural diversity of a vertex v is the number of maximal
+// connected k-trusses (social contexts) in v's ego-network; top-r search
+// returns the r vertices with the highest diversity together with their
+// contexts. Build a Graph, then either query online or build an index:
+//
+//	b := trussdiv.NewBuilder(0)
+//	b.AddEdge(0, 1) // ...
+//	g := b.Build()
+//
+//	idx := trussdiv.BuildGCTIndex(g)          // once
+//	res, _, _ := trussdiv.NewGCT(idx).TopR(4, 10) // any (k, r)
+//
+// The package re-exports the implementation from the internal packages;
+// see README.md for the engine catalogue and DESIGN.md for the paper
+// mapping.
+package trussdiv
+
+import (
+	"io"
+
+	"trussdiv/internal/baseline"
+	"trussdiv/internal/cascade"
+	"trussdiv/internal/core"
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+// Graph is an immutable undirected simple graph with dense int32 vertex
+// IDs and stable edge IDs.
+type Graph = graph.Graph
+
+// Edge is an undirected edge with canonical orientation U < V.
+type Edge = graph.Edge
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a SNAP-format edge list, relabeling vertices to
+// dense IDs; the returned slice maps dense ID back to the original label.
+func ReadEdgeList(r io.Reader) (*Graph, []int64, error) { return graph.ReadEdgeList(r) }
+
+// ReadBinaryGraph reads a graph written by Graph.WriteBinary.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// --- Scoring and search engines (the paper's contribution) ---
+
+// VertexScore pairs a vertex with its structural diversity score.
+type VertexScore = core.VertexScore
+
+// Result is a top-r answer with the social contexts of each vertex.
+type Result = core.Result
+
+// Stats reports search effort (the paper's "search space" metric).
+type Stats = core.Stats
+
+// Scorer computes scores and social contexts online (Algorithm 2).
+type Scorer = core.Scorer
+
+// NewScorer returns a Scorer over g.
+func NewScorer(g *Graph) *Scorer { return core.NewScorer(g) }
+
+// Online is the compute-everything baseline searcher (Algorithm 3).
+type Online = core.Online
+
+// NewOnline returns an Online searcher over g.
+func NewOnline(g *Graph) *Online { return core.NewOnline(g) }
+
+// Bound is the sparsification + upper-bound searcher (Algorithm 4).
+type Bound = core.Bound
+
+// NewBound returns a Bound searcher over g.
+func NewBound(g *Graph) *Bound { return core.NewBound(g) }
+
+// TSDIndex is the truss-based structural diversity index (Algorithm 5).
+type TSDIndex = core.TSDIndex
+
+// BuildTSDIndex constructs the TSD-index of g.
+func BuildTSDIndex(g *Graph) *TSDIndex { return core.BuildTSDIndex(g) }
+
+// BuildTSDIndexParallel constructs the TSD-index with worker goroutines
+// (0 = GOMAXPROCS).
+func BuildTSDIndexParallel(g *Graph, workers int) *TSDIndex {
+	return core.BuildTSDIndexParallel(g, workers)
+}
+
+// ReadTSDIndex deserializes a TSD-index previously written with WriteTo,
+// binding it to the graph it was built from.
+func ReadTSDIndex(r io.Reader, g *Graph) (*TSDIndex, error) { return core.ReadTSDIndex(r, g) }
+
+// TSD is the TSD-index-based searcher (Algorithm 6 + s̃core pruning).
+type TSD = core.TSD
+
+// NewTSD returns a TSD searcher over a built index.
+func NewTSD(idx *TSDIndex) *TSD { return core.NewTSD(idx) }
+
+// GCTIndex is the compressed supernode/superedge index (Algorithms 7-8).
+type GCTIndex = core.GCTIndex
+
+// BuildGCTIndex constructs the GCT-index of g.
+func BuildGCTIndex(g *Graph) *GCTIndex { return core.BuildGCTIndex(g) }
+
+// BuildGCTIndexParallel constructs the GCT-index with worker goroutines
+// (0 = GOMAXPROCS).
+func BuildGCTIndexParallel(g *Graph, workers int) *GCTIndex {
+	return core.BuildGCTIndexParallel(g, workers)
+}
+
+// ReadGCTIndex deserializes a GCT-index previously written with WriteTo.
+func ReadGCTIndex(r io.Reader, g *Graph) (*GCTIndex, error) { return core.ReadGCTIndex(r, g) }
+
+// GCT is the GCT-index-based searcher (score(v) = N_k - M_k, Lemma 3).
+type GCT = core.GCT
+
+// NewGCT returns a GCT searcher over a built index.
+func NewGCT(idx *GCTIndex) *GCT { return core.NewGCT(idx) }
+
+// Hybrid precomputes per-k rankings but recovers contexts online.
+type Hybrid = core.Hybrid
+
+// BuildHybrid precomputes the per-k rankings from a GCT index.
+func BuildHybrid(idx *GCTIndex) *Hybrid { return core.BuildHybrid(idx) }
+
+// UpdateStats reports the work of an incremental index update.
+type UpdateStats = core.UpdateStats
+
+// --- Truss decomposition substrate ---
+
+// TrussDecompose returns tau[e], the trussness of every edge of g.
+func TrussDecompose(g *Graph) []int32 { return truss.Decompose(g) }
+
+// KTrussComponents returns the vertex sets of the maximal connected
+// k-trusses of g.
+func KTrussComponents(g *Graph, tau []int32, k int32) [][]int32 {
+	return truss.Components(g, tau, k)
+}
+
+// --- Baseline diversity models ---
+
+// DiversityModel is a per-vertex structural diversity definition.
+type DiversityModel = baseline.Model
+
+// NewCompDiv returns the component-based diversity model [7, 21].
+func NewCompDiv(g *Graph) DiversityModel { return baseline.NewCompDiv(g) }
+
+// NewCoreDiv returns the core-based diversity model [20].
+func NewCoreDiv(g *Graph) DiversityModel { return baseline.NewCoreDiv(g) }
+
+// --- Social contagion ---
+
+// IC is an Independent Cascade process.
+type IC = cascade.IC
+
+// NewIC returns an Independent Cascade model with uniform arc
+// probability p.
+func NewIC(g *Graph, p float64) *IC { return cascade.NewIC(g, p) }
+
+// LT is a Linear Threshold diffusion process.
+type LT = cascade.LT
+
+// NewLT returns a Linear Threshold model over g.
+func NewLT(g *Graph) *LT { return cascade.NewLT(g) }
+
+// MaxInfluenceRIS selects influential seed vertices by reverse influence
+// sampling.
+func MaxInfluenceRIS(g *Graph, p float64, count, samples int, seed int64) []int32 {
+	return cascade.MaxInfluenceRIS(g, p, count, samples, seed)
+}
+
+// --- Synthetic graphs ---
+
+// BarabasiAlbert returns a preferential-attachment power-law graph.
+func BarabasiAlbert(n, attach int, seed int64) *Graph {
+	return gen.BarabasiAlbert(n, attach, seed)
+}
+
+// OverlayConfig parameterizes CommunityOverlay.
+type OverlayConfig = gen.OverlayConfig
+
+// CommunityOverlay returns a power-law backbone overlaid with planted
+// communities — the library's stand-in for real social networks.
+func CommunityOverlay(cfg OverlayConfig) *Graph { return gen.CommunityOverlay(cfg) }
+
+// PaperExampleGraph returns the 17-vertex running example of the paper's
+// Figure 1 (the query vertex is PaperExampleV).
+func PaperExampleGraph() *Graph { return gen.Fig1Graph() }
+
+// PaperExampleV is the query vertex of the paper's running example.
+const PaperExampleV = int32(0)
