@@ -1,0 +1,22 @@
+# Tier-1 verification is `make check`: vet, build, and test everything.
+GO ?= go
+
+.PHONY: check vet build test bench cover
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick-mode paper benchmarks (full versions: go run ./cmd/tsdbench).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+cover:
+	$(GO) test -cover ./...

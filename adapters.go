@@ -1,0 +1,406 @@
+package trussdiv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"trussdiv/internal/baseline"
+	"trussdiv/internal/core"
+)
+
+// indexCache lazily builds and shares the TSD/GCT/Hybrid structures among
+// the engine adapters of one DB, so e.g. the gct and hybrid engines reuse
+// one GCT index. All accessors are safe for concurrent use; builds are
+// not interruptible, so cancellation is observed before a build starts.
+type indexCache struct {
+	g *Graph
+
+	mu        sync.Mutex
+	tsd       *core.TSDIndex
+	gct       *core.GCTIndex
+	hybrid    *core.Hybrid
+	buildTime time.Duration
+}
+
+func (c *indexCache) tsdIndex() *core.TSDIndex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tsd == nil {
+		start := time.Now()
+		c.tsd = core.BuildTSDIndex(c.g)
+		c.buildTime += time.Since(start)
+	}
+	return c.tsd
+}
+
+func (c *indexCache) gctIndex() *core.GCTIndex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gctIndexLocked()
+}
+
+func (c *indexCache) gctIndexLocked() *core.GCTIndex {
+	if c.gct == nil {
+		start := time.Now()
+		c.gct = core.BuildGCTIndex(c.g)
+		c.buildTime += time.Since(start)
+	}
+	return c.gct
+}
+
+func (c *indexCache) hybridEngine() *core.Hybrid {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hybrid == nil {
+		idx := c.gctIndexLocked()
+		start := time.Now()
+		c.hybrid = core.BuildHybrid(idx)
+		c.buildTime += time.Since(start)
+	}
+	return c.hybrid
+}
+
+func (c *indexCache) hasTSD() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tsd != nil
+}
+
+func (c *indexCache) hasGCT() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gct != nil
+}
+
+func (c *indexCache) hasHybrid() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hybrid != nil
+}
+
+// --- online (Algorithm 3) ---
+
+type onlineEngine struct {
+	eng    *core.Online
+	scorer *core.Scorer
+	w      workload
+}
+
+func newOnlineEngine(g *Graph, w workload) *onlineEngine {
+	return &onlineEngine{eng: core.NewOnline(g), scorer: core.NewScorer(g), w: w}
+}
+
+func (e *onlineEngine) Name() string { return "online" }
+
+func (e *onlineEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	return e.eng.Search(ctx, q.params())
+}
+
+func (e *onlineEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.scorer.Graph(), v, k); err != nil {
+		return 0, err
+	}
+	return e.scorer.Score(v, k), nil
+}
+
+func (e *onlineEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.scorer.Graph(), v, k); err != nil {
+		return nil, err
+	}
+	return e.scorer.Contexts(v, k), nil
+}
+
+func (e *onlineEngine) Cost(q Query) Estimate {
+	return Estimate{Query: e.w.searchWork(e.w.egoWork, q) + e.w.contextWork(q)}
+}
+
+// --- bound (Algorithm 4) ---
+
+type boundEngine struct {
+	eng    *core.Bound
+	scorer *core.Scorer
+	w      workload
+}
+
+func newBoundEngine(g *Graph, w workload) *boundEngine {
+	return &boundEngine{eng: core.NewBound(g), scorer: core.NewScorer(g), w: w}
+}
+
+func (e *boundEngine) Name() string { return "bound" }
+
+func (e *boundEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	return e.eng.Search(ctx, q.params())
+}
+
+func (e *boundEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.eng.Graph(), v, k); err != nil {
+		return 0, err
+	}
+	return e.scorer.Score(v, k), nil
+}
+
+func (e *boundEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.eng.Graph(), v, k); err != nil {
+		return nil, err
+	}
+	return e.scorer.Contexts(v, k), nil
+}
+
+func (e *boundEngine) Cost(q Query) Estimate {
+	// Every query pays a global truss decomposition (the sparsification),
+	// then scores the fraction of candidates that survive pruning.
+	sparsify := e.w.m * e.w.avgDeg / 2
+	return Estimate{Query: sparsify + e.w.searchWork(e.w.egoWork, q)/8 + e.w.contextWork(q)}
+}
+
+// --- tsd (Algorithms 5-6) ---
+
+type tsdEngine struct {
+	cache *indexCache
+	w     workload
+
+	// TSDIndex.Score reuses scratch space across calls and is not safe
+	// for concurrent use, so searches are serialized.
+	mu sync.Mutex
+}
+
+func (e *tsdEngine) Name() string { return "tsd" }
+
+func (e *tsdEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	idx := e.cache.tsdIndex()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return core.NewTSD(idx).Search(ctx, q.params())
+}
+
+func (e *tsdEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return 0, err
+	}
+	idx := e.cache.tsdIndex()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return idx.Score(v, k), nil
+}
+
+func (e *tsdEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return nil, err
+	}
+	return e.cache.tsdIndex().Contexts(v, k), nil
+}
+
+func (e *tsdEngine) Cost(q Query) Estimate {
+	est := Estimate{Query: e.w.searchWork(e.w.m, q)}
+	if q.IncludeContexts {
+		est.Query += float64(q.R) * e.w.avgDeg
+	}
+	if !e.cache.hasTSD() {
+		est.Build = e.w.egoWork
+	}
+	return est
+}
+
+// --- gct (Algorithms 7-8) ---
+
+type gctEngine struct {
+	cache *indexCache
+	w     workload
+}
+
+func (e *gctEngine) Name() string { return "gct" }
+
+func (e *gctEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return core.NewGCT(e.cache.gctIndex()).Search(ctx, q.params())
+}
+
+func (e *gctEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return 0, err
+	}
+	return e.cache.gctIndex().Score(v, k), nil
+}
+
+func (e *gctEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return nil, err
+	}
+	return e.cache.gctIndex().Contexts(v, k), nil
+}
+
+func (e *gctEngine) Cost(q Query) Estimate {
+	// Exact scores are O(log d(v)) reads, so a query is ~n work.
+	est := Estimate{Query: e.w.searchWork(e.w.n, q)}
+	if q.IncludeContexts {
+		est.Query += float64(q.R) * e.w.avgDeg
+	}
+	if !e.cache.hasGCT() {
+		// The GCT build does slightly more work than TSD's (compression
+		// on top of the same per-ego decompositions).
+		est.Build = 1.2 * e.w.egoWork
+	}
+	return est
+}
+
+// --- hybrid (paper Exp-4) ---
+
+type hybridEngine struct {
+	cache *indexCache
+	w     workload
+}
+
+func (e *hybridEngine) Name() string { return "hybrid" }
+
+func (e *hybridEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return e.cache.hybridEngine().Search(ctx, q.params())
+}
+
+func (e *hybridEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return 0, err
+	}
+	return e.cache.gctIndex().Score(v, k), nil
+}
+
+func (e *hybridEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
+		return nil, err
+	}
+	return e.cache.gctIndex().Contexts(v, k), nil
+}
+
+func (e *hybridEngine) Cost(q Query) Estimate {
+	// Reading the precomputed ranking is nearly free; recovering contexts
+	// online is one ego decomposition per answer vertex.
+	est := Estimate{Query: float64(q.R) + e.w.contextWork(q)}
+	if !e.cache.hasHybrid() {
+		est.Build = float64(8) * e.w.n
+		if !e.cache.hasGCT() {
+			est.Build += 1.2 * e.w.egoWork
+		}
+	}
+	return est
+}
+
+// --- comp / kcore baselines ---
+
+// baselineEngine adapts a baseline.Model (Comp-Div or Core-Div). These
+// compute a different diversity definition than the truss engines, so
+// they are registered as non-routable: reachable only by explicit name.
+type baselineEngine struct {
+	name  string
+	model baseline.Model
+	g     *Graph
+	w     workload
+}
+
+func (e *baselineEngine) Name() string { return e.name }
+
+func (e *baselineEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	n := e.g.N()
+	// Same preconditions as the truss engines (core.Params.normalized),
+	// applied identically with and without a candidate subset.
+	if q.K < 2 {
+		return nil, nil, fmt.Errorf("trussdiv: k = %d, must be >= 2", q.K)
+	}
+	if q.R < 1 {
+		return nil, nil, fmt.Errorf("trussdiv: r = %d, must be >= 1", q.R)
+	}
+	var scored []baseline.VertexScore
+	computed := n
+	if q.Candidates == nil {
+		if q.R > n {
+			q.R = n
+		}
+		top, err := baseline.Search(ctx, e.model, n, q.K, q.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		scored = top
+	} else {
+		seen := make(map[int32]bool, len(q.Candidates))
+		scored = make([]baseline.VertexScore, 0, len(q.Candidates))
+		for _, v := range q.Candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			if v < 0 || int(v) >= n {
+				return nil, nil, fmt.Errorf("trussdiv: candidate vertex %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			scored = append(scored, baseline.VertexScore{V: v, Score: e.model.Score(v, q.K)})
+		}
+		sort.Slice(scored, func(i, j int) bool {
+			if scored[i].Score != scored[j].Score {
+				return scored[i].Score > scored[j].Score
+			}
+			return scored[i].V < scored[j].V
+		})
+		computed = len(scored)
+		if q.R < len(scored) {
+			scored = scored[:q.R]
+		}
+	}
+	res := &Result{TopR: make([]VertexScore, len(scored))}
+	for i, e := range scored {
+		res.TopR[i] = VertexScore{V: e.V, Score: e.Score}
+	}
+	if q.IncludeContexts {
+		res.Contexts = make(map[int32][][]int32, len(res.TopR))
+		for _, vs := range res.TopR {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			res.Contexts[vs.V] = e.model.Contexts(vs.V, q.K)
+		}
+	}
+	var stats *Stats
+	if !q.SkipStats {
+		stats = &Stats{ScoreComputations: computed, Candidates: computed}
+	}
+	return res, stats, nil
+}
+
+func (e *baselineEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := singleVertexErr(ctx, e.g, v, k); err != nil {
+		return 0, err
+	}
+	return e.model.Score(v, k), nil
+}
+
+func (e *baselineEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := singleVertexErr(ctx, e.g, v, k); err != nil {
+		return nil, err
+	}
+	return e.model.Contexts(v, k), nil
+}
+
+func (e *baselineEngine) Cost(q Query) Estimate {
+	return Estimate{Query: e.w.searchWork(e.w.egoWork, q) + e.w.contextWork(q)}
+}
+
+// singleVertexErr folds the context check into single-vertex validation.
+func singleVertexErr(ctx context.Context, g *Graph, v, k int32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return checkVertex(g, v, k)
+}

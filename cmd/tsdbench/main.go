@@ -5,24 +5,28 @@
 //
 //	tsdbench -exp table2          # one experiment
 //	tsdbench -exp all -quick      # everything, small datasets
+//	tsdbench -exp all -timeout 5m # bound the whole run
 //	tsdbench -list                # show available experiment IDs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"trussdiv/internal/bench"
 )
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
-		quick = flag.Bool("quick", false, "small datasets and fewer Monte-Carlo runs")
-		seed  = flag.Int64("seed", 1, "base RNG seed for simulations")
-		runs  = flag.Int("mcruns", 0, "Monte-Carlo cascade count (0 = default)")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		expID   = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+		quick   = flag.Bool("quick", false, "small datasets and fewer Monte-Carlo runs")
+		seed    = flag.Int64("seed", 1, "base RNG seed for simulations")
+		runs    = flag.Int("mcruns", 0, "Monte-Carlo cascade count (0 = default)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = none)")
 	)
 	flag.Parse()
 
@@ -33,21 +37,39 @@ func main() {
 		return
 	}
 	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs}
-	if *expID == "all" {
-		if err := bench.RunAll(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "tsdbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	e, ok := bench.ByID(*expID)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tsdbench: unknown experiment %q; known: %v\n", *expID, bench.IDs())
-		os.Exit(1)
-	}
-	fmt.Printf("### %s (%s): %s\n\n", e.ID, e.Paper, e.Description)
-	if err := e.Run(os.Stdout, cfg); err != nil {
+	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)
+	}
+}
+
+func run(expID string, cfg bench.Config) error {
+	if expID == "all" {
+		return bench.RunAll(os.Stdout, cfg)
+	}
+	e, ok := bench.ByID(expID)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q; known: %v", expID, bench.IDs())
+	}
+	fmt.Printf("### %s (%s): %s\n\n", e.ID, e.Paper, e.Description)
+	return e.Run(os.Stdout, cfg)
+}
+
+// runWithDeadline bounds f by the -timeout flag. The experiment harness
+// predates context plumbing, so the bound is process-level: when the
+// deadline passes the run is abandoned and the process exits non-zero.
+func runWithDeadline(timeout time.Duration, f func() error) error {
+	if timeout <= 0 {
+		return f()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("run exceeded -timeout %v: %w", timeout, ctx.Err())
 	}
 }

@@ -1,24 +1,27 @@
 // Command tsdsearch runs top-r truss-based structural diversity search
-// over a graph, with every engine from the paper available.
+// over a graph through the trussdiv.DB facade: every engine from the
+// paper is reachable by name, and omitting -algo lets the DB route the
+// query to the cheapest engine.
 //
 // Usage:
 //
 //	tsdsearch -input graph.txt -algo gct -k 4 -r 10 -contexts
 //	tsdsearch -dataset wiki-sim -algo tsd -k 3 -r 100
+//	tsdsearch -dataset wiki-sim -k 3 -r 100        # cost-routed
 //
-// Algorithms: online (Alg. 3), bound (Alg. 4), tsd (Alg. 5-6),
+// Engines: online (Alg. 3), bound (Alg. 4), tsd (Alg. 5-6),
 // gct (Alg. 7-8), hybrid, comp (Comp-Div), kcore (Core-Div).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"trussdiv/internal/baseline"
+	"trussdiv"
 	"trussdiv/internal/bench"
-	"trussdiv/internal/core"
 	"trussdiv/internal/graph"
 )
 
@@ -26,89 +29,73 @@ func main() {
 	var (
 		input    = flag.String("input", "", "edge-list file (SNAP text format)")
 		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
-		algo     = flag.String("algo", "gct", "online|bound|tsd|gct|hybrid|comp|kcore")
+		algo     = flag.String("algo", "", "engine name (empty = cost-routed); online|bound|tsd|gct|hybrid|comp|kcore")
 		k        = flag.Int("k", 4, "trussness threshold (>= 2)")
 		r        = flag.Int("r", 10, "result count")
 		contexts = flag.Bool("contexts", false, "print the social contexts of each answer")
+		timeout  = flag.Duration("timeout", 0, "abort the search after this long (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*input, *dataset, *algo, int32(*k), *r, *contexts); err != nil {
+	if err := run(*input, *dataset, *algo, int32(*k), *r, *contexts, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, dataset, algo string, k int32, r int, showContexts bool) error {
+func run(input, dataset, algo string, k int32, r int, showContexts bool, timeout time.Duration) error {
 	g, err := loadGraph(input, dataset)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
-	if algo == "comp" || algo == "kcore" {
-		return runBaseline(g, algo, k, r, showContexts)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 
-	var searcher interface {
-		TopR(int32, int) (*core.Result, *core.Stats, error)
-	}
-	buildStart := time.Now()
-	switch algo {
-	case "online":
-		searcher = core.NewOnline(g)
-	case "bound":
-		searcher = core.NewBound(g)
-	case "tsd":
-		searcher = core.NewTSD(core.BuildTSDIndex(g))
-	case "gct":
-		searcher = core.NewGCT(core.BuildGCTIndex(g))
-	case "hybrid":
-		searcher = core.BuildHybrid(core.BuildGCTIndex(g))
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
-	}
-	buildTime := time.Since(buildStart)
-
-	queryStart := time.Now()
-	res, stats, err := searcher.TopR(k, r)
+	db, err := trussdiv.Open(g)
 	if err != nil {
 		return err
 	}
-	queryTime := time.Since(queryStart)
+	opts := []trussdiv.QueryOption{}
+	if showContexts {
+		opts = append(opts, trussdiv.WithContexts())
+	}
+	q := trussdiv.NewQuery(k, r, opts...)
 
-	fmt.Printf("algo=%s k=%d r=%d  setup=%v query=%v  search-space=%d\n",
-		algo, k, r, buildTime.Round(time.Microsecond),
-		queryTime.Round(time.Microsecond), stats.ScoreComputations)
+	var engine trussdiv.Engine
+	if algo == "" {
+		engine = db.Route(q)
+	} else {
+		engine, err = db.Engine(algo)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Setup (index builds happen inside the first TopR) and query time
+	// are reported together with the paper's search-space metric.
+	start := time.Now()
+	res, stats, err := engine.TopR(ctx, q)
+	if err != nil {
+		return err
+	}
+	took := time.Since(start)
+
+	searched := "-"
+	if stats != nil {
+		searched = fmt.Sprintf("%d", stats.ScoreComputations)
+	}
+	fmt.Printf("engine=%s k=%d r=%d  total=%v  search-space=%s\n",
+		engine.Name(), k, r, took.Round(time.Microsecond), searched)
 	for rank, e := range res.TopR {
 		fmt.Printf("%3d. vertex %-8d score %d\n", rank+1, e.V, e.Score)
 		if showContexts {
-			for i, ctx := range res.Contexts[e.V] {
-				fmt.Printf("      context %d (%d members): %v\n", i+1, len(ctx), ctx)
-			}
-		}
-	}
-	return nil
-}
-
-func runBaseline(g *graph.Graph, algo string, k int32, r int, showContexts bool) error {
-	var model baseline.Model
-	if algo == "comp" {
-		model = baseline.NewCompDiv(g)
-	} else {
-		model = baseline.NewCoreDiv(g)
-	}
-	start := time.Now()
-	top, err := baseline.TopR(model, g.N(), k, r)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("algo=%s (%s) k=%d r=%d  query=%v\n",
-		algo, model.Name(), k, r, time.Since(start).Round(time.Microsecond))
-	for rank, e := range top {
-		fmt.Printf("%3d. vertex %-8d score %d\n", rank+1, e.V, e.Score)
-		if showContexts {
-			for i, ctx := range model.Contexts(e.V, k) {
-				fmt.Printf("      context %d (%d members): %v\n", i+1, len(ctx), ctx)
+			for i, ctxMembers := range res.Contexts[e.V] {
+				fmt.Printf("      context %d (%d members): %v\n", i+1, len(ctxMembers), ctxMembers)
 			}
 		}
 	}

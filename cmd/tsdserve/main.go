@@ -1,14 +1,17 @@
 // Command tsdserve serves truss-based structural diversity queries over
 // HTTP: it loads a graph, builds the TSD/GCT/Hybrid indexes once, and
-// answers any (k, r) query as JSON.
+// answers any (k, r) query as JSON. Queries without an engine parameter
+// are cost-routed to the cheapest engine; each request runs under its own
+// context, bounded by -timeout.
 //
 // Usage:
 //
 //	tsdserve -dataset gowalla-sim -addr :8080
-//	tsdserve -input graph.txt -addr 127.0.0.1:9000
+//	tsdserve -input graph.txt -addr 127.0.0.1:9000 -timeout 2s
 //
-// Endpoints: /healthz, /stats, /topr?k=&r=&engine=&contexts=,
-// /score?v=&k=, /contexts?v=&k=.
+// Endpoints: /healthz, /stats, /engines,
+// /topr?k=&r=&engine=&contexts=&candidates=, /score?v=&k=,
+// /contexts?v=&k=.
 package main
 
 import (
@@ -29,6 +32,7 @@ func main() {
 		input   = flag.String("input", "", "edge-list file (SNAP text format)")
 		dataset = flag.String("dataset", "", "built-in synthetic dataset name")
 		addr    = flag.String("addr", ":8080", "listen address")
+		timeout = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
 	)
 	flag.Parse()
 
@@ -39,8 +43,9 @@ func main() {
 	}
 	log.Printf("graph loaded: %d vertices, %d edges; building indexes...", g.N(), g.M())
 	start := time.Now()
-	srv := server.New(g)
-	log.Printf("indexes ready in %v; serving on %s", time.Since(start).Round(time.Millisecond), *addr)
+	srv := server.New(g, server.WithTimeout(*timeout))
+	log.Printf("indexes ready in %v; engines %v; serving on %s",
+		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

@@ -1,0 +1,272 @@
+package trussdiv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"trussdiv/internal/core"
+)
+
+// DB is the query facade over one graph: it owns the engine registry,
+// lazily builds and caches the search indexes, and routes each query to
+// the engine whose cost estimate is lowest (unless the caller pinned one
+// with WithEngine). A DB is safe for concurrent use.
+type DB struct {
+	g      *Graph
+	w      workload
+	cache  *indexCache
+	reg    *registry
+	forced string
+}
+
+// Option configures Open.
+type Option func(*dbConfig)
+
+type dbConfig struct {
+	engine  string
+	tsdIdx  *TSDIndex
+	gctIdx  *GCTIndex
+	prepare []string
+}
+
+// WithEngine pins every DB query to the named engine instead of cost
+// routing. Open fails with *UnknownEngineError when no such engine is
+// registered.
+func WithEngine(name string) Option {
+	return func(c *dbConfig) { c.engine = name }
+}
+
+// WithTSDIndex seeds the DB with an already-built TSD index (e.g. one
+// deserialized with ReadTSDIndex), so the tsd engine is ready at once.
+func WithTSDIndex(idx *TSDIndex) Option {
+	return func(c *dbConfig) { c.tsdIdx = idx }
+}
+
+// WithGCTIndex seeds the DB with an already-built GCT index, so the gct
+// (and, after one cheap ranking pass, hybrid) engine is ready at once.
+func WithGCTIndex(idx *GCTIndex) Option {
+	return func(c *dbConfig) { c.gctIdx = idx }
+}
+
+// WithPreparedIndexes builds the named engines' indexes during Open
+// instead of on first query; no names means every index engine
+// (tsd, gct, hybrid). Use it in servers that prefer slow startup over a
+// slow first request.
+func WithPreparedIndexes(names ...string) Option {
+	return func(c *dbConfig) {
+		if len(names) == 0 {
+			names = []string{"tsd", "gct", "hybrid"}
+		}
+		c.prepare = names
+	}
+}
+
+// Open wraps g in a DB with the six built-in engines registered: online,
+// bound, tsd, gct, hybrid (routable) and the comp/kcore baseline models
+// (explicit-name only). Indexes are built lazily on first use unless
+// provided (WithTSDIndex, WithGCTIndex) or prebuilt (WithPreparedIndexes).
+func Open(g *Graph, opts ...Option) (*DB, error) {
+	if g == nil {
+		return nil, errors.New("trussdiv: Open: nil graph")
+	}
+	var cfg dbConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.tsdIdx != nil && cfg.tsdIdx.Graph() != g {
+		return nil, errors.New("trussdiv: Open: TSD index was built over a different graph")
+	}
+	if cfg.gctIdx != nil && cfg.gctIdx.Graph() != g {
+		return nil, errors.New("trussdiv: Open: GCT index was built over a different graph")
+	}
+
+	db := &DB{
+		g:     g,
+		w:     measure(g),
+		cache: &indexCache{g: g, tsd: cfg.tsdIdx, gct: cfg.gctIdx},
+		reg:   newRegistry(),
+	}
+	for _, reg := range []struct {
+		engine   Engine
+		routable bool
+	}{
+		{newOnlineEngine(g, db.w), true},
+		{newBoundEngine(g, db.w), true},
+		{&tsdEngine{cache: db.cache, w: db.w}, true},
+		{&gctEngine{cache: db.cache, w: db.w}, true},
+		{&hybridEngine{cache: db.cache, w: db.w}, true},
+		{&baselineEngine{name: "comp", model: NewCompDiv(g), g: g, w: db.w}, false},
+		{&baselineEngine{name: "kcore", model: NewCoreDiv(g), g: g, w: db.w}, false},
+	} {
+		if err := db.reg.add(reg.engine, reg.routable); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.engine != "" {
+		if _, err := db.reg.lookup(cfg.engine); err != nil {
+			return nil, err
+		}
+		db.forced = cfg.engine
+	}
+	if cfg.prepare != nil {
+		if err := db.Prepare(context.Background(), cfg.prepare...); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Graph returns the graph the DB serves.
+func (db *DB) Graph() *Graph { return db.g }
+
+// Engines lists the registered engine names in registration order.
+func (db *DB) Engines() []string { return db.reg.names() }
+
+// Engine returns the named engine; the error is a *UnknownEngineError
+// (matching errors.Is(err, ErrUnknownEngine)) for unregistered names.
+func (db *DB) Engine(name string) (Engine, error) { return db.reg.lookup(name) }
+
+// Register adds a custom backend to the DB under e.Name(). Routable
+// engines participate in cost routing and must compute the paper's
+// truss-based diversity; non-routable ones answer only explicit-name
+// queries (e.g. alternative diversity models).
+func (db *DB) Register(e Engine, routable bool) error {
+	return db.reg.add(e, routable)
+}
+
+// Route returns the routable engine with the lowest cost estimate for q,
+// counting any index it would still have to build. Ties keep the earliest
+// registered engine.
+func (db *DB) Route(q Query) Engine {
+	var best Engine
+	bestCost := 0.0
+	for _, e := range db.reg.routable() {
+		if c := e.Cost(q).Total(); best == nil || c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	return best
+}
+
+// engineFor resolves the engine answering q: the pinned engine when the
+// DB was opened WithEngine, the cheapest routable engine otherwise.
+func (db *DB) engineFor(q Query) (Engine, error) {
+	if db.forced != "" {
+		return db.reg.lookup(db.forced)
+	}
+	if e := db.Route(q); e != nil {
+		return e, nil
+	}
+	return nil, errors.New("trussdiv: no routable engine registered")
+}
+
+// TopR answers a top-r query through the cheapest (or pinned) engine.
+// The Stats, when requested, name the engine that answered.
+func (db *DB) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	eng, err := db.engineFor(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, stats, err := eng.TopR(ctx, q)
+	if stats != nil {
+		stats.Engine = eng.Name()
+	}
+	return res, stats, err
+}
+
+// Score returns score(v) at threshold k, reading the GCT index when one
+// is built (O(log) per query) and computing online otherwise.
+func (db *DB) Score(ctx context.Context, v, k int32) (int, error) {
+	return db.pointEngine().Score(ctx, v, k)
+}
+
+// Contexts returns the social contexts SC(v) at threshold k, using the
+// same index-if-available strategy as Score.
+func (db *DB) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	return db.pointEngine().Contexts(ctx, v, k)
+}
+
+// pointEngine picks the engine for single-vertex queries: the pinned one,
+// else gct once its index exists, else the online scorer.
+func (db *DB) pointEngine() Engine {
+	name := db.forced
+	if name == "" {
+		if db.cache.hasGCT() {
+			name = "gct"
+		} else {
+			name = "online"
+		}
+	}
+	e, err := db.reg.lookup(name)
+	if err != nil { // unreachable: built-ins are always registered
+		panic(err)
+	}
+	return e
+}
+
+// Prepare eagerly builds the indexes behind the named engines (default:
+// tsd, gct, hybrid). It observes ctx between builds — an individual build
+// is not interruptible.
+func (db *DB) Prepare(ctx context.Context, names ...string) error {
+	if len(names) == 0 {
+		names = []string{"tsd", "gct", "hybrid"}
+	}
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch name {
+		case "tsd":
+			db.cache.tsdIndex()
+		case "gct":
+			db.cache.gctIndex()
+		case "hybrid":
+			db.cache.hybridEngine()
+		case "online", "bound", "comp", "kcore":
+			// index-free engines: nothing to build
+		default:
+			if _, err := db.reg.lookup(name); err != nil {
+				return err
+			}
+			return fmt.Errorf("trussdiv: Prepare: engine %q manages its own state", name)
+		}
+	}
+	return nil
+}
+
+// IndexStats describes the DB's index cache.
+type IndexStats struct {
+	TSDReady, GCTReady, HybridReady bool
+	TSDBytes, GCTBytes              int64 // 0 until the index is built
+	BuildTime                       time.Duration
+}
+
+// IndexStats reports which indexes are built, their sizes, and the total
+// time spent building them.
+func (db *DB) IndexStats() IndexStats {
+	c := db.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := IndexStats{
+		TSDReady:    c.tsd != nil,
+		GCTReady:    c.gct != nil,
+		HybridReady: c.hybrid != nil,
+		BuildTime:   c.buildTime,
+	}
+	if c.tsd != nil {
+		st.TSDBytes = c.tsd.SizeBytes()
+	}
+	if c.gct != nil {
+		st.GCTBytes = c.gct.SizeBytes()
+	}
+	return st
+}
+
+// TSDIndexHandle returns the cached TSD index, building it if necessary —
+// for callers that persist indexes with WriteTo.
+func (db *DB) TSDIndexHandle() *core.TSDIndex { return db.cache.tsdIndex() }
+
+// GCTIndexHandle returns the cached GCT index, building it if necessary.
+func (db *DB) GCTIndexHandle() *core.GCTIndex { return db.cache.gctIndex() }

@@ -1,0 +1,336 @@
+package trussdiv_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trussdiv"
+)
+
+func overlayGraph(tb testing.TB) *trussdiv.Graph {
+	tb.Helper()
+	return trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 500, Attach: 3, Cliques: 100, MinSize: 4, MaxSize: 8, Seed: 11,
+	})
+}
+
+func TestEngineRegistryUnknownName(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Engine("nope")
+	if err == nil {
+		t.Fatal("want error for unknown engine")
+	}
+	if !errors.Is(err, trussdiv.ErrUnknownEngine) {
+		t.Fatalf("errors.Is(err, ErrUnknownEngine) = false for %v", err)
+	}
+	var ue *trussdiv.UnknownEngineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err %T is not *UnknownEngineError", err)
+	}
+	if ue.Name != "nope" || len(ue.Known) == 0 {
+		t.Fatalf("UnknownEngineError = %+v", ue)
+	}
+	if !strings.Contains(err.Error(), "gct") {
+		t.Fatalf("error does not list known engines: %v", err)
+	}
+
+	// The same typed error surfaces at Open time for a pinned engine.
+	_, err = trussdiv.Open(trussdiv.PaperExampleGraph(), trussdiv.WithEngine("nope"))
+	if !errors.Is(err, trussdiv.ErrUnknownEngine) {
+		t.Fatalf("Open(WithEngine) err = %v, want ErrUnknownEngine", err)
+	}
+}
+
+func TestEnginesCatalogue(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"online", "bound", "tsd", "gct", "hybrid", "comp", "kcore"}
+	if got := db.Engines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Engines() = %v, want %v", got, want)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 1, trussdiv.WithContexts())
+	for _, name := range want {
+		e, err := db.Engine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != name {
+			t.Fatalf("Engine(%q).Name() = %q", name, e.Name())
+		}
+		res, _, err := e.TopR(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.TopR) != 1 {
+			t.Fatalf("%s: answer size %d", name, len(res.TopR))
+		}
+	}
+}
+
+func TestRoutingIndexAbsentVsPresent(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trussdiv.NewQuery(4, 10)
+
+	// No index built: an index-free engine must win (its cost carries no
+	// build term, and a one-off query never amortizes an index build).
+	cold := db.Route(q)
+	if name := cold.Name(); name != "bound" {
+		t.Fatalf("cold route = %q, want bound", name)
+	}
+	if est := cold.Cost(q); est.Build != 0 {
+		t.Fatalf("cold-routed engine has build cost %v", est.Build)
+	}
+
+	// GCT index present: routing must move to it for context queries.
+	ctx := context.Background()
+	if err := db.Prepare(ctx, "gct"); err != nil {
+		t.Fatal(err)
+	}
+	warm := db.Route(trussdiv.NewQuery(4, 100, trussdiv.WithContexts()))
+	if name := warm.Name(); name != "gct" {
+		t.Fatalf("warm route = %q, want gct", name)
+	}
+
+	// With the hybrid rankings also built, a ranking-only query routes to
+	// hybrid (the paper's Exp-4: it only loses once contexts are needed).
+	if err := db.Prepare(ctx, "hybrid"); err != nil {
+		t.Fatal(err)
+	}
+	if name := db.Route(trussdiv.NewQuery(4, 10)).Name(); name != "hybrid" {
+		t.Fatalf("ranking-only route = %q, want hybrid", name)
+	}
+}
+
+func TestDBTopRReportsEngineAndAgreesWithPinned(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g, trussdiv.WithPreparedIndexes("gct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 10, trussdiv.WithContexts())
+	res, stats, err := db.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil || stats.Engine != db.Route(q).Name() {
+		t.Fatalf("stats = %+v, want routed engine name", stats)
+	}
+	gct, err := db.Engine("gct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := gct.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.ScoreMultiset(), want.ScoreMultiset()) {
+		t.Fatalf("routed scores %v != gct scores %v", res.ScoreMultiset(), want.ScoreMultiset())
+	}
+}
+
+func TestWithEnginePinsRouting(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t), trussdiv.WithEngine("online"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := db.TopR(context.Background(), trussdiv.NewQuery(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine != "online" {
+		t.Fatalf("engine = %q, want online (pinned)", stats.Engine)
+	}
+}
+
+func TestCancelledContextAbortsTopR(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := trussdiv.NewQuery(4, 10, trussdiv.WithContexts())
+	for _, name := range db.Engines() {
+		e, err := db.Engine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, stats, err := e.TopR(ctx, q)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil || stats != nil {
+			t.Fatalf("%s: non-nil result after cancellation", name)
+		}
+		if _, err := e.Score(ctx, 0, 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: Score err = %v, want context.Canceled", name, err)
+		}
+	}
+	if _, _, err := db.TopR(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DB.TopR err = %v, want context.Canceled", err)
+	}
+	// The cancelled queries must not have triggered any index build.
+	if st := db.IndexStats(); st.TSDReady || st.GCTReady || st.HybridReady {
+		t.Fatalf("index built despite cancelled context: %+v", st)
+	}
+}
+
+func TestQueryOptionsOnDB(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Stats opt-out.
+	res, stats, err := db.TopR(ctx, trussdiv.NewQuery(4, 1, trussdiv.WithoutStats()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != nil {
+		t.Fatalf("stats = %+v, want nil", stats)
+	}
+	if res.Contexts != nil {
+		t.Fatal("contexts present without WithContexts")
+	}
+
+	// Candidate subsets restrict the answer.
+	sub := []int32{1, 2, 3, 4}
+	res, _, err = db.TopR(ctx, trussdiv.NewQuery(4, 4, trussdiv.WithCandidates(sub...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.TopR {
+		if e.V < 1 || e.V > 4 {
+			t.Fatalf("answer vertex %d outside candidates", e.V)
+		}
+	}
+}
+
+func TestDBScoreAndContexts(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	score, err := db.Score(ctx, trussdiv.PaperExampleV, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 3 {
+		t.Fatalf("score = %d, want 3", score)
+	}
+	contexts, err := db.Contexts(ctx, trussdiv.PaperExampleV, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contexts) != 3 {
+		t.Fatalf("contexts = %d, want 3", len(contexts))
+	}
+	if _, err := db.Score(ctx, 999, 4); err == nil {
+		t.Fatal("want error for out-of-range vertex")
+	}
+	if _, err := db.Score(ctx, 0, 1); err == nil {
+		t.Fatal("want error for k < 2")
+	}
+}
+
+func TestBaselineEnginesValidateUniformly(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, name := range []string{"comp", "kcore"} {
+		e, err := db.Engine(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// k < 2 is rejected with and without a candidate subset.
+		if _, _, err := e.TopR(ctx, trussdiv.Query{K: 1, R: 5}); err == nil {
+			t.Fatalf("%s: k=1 accepted without candidates", name)
+		}
+		if _, _, err := e.TopR(ctx, trussdiv.Query{K: 1, R: 5, Candidates: []int32{1}}); err == nil {
+			t.Fatalf("%s: k=1 accepted with candidates", name)
+		}
+		// Duplicate candidates collapse to one answer slot.
+		res, _, err := e.TopR(ctx, trussdiv.Query{K: 4, R: 2, Candidates: []int32{1, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.TopR) != 1 {
+			t.Fatalf("%s: duplicate candidate answer = %v", name, res.TopR)
+		}
+	}
+}
+
+// staticEngine is a minimal custom backend for registry tests.
+type staticEngine struct{ name string }
+
+func (e *staticEngine) Name() string { return e.name }
+func (e *staticEngine) TopR(ctx context.Context, q trussdiv.Query) (*trussdiv.Result, *trussdiv.Stats, error) {
+	return &trussdiv.Result{TopR: []trussdiv.VertexScore{{V: 0, Score: 42}}}, nil, nil
+}
+func (e *staticEngine) Score(ctx context.Context, v, k int32) (int, error) { return 42, nil }
+func (e *staticEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	return nil, nil
+}
+func (e *staticEngine) Cost(q trussdiv.Query) trussdiv.Estimate { return trussdiv.Estimate{} }
+
+func TestRegisterCustomEngine(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register(&staticEngine{name: "static"}, false); err != nil {
+		t.Fatal(err)
+	}
+	e, err := db.Engine("static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.TopR(context.Background(), trussdiv.NewQuery(4, 1))
+	if err != nil || res.TopR[0].Score != 42 {
+		t.Fatalf("custom engine answer = %+v, %v", res, err)
+	}
+	// Duplicate names are rejected.
+	if err := db.Register(&staticEngine{name: "gct"}, false); err == nil {
+		t.Fatal("want error registering duplicate name")
+	}
+}
+
+func TestOpenWithPrebuiltIndexes(t *testing.T) {
+	g := overlayGraph(t)
+	tsdIdx := trussdiv.BuildTSDIndex(g)
+	gctIdx := trussdiv.BuildGCTIndex(g)
+	db, err := trussdiv.Open(g, trussdiv.WithTSDIndex(tsdIdx), trussdiv.WithGCTIndex(gctIdx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.IndexStats()
+	if !st.TSDReady || !st.GCTReady {
+		t.Fatalf("IndexStats = %+v, want both indexes ready", st)
+	}
+	if st.TSDBytes <= 0 || st.GCTBytes <= 0 {
+		t.Fatalf("IndexStats sizes = %+v", st)
+	}
+	// An index from a different graph is rejected.
+	other := trussdiv.PaperExampleGraph()
+	if _, err := trussdiv.Open(other, trussdiv.WithTSDIndex(tsdIdx)); err == nil {
+		t.Fatal("want error for index over a different graph")
+	}
+}

@@ -1,0 +1,95 @@
+package trussdiv
+
+import (
+	"context"
+	"fmt"
+)
+
+// Engine is the uniform face of every top-r structural diversity
+// searcher. The library ships six implementations — online (Alg. 3),
+// bound (Alg. 4), tsd (Alg. 5-6), gct (Alg. 7-8), hybrid (Exp-4), plus
+// the comp/kcore baseline models — and new backends plug in through
+// DB.Register without touching the callers.
+//
+// All methods honor context cancellation: a search observes ctx inside
+// its hot loops and returns ctx.Err() promptly, including when ctx is
+// already cancelled on entry.
+type Engine interface {
+	// Name is the registry key ("online", "bound", "tsd", "gct",
+	// "hybrid", "comp", "kcore", ...).
+	Name() string
+	// TopR answers a top-r query.
+	TopR(ctx context.Context, q Query) (*Result, *Stats, error)
+	// Score returns the structural diversity of one vertex at threshold
+	// k, under this engine's diversity model.
+	Score(ctx context.Context, v, k int32) (int, error)
+	// Contexts returns the social contexts of one vertex at threshold k.
+	Contexts(ctx context.Context, v, k int32) ([][]int32, error)
+	// Cost estimates the work q requires, for routing. Estimates are
+	// relative, not wall-clock: only comparisons between engines over the
+	// same graph are meaningful.
+	Cost(q Query) Estimate
+}
+
+// Estimate is an engine's predicted effort for one query, in abstract
+// work units (roughly: edge visits). Build is the one-time cost to make
+// the engine ready — zero once its index is built — and Query is the
+// per-query cost afterwards.
+type Estimate struct {
+	Build float64
+	Query float64
+}
+
+// Total is the effort to answer one query starting from the engine's
+// current state; DB routing minimizes it.
+func (e Estimate) Total() float64 { return e.Build + e.Query }
+
+// workload caches the graph quantities the cost model needs. egoWork is
+// Σ_v d(v)², a proxy for the total cost of decomposing every ego-network
+// (the dominant term of both the online search and an index build).
+type workload struct {
+	n, m    float64
+	avgDeg  float64
+	egoWork float64
+}
+
+func measure(g *Graph) workload {
+	w := workload{n: float64(g.N()), m: float64(g.M())}
+	for v := int32(0); int(v) < g.N(); v++ {
+		d := float64(g.Degree(v))
+		w.egoWork += d * d
+	}
+	if w.n > 0 {
+		w.avgDeg = 2 * w.m / w.n
+	}
+	return w
+}
+
+// searchWork scales a whole-graph effort estimate down to the candidate
+// subset of q, if one is given.
+func (w workload) searchWork(full float64, q Query) float64 {
+	if q.Candidates == nil || w.n == 0 {
+		return full
+	}
+	return full * float64(len(q.Candidates)) / w.n
+}
+
+// contextWork estimates the per-answer online context recovery cost that
+// the online and hybrid engines pay when contexts are requested.
+func (w workload) contextWork(q Query) float64 {
+	if !q.IncludeContexts {
+		return 0
+	}
+	return float64(q.R) * w.avgDeg * w.avgDeg
+}
+
+// checkVertex validates the (v, k) pair of a single-vertex query.
+func checkVertex(g *Graph, v, k int32) error {
+	if v < 0 || int(v) >= g.N() {
+		return fmt.Errorf("trussdiv: vertex %d out of range [0,%d)", v, g.N())
+	}
+	if k < 2 {
+		return fmt.Errorf("trussdiv: k = %d, must be >= 2", k)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package trussdiv_test
 
 import (
+	"context"
 	"fmt"
 
 	"trussdiv"
@@ -75,4 +76,23 @@ func ExampleTrussDecompose() {
 	}
 	fmt.Println(max)
 	// Output: 5
+}
+
+// ExampleOpen shows the DB facade: one Open, engines resolved by name or
+// by cost routing, queries built with functional options.
+func ExampleOpen() {
+	g := trussdiv.PaperExampleGraph()
+	db, err := trussdiv.Open(g, trussdiv.WithEngine("gct"))
+	if err != nil {
+		panic(err)
+	}
+	q := trussdiv.NewQuery(4, 1, trussdiv.WithContexts())
+	res, stats, err := db.TopR(context.Background(), q)
+	if err != nil {
+		panic(err)
+	}
+	top := res.TopR[0]
+	fmt.Printf("engine=%s vertex=%d score=%d contexts=%d\n",
+		stats.Engine, top.V, top.Score, len(res.Contexts[top.V]))
+	// Output: engine=gct vertex=0 score=3 contexts=3
 }

@@ -2,19 +2,19 @@
 // co-authorship network.
 //
 // Finds the most structurally diverse author under three diversity models
-// and shows why only the truss-based model decomposes a bridged,
-// hub-centered ego-network into meaningful research groups (paper Figs.
-// 16-17, Table 5).
+// — all reachable as engines of one trussdiv.DB — and shows why only the
+// truss-based model decomposes a bridged, hub-centered ego-network into
+// meaningful research groups (paper Figs. 16-17, Table 5).
 //
 // Run with: go run ./examples/collaboration
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"trussdiv/internal/baseline"
-	"trussdiv/internal/core"
+	"trussdiv"
 	"trussdiv/internal/ego"
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
@@ -22,53 +22,69 @@ import (
 
 func main() {
 	const k = 5
+	ctx := context.Background()
 	g := gen.Collaboration(gen.DefaultCollabConfig())
 	fmt.Printf("co-authorship network: %d authors, %d strong ties\n\n", g.N(), g.M())
 
-	// Truss-based winner via the GCT index.
-	res, _, err := core.NewGCT(core.BuildGCTIndex(g)).TopR(k, 1)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Truss-based winner; the DB routes to the cheapest exact engine.
+	q := trussdiv.NewQuery(k, 1, trussdiv.WithContexts())
+	res, stats, err := db.TopR(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
 	winner := res.TopR[0]
-	fmt.Printf("Truss-Div top-1: author %d with %d research communities (k=%d)\n",
-		winner.V, winner.Score, k)
-	for i, ctx := range res.Contexts[winner.V] {
-		fmt.Printf("  community %d: %d collaborators %v\n", i+1, len(ctx), ctx)
+	fmt.Printf("Truss-Div top-1 (engine %q): author %d with %d research communities (k=%d)\n",
+		stats.Engine, winner.V, winner.Score, k)
+	for i, members := range res.Contexts[winner.V] {
+		fmt.Printf("  community %d: %d collaborators %v\n", i+1, len(members), members)
 	}
 
-	// The same ego-network under the competing models.
+	// The same ego-network under the competing models, which are
+	// registered as explicit-name engines of the same DB.
+	comp, err := db.Engine("comp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kcore, err := db.Engine("kcore")
+	if err != nil {
+		log.Fatal(err)
+	}
 	net := ego.ExtractOne(g, winner.V)
 	_, comps := net.G.ConnectedComponents()
 	fmt.Printf("\nego-network of author %d: %d collaborators, %d ties, %d connected component(s)\n",
 		winner.V, len(net.Verts), net.G.M(), comps)
-	fmt.Printf("  Comp-Div sees %d context(s)  (weak ties glue everything together)\n",
-		baseline.NewCompDiv(g).Score(winner.V, k))
-	fmt.Printf("  Core-Div sees %d context(s)  (bridged blocks stay one connected 5-core)\n",
-		baseline.NewCoreDiv(g).Score(winner.V, k))
+	compScore, err := comp.Score(ctx, winner.V, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coreScore, err := kcore.Score(ctx, winner.V, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Comp-Div sees %d context(s)  (weak ties glue everything together)\n", compScore)
+	fmt.Printf("  Core-Div sees %d context(s)  (bridged blocks stay one connected 5-core)\n", coreScore)
 	fmt.Printf("  Truss-Div sees %d contexts  (bridges have no triangles, so 5-trusses split)\n\n",
 		winner.Score)
 
 	// Whom would the other models have crowned?
-	comp, err := baseline.TopR(baseline.NewCompDiv(g), g.N(), k, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	coreTop, err := baseline.TopR(baseline.NewCoreDiv(g), g.N(), k, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, row := range []struct {
-		model string
-		v     int32
-		score int
-	}{
-		{"Comp-Div", comp[0].V, comp[0].Score},
-		{"Core-Div", coreTop[0].V, coreTop[0].Score},
-	} {
-		nv, mv := egoSize(g, row.v)
+	for _, name := range []string{"comp", "kcore"} {
+		engine, err := db.Engine(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		top, _, err := engine.TopR(ctx, trussdiv.NewQuery(k, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := top.TopR[0]
+		nv, mv := egoSize(g, e.V)
 		fmt.Printf("%s top-1: author %d, %d contexts, ego |V|=%d |E|=%d density %.2f\n",
-			row.model, row.v, row.score, nv, mv, float64(mv)/float64(nv))
+			name, e.V, e.Score, nv, mv, float64(mv)/float64(nv))
 	}
 	nv, mv := egoSize(g, winner.V)
 	fmt.Printf("Truss-Div top-1: author %d, %d contexts, ego |V|=%d |E|=%d density %.2f (densest)\n",

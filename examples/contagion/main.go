@@ -1,21 +1,23 @@
 // Contagion: structural diversity as a predictor of social contagion.
 //
 // Generates a community-rich social network, selects the top-50 users
-// under four diversity models (Random, Comp-Div, Core-Div, Truss-Div),
-// seeds an Independent Cascade with 50 influential users, and measures how
-// many of each model's selections get activated — the paper's
-// effectiveness experiment (§7.2, Fig. 14) as a runnable program.
+// under four diversity models (Random, Comp-Div, Core-Div, Truss-Div) —
+// the non-random three as engines of one trussdiv.DB — seeds an
+// Independent Cascade with 50 influential users, and measures how many of
+// each model's selections get activated — the paper's effectiveness
+// experiment (§7.2, Fig. 14) as a runnable program.
 //
 // Run with: go run ./examples/contagion
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"trussdiv"
 	"trussdiv/internal/baseline"
 	"trussdiv/internal/cascade"
-	"trussdiv/internal/core"
 	"trussdiv/internal/gen"
 )
 
@@ -27,6 +29,7 @@ func main() {
 		runs = 1000
 		seed = 7
 	)
+	ctx := context.Background()
 	g := gen.CommunityOverlay(gen.OverlayConfig{
 		N: 8000, Attach: 4, Cliques: 1500, MinSize: 4, MaxSize: 12, Diffuse: 150, Seed: seed,
 	})
@@ -57,26 +60,36 @@ func main() {
 		return out
 	}
 	over := r + len(seeds)
-	selections := map[string][]int32{}
-	res, _, err := core.NewGCT(core.BuildGCTIndex(g)).TopR(k, over)
+
+	db, err := trussdiv.Open(g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truss := make([]int32, len(res.TopR))
-	for i, e := range res.TopR {
-		truss[i] = e.V
-	}
-	selections["Truss-Div"] = take(truss)
-	for _, model := range []baseline.Model{baseline.NewCompDiv(g), baseline.NewCoreDiv(g)} {
-		top, err := baseline.TopR(model, g.N(), k, over)
+	q := trussdiv.NewQuery(k, over, trussdiv.WithoutStats())
+	selections := map[string][]int32{}
+	for display, engine := range map[string]string{
+		"Truss-Div": "", // cost-routed to the cheapest exact engine
+		"Comp-Div":  "comp",
+		"Core-Div":  "kcore",
+	} {
+		var res *trussdiv.Result
+		if engine == "" {
+			res, _, err = db.TopR(ctx, q)
+		} else {
+			var e trussdiv.Engine
+			e, err = db.Engine(engine)
+			if err == nil {
+				res, _, err = e.TopR(ctx, q)
+			}
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		vs := make([]int32, len(top))
-		for i, e := range top {
-			vs[i] = e.V
+		vs := make([]int32, len(res.TopR))
+		for i, entry := range res.TopR {
+			vs[i] = entry.V
 		}
-		selections[model.Name()] = take(vs)
+		selections[display] = take(vs)
 	}
 	rnd := baseline.Random(g.N(), over, seed)
 	random := make([]int32, len(rnd))

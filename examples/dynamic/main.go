@@ -3,17 +3,20 @@
 // applied to a social network; after each batch the index is repaired
 // incrementally — only the ego-networks of the edited edges' endpoints and
 // their common neighbors are rebuilt — and spot-checked against a full
-// rebuild.
+// rebuild through the public engine API: each index seeds a trussdiv.DB
+// whose "tsd" engine must agree vertex by vertex.
 //
 // Run with: go run ./examples/dynamic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
+	"trussdiv"
 	"trussdiv/internal/core"
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
@@ -21,6 +24,7 @@ import (
 
 func main() {
 	const batches = 5
+	ctx := context.Background()
 	g := gen.CommunityOverlay(gen.OverlayConfig{
 		N: 6000, Attach: 4, Cliques: 900, MinSize: 4, MaxSize: 10, Seed: 21,
 	})
@@ -46,11 +50,29 @@ func main() {
 		fresh := core.BuildTSDIndex(updated.Graph())
 		fullTime := time.Since(start)
 
-		// Spot-check equality on a sample of vertices and thresholds.
+		// Spot-check equality on a sample of vertices and thresholds,
+		// through the engine interface of two DBs seeded with the
+		// incremental and the fresh index.
+		incremental, err := openTSD(updated)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rebuilt, err := openTSD(fresh)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for probe := 0; probe < 500; probe++ {
 			v := int32(rng.Intn(updated.Graph().N()))
 			k := int32(3 + rng.Intn(4))
-			if updated.Score(v, k) != fresh.Score(v, k) {
+			got, err := incremental.Score(ctx, v, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			want, err := rebuilt.Score(ctx, v, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if got != want {
 				log.Fatalf("batch %d: incremental index diverged at v=%d k=%d", batch, v, k)
 			}
 		}
@@ -61,6 +83,15 @@ func main() {
 		idx = updated
 	}
 	fmt.Println("\nincremental repair matched a full rebuild after every batch.")
+}
+
+// openTSD wraps a built TSD index in a DB and returns its tsd engine.
+func openTSD(idx *core.TSDIndex) (trussdiv.Engine, error) {
+	db, err := trussdiv.Open(idx.Graph(), trussdiv.WithTSDIndex(idx))
+	if err != nil {
+		return nil, err
+	}
+	return db.Engine("tsd")
 }
 
 // randomBatch picks valid insertions (absent pairs) and deletions

@@ -1,12 +1,15 @@
 // Indexserve: build the TSD and GCT indexes once, persist them to disk,
-// reload, and answer a stream of (k, r) queries — the "index once, query
-// many" workflow both indexes were designed for (paper §5-§6). Prints the
-// per-query latency of TSD vs GCT and the size of each artifact.
+// reload, and answer a stream of (k, r) queries through a trussdiv.DB
+// seeded with the reloaded indexes — the "index once, query many"
+// workflow both indexes were designed for (paper §5-§6). Prints the
+// per-query latency of TSD vs GCT, the size of each artifact, and where
+// the DB's cost router sends the same queries.
 //
 // Run with: go run ./examples/indexserve
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -14,11 +17,12 @@ import (
 	"path/filepath"
 	"time"
 
-	"trussdiv/internal/core"
+	"trussdiv"
 	"trussdiv/internal/gen"
 )
 
 func main() {
+	ctx := context.Background()
 	g := gen.CommunityOverlay(gen.OverlayConfig{
 		N: 10000, Attach: 4, Cliques: 1500, MinSize: 4, MaxSize: 12, Seed: 3,
 	})
@@ -32,10 +36,10 @@ func main() {
 
 	// Build and persist both indexes.
 	start := time.Now()
-	tsdIdx := core.BuildTSDIndex(g)
+	tsdIdx := trussdiv.BuildTSDIndex(g)
 	fmt.Printf("TSD-index built in %v\n", time.Since(start).Round(time.Millisecond))
 	start = time.Now()
-	gctIdx := core.BuildGCTIndex(g)
+	gctIdx := trussdiv.BuildGCTIndex(g)
 	fmt.Printf("GCT-index built in %v\n", time.Since(start).Round(time.Millisecond))
 
 	tsdPath := filepath.Join(dir, "graph.tsd")
@@ -43,13 +47,15 @@ func main() {
 	persist(tsdPath, tsdIdx.WriteTo)
 	persist(gctPath, gctIdx.WriteTo)
 
-	// Reload from disk — a fresh process would start here.
+	// Reload from disk — a fresh process would start here — and seed a DB
+	// with the recovered indexes: both index engines are ready with no
+	// rebuild.
 	tsdFile, err := os.Open(tsdPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tsdFile.Close()
-	tsdLoaded, err := core.ReadTSDIndex(tsdFile, g)
+	tsdLoaded, err := trussdiv.ReadTSDIndex(tsdFile, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,38 +64,51 @@ func main() {
 		log.Fatal(err)
 	}
 	defer gctFile.Close()
-	gctLoaded, err := core.ReadGCTIndex(gctFile, g)
+	gctLoaded, err := trussdiv.ReadGCTIndex(gctFile, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := trussdiv.Open(g,
+		trussdiv.WithTSDIndex(tsdLoaded), trussdiv.WithGCTIndex(gctLoaded))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Serve a mixed query workload: the same index answers every (k, r).
+	// Serve a mixed query workload: the same DB answers every (k, r).
 	fmt.Println("\nquery workload (one index build, many queries):")
-	fmt.Printf("%4s %4s  %12s %12s  %s\n", "k", "r", "TSD", "GCT", "top-1 (score)")
-	tsd := core.NewTSD(tsdLoaded)
-	gct := core.NewGCT(gctLoaded)
-	for _, q := range []struct {
-		k int32
-		r int
-	}{{3, 10}, {3, 100}, {4, 10}, {4, 100}, {5, 10}, {6, 10}} {
+	fmt.Printf("%4s %4s  %12s %12s  %-8s %s\n", "k", "r", "TSD", "GCT", "routed", "top-1 (score)")
+	tsd, err := db.Engine("tsd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gct, err := db.Engine("gct")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []trussdiv.Query{
+		trussdiv.NewQuery(3, 10), trussdiv.NewQuery(3, 100),
+		trussdiv.NewQuery(4, 10), trussdiv.NewQuery(4, 100),
+		trussdiv.NewQuery(5, 10), trussdiv.NewQuery(6, 10),
+	} {
 		t0 := time.Now()
-		resT, _, err := tsd.TopR(q.k, q.r)
+		resT, _, err := tsd.TopR(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		tsdTime := time.Since(t0)
 		t0 = time.Now()
-		resG, _, err := gct.TopR(q.k, q.r)
+		resG, _, err := gct.TopR(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		gctTime := time.Since(t0)
 		if resT.TopR[0].Score != resG.TopR[0].Score {
-			log.Fatalf("engines disagree at k=%d r=%d", q.k, q.r)
+			log.Fatalf("engines disagree at k=%d r=%d", q.K, q.R)
 		}
-		fmt.Printf("%4d %4d  %12v %12v  vertex %d (%d)\n",
-			q.k, q.r, tsdTime.Round(time.Microsecond), gctTime.Round(time.Microsecond),
-			resG.TopR[0].V, resG.TopR[0].Score)
+		routed := db.Route(q).Name()
+		fmt.Printf("%4d %4d  %12v %12v  %-8s vertex %d (%d)\n",
+			q.K, q.R, tsdTime.Round(time.Microsecond), gctTime.Round(time.Microsecond),
+			routed, resG.TopR[0].V, resG.TopR[0].Score)
 	}
 }
 

@@ -1,60 +1,76 @@
 // Quickstart: the paper's running example (Fig. 1) end to end.
 //
-// Builds the 17-vertex example graph, runs top-1 truss-based structural
-// diversity search with k = 4 through every engine, and prints the social
-// contexts of the winner — reproducing score(v) = 3 with contexts
-// {x1..x4}, {y1..y4}, {r1..r6}.
+// Builds the 17-vertex example graph, opens it as a trussdiv.DB, runs
+// top-1 truss-based structural diversity search with k = 4 through every
+// registered engine, and prints the social contexts of the winner —
+// reproducing score(v) = 3 with contexts {x1..x4}, {y1..y4}, {r1..r6}.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"trussdiv/internal/core"
+	"trussdiv"
 	"trussdiv/internal/gen"
 )
 
 func main() {
+	ctx := context.Background()
 	g := gen.Fig1Graph()
 	names := gen.Fig1Names()
 	fmt.Printf("graph G: %d vertices, %d edges (paper Fig. 1)\n\n", g.N(), g.M())
 
-	// The one-call path: score a single vertex online (Algorithm 2).
-	scorer := core.NewScorer(g)
-	fmt.Printf("score(v) at k=4: %d\n", scorer.Score(gen.Fig1V, 4))
-
-	// The search path: every engine answers the same top-1 query.
-	engines := []struct {
-		name     string
-		searcher interface {
-			TopR(int32, int) (*core.Result, *core.Stats, error)
-		}
-	}{
-		{"online (Alg. 3)", core.NewOnline(g)},
-		{"bound  (Alg. 4)", core.NewBound(g)},
-		{"TSD    (Alg. 5-6)", core.NewTSD(core.BuildTSDIndex(g))},
-		{"GCT    (Alg. 7-8)", core.NewGCT(core.BuildGCTIndex(g))},
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, e := range engines {
-		res, stats, err := e.searcher.TopR(4, 1)
+
+	// The one-call path: score a single vertex (Algorithm 2 online, or
+	// the GCT index once the DB has built it).
+	score, err := db.Score(ctx, gen.Fig1V, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("score(v) at k=4: %d\n", score)
+
+	// The search path: every truss-based engine answers the same top-1
+	// query through the uniform Engine interface.
+	q := trussdiv.NewQuery(4, 1, trussdiv.WithContexts())
+	for _, name := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+		engine, err := db.Engine(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, stats, err := engine.TopR(ctx, q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		top := res.TopR[0]
-		fmt.Printf("\n%s: top-1 = %s with score %d (computed %d scores)\n",
-			e.name, names[top.V], top.Score, stats.ScoreComputations)
-		for i, ctx := range res.Contexts[top.V] {
+		fmt.Printf("\n%-6s: top-1 = %s with score %d (computed %d scores)\n",
+			name, names[top.V], top.Score, stats.ScoreComputations)
+		for i, ctxMembers := range res.Contexts[top.V] {
 			fmt.Printf("  social context %d:", i+1)
-			for _, v := range ctx {
+			for _, v := range ctxMembers {
 				fmt.Printf(" %s", names[v])
 			}
 			fmt.Println()
 		}
 	}
 
+	// Cost routing: with the indexes now warm, the DB sends the query to
+	// the cheapest engine on its own.
+	res, stats, err := db.TopR(ctx, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncost-routed query went to %q: top-1 = %s (score %d)\n",
+		stats.Engine, names[res.TopR[0].V], res.TopR[0].Score)
+
 	// The non-symmetry observation the paper builds its pruning theory on.
+	scorer := trussdiv.NewScorer(g)
 	fmt.Printf("\nnon-symmetry (Obs. 1): tau_ego(v)(r1,r2) = %d, tau_ego(r1)(v,r2) = %d\n",
 		scorer.EgoTrussness(gen.Fig1V, gen.Fig1R1, gen.Fig1R2),
 		scorer.EgoTrussness(gen.Fig1R1, gen.Fig1V, gen.Fig1R2))

@@ -1,0 +1,3 @@
+module trussdiv
+
+go 1.24

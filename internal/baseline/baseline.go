@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -105,6 +106,12 @@ func (c *CoreDiv) Contexts(v int32, k int32) [][]int32 {
 
 // TopR runs the generic online top-r search for any Model.
 func TopR(m Model, n int, k int32, r int) ([]VertexScore, error) {
+	return Search(context.Background(), m, n, k, r)
+}
+
+// Search is TopR with cancellation: every candidate costs one ego-network
+// decomposition, so the context is polled before each score.
+func Search(ctx context.Context, m Model, n int, k int32, r int) ([]VertexScore, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: k = %d, must be >= 1", k)
 	}
@@ -116,6 +123,9 @@ func TopR(m Model, n int, k int32, r int) ([]VertexScore, error) {
 	}
 	all := make([]VertexScore, n)
 	for v := 0; v < n; v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		all[v] = VertexScore{V: int32(v), Score: m.Score(int32(v), k)}
 	}
 	sort.Slice(all, func(i, j int) bool {

@@ -1,11 +1,11 @@
 package baseline
 
 import (
-	"math/rand"
 	"testing"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
 func TestCompDivFig1(t *testing.T) {
@@ -133,7 +133,7 @@ func TestRandomSelector(t *testing.T) {
 // Property: Comp-Div score with k=1 equals the number of ego components;
 // non-increasing in k.
 func TestCompDivMonotoneInK(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.Rand(t, 9)
 	for trial := 0; trial < 10; trial++ {
 		n := 20 + rng.Intn(20)
 		b := graph.NewBuilder(n)

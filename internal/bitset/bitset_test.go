@@ -1,9 +1,10 @@
 package bitset
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"trussdiv/internal/testutil"
 )
 
 func TestSetGetClear(t *testing.T) {
@@ -37,7 +38,7 @@ func TestSetGetClear(t *testing.T) {
 }
 
 func TestAndCountMatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.Rand(t, 1)
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + rng.Intn(300)
 		a, b := New(n), New(n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"trussdiv/internal/graph"
@@ -61,13 +62,28 @@ type Bound struct {
 // NewBound returns a Bound searcher over g.
 func NewBound(g *graph.Graph) *Bound { return &Bound{g: g} }
 
+// Graph returns the underlying graph.
+func (b *Bound) Graph() *graph.Graph { return b.g }
+
 // TopR runs Algorithm 4.
 func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
-	r, err := validate(b.g.N(), k, r)
+	return b.Search(context.Background(), Params{K: k, R: r})
+}
+
+// Search runs Algorithm 4: sparsify, compute the Lemma-2 upper bound for
+// every surviving candidate, visit candidates in decreasing bound order,
+// and stop as soon as the next bound cannot beat the current r-th best
+// score. The context is checked before the sparsification and before
+// every exact score computation.
+func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
+	p, err := p.normalized(b.g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	sp := Sparsify(b.g, k)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	sp := Sparsify(b.g, p.K)
 	sub := sp.Graph
 	scorer := NewScorer(sub)
 	stats := &Stats{}
@@ -80,14 +96,17 @@ func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
 		ub int
 	}
 	cands := make([]candidate, 0, sub.N())
-	for v := int32(0); int(v) < sub.N(); v++ {
+	err = forEachCandidate(ctx, sub.N(), p.Candidates, false, func(v int32) {
 		d := sub.Degree(v)
 		if d == 0 {
-			continue // isolated after sparsification: score is 0
+			return // isolated after sparsification: score is 0
 		}
-		if ub := UpperBound(d, mv[v], k); ub > 0 {
+		if ub := UpperBound(d, mv[v], p.K); ub > 0 {
 			cands = append(cands, candidate{v, ub})
 		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	stats.Candidates = len(cands)
 	sort.Slice(cands, func(i, j int) bool {
@@ -97,28 +116,27 @@ func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
 		return cands[i].v < cands[j].v
 	})
 
-	heap := newTopRHeap(r)
+	heap := newTopRHeap(p.R)
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if heap.Full() && c.ub <= heap.MinScore() {
 			break // early termination: no remaining candidate can improve S
 		}
-		score := scorer.Score(c.v, k)
+		score := scorer.Score(c.v, p.K)
 		stats.ScoreComputations++
 		heap.Offer(c.v, score)
 	}
 	// Vertices pruned away all have score 0 (or were dominated); if fewer
 	// than r candidates existed, pad with zero-score vertices for parity
 	// with the online answer size.
-	if !heap.Full() {
-		inAnswer := map[int32]bool{}
-		for _, e := range heap.entries {
-			inAnswer[e.V] = true
-		}
-		for v := int32(0); int(v) < b.g.N() && !heap.Full(); v++ {
-			if !inAnswer[v] {
-				heap.Offer(v, 0)
-			}
-		}
+	padAnswer(heap, b.g.N(), p.Candidates)
+	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
+		return scorer.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return buildResult(heap.Answer(), k, scorer), stats, nil
+	return res, exportStats(stats, p), nil
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// trippingContext reports itself cancelled after a fixed number of Err
+// polls, making mid-loop cancellation deterministic: the search must
+// observe the cancellation at its next poll, wherever that poll sits.
+type trippingContext struct {
+	context.Context
+	polls int
+	trip  int
+}
+
+func (c *trippingContext) Err() error {
+	c.polls++
+	if c.polls > c.trip {
+		return context.Canceled
+	}
+	return nil
+}
+
+type searcher interface {
+	Search(ctx context.Context, p Params) (*Result, *Stats, error)
+}
+
+func TestSearchAlreadyCancelled(t *testing.T) {
+	g := randomGraph(t, 60, 400, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gctIdx := BuildGCTIndex(g)
+	for name, s := range map[string]searcher{
+		"online": NewOnline(g),
+		"bound":  NewBound(g),
+		"tsd":    NewTSD(BuildTSDIndex(g)),
+		"gct":    NewGCT(gctIdx),
+		"hybrid": BuildHybrid(gctIdx),
+	} {
+		res, stats, err := s.Search(ctx, Params{K: 3, R: 5})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if res != nil || stats != nil {
+			t.Fatalf("%s: non-nil result after cancellation", name)
+		}
+	}
+}
+
+func TestSearchCancelledMidLoop(t *testing.T) {
+	g := randomGraph(t, 500, 3000, 6)
+	gctIdx := BuildGCTIndex(g)
+	for name, s := range map[string]searcher{
+		"online": NewOnline(g),
+		"bound":  NewBound(g),
+		"tsd":    NewTSD(BuildTSDIndex(g)),
+		"gct":    NewGCT(gctIdx),
+		"hybrid": BuildHybrid(gctIdx),
+	} {
+		// Let a handful of polls pass, then trip: the search must stop at
+		// its next context check instead of finishing the scan.
+		ctx := &trippingContext{Context: context.Background(), trip: 3}
+		_, _, err := s.Search(ctx, Params{K: 3, R: 5, SkipContexts: name == "hybrid"})
+		if name == "hybrid" {
+			// Ranking reads poll once up front; with contexts skipped the
+			// remaining work is too cheap to guarantee another poll.
+			ctx2 := &trippingContext{Context: context.Background(), trip: 0}
+			_, _, err2 := s.Search(ctx2, Params{K: 3, R: 5})
+			if !errors.Is(err2, context.Canceled) {
+				t.Fatalf("hybrid: err = %v, want context.Canceled", err2)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestSearchDeadlineExceeded(t *testing.T) {
+	g := randomGraph(t, 40, 200, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	_, _, err := NewOnline(g).Search(ctx, Params{K: 3, R: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSearchCandidateSubset(t *testing.T) {
+	g := randomGraph(t, 50, 300, 8)
+	subset := []int32{3, 7, 11, 19, 23, 42}
+	scorer := NewScorer(g)
+	gctIdx := BuildGCTIndex(g)
+	for name, s := range map[string]searcher{
+		"online": NewOnline(g),
+		"bound":  NewBound(g),
+		"tsd":    NewTSD(BuildTSDIndex(g)),
+		"gct":    NewGCT(gctIdx),
+		"hybrid": BuildHybrid(gctIdx),
+	} {
+		res, _, err := s.Search(context.Background(), Params{K: 3, R: len(subset), Candidates: subset})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.TopR) != len(subset) {
+			t.Fatalf("%s: answer size %d, want %d", name, len(res.TopR), len(subset))
+		}
+		in := map[int32]bool{}
+		for _, v := range subset {
+			in[v] = true
+		}
+		for _, e := range res.TopR {
+			if !in[e.V] {
+				t.Fatalf("%s: answer vertex %d outside candidate set", name, e.V)
+			}
+			if want := scorer.Score(e.V, 3); e.Score != want {
+				t.Fatalf("%s: score(%d) = %d, want %d", name, e.V, e.Score, want)
+			}
+		}
+	}
+	// Out-of-range candidates are rejected.
+	_, _, err := NewOnline(g).Search(context.Background(), Params{K: 3, R: 1, Candidates: []int32{99}})
+	if err == nil {
+		t.Fatal("want error for out-of-range candidate")
+	}
+}
+
+func TestSearchDuplicateCandidatesDeduped(t *testing.T) {
+	g := randomGraph(t, 30, 150, 10)
+	gctIdx := BuildGCTIndex(g)
+	for name, s := range map[string]searcher{
+		"online": NewOnline(g),
+		"bound":  NewBound(g),
+		"tsd":    NewTSD(BuildTSDIndex(g)),
+		"gct":    NewGCT(gctIdx),
+		"hybrid": BuildHybrid(gctIdx),
+	} {
+		res, _, err := s.Search(context.Background(),
+			Params{K: 3, R: 3, Candidates: []int32{5, 5, 9, 9, 5, 13}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.TopR) != 3 {
+			t.Fatalf("%s: answer size %d, want 3", name, len(res.TopR))
+		}
+		seen := map[int32]bool{}
+		for _, e := range res.TopR {
+			if seen[e.V] {
+				t.Fatalf("%s: vertex %d duplicated in answer %v", name, e.V, res.TopR)
+			}
+			seen[e.V] = true
+		}
+	}
+}
+
+func TestSearchSkipOptions(t *testing.T) {
+	g := randomGraph(t, 40, 200, 9)
+	res, stats, err := NewOnline(g).Search(context.Background(),
+		Params{K: 3, R: 5, SkipContexts: true, SkipStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != nil {
+		t.Fatalf("stats = %+v, want nil with SkipStats", stats)
+	}
+	if res.Contexts != nil {
+		t.Fatalf("contexts present despite SkipContexts")
+	}
+	if len(res.TopR) != 5 {
+		t.Fatalf("answer size %d, want 5", len(res.TopR))
+	}
+}

@@ -17,7 +17,7 @@ import (
 //  4. the number of contexts equals score(v).
 func TestContextInvariants(t *testing.T) {
 	f := func(seed int64) bool {
-		g := randomGraph(30, 150, seed+700)
+		g := randomGraph(t, 30, 150, seed+700)
 		scorer := NewScorer(g)
 		tsdIdx := BuildTSDIndex(g)
 		gctIdx := BuildGCTIndex(g)
@@ -66,7 +66,7 @@ func TestContextInvariants(t *testing.T) {
 // condition directly on the induced subgraph restricted to qualifying
 // edges.
 func TestContextsAreKTrusses(t *testing.T) {
-	g := randomGraph(28, 140, 901)
+	g := randomGraph(t, 28, 140, 901)
 	scorer := NewScorer(g)
 	for v := int32(0); int(v) < g.N(); v++ {
 		for k := int32(3); k <= 5; k++ {

@@ -39,10 +39,12 @@ type Result struct {
 // Stats reports search effort. ScoreComputations is the paper's "search
 // space" metric (Table 2): the number of vertices whose structural
 // diversity was actually computed. Candidates counts vertices that
-// survived pruning and entered the candidate order.
+// survived pruning and entered the candidate order. Engine is filled by
+// the routing facade with the name of the engine that answered.
 type Stats struct {
 	ScoreComputations int
 	Candidates        int
+	Engine            string
 }
 
 // ScoreMultiset returns the sorted (descending) multiset of scores in the

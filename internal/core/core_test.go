@@ -1,16 +1,16 @@
 package core
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
-func randomGraph(n, extra int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+func randomGraph(tb testing.TB, n, extra int, seed int64) *graph.Graph {
+	rng := testutil.Rand(tb, seed)
 	b := graph.NewBuilder(n)
 	for i := 0; i < extra; i++ {
 		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
@@ -181,7 +181,7 @@ func TestFig1GCTStructure(t *testing.T) {
 
 func TestAllEnginesAgreeOnScores(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
-		g := randomGraph(28, 130, seed)
+		g := randomGraph(t, 28, 130, seed)
 		scorer := NewScorer(g)
 		tsdIdx := BuildTSDIndex(g)
 		gctIdx := BuildGCTIndex(g)
@@ -204,7 +204,7 @@ func TestAllEnginesAgreeOnScores(t *testing.T) {
 
 func TestAllEnginesAgreeOnContexts(t *testing.T) {
 	for seed := int64(20); seed < 26; seed++ {
-		g := randomGraph(24, 110, seed)
+		g := randomGraph(t, 24, 110, seed)
 		scorer := NewScorer(g)
 		tsdIdx := BuildTSDIndex(g)
 		gctIdx := BuildGCTIndex(g)
@@ -230,7 +230,7 @@ func TestAllEnginesAgreeOnContexts(t *testing.T) {
 
 func TestAllSearchersAgreeOnTopR(t *testing.T) {
 	for seed := int64(40); seed < 46; seed++ {
-		g := randomGraph(40, 220, seed)
+		g := randomGraph(t, 40, 220, seed)
 		tsdIdx := BuildTSDIndex(g)
 		gctIdx := BuildGCTIndex(g)
 		searchers := map[string]interface {
@@ -269,7 +269,7 @@ func TestAllSearchersAgreeOnTopR(t *testing.T) {
 
 func TestSparsifyPreservesScores(t *testing.T) {
 	for seed := int64(60); seed < 66; seed++ {
-		g := randomGraph(30, 160, seed)
+		g := randomGraph(t, 30, 160, seed)
 		for k := int32(3); k <= 5; k++ {
 			sp := Sparsify(g, k)
 			before := NewScorer(g)
@@ -289,7 +289,7 @@ func TestSparsifyPreservesScores(t *testing.T) {
 
 func TestUpperBoundDominates(t *testing.T) {
 	for seed := int64(70); seed < 76; seed++ {
-		g := randomGraph(26, 140, seed)
+		g := randomGraph(t, 26, 140, seed)
 		scorer := NewScorer(g)
 		mv := g.TrianglesPerVertex()
 		for k := int32(2); k <= 5; k++ {

@@ -1,17 +1,17 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
 // randomEdits picks a batch of valid insertions (absent pairs) and
 // deletions (present edges) from g.
-func randomEdits(g *graph.Graph, nIns, nDel int, seed int64) (ins, del []graph.Edge) {
-	rng := rand.New(rand.NewSource(seed))
+func randomEdits(tb testing.TB, g *graph.Graph, nIns, nDel int, seed int64) (ins, del []graph.Edge) {
+	rng := testutil.Rand(tb, seed)
 	n := int32(g.N())
 	chosen := map[graph.Edge]bool{}
 	for len(ins) < nIns {
@@ -43,9 +43,9 @@ func randomEdits(g *graph.Graph, nIns, nDel int, seed int64) (ins, del []graph.E
 
 func TestTSDUpdateMatchesRebuild(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
-		g := randomGraph(35, 170, seed+300)
+		g := randomGraph(t, 35, 170, seed+300)
 		idx := BuildTSDIndex(g)
-		ins, del := randomEdits(g, 6, 6, seed+301)
+		ins, del := randomEdits(t, g, 6, 6, seed+301)
 		updated, stats, err := idx.Update(ins, del)
 		if err != nil {
 			t.Fatal(err)
@@ -73,9 +73,9 @@ func TestTSDUpdateMatchesRebuild(t *testing.T) {
 
 func TestGCTUpdateMatchesRebuild(t *testing.T) {
 	for seed := int64(10); seed < 18; seed++ {
-		g := randomGraph(35, 170, seed+400)
+		g := randomGraph(t, 35, 170, seed+400)
 		idx := BuildGCTIndex(g)
-		ins, del := randomEdits(g, 5, 5, seed+401)
+		ins, del := randomEdits(t, g, 5, 5, seed+401)
 		updated, _, err := idx.Update(ins, del)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"trussdiv/internal/dsu"
@@ -275,22 +276,34 @@ func (s *GCT) Index() *GCTIndex { return s.idx }
 
 // TopR answers the top-r query in O(m) total time.
 func (s *GCT) TopR(k int32, r int) (*Result, *Stats, error) {
+	return s.Search(context.Background(), Params{K: k, R: r})
+}
+
+// Search answers the top-r query from the compressed index. Per-vertex
+// scores are O(log) binary searches, so the scoring loop polls the
+// context every few hundred vertices rather than on every iteration.
+func (s *GCT) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := s.idx.g
-	r, err := validate(g.N(), k, r)
+	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{Candidates: g.N()}
-	heap := newTopRHeap(r)
-	for v := int32(0); int(v) < g.N(); v++ {
-		score := s.idx.Score(v, k)
+	stats := &Stats{}
+	heap := newTopRHeap(p.R)
+	err = forEachCandidate(ctx, g.N(), p.Candidates, false, func(v int32) {
+		score := s.idx.Score(v, p.K)
 		stats.ScoreComputations++
 		heap.Offer(v, score)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	answer := heap.Answer()
-	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
-	for _, e := range answer {
-		res.Contexts[e.V] = s.idx.Contexts(e.V, k)
+	stats.Candidates = stats.ScoreComputations
+	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
+		return s.idx.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return res, stats, nil
+	return res, exportStats(stats, p), nil
 }

@@ -1,6 +1,10 @@
 package core
 
-import "trussdiv/internal/graph"
+import (
+	"context"
+
+	"trussdiv/internal/graph"
+)
 
 // Hybrid is the competitor of paper Exp-4: it precomputes, for every
 // possible k, the complete vertex ranking by structural diversity, so a
@@ -51,37 +55,67 @@ func (h *Hybrid) MaxK() int32 { return h.maxK }
 // TopR answers from the precomputed ranking, then computes the contexts of
 // each answer vertex online (the dominant cost, per the paper).
 func (h *Hybrid) TopR(k int32, r int) (*Result, *Stats, error) {
-	r, err := validate(h.g.N(), k, r)
+	return h.Search(context.Background(), Params{K: k, R: r})
+}
+
+// Search answers from the precomputed ranking. Reading the ranking is
+// nearly free; the expensive part is the per-answer online context
+// recovery (Algorithm 2), which finishResult polls on every vertex — so a
+// Search with SkipContexts set is the cheapest query in the library.
+func (h *Hybrid) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
+	p, err := p.normalized(h.g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	var ranked []VertexScore
-	if int(k) < len(h.perK) {
-		ranked = h.perK[k]
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
-	answer := make([]VertexScore, 0, r)
-	answer = append(answer, ranked[:min(r, len(ranked))]...)
-	// Pad with zero-score vertices when fewer than r vertices have any
-	// social context, matching the other searchers' answer size.
-	if len(answer) < r {
-		in := make(map[int32]bool, len(answer))
-		for _, e := range answer {
-			in[e.V] = true
+	var ranked []VertexScore
+	if int(p.K) < len(h.perK) {
+		ranked = h.perK[p.K]
+	}
+	var answer []VertexScore
+	var candidates int
+	if p.Candidates == nil {
+		// The ranking is precomputed: answering is an O(r) prefix read.
+		candidates = len(ranked)
+		answer = append(make([]VertexScore, 0, p.R), ranked[:min(p.R, len(ranked))]...)
+	} else {
+		inCand := make(map[int32]bool, len(p.Candidates))
+		for _, v := range p.Candidates {
+			inCand[v] = true
 		}
-		for v := int32(0); int(v) < h.g.N() && len(answer) < r; v++ {
-			if !in[v] {
-				answer = append(answer, VertexScore{V: v, Score: 0})
+		answer = make([]VertexScore, 0, p.R)
+		for _, e := range ranked {
+			if !inCand[e.V] {
+				continue
+			}
+			candidates++
+			if len(answer) < p.R {
+				answer = append(answer, e)
 			}
 		}
 	}
-	stats := &Stats{Candidates: len(ranked)}
-	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
-	for _, e := range answer {
-		// Online social-context recovery (Algorithm 2).
-		res.Contexts[e.V] = h.scorer.Contexts(e.V, k)
-		stats.ScoreComputations++
+	// Pad with zero-score vertices when fewer than r candidates have any
+	// social context, matching the other searchers' answer size.
+	if len(answer) < p.R {
+		heap := newTopRHeap(p.R)
+		for _, e := range answer {
+			heap.Offer(e.V, e.Score)
+		}
+		padAnswer(heap, h.g.N(), p.Candidates)
+		answer = heap.Answer()
 	}
-	return res, stats, nil
+	stats := &Stats{Candidates: candidates}
+	res, err := finishResult(ctx, answer, p, func(v int32) [][]int32 {
+		// Online social-context recovery (Algorithm 2).
+		stats.ScoreComputations++
+		return h.scorer.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, exportStats(stats, p), nil
 }
 
 // SizeBytes reports the ranking storage footprint.

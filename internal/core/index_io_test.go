@@ -8,7 +8,7 @@ import (
 )
 
 func TestTSDIndexRoundTrip(t *testing.T) {
-	g := randomGraph(40, 200, 5)
+	g := randomGraph(t, 40, 200, 5)
 	idx := BuildTSDIndex(g)
 	var buf bytes.Buffer
 	written, err := idx.WriteTo(&buf)
@@ -35,7 +35,7 @@ func TestTSDIndexRoundTrip(t *testing.T) {
 }
 
 func TestGCTIndexRoundTrip(t *testing.T) {
-	g := randomGraph(40, 200, 6)
+	g := randomGraph(t, 40, 200, 6)
 	idx := BuildGCTIndex(g)
 	var buf bytes.Buffer
 	written, err := idx.WriteTo(&buf)
@@ -59,7 +59,7 @@ func TestGCTIndexRoundTrip(t *testing.T) {
 }
 
 func TestIndexReadRejectsWrongGraph(t *testing.T) {
-	g := randomGraph(30, 120, 7)
+	g := randomGraph(t, 30, 120, 7)
 	other := gen.Clique(5)
 	idx := BuildTSDIndex(g)
 	var buf bytes.Buffer
@@ -113,7 +113,7 @@ func TestGCTSmallerThanTSD(t *testing.T) {
 // Corrupt serialized headers must be rejected before any oversized
 // allocation is honored.
 func TestIndexReadRejectsCorruptCounts(t *testing.T) {
-	g := randomGraph(20, 70, 31)
+	g := randomGraph(t, 20, 70, 31)
 	tsd := BuildTSDIndex(g)
 	var buf bytes.Buffer
 	if _, err := tsd.WriteTo(&buf); err != nil {

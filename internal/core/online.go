@@ -1,28 +1,14 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"trussdiv/internal/graph"
 )
 
-// validate checks the common (k, r) preconditions of the problem statement
-// (paper §2.3: 1 <= r <= n, k >= 2).
-func validate(n int, k int32, r int) (int, error) {
-	if k < 2 {
-		return 0, fmt.Errorf("core: trussness threshold k = %d, must be >= 2", k)
-	}
-	if r < 1 {
-		return 0, fmt.Errorf("core: r = %d, must be >= 1", r)
-	}
-	if r > n {
-		r = n
-	}
-	return r, nil
-}
-
 // Online is the baseline searcher (paper Algorithm 3): it computes the
-// structural diversity of every vertex from scratch and keeps the best r.
+// structural diversity of every candidate vertex from scratch and keeps
+// the best r.
 type Online struct {
 	scorer *Scorer
 }
@@ -30,29 +16,40 @@ type Online struct {
 // NewOnline returns an Online searcher over g.
 func NewOnline(g *graph.Graph) *Online { return &Online{scorer: NewScorer(g)} }
 
+// Graph returns the underlying graph.
+func (o *Online) Graph() *graph.Graph { return o.scorer.Graph() }
+
 // TopR returns the r vertices with the highest truss-based structural
 // diversity w.r.t. k, together with their social contexts.
 func (o *Online) TopR(k int32, r int) (*Result, *Stats, error) {
+	return o.Search(context.Background(), Params{K: k, R: r})
+}
+
+// Search runs Algorithm 3 over the candidate set. Each candidate costs
+// one ego-network truss decomposition, so cancellation is checked before
+// every score computation.
+func (o *Online) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := o.scorer.Graph()
-	r, err := validate(g.N(), k, r)
+	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{Candidates: g.N()}
-	heap := newTopRHeap(r)
-	for v := int32(0); int(v) < g.N(); v++ {
-		score := o.scorer.Score(v, k)
+	stats := &Stats{}
+	heap := newTopRHeap(p.R)
+	err = forEachCandidate(ctx, g.N(), p.Candidates, true, func(v int32) {
+		score := o.scorer.Score(v, p.K)
 		stats.ScoreComputations++
 		heap.Offer(v, score)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return buildResult(heap.Answer(), k, o.scorer), stats, nil
-}
-
-// buildResult attaches the social contexts of every answer vertex.
-func buildResult(answer []VertexScore, k int32, scorer *Scorer) *Result {
-	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
-	for _, e := range answer {
-		res.Contexts[e.V] = scorer.Contexts(e.V, k)
+	stats.Candidates = stats.ScoreComputations
+	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
+		return o.scorer.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return res
+	return res, exportStats(stats, p), nil
 }

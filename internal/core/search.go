@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Params parameterizes one top-r search. The zero value is invalid: K and
+// R carry the paper's preconditions (k >= 2, r >= 1). The remaining
+// fields tune what the engines compute beyond the ranked answer.
+type Params struct {
+	// K is the trussness threshold of the social contexts (>= 2).
+	K int32
+	// R is the answer size (>= 1; capped at the candidate count).
+	R int
+	// Candidates restricts the search to a vertex subset; nil means every
+	// vertex of the graph. Out-of-range IDs are an error.
+	Candidates []int32
+	// SkipContexts omits social-context recovery from the Result. For the
+	// Hybrid engine context recovery is the dominant query cost, so
+	// callers that only need the ranking should set it.
+	SkipContexts bool
+	// SkipStats suppresses the Stats return (the search still runs
+	// identically; the *Stats result is nil).
+	SkipStats bool
+}
+
+// normalized validates p against an n-vertex graph and caps R at the
+// candidate count, mirroring the paper's §2.3 preconditions.
+func (p Params) normalized(n int) (Params, error) {
+	if p.K < 2 {
+		return p, fmt.Errorf("core: trussness threshold k = %d, must be >= 2", p.K)
+	}
+	if p.R < 1 {
+		return p, fmt.Errorf("core: r = %d, must be >= 1", p.R)
+	}
+	limit := n
+	if p.Candidates != nil {
+		// Validate and deduplicate (first occurrence wins): a duplicate ID
+		// would otherwise occupy several answer slots. The caller's slice
+		// is only copied when a duplicate actually exists.
+		seen := make(map[int32]bool, len(p.Candidates))
+		deduped := p.Candidates
+		copied := false
+		for i, v := range p.Candidates {
+			if v < 0 || int(v) >= n {
+				return p, fmt.Errorf("core: candidate vertex %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				if !copied {
+					deduped = append([]int32{}, p.Candidates[:i]...)
+					copied = true
+				}
+				continue
+			}
+			seen[v] = true
+			if copied {
+				deduped = append(deduped, v)
+			}
+		}
+		p.Candidates = deduped
+		limit = len(p.Candidates)
+	}
+	if p.R > limit {
+		p.R = limit
+	}
+	return p, nil
+}
+
+// pollEvery is how many cheap loop iterations pass between context
+// checks. Expensive loops (one ego decomposition per iteration) check on
+// every iteration instead.
+const pollEvery = 256
+
+// forEachCandidate iterates the candidate set (all n vertices when cands
+// is nil), polling ctx between iterations. everyIter selects per-iteration
+// polling for loops whose body is expensive; otherwise the context is
+// checked every pollEvery iterations.
+func forEachCandidate(ctx context.Context, n int, cands []int32, everyIter bool, f func(v int32)) error {
+	poll := func(i int) error {
+		if everyIter || i%pollEvery == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
+	if cands == nil {
+		for v := int32(0); int(v) < n; v++ {
+			if err := poll(int(v)); err != nil {
+				return err
+			}
+			f(v)
+		}
+		return nil
+	}
+	for i, v := range cands {
+		if err := poll(i); err != nil {
+			return err
+		}
+		f(v)
+	}
+	return nil
+}
+
+// padAnswer fills the heap with zero-score candidates when fewer than r
+// vertices survived pruning, keeping the answer size consistent with the
+// online engine's.
+func padAnswer(heap *topRHeap, n int, cands []int32) {
+	if heap.Full() {
+		return
+	}
+	in := make(map[int32]bool, len(heap.entries))
+	for _, e := range heap.entries {
+		in[e.V] = true
+	}
+	if cands == nil {
+		for v := int32(0); int(v) < n && !heap.Full(); v++ {
+			if !in[v] {
+				heap.Offer(v, 0)
+			}
+		}
+		return
+	}
+	for _, v := range cands {
+		if heap.Full() {
+			return
+		}
+		if !in[v] {
+			heap.Offer(v, 0)
+		}
+	}
+}
+
+// finishResult assembles the Result, recovering the social contexts of
+// every answer vertex unless p.SkipContexts; recovery is one ego
+// decomposition per vertex, so the context is polled on every iteration.
+func finishResult(ctx context.Context, answer []VertexScore, p Params, contexts func(v int32) [][]int32) (*Result, error) {
+	res := &Result{TopR: answer}
+	if p.SkipContexts {
+		return res, nil
+	}
+	res.Contexts = make(map[int32][][]int32, len(answer))
+	for _, e := range answer {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.Contexts[e.V] = contexts(e.V)
+	}
+	return res, nil
+}
+
+// exportStats applies the stats opt-out.
+func exportStats(stats *Stats, p Params) *Stats {
+	if p.SkipStats {
+		return nil
+	}
+	return stats
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"trussdiv/internal/dsu"
@@ -278,8 +279,17 @@ func (t *TSD) Index() *TSDIndex { return t.idx }
 
 // TopR answers the top-r query from the index alone.
 func (t *TSD) TopR(k int32, r int) (*Result, *Stats, error) {
+	return t.Search(context.Background(), Params{K: k, R: r})
+}
+
+// Search answers the top-r query from the index alone (paper §5.2):
+// candidates are ordered by the s̃core bound and pruned with early
+// termination; exact scores come from the forest prefix count. The bound
+// pass polls the context every few hundred vertices, the exact-score pass
+// on every candidate.
+func (t *TSD) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := t.idx.g
-	r, err := validate(g.N(), k, r)
+	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -289,10 +299,13 @@ func (t *TSD) TopR(k int32, r int) (*Result, *Stats, error) {
 		ub int
 	}
 	cands := make([]candidate, 0, g.N())
-	for v := int32(0); int(v) < g.N(); v++ {
-		if ub := t.idx.ScoreUpperBound(v, k); ub > 0 {
+	err = forEachCandidate(ctx, g.N(), p.Candidates, false, func(v int32) {
+		if ub := t.idx.ScoreUpperBound(v, p.K); ub > 0 {
 			cands = append(cands, candidate{v, ub})
 		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	stats.Candidates = len(cands)
 	sort.Slice(cands, func(i, j int) bool {
@@ -301,30 +314,24 @@ func (t *TSD) TopR(k int32, r int) (*Result, *Stats, error) {
 		}
 		return cands[i].v < cands[j].v
 	})
-	heap := newTopRHeap(r)
+	heap := newTopRHeap(p.R)
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		if heap.Full() && c.ub <= heap.MinScore() {
 			break
 		}
-		score := t.idx.Score(c.v, k)
+		score := t.idx.Score(c.v, p.K)
 		stats.ScoreComputations++
 		heap.Offer(c.v, score)
 	}
-	if !heap.Full() {
-		inAnswer := map[int32]bool{}
-		for _, e := range heap.entries {
-			inAnswer[e.V] = true
-		}
-		for v := int32(0); int(v) < g.N() && !heap.Full(); v++ {
-			if !inAnswer[v] {
-				heap.Offer(v, 0)
-			}
-		}
+	padAnswer(heap, g.N(), p.Candidates)
+	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
+		return t.idx.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	answer := heap.Answer()
-	res := &Result{TopR: answer, Contexts: make(map[int32][][]int32, len(answer))}
-	for _, e := range answer {
-		res.Contexts[e.V] = t.idx.Contexts(e.V, k)
-	}
-	return res, stats, nil
+	return res, exportStats(stats, p), nil
 }

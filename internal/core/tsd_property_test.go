@@ -11,7 +11,7 @@ import (
 // count for every vertex and every k.
 func TestQualifyingNeighborsMatchesPrefixTouch(t *testing.T) {
 	f := func(seed int64) bool {
-		g := randomGraph(30, 140, seed)
+		g := randomGraph(t, 30, 140, seed)
 		idx := BuildTSDIndex(g)
 		for v := int32(0); int(v) < g.N(); v++ {
 			forest := idx.Forest(v)
@@ -40,7 +40,7 @@ func TestQualifyingNeighborsMatchesPrefixTouch(t *testing.T) {
 // component count, which Score reports.
 func TestForestPrefixComponentIdentity(t *testing.T) {
 	f := func(seed int64) bool {
-		g := randomGraph(26, 120, seed+500)
+		g := randomGraph(t, 26, 120, seed+500)
 		idx := BuildTSDIndex(g)
 		scorer := NewScorer(g)
 		for v := int32(0); int(v) < g.N(); v++ {
@@ -63,7 +63,7 @@ func TestForestPrefixComponentIdentity(t *testing.T) {
 // Forest weights are stored descending, and the number of forest edges is
 // bounded by d(v)-1 (spanning forest of the ego vertices).
 func TestForestInvariants(t *testing.T) {
-	g := randomGraph(40, 220, 9)
+	g := randomGraph(t, 40, 220, 9)
 	idx := BuildTSDIndex(g)
 	for v := int32(0); int(v) < g.N(); v++ {
 		forest := idx.Forest(v)
@@ -84,7 +84,7 @@ func TestForestInvariants(t *testing.T) {
 }
 
 func TestHybridAccessors(t *testing.T) {
-	g := randomGraph(30, 150, 11)
+	g := randomGraph(t, 30, 150, 11)
 	gct := BuildGCTIndex(g)
 	h := BuildHybrid(gct)
 	if h.MaxK() < 2 {
@@ -120,7 +120,7 @@ func TestHybridAccessors(t *testing.T) {
 }
 
 func TestGCTSupernodeInvariants(t *testing.T) {
-	g := randomGraph(35, 180, 13)
+	g := randomGraph(t, 35, 180, 13)
 	idx := BuildGCTIndex(g)
 	for v := int32(0); int(v) < g.N(); v++ {
 		taus, sizes := idx.Supernodes(v)

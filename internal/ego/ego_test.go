@@ -1,15 +1,15 @@
 package ego
 
 import (
-	"math/rand"
 	"testing"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
-func randomGraph(n, extra int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+func randomGraph(tb testing.TB, n, extra int, seed int64) *graph.Graph {
+	rng := testutil.Rand(tb, seed)
 	b := graph.NewBuilder(n)
 	for i := 0; i < extra; i++ {
 		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
@@ -37,7 +37,7 @@ func sameGraph(t *testing.T, got, want *graph.Graph, label string) {
 
 func TestExtractOneMatchesInduced(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
-		g := randomGraph(30, 140, seed)
+		g := randomGraph(t, 30, 140, seed)
 		for v := int32(0); int(v) < g.N(); v++ {
 			net := ExtractOne(g, v)
 			want, l2g := egoViaInduced(g, v)
@@ -51,7 +51,7 @@ func TestExtractOneMatchesInduced(t *testing.T) {
 
 func TestExtractAllMatchesExtractOne(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
-		g := randomGraph(35, 180, seed+50)
+		g := randomGraph(t, 35, 180, seed+50)
 		all := ExtractAll(g)
 		for v := int32(0); int(v) < g.N(); v++ {
 			one := ExtractOne(g, v)

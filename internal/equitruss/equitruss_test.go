@@ -1,13 +1,13 @@
 package equitruss
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
 	"trussdiv/internal/tcp"
+	"trussdiv/internal/testutil"
 )
 
 func TestCliqueSingleClass(t *testing.T) {
@@ -76,7 +76,7 @@ func TestFig18Classes(t *testing.T) {
 // Equi-Truss and TCP must reconstruct identical k-truss communities on
 // random graphs — they are two indexes of the same object.
 func TestCommunitiesMatchTCP(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	rng := testutil.Rand(t, 17)
 	for trial := 0; trial < 10; trial++ {
 		n := 20 + trial*2
 		b := graph.NewBuilder(n)

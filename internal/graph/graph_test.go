@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"trussdiv/internal/testutil"
 )
 
 // k4 returns the complete graph on 4 vertices.
@@ -127,7 +129,7 @@ func naiveTriangles(g *Graph) int64 {
 }
 
 func TestTrianglesMatchNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := testutil.Rand(t, 7)
 	for trial := 0; trial < 25; trial++ {
 		n := 3 + rng.Intn(30)
 		b := NewBuilder(n)
@@ -159,7 +161,7 @@ func TestTrianglesMatchNaive(t *testing.T) {
 }
 
 func TestTriangleEdgeIDsValid(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := testutil.Rand(t, 11)
 	n := 40
 	b := NewBuilder(n)
 	for i := 0; i < 300; i++ {

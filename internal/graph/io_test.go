@@ -2,9 +2,10 @@ package graph
 
 import (
 	"bytes"
-	"math/rand"
 	"strings"
 	"testing"
+
+	"trussdiv/internal/testutil"
 )
 
 func TestReadEdgeList(t *testing.T) {
@@ -41,7 +42,7 @@ func TestReadEdgeListErrors(t *testing.T) {
 }
 
 func TestEdgeListRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(t, 3)
 	b := NewBuilder(30)
 	for i := 0; i < 120; i++ {
 		b.AddEdge(int32(rng.Intn(30)), int32(rng.Intn(30)))
@@ -61,7 +62,7 @@ func TestEdgeListRoundTrip(t *testing.T) {
 }
 
 func TestBinaryRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.Rand(t, 4)
 	b := NewBuilder(25)
 	for i := 0; i < 80; i++ {
 		b.AddEdge(int32(rng.Intn(25)), int32(rng.Intn(25)))

@@ -1,60 +1,90 @@
 // Package server exposes truss-based structural diversity search as a
-// JSON HTTP service: build the indexes once at startup, answer any
-// (k, r) query cheaply afterwards — the serving shape both paper indexes
-// were designed for.
+// JSON HTTP service on top of the trussdiv.DB facade: indexes are built
+// once at startup, every request runs under its own (optionally
+// deadline-bounded) context, and the engine query parameter resolves
+// through the DB's engine registry — omitted, the DB cost-routes.
 //
 // Endpoints:
 //
 //	GET /healthz                         liveness probe
 //	GET /stats                           graph and index statistics
-//	GET /topr?k=4&r=10&engine=gct        top-r search (engine: tsd|gct|hybrid)
+//	GET /engines                         registered engine names
+//	GET /topr?k=4&r=10&engine=gct        top-r search (engine optional: cost-routed)
 //	GET /score?v=17&k=4                  one vertex's diversity score
 //	GET /contexts?v=17&k=4               one vertex's social contexts
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
-	"trussdiv/internal/core"
+	"trussdiv"
 	"trussdiv/internal/graph"
 )
 
 // Server answers structural diversity queries over one graph.
 type Server struct {
-	g      *graph.Graph
-	tsd    *core.TSD
-	gct    *core.GCT
-	hybrid *core.Hybrid
-	built  time.Duration
+	db      *trussdiv.DB
+	g       *graph.Graph
+	timeout time.Duration
+	built   time.Duration
+}
+
+// Option configures New.
+type Option func(*Server)
+
+// WithTimeout bounds every request by d: a search still running when the
+// deadline passes is cancelled through its context and the request fails
+// with 504. Zero (the default) means no per-request deadline beyond the
+// client disconnecting.
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
 }
 
 // New builds the indexes for g and returns a ready Server.
-func New(g *graph.Graph) *Server {
-	start := time.Now()
-	gctIdx := core.BuildGCTIndex(g)
-	s := &Server{
-		g:      g,
-		tsd:    core.NewTSD(core.BuildTSDIndex(g)),
-		gct:    core.NewGCT(gctIdx),
-		hybrid: core.BuildHybrid(gctIdx),
+func New(g *graph.Graph, opts ...Option) *Server {
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		panic(err) // unreachable: g is non-nil and no conflicting options
 	}
-	s.built = time.Since(start)
+	start := time.Now()
+	if err := db.Prepare(context.Background()); err != nil {
+		panic(err)
+	}
+	s := &Server{db: db, g: g, built: time.Since(start)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
+
+// DB exposes the underlying facade (used by tests and embedding servers).
+func (s *Server) DB() *trussdiv.DB { return s.db }
 
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /engines", s.handleEngines)
 	mux.HandleFunc("GET /topr", s.handleTopR)
 	mux.HandleFunc("GET /score", s.handleScore)
 	mux.HandleFunc("GET /contexts", s.handleContexts)
 	return mux
+}
+
+// requestContext derives the per-request search context.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
 }
 
 type errorBody struct {
@@ -71,20 +101,35 @@ func badRequest(w http.ResponseWriter, format string, args ...any) {
 	writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// searchError maps search failures to HTTP statuses: deadline and
+// cancellation become 504, everything else is a caller error.
+func searchError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		return
+	}
+	badRequest(w, "%v", err)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	idx := s.gct.Index()
+	idx := s.db.IndexStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertices":        s.g.N(),
 		"edges":           s.g.M(),
 		"max_degree":      s.g.MaxDegree(),
-		"gct_index_bytes": idx.SizeBytes(),
-		"tsd_index_bytes": s.tsd.Index().SizeBytes(),
+		"engines":         s.db.Engines(),
+		"gct_index_bytes": idx.GCTBytes,
+		"tsd_index_bytes": idx.TSDBytes,
 		"index_build":     s.built.String(),
 	})
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"engines": s.db.Engines()})
 }
 
 // intParam parses a required integer query parameter.
@@ -100,8 +145,27 @@ func intParam(r *http.Request, name string) (int, error) {
 	return v, nil
 }
 
+// candidatesParam parses the optional comma-separated vertex subset.
+func candidatesParam(r *http.Request) ([]int32, error) {
+	raw := r.URL.Query().Get("candidates")
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	out := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("parameter \"candidates\": %v", err)
+		}
+		out = append(out, int32(v))
+	}
+	return out, nil
+}
+
 type topRResponse struct {
 	Engine   string       `json:"engine"`
+	Routed   bool         `json:"routed"`
 	K        int          `json:"k"`
 	R        int          `json:"r"`
 	TookUS   int64        `json:"took_us"`
@@ -126,42 +190,54 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	engine := r.URL.Query().Get("engine")
-	if engine == "" {
-		engine = "gct"
-	}
-	var searcher interface {
-		TopR(int32, int) (*core.Result, *core.Stats, error)
-	}
-	switch engine {
-	case "tsd":
-		searcher = s.tsd
-	case "gct":
-		searcher = s.gct
-	case "hybrid":
-		searcher = s.hybrid
-	default:
-		badRequest(w, "unknown engine %q (tsd|gct|hybrid)", engine)
-		return
-	}
-	withContexts := r.URL.Query().Get("contexts") == "true"
-
-	start := time.Now()
-	res, stats, err := searcher.TopR(int32(k), rr)
+	cands, err := candidatesParam(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
 	}
+	q := trussdiv.Query{
+		K:               int32(k),
+		R:               rr,
+		IncludeContexts: r.URL.Query().Get("contexts") == "true",
+		Candidates:      cands,
+	}
+
+	// Resolve the engine through the registry; an absent parameter means
+	// the DB routes by cost.
+	var eng trussdiv.Engine
+	routed := false
+	if name := r.URL.Query().Get("engine"); name != "" {
+		eng, err = s.db.Engine(name)
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+	} else {
+		eng = s.db.Route(q)
+		routed = true
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	res, stats, err := eng.TopR(ctx, q)
+	if err != nil {
+		searchError(w, err)
+		return
+	}
 	body := topRResponse{
-		Engine:   engine,
-		K:        k,
-		R:        rr,
-		TookUS:   time.Since(start).Microseconds(),
-		Searched: stats.ScoreComputations,
+		Engine: eng.Name(),
+		Routed: routed,
+		K:      k,
+		R:      rr,
+		TookUS: time.Since(start).Microseconds(),
+	}
+	if stats != nil {
+		body.Searched = stats.ScoreComputations
 	}
 	for _, e := range res.TopR {
 		out := topRResult{Vertex: e.V, Score: e.Score}
-		if withContexts {
+		if q.IncludeContexts {
 			out.Contexts = res.Contexts[e.V]
 		}
 		body.Results = append(body.Results, out)
@@ -174,15 +250,9 @@ func (s *Server) vertexParam(r *http.Request) (int32, int32, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if v < 0 || v >= s.g.N() {
-		return 0, 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.g.N())
-	}
 	k, err := intParam(r, "k")
 	if err != nil {
 		return 0, 0, err
-	}
-	if k < 2 {
-		return 0, 0, fmt.Errorf("k = %d, must be >= 2", k)
 	}
 	return int32(v), int32(k), nil
 }
@@ -193,10 +263,17 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	score, err := s.db.Score(ctx, v, k)
+	if err != nil {
+		searchError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex": v,
 		"k":      k,
-		"score":  s.gct.Index().Score(v, k),
+		"score":  score,
 	})
 }
 
@@ -206,7 +283,13 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
-	contexts := s.gct.Index().Contexts(v, k)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	contexts, err := s.db.Contexts(ctx, v, k)
+	if err != nil {
+		searchError(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex":   v,
 		"k":        k,

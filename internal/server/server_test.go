@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
 	"trussdiv/internal/gen"
 )
@@ -106,6 +108,76 @@ func TestValidationErrors(t *testing.T) {
 		body := getJSON(t, ts.URL+url, http.StatusBadRequest)
 		if body["error"] == "" {
 			t.Fatalf("%s: missing error body", url)
+		}
+	}
+}
+
+func TestTopRRoutedWhenEngineOmitted(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?k=4&r=1", http.StatusOK)
+	if body["routed"] != true {
+		t.Fatalf("routed = %v, want true", body["routed"])
+	}
+	engine, _ := body["engine"].(string)
+	if engine == "" {
+		t.Fatalf("routed response missing engine name: %v", body)
+	}
+	top := body["results"].([]any)[0].(map[string]any)
+	if top["vertex"].(float64) != 0 || top["score"].(float64) != 3 {
+		t.Fatalf("routed top-1 = %v, want vertex 0 score 3", top)
+	}
+
+	// An explicit engine passes through the registry and is not "routed".
+	body = getJSON(t, ts.URL+"/topr?k=4&r=1&engine=online", http.StatusOK)
+	if body["engine"] != "online" || body["routed"] != false {
+		t.Fatalf("pinned response = %v", body)
+	}
+}
+
+func TestEnginesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/engines", http.StatusOK)
+	engines := body["engines"].([]any)
+	if len(engines) != 7 {
+		t.Fatalf("engines = %v, want 7 entries", engines)
+	}
+}
+
+func TestUnknownEngineListsRegistry(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?k=4&r=1&engine=zap", http.StatusBadRequest)
+	msg, _ := body["error"].(string)
+	if !strings.Contains(msg, "zap") || !strings.Contains(msg, "gct") {
+		t.Fatalf("error %q does not identify the unknown engine and the registry", msg)
+	}
+}
+
+func TestCandidatesParameter(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?k=4&r=3&engine=online&candidates=1,2,3", http.StatusOK)
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %v, want 3", results)
+	}
+	for _, raw := range results {
+		v := raw.(map[string]any)["vertex"].(float64)
+		if v < 1 || v > 3 {
+			t.Fatalf("vertex %v outside candidate set", v)
+		}
+	}
+	getJSON(t, ts.URL+"/topr?k=4&r=1&candidates=1,x", http.StatusBadRequest)
+}
+
+func TestRequestTimeoutReturns504(t *testing.T) {
+	// A deadline that has already passed when the search starts: every
+	// engine observes it at its first context poll.
+	srv := New(gen.Fig1Graph(), WithTimeout(time.Nanosecond))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for _, path := range []string{"/topr?k=4&r=1", "/topr?k=4&r=1&engine=online", "/score?v=0&k=4"} {
+		body := getJSON(t, ts.URL+path, http.StatusGatewayTimeout)
+		if body["error"] == "" {
+			t.Fatalf("%s: missing error body", path)
 		}
 	}
 }

@@ -1,13 +1,13 @@
 package tcp
 
 import (
-	"math/rand"
 	"reflect"
 	"testing"
 
 	"trussdiv/internal/core"
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
 func TestFig18Contrast(t *testing.T) {
@@ -168,7 +168,7 @@ func sortInt32s(s []int32) {
 }
 
 func TestCommunityMatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(t, 3)
 	for trial := 0; trial < 12; trial++ {
 		n := 18 + trial
 		b := graph.NewBuilder(n)
@@ -195,7 +195,7 @@ func TestCommunityMatchesNaive(t *testing.T) {
 }
 
 func TestCommunityCountMatchesReconstruction(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := testutil.Rand(t, 8)
 	for trial := 0; trial < 8; trial++ {
 		n := 20 + trial*2
 		b := graph.NewBuilder(n)

@@ -1,12 +1,12 @@
 package truss
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
 )
 
 // naiveDecompose is an independent reference implementation: repeatedly
@@ -48,8 +48,8 @@ func naiveDecompose(g *graph.Graph) []int32 {
 	return tau
 }
 
-func randomGraph(n, extra int, seed int64) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+func randomGraph(tb testing.TB, n, extra int, seed int64) *graph.Graph {
+	rng := testutil.Rand(tb, seed)
 	b := graph.NewBuilder(n)
 	for i := 0; i < extra; i++ {
 		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
@@ -100,7 +100,7 @@ func TestDecomposeOctahedron(t *testing.T) {
 
 func TestDecomposeMatchesNaive(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
-		g := randomGraph(14+int(seed), 40+3*int(seed), seed)
+		g := randomGraph(t, 14+int(seed), 40+3*int(seed), seed)
 		want := naiveDecompose(g)
 		got := Decompose(g)
 		for id := range want {
@@ -116,7 +116,7 @@ func TestDecomposeMatchesNaive(t *testing.T) {
 func TestBitmapDecomposeMatchesPeeling(t *testing.T) {
 	var bd BitmapDecomposer
 	for seed := int64(0); seed < 25; seed++ {
-		g := randomGraph(20+int(seed)*2, 60+5*int(seed), seed+100)
+		g := randomGraph(t, 20+int(seed)*2, 60+5*int(seed), seed+100)
 		want := Decompose(g)
 		got := bd.Decompose(g) // reuse the same decomposer across graphs
 		for id := range want {
@@ -134,7 +134,7 @@ func TestBitmapDecomposeMatchesPeeling(t *testing.T) {
 // defining invariant of the decomposition.
 func TestKTrussSupportInvariant(t *testing.T) {
 	f := func(seed int64) bool {
-		g := randomGraph(24, 90, seed)
+		g := randomGraph(t, 24, 90, seed)
 		tau := Decompose(g)
 		maxT := MaxTrussness(tau)
 		for k := int32(3); k <= maxT; k++ {
@@ -156,7 +156,7 @@ func TestKTrussSupportInvariant(t *testing.T) {
 // Property: k-trusses are nested — the (k+1)-truss is a subgraph of the
 // k-truss, i.e. trussness thresholds shrink edge sets monotonically.
 func TestKTrussNesting(t *testing.T) {
-	g := randomGraph(30, 140, 7)
+	g := randomGraph(t, 30, 140, 7)
 	tau := Decompose(g)
 	prev := g.M() + 1
 	for k := int32(2); k <= MaxTrussness(tau)+1; k++ {
@@ -254,7 +254,7 @@ func TestComponentsAndCount(t *testing.T) {
 
 func TestCountMatchesComponents(t *testing.T) {
 	f := func(seed int64) bool {
-		g := randomGraph(26, 100, seed)
+		g := randomGraph(t, 26, 100, seed)
 		tau := Decompose(g)
 		for k := int32(2); k <= MaxTrussness(tau); k++ {
 			if CountComponents(g, tau, k) != len(Components(g, tau, k)) {

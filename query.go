@@ -1,0 +1,63 @@
+package trussdiv
+
+import "trussdiv/internal/core"
+
+// Query describes one top-r structural diversity search. Construct it
+// with NewQuery plus functional options, or fill the fields directly —
+// the zero value of the optional fields is the default behavior.
+type Query struct {
+	// K is the trussness threshold of the social contexts (>= 2).
+	K int32
+	// R is the answer size (>= 1; capped at the candidate count).
+	R int
+	// IncludeContexts requests the social contexts of every answer
+	// vertex. Context recovery is the dominant per-answer cost for the
+	// online and hybrid engines, so it is off by default.
+	IncludeContexts bool
+	// Candidates restricts the search to a vertex subset; nil searches
+	// every vertex. Out-of-range IDs are an error.
+	Candidates []int32
+	// SkipStats suppresses the *Stats return (it will be nil).
+	SkipStats bool
+}
+
+// QueryOption customizes a Query built by NewQuery.
+type QueryOption func(*Query)
+
+// NewQuery returns a Query for the top r vertices under trussness
+// threshold k, customized by opts.
+func NewQuery(k int32, r int, opts ...QueryOption) Query {
+	q := Query{K: k, R: r}
+	for _, opt := range opts {
+		opt(&q)
+	}
+	return q
+}
+
+// WithContexts requests the social contexts of every answer vertex.
+func WithContexts() QueryOption {
+	return func(q *Query) { q.IncludeContexts = true }
+}
+
+// WithCandidates restricts the search to the given vertices (e.g. the
+// members of one community, or the result of an upstream filter).
+func WithCandidates(vs ...int32) QueryOption {
+	return func(q *Query) { q.Candidates = vs }
+}
+
+// WithoutStats opts out of search-effort accounting; TopR returns a nil
+// *Stats.
+func WithoutStats() QueryOption {
+	return func(q *Query) { q.SkipStats = true }
+}
+
+// params translates the public Query into the internal search parameters.
+func (q Query) params() core.Params {
+	return core.Params{
+		K:            q.K,
+		R:            q.R,
+		Candidates:   q.Candidates,
+		SkipContexts: !q.IncludeContexts,
+		SkipStats:    q.SkipStats,
+	}
+}

@@ -1,0 +1,94 @@
+package trussdiv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ErrUnknownEngine is the sentinel matched by errors.Is when an engine
+// name is not registered; the concrete error is *UnknownEngineError.
+var ErrUnknownEngine = errors.New("trussdiv: unknown engine")
+
+// UnknownEngineError reports a registry lookup for a name that is not
+// registered, together with the names that are.
+type UnknownEngineError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownEngineError) Error() string {
+	return fmt.Sprintf("trussdiv: unknown engine %q (known: %s)",
+		e.Name, strings.Join(e.Known, "|"))
+}
+
+// Is makes errors.Is(err, ErrUnknownEngine) match.
+func (e *UnknownEngineError) Is(target error) bool { return target == ErrUnknownEngine }
+
+// registration pairs an engine with its routing eligibility. Engines
+// computing a diversity definition other than the paper's truss-based one
+// (the comp/kcore baselines) are registered non-routable: they answer
+// only explicit WithEngine / DB.Engine requests, never cost routing.
+type registration struct {
+	engine   Engine
+	routable bool
+}
+
+// registry is the name-keyed engine catalogue of one DB. Lookups and
+// registrations may race (a server answering queries while the embedding
+// app plugs in a backend), so all access is mutex-guarded.
+type registry struct {
+	mu     sync.RWMutex
+	byName map[string]registration
+	order  []string // registration order, for stable listings and tie-breaks
+}
+
+func newRegistry() *registry {
+	return &registry{byName: make(map[string]registration)}
+}
+
+func (r *registry) add(e Engine, routable bool) error {
+	name := e.Name()
+	if name == "" {
+		return errors.New("trussdiv: engine name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("trussdiv: engine %q already registered", name)
+	}
+	r.byName[name] = registration{engine: e, routable: routable}
+	r.order = append(r.order, name)
+	return nil
+}
+
+func (r *registry) lookup(name string) (Engine, error) {
+	r.mu.RLock()
+	reg, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, &UnknownEngineError{Name: name, Known: r.names()}
+	}
+	return reg.engine, nil
+}
+
+func (r *registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+func (r *registry) routable() []Engine {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Engine
+	for _, name := range r.order {
+		if reg := r.byName[name]; reg.routable {
+			out = append(out, reg.engine)
+		}
+	}
+	return out
+}

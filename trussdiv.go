@@ -6,18 +6,24 @@
 // The structural diversity of a vertex v is the number of maximal
 // connected k-trusses (social contexts) in v's ego-network; top-r search
 // returns the r vertices with the highest diversity together with their
-// contexts. Build a Graph, then either query online or build an index:
+// contexts. Build a Graph, Open it as a DB, and query — the DB builds
+// indexes lazily and routes each query to the cheapest engine:
 //
 //	b := trussdiv.NewBuilder(0)
 //	b.AddEdge(0, 1) // ...
 //	g := b.Build()
 //
-//	idx := trussdiv.BuildGCTIndex(g)          // once
-//	res, _, _ := trussdiv.NewGCT(idx).TopR(4, 10) // any (k, r)
+//	db, _ := trussdiv.Open(g)
+//	res, stats, _ := db.TopR(ctx, trussdiv.NewQuery(4, 10, trussdiv.WithContexts()))
 //
-// The package re-exports the implementation from the internal packages;
-// see README.md for the engine catalogue and DESIGN.md for the paper
-// mapping.
+// A specific engine can be pinned with Open(g, WithEngine("gct")) or
+// fetched by name with db.Engine("tsd"); every engine satisfies the
+// context-aware Engine interface. The direct constructors further down
+// (NewOnline, NewBound, NewTSD, NewGCT, BuildHybrid) remain as deprecated
+// shims over the same internal implementations.
+//
+// See README.md for the engine catalogue and migration table and
+// DESIGN.md for the paper-to-code mapping.
 package trussdiv
 
 import (
@@ -75,12 +81,20 @@ func NewScorer(g *Graph) *Scorer { return core.NewScorer(g) }
 type Online = core.Online
 
 // NewOnline returns an Online searcher over g.
+//
+// Deprecated: use Open(g, WithEngine("online")) — or plain Open(g) for
+// cost routing. The direct constructor remains for one-off searches; its
+// TopR delegates to the same context-aware search the Engine interface
+// uses.
 func NewOnline(g *Graph) *Online { return core.NewOnline(g) }
 
 // Bound is the sparsification + upper-bound searcher (Algorithm 4).
 type Bound = core.Bound
 
 // NewBound returns a Bound searcher over g.
+//
+// Deprecated: use Open(g, WithEngine("bound")) — or plain Open(g) for
+// cost routing.
 func NewBound(g *Graph) *Bound { return core.NewBound(g) }
 
 // TSDIndex is the truss-based structural diversity index (Algorithm 5).
@@ -103,6 +117,10 @@ func ReadTSDIndex(r io.Reader, g *Graph) (*TSDIndex, error) { return core.ReadTS
 type TSD = core.TSD
 
 // NewTSD returns a TSD searcher over a built index.
+//
+// Deprecated: use Open(g, WithTSDIndex(idx), WithEngine("tsd")) — the DB
+// additionally serializes TSD searches, whose scratch space is not safe
+// for concurrent use.
 func NewTSD(idx *TSDIndex) *TSD { return core.NewTSD(idx) }
 
 // GCTIndex is the compressed supernode/superedge index (Algorithms 7-8).
@@ -124,12 +142,18 @@ func ReadGCTIndex(r io.Reader, g *Graph) (*GCTIndex, error) { return core.ReadGC
 type GCT = core.GCT
 
 // NewGCT returns a GCT searcher over a built index.
+//
+// Deprecated: use Open(g, WithGCTIndex(idx), WithEngine("gct")) — or
+// plain Open(g), which routes to gct whenever its index is ready.
 func NewGCT(idx *GCTIndex) *GCT { return core.NewGCT(idx) }
 
 // Hybrid precomputes per-k rankings but recovers contexts online.
 type Hybrid = core.Hybrid
 
 // BuildHybrid precomputes the per-k rankings from a GCT index.
+//
+// Deprecated: use Open(g, WithGCTIndex(idx), WithEngine("hybrid")); the
+// DB builds the per-k rankings lazily from its cached GCT index.
 func BuildHybrid(idx *GCTIndex) *Hybrid { return core.BuildHybrid(idx) }
 
 // UpdateStats reports the work of an incremental index update.
