@@ -1,9 +1,14 @@
 # Tier-1 verification is `make check`: vet, build, and test everything.
+# `make check-race` re-runs the suite under the race detector — required
+# for changes touching the parallel search layer or DB.Batch.
 GO ?= go
 
-.PHONY: check vet build test bench cover
+.PHONY: check check-race vet build test bench bench-parallel cover fuzz
 
 check: vet build test
+
+check-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -18,5 +23,12 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
+# Serial-vs-parallel engine timings; writes BENCH_parallel.json.
+bench-parallel:
+	$(GO) run ./cmd/tsdbench -exp parallel -quick
+
 cover:
 	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test ./internal/graph -fuzz FuzzLoadEdgeList -fuzztime 30s

@@ -161,10 +161,6 @@ func (e *boundEngine) Cost(q Query) Estimate {
 type tsdEngine struct {
 	cache *indexCache
 	w     workload
-
-	// TSDIndex.Score reuses scratch space across calls and is not safe
-	// for concurrent use, so searches are serialized.
-	mu sync.Mutex
 }
 
 func (e *tsdEngine) Name() string { return "tsd" }
@@ -173,20 +169,18 @@ func (e *tsdEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	idx := e.cache.tsdIndex()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return core.NewTSD(idx).Search(ctx, q.params())
+	// TSD.Search scores through goroutine-private TSDScorers, so
+	// concurrent searches over the shared index need no serialization.
+	return core.NewTSD(e.cache.tsdIndex()).Search(ctx, q.params())
 }
 
 func (e *tsdEngine) Score(ctx context.Context, v, k int32) (int, error) {
 	if err := singleVertexErr(ctx, e.cache.g, v, k); err != nil {
 		return 0, err
 	}
-	idx := e.cache.tsdIndex()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return idx.Score(v, k), nil
+	// A fresh scorer per point query keeps this path concurrency-safe
+	// (TSDIndex.Score itself shares scratch across calls).
+	return e.cache.tsdIndex().Scorer().Score(v, k), nil
 }
 
 func (e *tsdEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {

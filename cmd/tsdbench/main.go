@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	tsdbench -exp table2          # one experiment
-//	tsdbench -exp all -quick      # everything, small datasets
-//	tsdbench -exp all -timeout 5m # bound the whole run
-//	tsdbench -list                # show available experiment IDs
+//	tsdbench -exp table2                  # one experiment
+//	tsdbench -exp all -quick              # everything, small datasets
+//	tsdbench -exp all -timeout 5m         # bound the whole run
+//	tsdbench -exp parallel -workers 8     # serial vs parallel engine timings
+//	tsdbench -list                        # show available experiment IDs
+//
+// The parallel experiment writes BENCH_parallel.json (serial vs -workers
+// wall times per engine) into -outdir, recording the perf trajectory of
+// the worker-pool search layer.
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 		runs    = flag.Int("mcruns", 0, "Monte-Carlo cascade count (0 = default)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = none)")
+		workers = flag.Int("workers", 0, "worker-pool size for parallel search experiments (0 = GOMAXPROCS)")
+		outDir  = flag.String("outdir", "", "directory for machine-readable artifacts like BENCH_parallel.json (default: working dir)")
 	)
 	flag.Parse()
 
@@ -36,7 +43,7 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, OutDir: *outDir}
 	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"trussdiv/internal/core"
@@ -150,16 +152,11 @@ func (db *DB) Route(q Query) Engine {
 	return best
 }
 
-// engineFor resolves the engine answering q: the pinned engine when the
-// DB was opened WithEngine, the cheapest routable engine otherwise.
+// engineFor resolves the engine answering q: a per-query ViaEngine pin
+// first, then the DB-level WithEngine pin, then the cheapest routable
+// engine.
 func (db *DB) engineFor(q Query) (Engine, error) {
-	if db.forced != "" {
-		return db.reg.lookup(db.forced)
-	}
-	if e := db.Route(q); e != nil {
-		return e, nil
-	}
-	return nil, errors.New("trussdiv: no routable engine registered")
+	return db.routeAmortized(q, 1)
 }
 
 // TopR answers a top-r query through the cheapest (or pinned) engine.
@@ -174,6 +171,151 @@ func (db *DB) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 		stats.Engine = eng.Name()
 	}
 	return res, stats, err
+}
+
+// Batch answers many queries in one pass: every engine the batch needs is
+// resolved up front, the indexes behind those engines are built once
+// (before any query runs, so no query stalls on a build another triggered),
+// and the queries then fan out across a pool of GOMAXPROCS goroutines.
+// Results are positional: results[i] answers qs[i], each byte-identical to
+// what TopR would return for the same query.
+//
+// Routing is batch-aware: an index build amortizes over the whole batch,
+// so a batch of queries may route to an index engine where the same
+// queries one at a time would have stayed on an index-free one. Per-query
+// ViaEngine pins and the DB-level WithEngine default are honored as in
+// TopR.
+//
+// Batch is all-or-nothing: the first error cancels the remaining queries
+// and is returned with a nil slice. An empty batch returns (nil, nil).
+//
+// The batch fan-out is itself the parallel axis, so a query whose Workers
+// field is 0 (the GOMAXPROCS default in TopR) runs serially inside the
+// batch — concurrent queries each spawning a full worker pool would
+// oversubscribe the CPU. An explicit Workers value (including negative
+// for GOMAXPROCS) is honored as given.
+func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	engines, err := db.resolveBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	prepare := make(map[string]bool)
+	for _, eng := range engines {
+		switch name := eng.Name(); name {
+		case "tsd", "gct", "hybrid":
+			prepare[name] = true
+		}
+	}
+	if len(prepare) > 0 {
+		names := make([]string, 0, len(prepare))
+		for _, name := range []string{"tsd", "gct", "hybrid"} {
+			if prepare[name] {
+				names = append(names, name)
+			}
+		}
+		if err := db.Prepare(ctx, names...); err != nil {
+			return nil, err
+		}
+	}
+	queries := make([]Query, len(qs))
+	copy(queries, qs)
+	for i := range queries {
+		if queries[i].Workers == 0 {
+			queries[i].Workers = 1
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*Result, len(qs))
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	workers := min(runtime.GOMAXPROCS(0), len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, _, err := engines[i].TopR(ctx, queries[i])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err; cancel() })
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// BatchEngines reports which engine Batch would answer each query with —
+// the batch-aware routing decision — without running the queries. The
+// HTTP /batch endpoint uses it to label responses.
+func (db *DB) BatchEngines(qs []Query) ([]string, error) {
+	engines, err := db.resolveBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(engines))
+	for i, e := range engines {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// resolveBatch resolves every query's engine with the index build cost
+// amortized over the batch size.
+func (db *DB) resolveBatch(qs []Query) ([]Engine, error) {
+	engines := make([]Engine, len(qs))
+	for i, q := range qs {
+		eng, err := db.routeAmortized(q, len(qs))
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	return engines, nil
+}
+
+// routeAmortized is the single routing policy: per-query pin, then the
+// DB-level pin, then the cheapest routable engine with the index build
+// cost divided across batchSize queries (1 = the TopR single-query case,
+// where the division is a no-op).
+func (db *DB) routeAmortized(q Query, batchSize int) (Engine, error) {
+	if q.Engine != "" {
+		return db.reg.lookup(q.Engine)
+	}
+	if db.forced != "" {
+		return db.reg.lookup(db.forced)
+	}
+	var best Engine
+	bestCost := 0.0
+	for _, e := range db.reg.routable() {
+		est := e.Cost(q)
+		c := est.Build/float64(batchSize) + est.Query
+		if best == nil || c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	if best == nil {
+		return nil, errors.New("trussdiv: no routable engine registered")
+	}
+	return best, nil
 }
 
 // Score returns score(v) at threshold k, reading the GCT index when one

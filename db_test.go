@@ -5,6 +5,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"trussdiv"
@@ -310,6 +311,151 @@ func TestRegisterCustomEngine(t *testing.T) {
 	// Duplicate names are rejected.
 	if err := db.Register(&staticEngine{name: "gct"}, false); err == nil {
 		t.Fatal("want error registering duplicate name")
+	}
+}
+
+func TestBatchMatchesIndividualQueries(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qs := []trussdiv.Query{
+		trussdiv.NewQuery(3, 5),
+		trussdiv.NewQuery(4, 10, trussdiv.WithContexts(), trussdiv.WithWorkers(4)),
+		trussdiv.NewQuery(4, 3, trussdiv.WithCandidates(1, 2, 3, 4, 5)),
+		trussdiv.NewQuery(5, 8, trussdiv.ViaEngine("online")),
+		trussdiv.NewQuery(2, 1, trussdiv.ViaEngine("gct")),
+	}
+	results, err := db.Batch(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("Batch returned %d results for %d queries", len(results), len(qs))
+	}
+	for i, q := range qs {
+		want, _, err := db.TopR(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i].TopR, want.TopR) {
+			t.Fatalf("query %d: batch answer %v, individual answer %v", i, results[i].TopR, want.TopR)
+		}
+		if !reflect.DeepEqual(results[i].Contexts, want.Contexts) {
+			t.Fatalf("query %d: batch contexts differ from individual query", i)
+		}
+	}
+
+	// Empty batch is a no-op.
+	if res, err := db.Batch(ctx, nil); res != nil || err != nil {
+		t.Fatalf("empty batch = (%v, %v), want (nil, nil)", res, err)
+	}
+}
+
+func TestBatchAmortizesIndexBuilds(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ranking-only query cost-routes to an index-free engine; a large
+	// batch of them amortizes the index build, so Batch must prepare an
+	// index up front and the post-batch IndexStats must show it.
+	if name := db.Route(trussdiv.NewQuery(4, 10)).Name(); name != "bound" {
+		t.Fatalf("single-query route = %q, want bound", name)
+	}
+	qs := make([]trussdiv.Query, 64)
+	for i := range qs {
+		qs[i] = trussdiv.NewQuery(4, 10)
+	}
+	if _, err := db.Batch(context.Background(), qs); err != nil {
+		t.Fatal(err)
+	}
+	st := db.IndexStats()
+	if !st.GCTReady && !st.TSDReady && !st.HybridReady {
+		t.Fatalf("no index built by a 64-query batch: %+v", st)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Unknown pinned engine fails before any query runs.
+	_, err = db.Batch(ctx, []trussdiv.Query{trussdiv.NewQuery(3, 1, trussdiv.ViaEngine("nope"))})
+	if !errors.Is(err, trussdiv.ErrUnknownEngine) {
+		t.Fatalf("err = %v, want ErrUnknownEngine", err)
+	}
+
+	// An invalid query anywhere in the batch fails the whole batch.
+	res, err := db.Batch(ctx, []trussdiv.Query{
+		trussdiv.NewQuery(3, 5),
+		{K: 1, R: 5},
+	})
+	if err == nil || res != nil {
+		t.Fatalf("batch with invalid query = (%v, %v), want error", res, err)
+	}
+
+	// Cancellation aborts the batch.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.Batch(cancelled, []trussdiv.Query{trussdiv.NewQuery(3, 5)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchConcurrentWithQueries exercises Batch under load while other
+// goroutines issue individual queries — the race-detector target for the
+// facade's fan-out path.
+func TestBatchConcurrentWithQueries(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t), trussdiv.WithPreparedIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qs := make([]trussdiv.Query, 16)
+	for i := range qs {
+		qs[i] = trussdiv.NewQuery(int32(2+i%4), 5, trussdiv.WithWorkers(2))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := db.Batch(ctx, qs); err != nil {
+				t.Errorf("batch: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range qs {
+				if _, _, err := db.TopR(ctx, q); err != nil {
+					t.Errorf("topr: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestViaEngineOverridesDBPin(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t), trussdiv.WithEngine("online"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := db.TopR(context.Background(), trussdiv.NewQuery(4, 5, trussdiv.ViaEngine("gct")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Engine != "gct" {
+		t.Fatalf("engine = %q, want gct (per-query pin wins)", stats.Engine)
 	}
 }
 

@@ -2,7 +2,10 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -264,6 +267,49 @@ func TestRunFig18(t *testing.T) {
 	for _, want := range []string{"TCP-index of q1", "TSD-index of q1", "(q2,q3)"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fig18 output missing %q", want)
+		}
+	}
+}
+
+// TestParallelExperimentEmitsJSON runs the quick-mode parallel
+// experiment and checks the machine-readable BENCH_parallel.json
+// artifact: complete per-engine samples with positive wall times, so the
+// perf trajectory has a baseline to diff against from this PR on.
+func TestParallelExperimentEmitsJSON(t *testing.T) {
+	e, ok := ByID("parallel")
+	if !ok {
+		t.Fatal("parallel experiment not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1, Workers: 4, OutDir: dir, Datasets: []string{"wiki-sim"}}
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, ParallelReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report ParallelReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_parallel.json is not valid JSON: %v", err)
+	}
+	if report.Workers != 4 || report.GOMAXPROCS < 1 {
+		t.Fatalf("report header = %+v", report)
+	}
+	if len(report.Datasets) != 1 || report.Datasets[0].Name != "wiki-sim" {
+		t.Fatalf("datasets = %+v", report.Datasets)
+	}
+	engines := map[string]bool{}
+	for _, s := range report.Datasets[0].Engines {
+		if s.SerialNS <= 0 || s.ParallelNS <= 0 || s.Speedup <= 0 {
+			t.Fatalf("sample %+v has non-positive timings", s)
+		}
+		engines[s.Engine] = true
+	}
+	for _, name := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+		if !engines[name] {
+			t.Fatalf("engine %s missing from report (got %v)", name, engines)
 		}
 	}
 }

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"trussdiv/internal/core"
+)
+
+// runParallel is the engineering extension behind the ROADMAP's "fast as
+// the hardware allows" axis: it times every engine's top-r search serial
+// (Workers=1) versus sharded across a worker pool, and records the
+// numbers in a machine-readable BENCH_parallel.json so the performance
+// trajectory of the parallel execution layer is tracked from PR to PR.
+// Answers are asserted byte-equal between the two runs — the parallel
+// scan's determinism guarantee, measured rather than assumed.
+
+// ParallelEngineSample is one engine's serial-vs-parallel measurement.
+type ParallelEngineSample struct {
+	Engine     string  `json:"engine"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"` // serial / parallel wall time
+}
+
+// ParallelDatasetReport groups the samples of one dataset.
+type ParallelDatasetReport struct {
+	Name     string                 `json:"name"`
+	Vertices int                    `json:"vertices"`
+	Edges    int                    `json:"edges"`
+	Engines  []ParallelEngineSample `json:"engines"`
+}
+
+// ParallelReport is the schema of BENCH_parallel.json.
+type ParallelReport struct {
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Workers    int                     `json:"workers"`
+	K          int32                   `json:"k"`
+	R          int                     `json:"r"`
+	Contexts   bool                    `json:"contexts"`
+	Datasets   []ParallelDatasetReport `json:"datasets"`
+}
+
+// ParallelReportFile is the artifact runParallel writes (into cfg.OutDir,
+// default the working directory).
+const ParallelReportFile = "BENCH_parallel.json"
+
+// runParallel measures serial vs parallel TopR per engine and emits both
+// a table and BENCH_parallel.json.
+func runParallel(w io.Writer, cfg Config) error {
+	const k, r = int32(4), 100
+	ctx := context.Background()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	report := ParallelReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		K:          k,
+		R:          r,
+		Contexts:   true,
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Serial vs parallel TopR, k=%d r=%d, %d workers (extension)", k, r, workers),
+		Headers: []string{"Network", "engine", "serial", "parallel", "speedup"},
+	}
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		tsdIdx := core.BuildTSDIndexParallel(g, workers)
+		gctIdx := core.BuildGCTIndexParallel(g, workers)
+		searchers := []struct {
+			name string
+			s    interface {
+				Search(ctx context.Context, p core.Params) (*core.Result, *core.Stats, error)
+			}
+		}{
+			{"online", core.NewOnline(g)},
+			{"bound", core.NewBound(g)},
+			{"tsd", core.NewTSD(tsdIdx)},
+			{"gct", core.NewGCT(gctIdx)},
+			{"hybrid", core.BuildHybrid(gctIdx)},
+		}
+		ds := ParallelDatasetReport{Name: name, Vertices: g.N(), Edges: g.M()}
+		for _, eng := range searchers {
+			var serialRes, parallelRes *core.Result
+			var serialErr, parallelErr error
+			serial := Timed(func() {
+				serialRes, _, serialErr = eng.s.Search(ctx, core.Params{K: k, R: r, Workers: 1})
+			})
+			parallel := Timed(func() {
+				parallelRes, _, parallelErr = eng.s.Search(ctx, core.Params{K: k, R: r, Workers: workers})
+			})
+			if serialErr != nil || parallelErr != nil {
+				return fmt.Errorf("%s/%s: search failed (serial: %v, parallel: %v)",
+					name, eng.name, serialErr, parallelErr)
+			}
+			if err := sameAnswer(serialRes, parallelRes); err != nil {
+				return fmt.Errorf("%s/%s: serial and parallel answers differ: %w", name, eng.name, err)
+			}
+			speedup := float64(serial) / float64(max(parallel, time.Nanosecond))
+			ds.Engines = append(ds.Engines, ParallelEngineSample{
+				Engine:     eng.name,
+				SerialNS:   serial.Nanoseconds(),
+				ParallelNS: parallel.Nanoseconds(),
+				Speedup:    speedup,
+			})
+			t.AddRow(name, eng.name, serial, parallel, fmt.Sprintf("%.2fx", speedup))
+		}
+		report.Datasets = append(report.Datasets, ds)
+	}
+	t.Fprint(w)
+
+	path := filepath.Join(cfg.OutDir, ParallelReportFile)
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}
+
+// sameAnswer verifies the determinism guarantee the parallel layer makes:
+// identical ranked answers (the paper's §2.3 output) for any worker count.
+func sameAnswer(a, b *core.Result) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("missing result (%v, %v)", a == nil, b == nil)
+	}
+	if len(a.TopR) != len(b.TopR) {
+		return fmt.Errorf("answer sizes %d vs %d", len(a.TopR), len(b.TopR))
+	}
+	for i := range a.TopR {
+		if a.TopR[i] != b.TopR[i] {
+			return fmt.Errorf("position %d: %+v vs %+v", i, a.TopR[i], b.TopR[i])
+		}
+	}
+	return nil
+}

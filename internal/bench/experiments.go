@@ -12,6 +12,8 @@ type Config struct {
 	Seed     int64    // base RNG seed for simulations
 	MCRuns   int      // Monte-Carlo cascades (0 = default)
 	Datasets []string // override the per-figure dataset choice (tests)
+	Workers  int      // worker-pool size for the parallel experiment (0 = GOMAXPROCS)
+	OutDir   string   // where machine-readable artifacts land ("" = working dir)
 }
 
 func (c Config) tier() int {
@@ -78,6 +80,7 @@ var experiments = []Experiment{
 	{"exp11", "Figure 17", "case study: Comp-Div and Core-Div top-1 on DBLP-sim", runExp11},
 	{"table5", "Table 5", "ego-network quality statistics of the top-1 results", runTable5},
 	{"ltcheck", "extension", "Fig. 14 robustness check under the Linear Threshold model", runLTCheck},
+	{"parallel", "extension", "serial vs parallel TopR per engine; writes BENCH_parallel.json", runParallel},
 }
 
 // All returns every registered experiment in paper order.

@@ -73,8 +73,9 @@ func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
 // Search runs Algorithm 4: sparsify, compute the Lemma-2 upper bound for
 // every surviving candidate, visit candidates in decreasing bound order,
 // and stop as soon as the next bound cannot beat the current r-th best
-// score. The context is checked before the sparsification and before
-// every exact score computation.
+// score. The exact-score pass shards across p.Workers goroutines in
+// chunks (see scanRanked). The context is checked before the
+// sparsification and before every exact score computation.
 func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	p, err := p.normalized(b.g.N())
 	if err != nil {
@@ -91,18 +92,14 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	// Upper bounds on the sparsified graph (its ego-networks are subgraphs
 	// of the originals, so the bound is valid and tighter).
 	mv := sub.TrianglesPerVertex()
-	type candidate struct {
-		v  int32
-		ub int
-	}
-	cands := make([]candidate, 0, sub.N())
+	cands := make([]rankedCand, 0, sub.N())
 	err = forEachCandidate(ctx, sub.N(), p.Candidates, false, func(v int32) {
 		d := sub.Degree(v)
 		if d == 0 {
 			return // isolated after sparsification: score is 0
 		}
 		if ub := UpperBound(d, mv[v], p.K); ub > 0 {
-			cands = append(cands, candidate{v, ub})
+			cands = append(cands, rankedCand{v, ub})
 		}
 	})
 	if err != nil {
@@ -116,18 +113,14 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 		return cands[i].v < cands[j].v
 	})
 
-	heap := newTopRHeap(p.R)
-	for _, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		if heap.Full() && c.ub <= heap.MinScore() {
-			break // early termination: no remaining candidate can improve S
-		}
-		score := scorer.Score(c.v, p.K)
-		stats.ScoreComputations++
-		heap.Offer(c.v, score)
+	heap, scored, err := scanRanked(ctx, cands, p.R, p.workers(),
+		func() func(v int32) int {
+			return func(v int32) int { return scorer.Score(v, p.K) }
+		})
+	if err != nil {
+		return nil, nil, err
 	}
+	stats.ScoreComputations = scored
 	// Vertices pruned away all have score 0 (or were dominated); if fewer
 	// than r candidates existed, pad with zero-score vertices for parity
 	// with the online answer size.

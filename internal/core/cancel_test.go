@@ -3,21 +3,22 @@ package core
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 )
 
 // trippingContext reports itself cancelled after a fixed number of Err
 // polls, making mid-loop cancellation deterministic: the search must
 // observe the cancellation at its next poll, wherever that poll sits.
+// The counter is atomic because parallel searches poll from every worker.
 type trippingContext struct {
 	context.Context
-	polls int
-	trip  int
+	polls atomic.Int64
+	trip  int64
 }
 
 func (c *trippingContext) Err() error {
-	c.polls++
-	if c.polls > c.trip {
+	if c.polls.Add(1) > c.trip {
 		return context.Canceled
 	}
 	return nil

@@ -74,7 +74,12 @@ func sortAnswer(entries []VertexScore) {
 // min-heap keyed by score (ties: larger vertex ID is "worse", so answers
 // prefer smaller IDs deterministically). The paper's frameworks replace
 // the minimum only on strictly larger scores (Algorithm 3 lines 4-7); we
-// keep that semantic.
+// additionally replace on an equal score with a smaller vertex ID, which
+// makes the heap's final contents the r best entries under the total
+// order (score desc, vertex asc) regardless of offer order. That
+// order-independence is what lets a sharded parallel scan merge
+// per-worker heaps into an answer byte-identical to the serial scan's,
+// and makes every engine's answer canonical on score ties.
 type topRHeap struct {
 	r       int
 	entries []VertexScore
@@ -122,15 +127,20 @@ func (h *topRHeap) down(i int) {
 }
 
 // Offer considers (v, score) for the answer set and reports whether it was
-// admitted.
+// admitted. An entry is admitted while the heap is below capacity, or when
+// it beats the current minimum under (score desc, vertex asc) — so equal
+// scores resolve to the smaller vertex ID no matter the offer order.
 func (h *topRHeap) Offer(v int32, score int) bool {
+	if h.r == 0 {
+		return false // R capped to an empty candidate set
+	}
 	e := VertexScore{V: v, Score: score}
 	if len(h.entries) < h.r {
 		h.entries = append(h.entries, e)
 		h.up(len(h.entries) - 1)
 		return true
 	}
-	if score > h.entries[0].Score {
+	if h.worse(h.entries[0], e) {
 		h.entries[0] = e
 		h.down(0)
 		return true

@@ -280,25 +280,24 @@ func (s *GCT) TopR(k int32, r int) (*Result, *Stats, error) {
 }
 
 // Search answers the top-r query from the compressed index. Per-vertex
-// scores are O(log) binary searches, so the scoring loop polls the
-// context every few hundred vertices rather than on every iteration.
+// scores are O(log) binary searches over read-only arrays — safe from any
+// number of workers — so the candidate range shards directly across
+// p.Workers goroutines, each polling the context every few hundred
+// vertices rather than on every iteration.
 func (s *GCT) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := s.idx.g
 	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{}
-	heap := newTopRHeap(p.R)
-	err = forEachCandidate(ctx, g.N(), p.Candidates, false, func(v int32) {
-		score := s.idx.Score(v, p.K)
-		stats.ScoreComputations++
-		heap.Offer(v, score)
-	})
+	heap, scored, err := scanTopR(ctx, g.N(), p.Candidates, p.R, p.workers(), false,
+		func() func(v int32) int {
+			return func(v int32) int { return s.idx.Score(v, p.K) }
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Candidates = stats.ScoreComputations
+	stats := &Stats{ScoreComputations: scored, Candidates: scored}
 	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
 		return s.idx.Contexts(v, p.K)
 	})

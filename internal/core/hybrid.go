@@ -108,12 +108,18 @@ func (h *Hybrid) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 	}
 	stats := &Stats{Candidates: candidates}
 	res, err := finishResult(ctx, answer, p, func(v int32) [][]int32 {
-		// Online social-context recovery (Algorithm 2).
-		stats.ScoreComputations++
+		// Online social-context recovery (Algorithm 2); finishResult shards
+		// it across p.Workers goroutines — the dominant hybrid query cost.
 		return h.scorer.Contexts(v, p.K)
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if !p.SkipContexts {
+		// Every answer vertex cost one online recovery (the hybrid's
+		// "search space"); counted here so parallel recovery stays
+		// race-free.
+		stats.ScoreComputations = len(answer)
 	}
 	return res, exportStats(stats, p), nil
 }

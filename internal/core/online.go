@@ -25,26 +25,24 @@ func (o *Online) TopR(k int32, r int) (*Result, *Stats, error) {
 	return o.Search(context.Background(), Params{K: k, R: r})
 }
 
-// Search runs Algorithm 3 over the candidate set. Each candidate costs
-// one ego-network truss decomposition, so cancellation is checked before
-// every score computation.
+// Search runs Algorithm 3 over the candidate set, sharded across
+// p.Workers goroutines (the Scorer is stateless, so workers share it).
+// Each candidate costs one ego-network truss decomposition, so
+// cancellation is checked before every score computation.
 func (o *Online) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := o.scorer.Graph()
 	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{}
-	heap := newTopRHeap(p.R)
-	err = forEachCandidate(ctx, g.N(), p.Candidates, true, func(v int32) {
-		score := o.scorer.Score(v, p.K)
-		stats.ScoreComputations++
-		heap.Offer(v, score)
-	})
+	heap, scored, err := scanTopR(ctx, g.N(), p.Candidates, p.R, p.workers(), true,
+		func() func(v int32) int {
+			return func(v int32) int { return o.scorer.Score(v, p.K) }
+		})
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.Candidates = stats.ScoreComputations
+	stats := &Stats{ScoreComputations: scored, Candidates: scored}
 	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
 		return o.scorer.Contexts(v, p.K)
 	})

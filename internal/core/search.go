@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sort"
 )
 
 // Params parameterizes one top-r search. The zero value is invalid: K and
@@ -23,6 +25,32 @@ type Params struct {
 	// SkipStats suppresses the Stats return (the search still runs
 	// identically; the *Stats result is nil).
 	SkipStats bool
+	// Workers is the number of goroutines that score candidates (and
+	// recover answer contexts): 0 or negative means GOMAXPROCS, 1 forces
+	// the serial path. Candidates are sharded across the pool, each worker
+	// scores its shard into a private top-r heap, and the heaps merge into
+	// one answer; score ties always resolve to the smaller vertex ID, so
+	// the answer is byte-identical for every worker count. The bound and
+	// tsd engines process their pruned candidate order in chunks when
+	// parallel, so their Stats.ScoreComputations may exceed the serial
+	// count by up to one chunk (the answer is still identical).
+	Workers int
+}
+
+// maxWorkers is a safety bound on the per-search pool size: beyond it
+// extra goroutines only add scheduling overhead (and shrink the ranked
+// scan's early-termination granularity), so larger requests are clamped.
+// Untrusted inputs should be clamped harder at the boundary (the HTTP
+// layer caps at GOMAXPROCS).
+const maxWorkers = 1024
+
+// workers resolves the Workers field to a concrete pool size.
+func (p Params) workers() int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return min(w, maxWorkers)
 }
 
 // normalized validates p against an n-vertex graph and caps R at the
@@ -101,49 +129,74 @@ func forEachCandidate(ctx context.Context, n int, cands []int32, everyIter bool,
 	return nil
 }
 
-// padAnswer fills the heap with zero-score candidates when fewer than r
-// vertices survived pruning, keeping the answer size consistent with the
-// online engine's.
+// padAnswer offers every unscored candidate to the heap at score 0 so the
+// answer stays canonical when pruning skipped part of the candidate set:
+// zero-score slots must go to the smallest unused vertex IDs (the order the
+// online engine would produce), not to whichever zero-score vertices
+// happened to be scored. Candidates are offered in ascending ID order and
+// the pass stops as soon as no zero-score entry can still be displaced.
 func padAnswer(heap *topRHeap, n int, cands []int32) {
-	if heap.Full() {
+	if heap.r == 0 || (heap.Full() && heap.MinScore() > 0) {
 		return
 	}
 	in := make(map[int32]bool, len(heap.entries))
 	for _, e := range heap.entries {
 		in[e.V] = true
 	}
+	if cands != nil {
+		// The caller's candidate order is a search order, not an ID order;
+		// pad from a sorted copy so ties at score 0 resolve by vertex ID.
+		cands = append([]int32(nil), cands...)
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	}
+	// In ascending order, the first rejected zero-score offer ends the
+	// pass: every later candidate has a larger ID and loses the same tie.
+	offer := func(v int32) bool {
+		if in[v] {
+			return true
+		}
+		return heap.Offer(v, 0) || !heap.Full()
+	}
 	if cands == nil {
-		for v := int32(0); int(v) < n && !heap.Full(); v++ {
-			if !in[v] {
-				heap.Offer(v, 0)
+		for v := int32(0); int(v) < n; v++ {
+			if !offer(v) {
+				return
 			}
 		}
 		return
 	}
 	for _, v := range cands {
-		if heap.Full() {
+		if !offer(v) {
 			return
-		}
-		if !in[v] {
-			heap.Offer(v, 0)
 		}
 	}
 }
 
 // finishResult assembles the Result, recovering the social contexts of
-// every answer vertex unless p.SkipContexts; recovery is one ego
-// decomposition per vertex, so the context is polled on every iteration.
+// every answer vertex unless p.SkipContexts. Recovery is typically one ego
+// decomposition per vertex — the dominant per-answer cost — so it is
+// sharded across p.workers() goroutines (contexts must be safe for
+// concurrent calls, which every engine's recovery is) and the context is
+// polled on every iteration.
 func finishResult(ctx context.Context, answer []VertexScore, p Params, contexts func(v int32) [][]int32) (*Result, error) {
 	res := &Result{TopR: answer}
 	if p.SkipContexts {
 		return res, nil
 	}
-	res.Contexts = make(map[int32][][]int32, len(answer))
-	for _, e := range answer {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	recovered := make([][][]int32, len(answer))
+	err := forEachSharded(ctx, len(answer), p.workers(), true, func(i int) {
+		c := contexts(answer[i].V)
+		if len(c) == 0 {
+			c = nil // normalize: every engine reports "no contexts" as nil
 		}
-		res.Contexts[e.V] = contexts(e.V)
+		recovered[i] = c
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Contexts = make(map[int32][][]int32, len(answer))
+	for i, e := range answer {
+		res.Contexts[e.V] = recovered[i]
 	}
 	return res, nil
 }

@@ -36,9 +36,9 @@ type TSDIndex struct {
 	// the O(log) vertex-count bound ⌊t_k/k⌋ used alongside s̃core.
 	vtCum [][]int32
 
-	// scratch for Score/Contexts (stamped visit marks, reused across calls)
-	stamp   []int32
-	stampID int32
+	// scratch backing the convenience Score method; parallel searches use
+	// one private TSDScorer per worker instead (see Scorer).
+	scratch TSDScorer
 }
 
 // BuildTSDIndex runs Algorithm 5: per-vertex ego-network extraction, truss
@@ -183,28 +183,49 @@ func (idx *TSDIndex) ScoreUpperBound(v int32, k int32) int {
 // is (#touched vertices) - (#prefix edges); touched vertices are tracked
 // with a stamped mark array reused across calls.
 //
-// Score is not safe for concurrent use (shared scratch); clone the index
-// per goroutine or guard externally.
+// Score is not safe for concurrent use (shared scratch); use one Scorer
+// per goroutine instead.
 func (idx *TSDIndex) Score(v int32, k int32) int {
+	idx.scratch.idx = idx
+	return idx.scratch.Score(v, k)
+}
+
+// TSDScorer answers exact-score queries from a TSDIndex with private
+// visit-mark scratch. The index itself is read-only under query load, so
+// any number of Scorers may run concurrently over one index — that is how
+// parallel searches shard score computations across workers.
+type TSDScorer struct {
+	idx     *TSDIndex
+	stamp   []int32
+	stampID int32
+}
+
+// Scorer returns a new goroutine-private scorer over the index.
+func (idx *TSDIndex) Scorer() *TSDScorer { return &TSDScorer{idx: idx} }
+
+// Score is Algorithm 6 (identical to TSDIndex.Score) against this
+// scorer's private scratch.
+func (s *TSDScorer) Score(v int32, k int32) int {
+	idx := s.idx
 	p := idx.prefixLen(v, k)
 	if p == 0 {
 		return 0
 	}
 	deg := idx.g.Degree(v)
-	if cap(idx.stamp) < deg {
-		idx.stamp = make([]int32, deg)
-		idx.stampID = 0
+	if cap(s.stamp) < deg {
+		s.stamp = make([]int32, deg)
+		s.stampID = 0
 	}
-	idx.stamp = idx.stamp[:deg]
-	idx.stampID++
+	s.stamp = s.stamp[:deg]
+	s.stampID++
 	touched := 0
 	for _, e := range idx.edges[v][:p] {
-		if idx.stamp[e.U] != idx.stampID {
-			idx.stamp[e.U] = idx.stampID
+		if s.stamp[e.U] != s.stampID {
+			s.stamp[e.U] = s.stampID
 			touched++
 		}
-		if idx.stamp[e.W] != idx.stampID {
-			idx.stamp[e.W] = idx.stampID
+		if s.stamp[e.W] != s.stampID {
+			s.stamp[e.W] = s.stampID
 			touched++
 		}
 	}
@@ -284,9 +305,11 @@ func (t *TSD) TopR(k int32, r int) (*Result, *Stats, error) {
 
 // Search answers the top-r query from the index alone (paper §5.2):
 // candidates are ordered by the s̃core bound and pruned with early
-// termination; exact scores come from the forest prefix count. The bound
-// pass polls the context every few hundred vertices, the exact-score pass
-// on every candidate.
+// termination; exact scores come from the forest prefix count, computed
+// by one private TSDScorer per worker when p.Workers shards the scan
+// (Search itself is therefore safe for concurrent use). The bound pass
+// polls the context every few hundred vertices, the exact-score pass on
+// every candidate.
 func (t *TSD) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := t.idx.g
 	p, err := p.normalized(g.N())
@@ -294,14 +317,10 @@ func (t *TSD) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 		return nil, nil, err
 	}
 	stats := &Stats{}
-	type candidate struct {
-		v  int32
-		ub int
-	}
-	cands := make([]candidate, 0, g.N())
+	cands := make([]rankedCand, 0, g.N())
 	err = forEachCandidate(ctx, g.N(), p.Candidates, false, func(v int32) {
 		if ub := t.idx.ScoreUpperBound(v, p.K); ub > 0 {
-			cands = append(cands, candidate{v, ub})
+			cands = append(cands, rankedCand{v, ub})
 		}
 	})
 	if err != nil {
@@ -314,18 +333,15 @@ func (t *TSD) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 		}
 		return cands[i].v < cands[j].v
 	})
-	heap := newTopRHeap(p.R)
-	for _, c := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		if heap.Full() && c.ub <= heap.MinScore() {
-			break
-		}
-		score := t.idx.Score(c.v, p.K)
-		stats.ScoreComputations++
-		heap.Offer(c.v, score)
+	heap, scored, err := scanRanked(ctx, cands, p.R, p.workers(),
+		func() func(v int32) int {
+			sc := t.idx.Scorer()
+			return func(v int32) int { return sc.Score(v, p.K) }
+		})
+	if err != nil {
+		return nil, nil, err
 	}
+	stats.ScoreComputations = scored
 	padAnswer(heap, g.N(), p.Candidates)
 	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
 		return t.idx.Contexts(v, p.K)

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadEdgeList hardens the text edge-list loader that sits on the
+// server's graph-loading path: arbitrary input must either parse into a
+// structurally valid graph or return an error — never panic, and never
+// produce a graph that violates the simple-graph invariants the engines
+// rely on.
+func FuzzLoadEdgeList(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# comment only\n",
+		"% matrix-market comment\n1 2\n",
+		"0 1\n1 2\n2 0\n",
+		"10 20\n20 30\n",
+		"1 1\n",                    // self-loop: dropped by the builder
+		"3 4\n4 3\n3 4\n",          // duplicates in both orientations
+		"-5 7\n",                   // negative labels are relabeled, not rejected
+		"9999999999999 0\n",        // labels near int64 range
+		"1 2 3 extra fields\n",     // trailing fields are ignored
+		"1\n",                      // too few fields: error
+		"a b\n",                    // non-integer: error
+		"1 99999999999999999999\n", // overflows int64: error
+		"\x00\x01\x02",
+		strings.Repeat("7 8\n", 100),
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, labels, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			if g != nil || labels != nil {
+				t.Fatalf("non-nil results alongside error %v", err)
+			}
+			return
+		}
+		if g.N() != len(labels) {
+			t.Fatalf("graph has %d vertices but %d labels", g.N(), len(labels))
+		}
+		for i := 1; i < len(labels); i++ {
+			if labels[i-1] >= labels[i] {
+				t.Fatalf("labels not strictly ascending at %d: %v", i, labels[i-1:i+1])
+			}
+		}
+		// Simple-graph invariants: no self-loops, canonical orientation,
+		// endpoints in range.
+		seen := make(map[[2]int32]bool, g.M())
+		for id := int32(0); int(id) < g.M(); id++ {
+			e := g.Edge(id)
+			if e.U >= e.V {
+				t.Fatalf("edge %d = (%d,%d) not canonical", id, e.U, e.V)
+			}
+			if e.U < 0 || int(e.V) >= g.N() {
+				t.Fatalf("edge %d = (%d,%d) out of range [0,%d)", id, e.U, e.V, g.N())
+			}
+			key := [2]int32{e.U, e.V}
+			if seen[key] {
+				t.Fatalf("duplicate edge (%d,%d)", e.U, e.V)
+			}
+			seen[key] = true
+		}
+		// Round-trip: writing and re-reading preserves the structure.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		back, _, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if back.M() != g.M() {
+			t.Fatalf("round-trip edges %d, want %d", back.M(), g.M())
+		}
+	})
+}

@@ -6,12 +6,17 @@
 //
 // Endpoints:
 //
-//	GET /healthz                         liveness probe
-//	GET /stats                           graph and index statistics
-//	GET /engines                         registered engine names
-//	GET /topr?k=4&r=10&engine=gct        top-r search (engine optional: cost-routed)
-//	GET /score?v=17&k=4                  one vertex's diversity score
-//	GET /contexts?v=17&k=4               one vertex's social contexts
+//	GET  /healthz                        liveness probe
+//	GET  /stats                          graph and index statistics
+//	GET  /engines                        registered engine names
+//	GET  /topr?k=4&r=10&engine=gct       top-r search (engine optional: cost-routed)
+//	POST /batch                          many top-r searches in one DB.Batch pass
+//	GET  /score?v=17&k=4                 one vertex's diversity score
+//	GET  /contexts?v=17&k=4              one vertex's social contexts
+//
+// The topr endpoint accepts workers=N to shard the search across a
+// worker pool; /batch accepts the same per query. Answers are identical
+// for every worker count.
 package server
 
 import (
@@ -20,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /engines", s.handleEngines)
 	mux.HandleFunc("GET /topr", s.handleTopR)
+	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /score", s.handleScore)
 	mux.HandleFunc("GET /contexts", s.handleContexts)
 	return mux
@@ -145,6 +152,30 @@ func intParam(r *http.Request, name string) (int, error) {
 	return v, nil
 }
 
+// optionalIntParam parses an integer query parameter, 0 when absent.
+func optionalIntParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// clampWorkers bounds a client-supplied worker count: non-positive falls
+// back to the engine default, anything above GOMAXPROCS is clamped — one
+// request must not be able to spawn an unbounded goroutine pool (or blow
+// up the ranked scan's chunk size, which scales with the worker count).
+func clampWorkers(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return min(n, runtime.GOMAXPROCS(0))
+}
+
 // candidatesParam parses the optional comma-separated vertex subset.
 func candidatesParam(r *http.Request) ([]int32, error) {
 	raw := r.URL.Query().Get("candidates")
@@ -195,11 +226,17 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	workers, err := optionalIntParam(r, "workers")
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	q := trussdiv.Query{
 		K:               int32(k),
 		R:               rr,
 		IncludeContexts: r.URL.Query().Get("contexts") == "true",
 		Candidates:      cands,
+		Workers:         clampWorkers(workers),
 	}
 
 	// Resolve the engine through the registry; an absent parameter means
@@ -243,6 +280,99 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 		body.Results = append(body.Results, out)
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// batchQuery is the JSON shape of one query in a POST /batch body.
+type batchQuery struct {
+	K          int32   `json:"k"`
+	R          int     `json:"r"`
+	Engine     string  `json:"engine,omitempty"`
+	Contexts   bool    `json:"contexts,omitempty"`
+	Candidates []int32 `json:"candidates,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+type batchRequest struct {
+	Queries []batchQuery `json:"queries"`
+}
+
+type batchResponse struct {
+	TookUS  int64          `json:"took_us"`
+	Results []topRResponse `json:"results"`
+}
+
+const (
+	// maxBatchQueries bounds one /batch request; larger workloads should
+	// split into several requests so timeouts and backpressure stay sane.
+	maxBatchQueries = 1024
+	// maxBatchBody bounds the request body (candidate lists dominate).
+	maxBatchBody = 8 << 20
+)
+
+// handleBatch answers many top-r queries in one DB.Batch pass: shared
+// indexes are built once and the queries fan out across the worker pool.
+// Each query routes by cost unless it names an engine.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		badRequest(w, "batch body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		badRequest(w, "batch body: no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		badRequest(w, "batch body: %d queries exceeds the limit of %d",
+			len(req.Queries), maxBatchQueries)
+		return
+	}
+	qs := make([]trussdiv.Query, len(req.Queries))
+	for i, bq := range req.Queries {
+		qs[i] = trussdiv.Query{
+			K:               bq.K,
+			R:               bq.R,
+			Engine:          bq.Engine,
+			IncludeContexts: bq.Contexts,
+			Candidates:      bq.Candidates,
+			Workers:         clampWorkers(bq.Workers),
+			SkipStats:       true, // Batch drops stats anyway
+		}
+	}
+	engines, err := s.db.BatchEngines(qs)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	results, err := s.db.Batch(ctx, qs)
+	if err != nil {
+		searchError(w, err)
+		return
+	}
+	resp := batchResponse{TookUS: time.Since(start).Microseconds()}
+	resp.Results = make([]topRResponse, len(results))
+	for i, res := range results {
+		item := topRResponse{
+			Engine: engines[i],
+			Routed: req.Queries[i].Engine == "",
+			K:      int(qs[i].K),
+			R:      qs[i].R,
+		}
+		for _, e := range res.TopR {
+			out := topRResult{Vertex: e.V, Score: e.Score}
+			if qs[i].IncludeContexts {
+				out.Contexts = res.Contexts[e.V]
+			}
+			item.Results = append(item.Results, out)
+		}
+		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) vertexParam(r *http.Request) (int32, int32, error) {

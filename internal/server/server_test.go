@@ -168,6 +168,111 @@ func TestCandidatesParameter(t *testing.T) {
 	getJSON(t, ts.URL+"/topr?k=4&r=1&candidates=1,x", http.StatusBadRequest)
 }
 
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
+	return out
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	body := postJSON(t, ts.URL+"/batch", `{"queries":[
+		{"k":4,"r":1},
+		{"k":4,"r":1,"engine":"tsd","workers":2},
+		{"k":3,"r":2,"engine":"online","contexts":true},
+		{"k":4,"r":2,"candidates":[0,1,2]}
+	]}`, http.StatusOK)
+	results := body["results"].([]any)
+	if len(results) != 4 {
+		t.Fatalf("results = %v, want 4 entries", results)
+	}
+	// Both the routed and the pinned k=4 r=1 queries find the paper's
+	// example vertex.
+	for i := 0; i < 2; i++ {
+		item := results[i].(map[string]any)
+		top := item["results"].([]any)[0].(map[string]any)
+		if top["vertex"].(float64) != 0 || top["score"].(float64) != 3 {
+			t.Fatalf("batch item %d top-1 = %v, want vertex 0 score 3", i, top)
+		}
+	}
+	if eng := results[1].(map[string]any)["engine"]; eng != "tsd" {
+		t.Fatalf("pinned batch item engine = %v, want tsd", eng)
+	}
+	// Cost-routed items report the engine the batch router chose.
+	routedItem := results[0].(map[string]any)
+	if routedItem["routed"] != true {
+		t.Fatalf("unpinned batch item not marked routed: %v", routedItem)
+	}
+	if eng, _ := routedItem["engine"].(string); eng == "" {
+		t.Fatalf("routed batch item missing resolved engine: %v", routedItem)
+	}
+	// Contexts come back only where requested.
+	withCtx := results[2].(map[string]any)["results"].([]any)[0].(map[string]any)
+	if _, ok := withCtx["contexts"]; !ok {
+		t.Fatalf("batch item 2 missing contexts: %v", withCtx)
+	}
+	noCtx := results[0].(map[string]any)["results"].([]any)[0].(map[string]any)
+	if _, ok := noCtx["contexts"]; ok {
+		t.Fatalf("batch item 0 has contexts without asking: %v", noCtx)
+	}
+	// Candidate subsets restrict the answers.
+	for _, raw := range results[3].(map[string]any)["results"].([]any) {
+		if v := raw.(map[string]any)["vertex"].(float64); v < 0 || v > 2 {
+			t.Fatalf("batch item 3 vertex %v outside candidates", v)
+		}
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		``,                            // empty body
+		`{}`,                          // no queries
+		`{"queries":[]}`,              // empty queries
+		`{"queries":[{"k":1,"r":1}]}`, // k too small
+		`{"queries":[{"k":4,"r":1,"engine":"nope"}]}`, // unknown engine
+		`{"queries":[{"k":4}]}`,                       // missing r
+	} {
+		resp := postJSON(t, ts.URL+"/batch", body, http.StatusBadRequest)
+		if resp["error"] == "" {
+			t.Fatalf("%q: missing error body", body)
+		}
+	}
+
+	// A batch that exceeds the query cap is rejected outright.
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	for i := 0; i <= maxBatchQueries; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(`{"k":4,"r":1}`)
+	}
+	sb.WriteString(`]}`)
+	postJSON(t, ts.URL+"/batch", sb.String(), http.StatusBadRequest)
+}
+
+func TestBatchTimeoutReturns504(t *testing.T) {
+	srv := New(gen.Fig1Graph(), WithTimeout(time.Nanosecond))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	body := postJSON(t, ts.URL+"/batch", `{"queries":[{"k":4,"r":1,"engine":"online"}]}`, http.StatusGatewayTimeout)
+	if body["error"] == "" {
+		t.Fatal("missing error body")
+	}
+}
+
 func TestRequestTimeoutReturns504(t *testing.T) {
 	// A deadline that has already passed when the search starts: every
 	// engine observes it at its first context poll.

@@ -19,6 +19,15 @@ type Query struct {
 	Candidates []int32
 	// SkipStats suppresses the *Stats return (it will be nil).
 	SkipStats bool
+	// Workers is the number of goroutines the engine may use to score
+	// candidates and recover contexts: 0 or negative means GOMAXPROCS,
+	// 1 forces serial execution. The answer is byte-identical for every
+	// worker count (ties resolve by vertex ID).
+	Workers int
+	// Engine pins this query to the named engine, overriding cost routing
+	// and the DB-level WithEngine default. Empty means no pin. Unknown
+	// names fail with a *UnknownEngineError.
+	Engine string
 }
 
 // QueryOption customizes a Query built by NewQuery.
@@ -51,6 +60,20 @@ func WithoutStats() QueryOption {
 	return func(q *Query) { q.SkipStats = true }
 }
 
+// WithWorkers sets the worker-pool size for this query: candidates are
+// sharded across n goroutines (0 or negative = GOMAXPROCS, 1 = serial).
+// Results are byte-identical to serial execution for every n.
+func WithWorkers(n int) QueryOption {
+	return func(q *Query) { q.Workers = n }
+}
+
+// ViaEngine pins the query to the named engine, bypassing cost routing.
+// It also overrides a DB-level WithEngine default, so one batch can mix
+// pinned and routed queries.
+func ViaEngine(name string) QueryOption {
+	return func(q *Query) { q.Engine = name }
+}
+
 // params translates the public Query into the internal search parameters.
 func (q Query) params() core.Params {
 	return core.Params{
@@ -59,5 +82,6 @@ func (q Query) params() core.Params {
 		Candidates:   q.Candidates,
 		SkipContexts: !q.IncludeContexts,
 		SkipStats:    q.SkipStats,
+		Workers:      q.Workers,
 	}
 }
