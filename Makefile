@@ -1,11 +1,20 @@
 # Tier-1 verification is `make check`: vet, build, and test everything.
 # `make check-race` re-runs the suite under the race detector — required
 # for changes touching the parallel search layer or DB.Batch.
+# `make ci` is the umbrella the GitHub workflow runs: formatting gate
+# plus the tier-1 checks.
 GO ?= go
 
-.PHONY: check check-race vet build test bench bench-parallel cover fuzz
+.PHONY: ci check check-race fmt-check vet build test bench bench-parallel bench-artifacts cover fuzz
+
+ci: fmt-check check
 
 check: vet build test
+
+# Fails (listing the offenders) when any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 check-race:
 	$(GO) test -race ./...
@@ -26,6 +35,12 @@ bench:
 # Serial-vs-parallel engine timings; writes BENCH_parallel.json.
 bench-parallel:
 	$(GO) run ./cmd/tsdbench -exp parallel -quick
+
+# Quick-mode machine-readable benchmarks; CI uploads bench-out/BENCH_*.json
+# as a build artifact so the perf trajectory is tracked per commit.
+bench-artifacts:
+	$(GO) run ./cmd/tsdbench -exp parallel -quick -outdir bench-out
+	$(GO) run ./cmd/tsdbench -exp store -quick -outdir bench-out
 
 cover:
 	$(GO) test -cover ./...

@@ -2,37 +2,162 @@ package trussdiv
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"sort"
 	"sync"
 	"time"
 
 	"trussdiv/internal/baseline"
 	"trussdiv/internal/core"
+	"trussdiv/internal/store"
+	"trussdiv/internal/truss"
 )
 
-// indexCache lazily builds and shares the TSD/GCT/Hybrid structures among
+// indexCache lazily provides and shares the search accelerators — the
+// global truss decomposition and the TSD/GCT/Hybrid structures — among
 // the engine adapters of one DB, so e.g. the gct and hybrid engines reuse
-// one GCT index. All accessors are safe for concurrent use; builds are
-// not interruptible, so cancellation is observed before a build starts.
+// one GCT index. With an index directory configured (WithIndexDir), a
+// cache miss first tries the on-disk store and only then builds from the
+// graph; every from-scratch build is persisted back, so the next process
+// warm starts. All accessors are safe for concurrent use; builds are not
+// interruptible, so cancellation is observed before a build starts.
 type indexCache struct {
 	g *Graph
 
 	mu        sync.Mutex
+	tau       []int32 // global truss decomposition, indexed by edge ID
 	tsd       *core.TSDIndex
 	gct       *core.GCTIndex
 	hybrid    *core.Hybrid
 	buildTime time.Duration
+	loadTime  time.Duration
+
+	// Persistence state. file is the validated warm-start file (nil on a
+	// cold start); bad marks sections whose payload failed its checksum or
+	// decode — every section is independently checksummed, so one damaged
+	// section does not discredit the rest of the file. loadErr records why
+	// an on-disk index (or section) was rejected, saveErr the last persist
+	// failure. deferPersist batches the per-build writes of a Prepare into
+	// one (dirty remembers that something was built meanwhile).
+	dir          string
+	file         *store.File
+	bad          map[store.Section]bool
+	loadErr      error
+	saveErr      error
+	deferPersist bool
+	dirty        bool
+
+	// Build entry points, swappable by tests that assert a warm open
+	// never builds; builds counts the from-scratch constructions.
+	buildTau    func(*Graph) []int32
+	buildTSD    func(*Graph) *core.TSDIndex
+	buildGCT    func(*Graph) *core.GCTIndex
+	buildHybrid func(*core.GCTIndex) *core.Hybrid
+	builds      int
+}
+
+// newIndexCache wires a cache to its builders and, when cfg names an
+// index directory, validates any index file found there. A missing file
+// is a normal cold start; a file that fails validation (stale
+// fingerprint, wrong version, corruption) is recorded in loadErr — the
+// typed error StoreStatus exposes — and the cache falls back to building.
+func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
+	c := &indexCache{
+		g:           g,
+		tsd:         cfg.tsdIdx,
+		gct:         cfg.gctIdx,
+		dir:         cfg.indexDir,
+		buildTau:    truss.Decompose,
+		buildTSD:    core.BuildTSDIndex,
+		buildGCT:    core.BuildGCTIndex,
+		buildHybrid: core.BuildHybrid,
+	}
+	if c.dir != "" {
+		f, err := store.Open(store.PathIn(c.dir), g)
+		switch {
+		case err == nil:
+			c.file = f
+		case errors.Is(err, fs.ErrNotExist):
+			// Cold start: nothing persisted yet.
+		default:
+			c.loadErr = err
+		}
+	}
+	return c
+}
+
+// loadSection reads one section from the warm-start file, or returns the
+// zero value when the file is absent or lacks the section. A damaged
+// section records the typed error and is marked bad so later misses
+// rebuild (and re-persist) instead of retrying a broken read; the file's
+// other sections stay trusted — each carries its own checksum.
+// Callers must hold c.mu.
+func loadSection[T any](c *indexCache, s store.Section, read func(*store.File) (T, error)) T {
+	var zero T
+	if c.file == nil || !c.file.Has(s) || c.bad[s] {
+		return zero
+	}
+	start := time.Now()
+	v, err := read(c.file)
+	if err != nil {
+		c.loadErr = err
+		if c.bad == nil {
+			c.bad = make(map[store.Section]bool)
+		}
+		c.bad[s] = true
+		return zero
+	}
+	c.loadTime += time.Since(start)
+	return v
+}
+
+// trussTau returns the global truss decomposition, loading or computing
+// (and then persisting) it on first use. The bound engine's searches read
+// it through this cache, so sparsification costs one edge filter instead
+// of a fresh decomposition per query.
+func (c *indexCache) trussTau() []int32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trussTauLocked()
+}
+
+func (c *indexCache) trussTauLocked() []int32 {
+	if c.tau != nil {
+		return c.tau
+	}
+	if tau := loadSection(c, store.SecTruss, (*store.File).Tau); tau != nil {
+		c.tau = tau
+		return c.tau
+	}
+	start := time.Now()
+	c.tau = c.buildTau(c.g)
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.persistAfterBuildLocked()
+	return c.tau
 }
 
 func (c *indexCache) tsdIndex() *core.TSDIndex {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.tsd == nil {
-		start := time.Now()
-		c.tsd = core.BuildTSDIndex(c.g)
-		c.buildTime += time.Since(start)
+	return c.tsdIndexLocked()
+}
+
+func (c *indexCache) tsdIndexLocked() *core.TSDIndex {
+	if c.tsd != nil {
+		return c.tsd
 	}
+	if idx := loadSection(c, store.SecTSD, (*store.File).TSD); idx != nil {
+		c.tsd = idx
+		return c.tsd
+	}
+	start := time.Now()
+	c.tsd = c.buildTSD(c.g)
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.persistAfterBuildLocked()
 	return c.tsd
 }
 
@@ -43,24 +168,123 @@ func (c *indexCache) gctIndex() *core.GCTIndex {
 }
 
 func (c *indexCache) gctIndexLocked() *core.GCTIndex {
-	if c.gct == nil {
-		start := time.Now()
-		c.gct = core.BuildGCTIndex(c.g)
-		c.buildTime += time.Since(start)
+	if c.gct != nil {
+		return c.gct
 	}
+	if idx := loadSection(c, store.SecGCT, (*store.File).GCT); idx != nil {
+		c.gct = idx
+		return c.gct
+	}
+	start := time.Now()
+	c.gct = c.buildGCT(c.g)
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.persistAfterBuildLocked()
 	return c.gct
 }
 
 func (c *indexCache) hybridEngine() *core.Hybrid {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.hybrid == nil {
-		idx := c.gctIndexLocked()
-		start := time.Now()
-		c.hybrid = core.BuildHybrid(idx)
-		c.buildTime += time.Since(start)
+	return c.hybridLocked()
+}
+
+func (c *indexCache) hybridLocked() *core.Hybrid {
+	if c.hybrid != nil {
+		return c.hybrid
 	}
+	// Persisted rankings rebuild the hybrid without touching the GCT
+	// index: NewHybridFromRankings only allocates a scorer.
+	if perK := loadSection(c, store.SecRankings, (*store.File).Rankings); perK != nil {
+		c.hybrid = core.NewHybridFromRankings(c.g, perK)
+		return c.hybrid
+	}
+	idx := c.gctIndexLocked()
+	start := time.Now()
+	c.hybrid = c.buildHybrid(idx)
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.persistAfterBuildLocked()
 	return c.hybrid
+}
+
+// persistAfterBuildLocked is the write path of every from-scratch build:
+// it persists immediately, unless a surrounding Prepare deferred the
+// writes to batch them into one file rewrite at its end.
+func (c *indexCache) persistAfterBuildLocked() {
+	if c.deferPersist {
+		c.dirty = true
+		return
+	}
+	c.persistLocked()
+}
+
+// beginDeferredPersist suspends the per-build persists (Prepare builds up
+// to four accelerators; rewriting the file after each would serialize the
+// whole store four times); endDeferredPersist flushes once if anything
+// was built in between.
+func (c *indexCache) beginDeferredPersist() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deferPersist = true
+	c.dirty = false
+}
+
+func (c *indexCache) endDeferredPersist() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deferPersist = false
+	if c.dirty {
+		c.dirty = false
+		c.persistLocked()
+	}
+}
+
+// persistLocked rewrites the index file with every section currently in
+// memory, first hydrating sections that exist only on disk so a partial
+// rebuild never sheds them. Persist failures are recorded for StoreStatus
+// but do not fail the query whose build triggered the write. Callers must
+// hold c.mu.
+func (c *indexCache) persistLocked() {
+	if c.dir == "" {
+		return
+	}
+	if c.file != nil {
+		if c.tau == nil {
+			c.tau = loadSection(c, store.SecTruss, (*store.File).Tau)
+		}
+		if c.tsd == nil {
+			c.tsd = loadSection(c, store.SecTSD, (*store.File).TSD)
+		}
+		if c.gct == nil {
+			c.gct = loadSection(c, store.SecGCT, (*store.File).GCT)
+		}
+		if c.hybrid == nil {
+			if perK := loadSection(c, store.SecRankings, (*store.File).Rankings); perK != nil {
+				c.hybrid = core.NewHybridFromRankings(c.g, perK)
+			}
+		}
+	}
+	ix := store.Indexes{Tau: c.tau, TSD: c.tsd, GCT: c.gct}
+	if c.hybrid != nil {
+		ix.Rankings = c.hybrid.Rankings()
+	}
+	path := store.PathIn(c.dir)
+	if err := store.Save(path, c.g, ix); err != nil {
+		c.saveErr = err
+		return
+	}
+	c.saveErr = nil
+	if f, err := store.Open(path, c.g); err == nil {
+		c.file = f
+		c.bad = nil // the rewrite replaced any damaged section
+	}
+}
+
+func (c *indexCache) hasTau() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tau != nil
 }
 
 func (c *indexCache) hasTSD() bool {
@@ -79,6 +303,15 @@ func (c *indexCache) hasHybrid() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hybrid != nil
+}
+
+// onDisk reports whether section s can be loaded from the warm-start
+// file — the "cheap to have" signal the cost estimates use. A section
+// that failed its checksum is not cheap: it will be rebuilt.
+func (c *indexCache) onDisk(s store.Section) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file != nil && c.file.Has(s) && !c.bad[s]
 }
 
 // --- online (Algorithm 3) ---
@@ -122,11 +355,20 @@ func (e *onlineEngine) Cost(q Query) Estimate {
 type boundEngine struct {
 	eng    *core.Bound
 	scorer *core.Scorer
+	cache  *indexCache
 	w      workload
 }
 
-func newBoundEngine(g *Graph, w workload) *boundEngine {
-	return &boundEngine{eng: core.NewBound(g), scorer: core.NewScorer(g), w: w}
+func newBoundEngine(g *Graph, w workload, cache *indexCache) *boundEngine {
+	// The searcher reads the global truss decomposition through the DB
+	// cache, so the per-query sparsification cost is one edge filter once
+	// the decomposition is cached (or loaded from the index store).
+	return &boundEngine{
+		eng:    core.NewBoundWithTau(g, cache.trussTau),
+		scorer: core.NewScorer(g),
+		cache:  cache,
+		w:      w,
+	}
 }
 
 func (e *boundEngine) Name() string { return "bound" }
@@ -150,9 +392,15 @@ func (e *boundEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, erro
 }
 
 func (e *boundEngine) Cost(q Query) Estimate {
-	// Every query pays a global truss decomposition (the sparsification),
-	// then scores the fraction of candidates that survive pruning.
+	// Sparsification needs the global truss decomposition: a fresh
+	// decomposition when nothing is cached, a sequential O(m) load when
+	// the index store has it, and only the edge filter once in memory.
 	sparsify := e.w.m * e.w.avgDeg / 2
+	if e.cache.hasTau() {
+		sparsify = e.w.m
+	} else if e.cache.onDisk(store.SecTruss) {
+		sparsify = 2 * e.w.m
+	}
 	return Estimate{Query: sparsify + e.w.searchWork(e.w.egoWork, q)/8 + e.w.contextWork(q)}
 }
 
@@ -196,7 +444,13 @@ func (e *tsdEngine) Cost(q Query) Estimate {
 		est.Query += float64(q.R) * e.w.avgDeg
 	}
 	if !e.cache.hasTSD() {
-		est.Build = e.w.egoWork
+		if e.cache.onDisk(store.SecTSD) {
+			// Deserializing is a sequential O(m) read, far below the Σd²
+			// build, so routing treats a persisted index as nearly ready.
+			est.Build = e.w.m
+		} else {
+			est.Build = e.w.egoWork
+		}
 	}
 	return est
 }
@@ -238,9 +492,14 @@ func (e *gctEngine) Cost(q Query) Estimate {
 		est.Query += float64(q.R) * e.w.avgDeg
 	}
 	if !e.cache.hasGCT() {
-		// The GCT build does slightly more work than TSD's (compression
-		// on top of the same per-ego decompositions).
-		est.Build = 1.2 * e.w.egoWork
+		if e.cache.onDisk(store.SecGCT) {
+			// A persisted index loads in one O(m) sequential read.
+			est.Build = e.w.m
+		} else {
+			// The GCT build does slightly more work than TSD's
+			// (compression on top of the same per-ego decompositions).
+			est.Build = 1.2 * e.w.egoWork
+		}
 	}
 	return est
 }
@@ -280,9 +539,19 @@ func (e *hybridEngine) Cost(q Query) Estimate {
 	// online is one ego decomposition per answer vertex.
 	est := Estimate{Query: float64(q.R) + e.w.contextWork(q)}
 	if !e.cache.hasHybrid() {
-		est.Build = float64(8) * e.w.n
-		if !e.cache.hasGCT() {
-			est.Build += 1.2 * e.w.egoWork
+		if e.cache.onDisk(store.SecRankings) {
+			// Persisted rankings skip both the ranking pass and the GCT
+			// build: reconstruction is an O(n) read.
+			est.Build = e.w.n
+		} else {
+			est.Build = float64(8) * e.w.n
+			if !e.cache.hasGCT() {
+				if e.cache.onDisk(store.SecGCT) {
+					est.Build += e.w.m
+				} else {
+					est.Build += 1.2 * e.w.egoWork
+				}
+			}
 		}
 	}
 	return est

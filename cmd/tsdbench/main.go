@@ -43,6 +43,8 @@ func main() {
 		}
 		return
 	}
+	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
+	// at first use, so a fresh checkout or CI workspace needs no mkdir.
 	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, OutDir: *outDir}
 	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)

@@ -4,10 +4,16 @@
 // are cost-routed to the cheapest engine; each request runs under its own
 // context, bounded by -timeout.
 //
+// With -indexdir the server warm starts from a persistent index store:
+// indexes prebuilt by cmd/tsdindex load from dir/indexes.tdx instead of
+// being rebuilt, and a cold start persists what it builds so the next
+// boot is warm. A stale or damaged index file is rebuilt around.
+//
 // Usage:
 //
 //	tsdserve -dataset gowalla-sim -addr :8080
 //	tsdserve -input graph.txt -addr 127.0.0.1:9000 -timeout 2s
+//	tsdindex -dataset gowalla-sim -out idx/ && tsdserve -dataset gowalla-sim -indexdir idx/
 //
 // Endpoints: /healthz, /stats, /engines,
 // /topr?k=&r=&engine=&contexts=&candidates=, /score?v=&k=,
@@ -29,10 +35,11 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("input", "", "edge-list file (SNAP text format)")
-		dataset = flag.String("dataset", "", "built-in synthetic dataset name")
-		addr    = flag.String("addr", ":8080", "listen address")
-		timeout = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
+		input    = flag.String("input", "", "edge-list file (SNAP text format)")
+		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
+		addr     = flag.String("addr", ":8080", "listen address")
+		timeout  = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
+		indexDir = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
 	)
 	flag.Parse()
 
@@ -41,9 +48,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tsdserve:", err)
 		os.Exit(1)
 	}
-	log.Printf("graph loaded: %d vertices, %d edges; building indexes...", g.N(), g.M())
+	log.Printf("graph loaded: %d vertices, %d edges; preparing indexes...", g.N(), g.M())
 	start := time.Now()
-	srv := server.New(g, server.WithTimeout(*timeout))
+	opts := []server.Option{server.WithTimeout(*timeout)}
+	if *indexDir != "" {
+		opts = append(opts, server.WithIndexDir(*indexDir))
+	}
+	srv := server.New(g, opts...)
+	if st := srv.DB().StoreStatus(); st.Dir != "" {
+		switch {
+		case st.SaveErr != nil:
+			log.Printf("index store %s not writable (%v); every boot will be cold", st.Path, st.SaveErr)
+		case st.LoadErr != nil:
+			log.Printf("index store %s rejected (%v); rebuilt from the graph", st.Path, st.LoadErr)
+		case st.Warm && srv.DB().IndexStats().LoadTime > 0:
+			log.Printf("warm start from %s (sections: %v)", st.Path, st.Sections)
+		case st.Warm:
+			log.Printf("index store written to %s (sections: %v)", st.Path, st.Sections)
+		}
+	}
 	log.Printf("indexes ready in %v; engines %v; serving on %s",
 		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"trussdiv/internal/core"
+	"trussdiv/internal/store"
 )
 
 // DB is the query facade over one graph: it owns the engine registry,
@@ -27,10 +28,11 @@ type DB struct {
 type Option func(*dbConfig)
 
 type dbConfig struct {
-	engine  string
-	tsdIdx  *TSDIndex
-	gctIdx  *GCTIndex
-	prepare []string
+	engine   string
+	tsdIdx   *TSDIndex
+	gctIdx   *GCTIndex
+	prepare  []string
+	indexDir string
 }
 
 // WithEngine pins every DB query to the named engine instead of cost
@@ -52,18 +54,35 @@ func WithGCTIndex(idx *GCTIndex) Option {
 	return func(c *dbConfig) { c.gctIdx = idx }
 }
 
+// WithIndexDir connects the DB to a persistent index store in dir (the
+// file is dir/indexes.tdx; build one offline with cmd/tsdindex or let the
+// DB write it). On a cache miss the DB loads the needed index from the
+// file instead of building it, and every index it does build from scratch
+// is persisted back — so a redeployed server warm starts at load cost
+// rather than build cost. A file whose fingerprint does not match g (or
+// that is corrupt or from another format version) is never loaded: the DB
+// falls back to building and StoreStatus reports the typed rejection
+// (errors.Is against ErrStaleIndex, ErrIndexCorrupt, ErrIndexVersion).
+func WithIndexDir(dir string) Option {
+	return func(c *dbConfig) { c.indexDir = dir }
+}
+
 // WithPreparedIndexes builds the named engines' indexes during Open
-// instead of on first query; no names means every index engine
-// (tsd, gct, hybrid). Use it in servers that prefer slow startup over a
-// slow first request.
+// instead of on first query; no names means everything Prepare covers
+// (bound's truss decomposition plus the tsd, gct, and hybrid indexes).
+// Use it in servers that prefer slow startup over a slow first request.
 func WithPreparedIndexes(names ...string) Option {
 	return func(c *dbConfig) {
 		if len(names) == 0 {
-			names = []string{"tsd", "gct", "hybrid"}
+			names = prepareAll
 		}
 		c.prepare = names
 	}
 }
+
+// prepareAll is the default Prepare set: every engine whose readiness the
+// index cache (and therefore the index store) manages.
+var prepareAll = []string{"bound", "tsd", "gct", "hybrid"}
 
 // Open wraps g in a DB with the six built-in engines registered: online,
 // bound, tsd, gct, hybrid (routable) and the comp/kcore baseline models
@@ -87,7 +106,7 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	db := &DB{
 		g:     g,
 		w:     measure(g),
-		cache: &indexCache{g: g, tsd: cfg.tsdIdx, gct: cfg.gctIdx},
+		cache: newIndexCache(g, cfg),
 		reg:   newRegistry(),
 	}
 	for _, reg := range []struct {
@@ -95,7 +114,7 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 		routable bool
 	}{
 		{newOnlineEngine(g, db.w), true},
-		{newBoundEngine(g, db.w), true},
+		{newBoundEngine(g, db.w, db.cache), true},
 		{&tsdEngine{cache: db.cache, w: db.w}, true},
 		{&gctEngine{cache: db.cache, w: db.w}, true},
 		{&hybridEngine{cache: db.cache, w: db.w}, true},
@@ -205,13 +224,13 @@ func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 	prepare := make(map[string]bool)
 	for _, eng := range engines {
 		switch name := eng.Name(); name {
-		case "tsd", "gct", "hybrid":
+		case "bound", "tsd", "gct", "hybrid":
 			prepare[name] = true
 		}
 	}
 	if len(prepare) > 0 {
 		names := make([]string, 0, len(prepare))
-		for _, name := range []string{"tsd", "gct", "hybrid"} {
+		for _, name := range prepareAll {
 			if prepare[name] {
 				names = append(names, name)
 			}
@@ -348,26 +367,35 @@ func (db *DB) pointEngine() Engine {
 	return e
 }
 
-// Prepare eagerly builds the indexes behind the named engines (default:
-// tsd, gct, hybrid). It observes ctx between builds — an individual build
-// is not interruptible.
+// Prepare eagerly readies the named engines (default: bound, tsd, gct,
+// hybrid): it loads each engine's accelerator from the index store when
+// one is configured and holds it, and builds (then persists) otherwise.
+// It observes ctx between builds — an individual build is not
+// interruptible.
 func (db *DB) Prepare(ctx context.Context, names ...string) error {
 	if len(names) == 0 {
-		names = []string{"tsd", "gct", "hybrid"}
+		names = prepareAll
 	}
+	// One store rewrite at the end instead of one per built accelerator.
+	db.cache.beginDeferredPersist()
+	defer db.cache.endDeferredPersist()
 	for _, name := range names {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		switch name {
+		case "bound":
+			// The bound engine's per-query sparsification reads the cached
+			// global truss decomposition.
+			db.cache.trussTau()
 		case "tsd":
 			db.cache.tsdIndex()
 		case "gct":
 			db.cache.gctIndex()
 		case "hybrid":
 			db.cache.hybridEngine()
-		case "online", "bound", "comp", "kcore":
-			// index-free engines: nothing to build
+		case "online", "comp", "kcore":
+			// stateless engines: nothing to prepare
 		default:
 			if _, err := db.reg.lookup(name); err != nil {
 				return err
@@ -381,12 +409,15 @@ func (db *DB) Prepare(ctx context.Context, names ...string) error {
 // IndexStats describes the DB's index cache.
 type IndexStats struct {
 	TSDReady, GCTReady, HybridReady bool
+	TauReady                        bool  // global truss decomposition cached
 	TSDBytes, GCTBytes              int64 // 0 until the index is built
 	BuildTime                       time.Duration
+	LoadTime                        time.Duration // time spent reading the index store
 }
 
-// IndexStats reports which indexes are built, their sizes, and the total
-// time spent building them.
+// IndexStats reports which indexes are ready, their sizes, and the time
+// spent building them (from the graph) and loading them (from the index
+// store).
 func (db *DB) IndexStats() IndexStats {
 	c := db.cache
 	c.mu.Lock()
@@ -395,7 +426,9 @@ func (db *DB) IndexStats() IndexStats {
 		TSDReady:    c.tsd != nil,
 		GCTReady:    c.gct != nil,
 		HybridReady: c.hybrid != nil,
+		TauReady:    c.tau != nil,
 		BuildTime:   c.buildTime,
+		LoadTime:    c.loadTime,
 	}
 	if c.tsd != nil {
 		st.TSDBytes = c.tsd.SizeBytes()
@@ -404,6 +437,63 @@ func (db *DB) IndexStats() IndexStats {
 		st.GCTBytes = c.gct.SizeBytes()
 	}
 	return st
+}
+
+// StoreStatus describes the DB's connection to its persistent index
+// store (nothing is set when Open ran without WithIndexDir).
+type StoreStatus struct {
+	// Dir is the configured index directory; Path the index file in it.
+	Dir, Path string
+	// Warm reports that a validated index file is available, and Sections
+	// names the parts it holds ("truss", "tsd", "gct", "rankings").
+	Warm     bool
+	Sections []string
+	// LoadErr is the typed reason an on-disk index was rejected or a
+	// section read failed — match it with errors.Is against
+	// ErrStaleIndex, ErrIndexVersion, ErrIndexCorrupt, or ErrNotIndexFile.
+	// The DB has already fallen back to building when it is non-nil.
+	LoadErr error
+	// SaveErr is the most recent persist failure, nil when the last write
+	// (if any) succeeded.
+	SaveErr error
+}
+
+// StoreStatus reports the state of the persistent index store.
+func (db *DB) StoreStatus() StoreStatus {
+	c := db.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := StoreStatus{
+		Dir:     c.dir,
+		LoadErr: c.loadErr,
+		SaveErr: c.saveErr,
+	}
+	if c.dir != "" {
+		st.Path = store.PathIn(c.dir)
+	}
+	if c.file != nil {
+		st.Warm = true
+		for _, s := range c.file.Sections() {
+			st.Sections = append(st.Sections, s.String())
+		}
+	}
+	return st
+}
+
+// SaveIndexes persists every index the DB currently holds in memory —
+// plus anything already in the index file — to the configured index
+// directory, atomically replacing the file. It builds nothing; call
+// Prepare first to persist a complete set. Open must have been given
+// WithIndexDir.
+func (db *DB) SaveIndexes() error {
+	c := db.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return errors.New("trussdiv: SaveIndexes: no index directory configured (Open with WithIndexDir)")
+	}
+	c.persistLocked()
+	return c.saveErr
 }
 
 // TSDIndexHandle returns the cached TSD index, building it if necessary —

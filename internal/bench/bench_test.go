@@ -345,3 +345,40 @@ func TestFig13Monotone(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreExperimentEmitsJSON runs the quick-mode store experiment on
+// one small dataset and checks the BENCH_store.json artifact: the warm
+// path must have been measured (and implicitly, its answers verified
+// against the cold path — the experiment fails otherwise).
+func TestStoreExperimentEmitsJSON(t *testing.T) {
+	e, ok := ByID("store")
+	if !ok {
+		t.Fatal("store experiment not registered")
+	}
+	// A nested, not-yet-existing outdir doubles as the regression test for
+	// artifact writes creating their target directory.
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1, OutDir: dir, Datasets: []string{"wiki-sim"}}
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, StoreReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report StoreReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_store.json is not valid JSON: %v", err)
+	}
+	if len(report.Datasets) != 1 || report.Datasets[0].Name != "wiki-sim" {
+		t.Fatalf("report datasets = %+v", report.Datasets)
+	}
+	ds := report.Datasets[0]
+	if ds.ColdStartNS <= 0 || ds.WarmStartNS <= 0 || ds.FileBytes <= 0 {
+		t.Fatalf("implausible sample %+v", ds)
+	}
+	if ds.Speedup <= 0 {
+		t.Fatalf("speedup %v not positive", ds.Speedup)
+	}
+}

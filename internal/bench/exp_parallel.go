@@ -2,11 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
@@ -117,13 +114,9 @@ func runParallel(w io.Writer, cfg Config) error {
 	}
 	t.Fprint(w)
 
-	path := filepath.Join(cfg.OutDir, ParallelReportFile)
-	blob, err := json.MarshalIndent(report, "", "  ")
+	path, err := writeArtifact(cfg, ParallelReportFile, report)
 	if err != nil {
 		return err
-	}
-	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-		return fmt.Errorf("bench: write %s: %w", path, err)
 	}
 	fmt.Fprintf(w, "wrote %s\n\n", path)
 	return nil

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trussdiv"
+)
+
+// runStore measures what the persistent index store buys a serving
+// process: the cold path (build every index from the raw edge list and
+// persist it) versus the warm path (reload the same indexes from disk on
+// the next boot). The warm DB's answers are asserted identical to the
+// cold DB's on every engine, so the speedup column never comes at the
+// price of a different result. Numbers land in BENCH_store.json so the
+// startup-cost trajectory is tracked from PR to PR.
+
+// StoreDatasetReport is one dataset's cold-vs-warm measurement.
+type StoreDatasetReport struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// ColdStartNS is Open + Prepare against an empty index directory:
+	// every index is built from the graph and persisted.
+	ColdStartNS int64 `json:"cold_start_ns"`
+	// WarmStartNS is Open + Prepare against the directory the cold run
+	// populated: every index loads from the store.
+	WarmStartNS int64 `json:"warm_start_ns"`
+	FileBytes   int64 `json:"file_bytes"`
+	// Speedup is cold / warm startup wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// StoreReport is the schema of BENCH_store.json.
+type StoreReport struct {
+	Datasets []StoreDatasetReport `json:"datasets"`
+}
+
+// StoreReportFile is the artifact runStore writes (into cfg.OutDir,
+// default the working directory).
+const StoreReportFile = "BENCH_store.json"
+
+// runStore times cold and warm startup per dataset and emits both a
+// table and BENCH_store.json.
+func runStore(w io.Writer, cfg Config) error {
+	const k, r = int32(4), 100
+	ctx := context.Background()
+	scratch, err := os.MkdirTemp("", "tsd-store-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch)
+
+	var report StoreReport
+	t := &Table{
+		Title:   "Cold build vs warm load startup (persistent index store)",
+		Headers: []string{"Network", "cold start", "warm start", "file size", "speedup"},
+	}
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		dir := filepath.Join(scratch, name)
+
+		var coldDB, warmDB *trussdiv.DB
+		var coldErr, warmErr error
+		cold := Timed(func() {
+			coldDB, coldErr = trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+			if coldErr == nil {
+				coldErr = coldDB.Prepare(ctx)
+			}
+		})
+		if coldErr != nil {
+			return fmt.Errorf("%s: cold start: %w", name, coldErr)
+		}
+		if st := coldDB.StoreStatus(); st.SaveErr != nil {
+			return fmt.Errorf("%s: persist: %w", name, st.SaveErr)
+		}
+		warm := Timed(func() {
+			warmDB, warmErr = trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+			if warmErr == nil {
+				warmErr = warmDB.Prepare(ctx)
+			}
+		})
+		if warmErr != nil {
+			return fmt.Errorf("%s: warm start: %w", name, warmErr)
+		}
+		if st := warmDB.StoreStatus(); !st.Warm || st.LoadErr != nil {
+			return fmt.Errorf("%s: warm open did not trust the store (warm=%v, err=%v)",
+				name, st.Warm, st.LoadErr)
+		}
+		// The paper's correctness bar for the store: a loaded index must
+		// answer every engine's query exactly like a built one.
+		for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+			q := trussdiv.NewQuery(k, r, trussdiv.WithContexts(), trussdiv.ViaEngine(engine))
+			coldRes, _, err := coldDB.TopR(ctx, q)
+			if err != nil {
+				return fmt.Errorf("%s/%s: cold query: %w", name, engine, err)
+			}
+			warmRes, _, err := warmDB.TopR(ctx, q)
+			if err != nil {
+				return fmt.Errorf("%s/%s: warm query: %w", name, engine, err)
+			}
+			if err := sameAnswer(coldRes, warmRes); err != nil {
+				return fmt.Errorf("%s/%s: loaded index answers differ from built: %w", name, engine, err)
+			}
+		}
+		info, err := os.Stat(warmDB.StoreStatus().Path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		speedup := float64(cold) / float64(max(warm, time.Nanosecond))
+		report.Datasets = append(report.Datasets, StoreDatasetReport{
+			Name:        name,
+			Vertices:    g.N(),
+			Edges:       g.M(),
+			ColdStartNS: cold.Nanoseconds(),
+			WarmStartNS: warm.Nanoseconds(),
+			FileBytes:   info.Size(),
+			Speedup:     speedup,
+		})
+		t.AddRow(name, cold, warm, fmt.Sprintf("%d B", info.Size()), fmt.Sprintf("%.2fx", speedup))
+	}
+	t.Fprint(w)
+	path, err := writeArtifact(cfg, StoreReportFile, report)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}

@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -81,6 +84,7 @@ var experiments = []Experiment{
 	{"table5", "Table 5", "ego-network quality statistics of the top-1 results", runTable5},
 	{"ltcheck", "extension", "Fig. 14 robustness check under the Linear Threshold model", runLTCheck},
 	{"parallel", "extension", "serial vs parallel TopR per engine; writes BENCH_parallel.json", runParallel},
+	{"store", "extension", "cold build vs warm index-store load at startup; writes BENCH_store.json", runStore},
 }
 
 // All returns every registered experiment in paper order.
@@ -105,6 +109,25 @@ func RunAll(w io.Writer, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// writeArtifact marshals a machine-readable report into cfg.OutDir
+// (created if missing) and returns the path written.
+func writeArtifact(cfg Config, file string, report any) (string, error) {
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return "", fmt.Errorf("bench: %w", err)
+		}
+	}
+	path := filepath.Join(cfg.OutDir, file)
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
 }
 
 // IDs returns the sorted experiment identifiers (for CLI help).

@@ -22,7 +22,13 @@ type SparsifyResult struct {
 // ego-network, so every score(v) is preserved. Vertex IDs are kept;
 // vertices that become isolated are reported (and skipped by the search).
 func Sparsify(g *graph.Graph, k int32) *SparsifyResult {
-	tau := truss.Decompose(g)
+	return SparsifyWithTau(g, truss.Decompose(g), k)
+}
+
+// SparsifyWithTau is Sparsify with the global truss decomposition already
+// in hand (cached across searches, or loaded from an index store), so the
+// per-query cost drops to the edge filter.
+func SparsifyWithTau(g *graph.Graph, tau []int32, k int32) *SparsifyResult {
 	sub := g.FilterEdges(func(id int32) bool { return tau[id] >= k+1 })
 	isolated := 0
 	for v := 0; v < sub.N(); v++ {
@@ -57,10 +63,22 @@ func UpperBound(degree int, egoEdges int32, k int32) int {
 // the current r-th best score.
 type Bound struct {
 	g *graph.Graph
+	// tauFn, when set, supplies the global truss decomposition instead of
+	// recomputing it inside every search (see NewBoundWithTau).
+	tauFn func() []int32
 }
 
 // NewBound returns a Bound searcher over g.
 func NewBound(g *graph.Graph) *Bound { return &Bound{g: g} }
+
+// NewBoundWithTau returns a Bound searcher that obtains the global truss
+// decomposition of g from fn — typically a cache backed by an index store
+// — instead of recomputing it on every search. fn must return the exact
+// decomposition of g (tau indexed by edge ID); the search results are
+// identical either way.
+func NewBoundWithTau(g *graph.Graph, fn func() []int32) *Bound {
+	return &Bound{g: g, tauFn: fn}
+}
 
 // Graph returns the underlying graph.
 func (b *Bound) Graph() *graph.Graph { return b.g }
@@ -84,7 +102,12 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	sp := Sparsify(b.g, p.K)
+	var sp *SparsifyResult
+	if b.tauFn != nil {
+		sp = SparsifyWithTau(b.g, b.tauFn(), p.K)
+	} else {
+		sp = Sparsify(b.g, p.K)
+	}
 	sub := sp.Graph
 	scorer := NewScorer(sub)
 	stats := &Stats{}

@@ -49,6 +49,19 @@ func BuildHybrid(idx *GCTIndex) *Hybrid {
 	return h
 }
 
+// NewHybridFromRankings reconstructs a Hybrid from previously computed
+// per-k rankings (e.g. ones loaded from an index store): perK[k] must be
+// sorted by score descending then vertex ascending, exactly as Rankings
+// returns them. The rankings are adopted, not copied.
+func NewHybridFromRankings(g *graph.Graph, perK [][]VertexScore) *Hybrid {
+	maxK := int32(len(perK)) - 1
+	if maxK < 2 {
+		maxK = 2
+		perK = make([][]VertexScore, maxK+1)
+	}
+	return &Hybrid{g: g, scorer: NewScorer(g), perK: perK, maxK: maxK}
+}
+
 // MaxK returns the largest k with a non-trivial ranking.
 func (h *Hybrid) MaxK() int32 { return h.maxK }
 
@@ -132,6 +145,11 @@ func (h *Hybrid) SizeBytes() int64 {
 	}
 	return b
 }
+
+// Rankings returns every per-k ranking indexed by k (entries below k=2
+// are nil), the inverse of NewHybridFromRankings. The slices alias
+// internal storage.
+func (h *Hybrid) Rankings() [][]VertexScore { return h.perK }
 
 // Ranking returns the full precomputed ranking for k (sorted by score
 // descending). The slice aliases internal storage.

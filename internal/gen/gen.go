@@ -44,13 +44,25 @@ func BarabasiAlbert(n, attach int, seed int64) *graph.Graph {
 			repeated = append(repeated, int32(u))
 		}
 	}
+	// Picks are kept in selection order (the map only deduplicates):
+	// iterating the map here would feed Go's randomized map order back
+	// into `repeated`, making the graph differ across processes despite
+	// the fixed seed — which breaks anything fingerprinting the output,
+	// like the index store.
 	targets := make(map[int32]struct{}, attach)
+	picked := make([]int32, 0, attach)
 	for v := attach + 1; v < n; v++ {
 		clear(targets)
-		for len(targets) < attach {
-			targets[repeated[rng.Intn(len(repeated))]] = struct{}{}
+		picked = picked[:0]
+		for len(picked) < attach {
+			u := repeated[rng.Intn(len(repeated))]
+			if _, dup := targets[u]; dup {
+				continue
+			}
+			targets[u] = struct{}{}
+			picked = append(picked, u)
 		}
-		for u := range targets {
+		for _, u := range picked {
 			b.AddEdge(int32(v), u)
 			repeated = append(repeated, u, int32(v))
 		}

@@ -171,3 +171,29 @@ func TestCollaborationCaseStudyShape(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratorsDeterministic pins same-seed reproducibility: the
+// persistent index store fingerprints graphs, so a generator that lets
+// Go's randomized map iteration order leak into its RNG stream (as
+// BarabasiAlbert's target loop once did) breaks every cross-process
+// warm start on the synthetic datasets.
+func TestGeneratorsDeterministic(t *testing.T) {
+	sameEdges := func(name string, a, b *graph.Graph) {
+		t.Helper()
+		if a.M() != b.M() {
+			t.Fatalf("%s: same seed produced %d vs %d edges", name, a.M(), b.M())
+		}
+		for id, e := range a.Edges() {
+			if e != b.Edge(int32(id)) {
+				t.Fatalf("%s: edge %d differs: %v vs %v", name, id, e, b.Edge(int32(id)))
+			}
+		}
+	}
+	sameEdges("BarabasiAlbert",
+		BarabasiAlbert(2000, 4, 42), BarabasiAlbert(2000, 4, 42))
+	cfg := OverlayConfig{
+		N: 2000, Attach: 4, Cliques: 300, MinSize: 4, MaxSize: 10,
+		Window: 100, AnchorBias: 0.5, Diffuse: 40, Seed: 42,
+	}
+	sameEdges("CommunityOverlay", CommunityOverlay(cfg), CommunityOverlay(cfg))
+}

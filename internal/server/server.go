@@ -36,10 +36,11 @@ import (
 
 // Server answers structural diversity queries over one graph.
 type Server struct {
-	db      *trussdiv.DB
-	g       *graph.Graph
-	timeout time.Duration
-	built   time.Duration
+	db       *trussdiv.DB
+	g        *graph.Graph
+	timeout  time.Duration
+	indexDir string
+	built    time.Duration
 }
 
 // Option configures New.
@@ -53,9 +54,27 @@ func WithTimeout(d time.Duration) Option {
 	return func(s *Server) { s.timeout = d }
 }
 
-// New builds the indexes for g and returns a ready Server.
+// WithIndexDir connects the server's DB to a persistent index store in
+// dir: startup loads prebuilt indexes from dir/indexes.tdx when a valid
+// one exists (warm start), and persists freshly built ones otherwise, so
+// the next deploy skips the build. A stale or damaged file is rebuilt
+// around; /stats reports the rejection.
+func WithIndexDir(dir string) Option {
+	return func(s *Server) { s.indexDir = dir }
+}
+
+// New prepares the indexes for g — loading them from the index store
+// when one is configured and warm — and returns a ready Server.
 func New(g *graph.Graph, opts ...Option) *Server {
-	db, err := trussdiv.Open(g)
+	s := &Server{g: g}
+	for _, opt := range opts {
+		opt(s)
+	}
+	var dbOpts []trussdiv.Option
+	if s.indexDir != "" {
+		dbOpts = append(dbOpts, trussdiv.WithIndexDir(s.indexDir))
+	}
+	db, err := trussdiv.Open(g, dbOpts...)
 	if err != nil {
 		panic(err) // unreachable: g is non-nil and no conflicting options
 	}
@@ -63,10 +82,8 @@ func New(g *graph.Graph, opts ...Option) *Server {
 	if err := db.Prepare(context.Background()); err != nil {
 		panic(err)
 	}
-	s := &Server{db: db, g: g, built: time.Since(start)}
-	for _, opt := range opts {
-		opt(s)
-	}
+	s.db = db
+	s.built = time.Since(start)
 	return s
 }
 
@@ -124,7 +141,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	idx := s.db.IndexStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"vertices":        s.g.N(),
 		"edges":           s.g.M(),
 		"max_degree":      s.g.MaxDegree(),
@@ -132,7 +149,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"gct_index_bytes": idx.GCTBytes,
 		"tsd_index_bytes": idx.TSDBytes,
 		"index_build":     s.built.String(),
-	})
+	}
+	if st := s.db.StoreStatus(); st.Dir != "" {
+		source := "cold"
+		if st.Warm && idx.LoadTime > 0 {
+			source = "warm"
+		}
+		body["index_dir"] = st.Dir
+		body["index_source"] = source
+		if st.LoadErr != nil {
+			body["index_load_error"] = st.LoadErr.Error()
+		}
+		if st.SaveErr != nil {
+			// Persisting failed (read-only dir, full disk, ...): the server
+			// works but every future deploy will boot cold — surface it.
+			body["index_save_error"] = st.SaveErr.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleEngines(w http.ResponseWriter, _ *http.Request) {

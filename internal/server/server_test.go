@@ -286,3 +286,38 @@ func TestRequestTimeoutReturns504(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmStartFromIndexDir boots one server cold (building and
+// persisting its indexes) and a second against the same index directory:
+// the second must report a warm start in /stats and answer identically.
+func TestWarmStartFromIndexDir(t *testing.T) {
+	g := gen.Fig1Graph()
+	dir := t.TempDir()
+
+	cold := New(g, WithIndexDir(dir))
+	coldTS := httptest.NewServer(cold.Handler())
+	t.Cleanup(coldTS.Close)
+	coldStats := getJSON(t, coldTS.URL+"/stats", http.StatusOK)
+	if got := coldStats["index_source"]; got != "cold" {
+		t.Fatalf("first boot index_source = %v, want cold", got)
+	}
+
+	warm := New(g, WithIndexDir(dir))
+	warmTS := httptest.NewServer(warm.Handler())
+	t.Cleanup(warmTS.Close)
+	warmStats := getJSON(t, warmTS.URL+"/stats", http.StatusOK)
+	if got := warmStats["index_source"]; got != "warm" {
+		t.Fatalf("second boot index_source = %v, want warm (stats: %v)", got, warmStats)
+	}
+	if _, loadFailed := warmStats["index_load_error"]; loadFailed {
+		t.Fatalf("warm boot rejected the store: %v", warmStats["index_load_error"])
+	}
+
+	coldBody := getJSON(t, coldTS.URL+"/topr?k=4&r=5&engine=gct&contexts=true", http.StatusOK)
+	warmBody := getJSON(t, warmTS.URL+"/topr?k=4&r=5&engine=gct&contexts=true", http.StatusOK)
+	coldRes, _ := json.Marshal(coldBody["results"])
+	warmRes, _ := json.Marshal(warmBody["results"])
+	if string(coldRes) != string(warmRes) {
+		t.Fatalf("warm answers differ from cold:\n%s\n%s", coldRes, warmRes)
+	}
+}

@@ -1,0 +1,603 @@
+// Package store persists the library's search accelerators — the truss
+// decomposition, the TSD and GCT indexes, and the hybrid engine's per-k
+// rankings — in one versioned binary file, so a serving process can warm
+// start from disk instead of paying the full build cost on every boot.
+//
+// File layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "TDIX"
+//	4       4     format version (currently 1)
+//	8       32    SHA-256 fingerprint of the graph the indexes were built from
+//	40      4     section count
+//	44      24*c  table of contents: {id u32, crc32c u32, offset u64, length u64}
+//	...           section payloads, in TOC order
+//
+// Every section is independently addressable (offset + length) and
+// checksummed (CRC-32C over the payload), so a reader can load exactly the
+// indexes a query workload needs and detect bit rot in any of them. The
+// fingerprint binds the file to one graph: Open refuses a file whose
+// fingerprint does not match the graph it is asked to serve, returning a
+// *FingerprintError (errors.Is(err, ErrStaleIndex)) so callers can fall
+// back to a rebuild.
+//
+// Compatibility policy: the format version is bumped on any layout change;
+// readers accept exactly the versions they know (currently only 1) and
+// reject the rest with *VersionError rather than guessing. Unknown section
+// IDs inside a known version are skipped, so minor additions do not force
+// a version bump.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/graph"
+)
+
+const (
+	// Magic identifies a trussdiv index store file ("TDIX" on disk).
+	Magic = uint32(0x58494454)
+	// Version is the current format version; see the package comment for
+	// the compatibility policy.
+	Version = uint32(1)
+	// FileName is the conventional file name inside an index directory.
+	FileName = "indexes.tdx"
+
+	headerSize   = 44
+	tocEntrySize = 24
+	// maxSections bounds the TOC a reader will accept; the format defines
+	// four section IDs, so anything much larger is a corrupt header.
+	maxSections = 64
+)
+
+// Section identifies one independently loadable part of an index file.
+type Section uint32
+
+const (
+	// SecTruss is the global truss decomposition: one int32 trussness per
+	// edge, indexed by edge ID.
+	SecTruss Section = 1
+	// SecTSD is the TSD index in its core serialization.
+	SecTSD Section = 2
+	// SecGCT is the GCT index in its core serialization.
+	SecGCT Section = 3
+	// SecRankings is the hybrid engine's per-k vertex rankings.
+	SecRankings Section = 4
+)
+
+// String names the section for error messages.
+func (s Section) String() string {
+	switch s {
+	case SecTruss:
+		return "truss"
+	case SecTSD:
+		return "tsd"
+	case SecGCT:
+		return "gct"
+	case SecRankings:
+		return "rankings"
+	}
+	return fmt.Sprintf("section(%d)", uint32(s))
+}
+
+// Sentinel errors, each matched by errors.Is against the typed error that
+// carries the details.
+var (
+	// ErrNotIndexFile reports a file that does not start with the store
+	// magic — not a trussdiv index at all.
+	ErrNotIndexFile = errors.New("store: not a trussdiv index file")
+	// ErrVersion reports a format version this reader does not support;
+	// the concrete error is *VersionError.
+	ErrVersion = errors.New("store: unsupported index format version")
+	// ErrStaleIndex reports a fingerprint mismatch — the file was built
+	// from a different graph; the concrete error is *FingerprintError.
+	ErrStaleIndex = errors.New("store: index file does not match the graph")
+	// ErrCorrupt reports a structurally damaged file (truncation, bad
+	// checksum, impossible sizes); the concrete error is *CorruptError.
+	ErrCorrupt = errors.New("store: corrupt index file")
+)
+
+// VersionError reports an index file written by an incompatible format
+// version.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("store: index format version %d, this reader supports %d", e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrVersion) match.
+func (e *VersionError) Is(target error) bool { return target == ErrVersion }
+
+// FingerprintError reports an index file built from a different graph than
+// the one it is being opened against.
+type FingerprintError struct {
+	Got, Want [32]byte
+}
+
+func (e *FingerprintError) Error() string {
+	return fmt.Sprintf("store: index fingerprint %x does not match graph fingerprint %x",
+		e.Got[:8], e.Want[:8])
+}
+
+// Is makes errors.Is(err, ErrStaleIndex) match.
+func (e *FingerprintError) Is(target error) bool { return target == ErrStaleIndex }
+
+// CorruptError reports structural damage: a truncated file, a checksum
+// mismatch, or a section whose contents cannot describe the graph.
+type CorruptError struct {
+	Section Section // 0 when the damage is in the header or TOC
+	Reason  string
+	Err     error // underlying cause, when one exists
+}
+
+func (e *CorruptError) Error() string {
+	where := "header"
+	if e.Section != 0 {
+		where = e.Section.String() + " section"
+	}
+	msg := fmt.Sprintf("store: corrupt index file: %s: %s", where, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on amd64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Fingerprint hashes the graph structure (vertex count, edge count, and
+// the canonical edge list) so an index file can prove it was built from
+// the same graph it is asked to serve.
+func Fingerprint(g *graph.Graph) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("trussdiv-graph-v1"))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
+	h.Write(hdr[:])
+	// Hash edges in bounded chunks: binary.Write buffers its whole
+	// argument, and the full edge list of a large graph would be one
+	// giant allocation.
+	edges := g.Edges()
+	const chunk = 1 << 16
+	for len(edges) > 0 {
+		n := min(len(edges), chunk)
+		_ = binary.Write(h, binary.LittleEndian, edges[:n]) // sha256 writes cannot fail
+		edges = edges[n:]
+	}
+	var fp [32]byte
+	h.Sum(fp[:0])
+	return fp
+}
+
+// PathIn returns the conventional index file path inside dir.
+func PathIn(dir string) string { return filepath.Join(dir, FileName) }
+
+// Indexes bundles the sections a file can hold. Nil fields are simply
+// absent: Write persists only what is present, and ReadAll returns nil for
+// sections the file does not contain.
+type Indexes struct {
+	// Tau is the global truss decomposition, indexed by edge ID.
+	Tau []int32
+	// TSD is the per-vertex maximum-spanning-forest index (paper §5).
+	TSD *core.TSDIndex
+	// GCT is the compressed supernode/superedge index (paper §6).
+	GCT *core.GCTIndex
+	// Rankings are the hybrid engine's per-k vertex rankings
+	// (Rankings[k] is sorted by score descending, vertex ascending).
+	Rankings [][]core.VertexScore
+}
+
+// Write serializes the present sections of ix, fingerprinted against g,
+// and returns the bytes written.
+func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
+	type section struct {
+		id      Section
+		payload []byte
+	}
+	var secs []section
+	if ix.Tau != nil {
+		if len(ix.Tau) != g.M() {
+			return 0, fmt.Errorf("store: truss decomposition has %d entries, graph has %d edges",
+				len(ix.Tau), g.M())
+		}
+		secs = append(secs, section{SecTruss, encodeInt32s(ix.Tau)})
+	}
+	if ix.TSD != nil {
+		var buf bytes.Buffer
+		if _, err := ix.TSD.WriteTo(&buf); err != nil {
+			return 0, fmt.Errorf("store: serialize TSD index: %w", err)
+		}
+		secs = append(secs, section{SecTSD, buf.Bytes()})
+	}
+	if ix.GCT != nil {
+		var buf bytes.Buffer
+		if _, err := ix.GCT.WriteTo(&buf); err != nil {
+			return 0, fmt.Errorf("store: serialize GCT index: %w", err)
+		}
+		secs = append(secs, section{SecGCT, buf.Bytes()})
+	}
+	if ix.Rankings != nil {
+		payload, err := encodeRankings(ix.Rankings, g.N())
+		if err != nil {
+			return 0, err
+		}
+		secs = append(secs, section{SecRankings, payload})
+	}
+
+	fp := Fingerprint(g)
+	header := make([]byte, headerSize+tocEntrySize*len(secs))
+	binary.LittleEndian.PutUint32(header[0:4], Magic)
+	binary.LittleEndian.PutUint32(header[4:8], Version)
+	copy(header[8:40], fp[:])
+	binary.LittleEndian.PutUint32(header[40:44], uint32(len(secs)))
+	offset := uint64(len(header))
+	for i, s := range secs {
+		e := header[headerSize+tocEntrySize*i:]
+		binary.LittleEndian.PutUint32(e[0:4], uint32(s.id))
+		binary.LittleEndian.PutUint32(e[4:8], crc32.Checksum(s.payload, crcTable))
+		binary.LittleEndian.PutUint64(e[8:16], offset)
+		binary.LittleEndian.PutUint64(e[16:24], uint64(len(s.payload)))
+		offset += uint64(len(s.payload))
+	}
+
+	written := int64(0)
+	n, err := w.Write(header)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	for _, s := range secs {
+		n, err := w.Write(s.payload)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Save atomically writes the index file at path (creating parent
+// directories as needed): the bytes land in a temporary sibling first and
+// replace path only on success, so readers never observe a half-written
+// file.
+func Save(path string, g *graph.Graph, ix Indexes) error {
+	if dir := filepath.Dir(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := Write(tmp, g, ix); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+type tocEntry struct {
+	crc    uint32
+	offset uint64
+	length uint64
+}
+
+// File is an opened, header-validated index file whose sections load on
+// demand. Section reads reopen the file, so a File holds no descriptor
+// between calls and is safe for concurrent use.
+type File struct {
+	path string
+	g    *graph.Graph
+	toc  map[Section]tocEntry
+}
+
+// Open validates the file at path against g: magic, format version,
+// graph fingerprint, and TOC sanity. Sections are not read until
+// requested. A missing file surfaces as fs.ErrNotExist; a file built from
+// a different graph fails with *FingerprintError (ErrStaleIndex).
+func Open(path string, g *graph.Graph) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	n, readErr := io.ReadFull(f, hdr[:])
+	// Judge the magic before a short read: a random small file is "not an
+	// index", while a file that starts like one but ends early is corrupt.
+	if n >= 4 {
+		if magic := binary.LittleEndian.Uint32(hdr[0:4]); magic != Magic {
+			return nil, fmt.Errorf("%w (magic %#x)", ErrNotIndexFile, magic)
+		}
+	}
+	if readErr != nil {
+		return nil, &CorruptError{Reason: "truncated header", Err: readErr}
+	}
+	if version := binary.LittleEndian.Uint32(hdr[4:8]); version != Version {
+		return nil, &VersionError{Got: version, Want: Version}
+	}
+	var fp [32]byte
+	copy(fp[:], hdr[8:40])
+	if want := Fingerprint(g); fp != want {
+		return nil, &FingerprintError{Got: fp, Want: want}
+	}
+	count := binary.LittleEndian.Uint32(hdr[40:44])
+	if count > maxSections {
+		return nil, &CorruptError{Reason: fmt.Sprintf("implausible section count %d", count)}
+	}
+	tocBytes := make([]byte, tocEntrySize*int(count))
+	if _, err := io.ReadFull(f, tocBytes); err != nil {
+		return nil, &CorruptError{Reason: "truncated table of contents", Err: err}
+	}
+	toc := make(map[Section]tocEntry, count)
+	for i := 0; i < int(count); i++ {
+		e := tocBytes[tocEntrySize*i:]
+		id := Section(binary.LittleEndian.Uint32(e[0:4]))
+		entry := tocEntry{
+			crc:    binary.LittleEndian.Uint32(e[4:8]),
+			offset: binary.LittleEndian.Uint64(e[8:16]),
+			length: binary.LittleEndian.Uint64(e[16:24]),
+		}
+		// Compare without summing: offset+length can wrap in uint64, and a
+		// wrapped sum would wave a huge length through to make([]byte, n).
+		size := uint64(st.Size())
+		if entry.length > size || entry.offset > size-entry.length || entry.offset < headerSize {
+			return nil, &CorruptError{Section: id,
+				Reason: fmt.Sprintf("section extends beyond the file (offset %d, length %d, file %d)",
+					entry.offset, entry.length, st.Size())}
+		}
+		switch id {
+		case SecTruss, SecTSD, SecGCT, SecRankings:
+			if _, dup := toc[id]; dup {
+				return nil, &CorruptError{Section: id, Reason: "duplicate section"}
+			}
+			toc[id] = entry
+		default:
+			// Unknown sections within a known version are additions from a
+			// newer writer; skip them rather than failing the whole file.
+		}
+	}
+	return &File{path: path, g: g, toc: toc}, nil
+}
+
+// Path returns the file's location on disk.
+func (f *File) Path() string { return f.path }
+
+// Has reports whether the file contains section s.
+func (f *File) Has(s Section) bool {
+	_, ok := f.toc[s]
+	return ok
+}
+
+// Sections lists the recognized sections present in the file, in ID order.
+func (f *File) Sections() []Section {
+	var out []Section
+	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings} {
+		if f.Has(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// section reads and checksum-verifies one section's payload, or returns
+// (nil, nil) when the section is absent.
+func (f *File) section(s Section) ([]byte, error) {
+	entry, ok := f.toc[s]
+	if !ok {
+		return nil, nil
+	}
+	fd, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	payload := make([]byte, entry.length)
+	if _, err := fd.ReadAt(payload, int64(entry.offset)); err != nil {
+		return nil, &CorruptError{Section: s, Reason: "truncated payload", Err: err}
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != entry.crc {
+		return nil, &CorruptError{Section: s,
+			Reason: fmt.Sprintf("checksum mismatch (file %#x, computed %#x)", entry.crc, crc)}
+	}
+	return payload, nil
+}
+
+// Tau loads the global truss decomposition, or (nil, nil) when absent.
+func (f *File) Tau() ([]int32, error) {
+	payload, err := f.section(SecTruss)
+	if payload == nil || err != nil {
+		return nil, err
+	}
+	if len(payload) != 4*f.g.M() {
+		return nil, &CorruptError{Section: SecTruss,
+			Reason: fmt.Sprintf("%d payload bytes for %d edges", len(payload), f.g.M())}
+	}
+	return decodeInt32s(payload), nil
+}
+
+// TSD loads the TSD index bound to the file's graph, or (nil, nil) when
+// absent.
+func (f *File) TSD() (*core.TSDIndex, error) {
+	payload, err := f.section(SecTSD)
+	if payload == nil || err != nil {
+		return nil, err
+	}
+	idx, err := core.ReadTSDIndex(bytes.NewReader(payload), f.g)
+	if err != nil {
+		return nil, &CorruptError{Section: SecTSD, Reason: "decode failed", Err: err}
+	}
+	return idx, nil
+}
+
+// GCT loads the GCT index bound to the file's graph, or (nil, nil) when
+// absent.
+func (f *File) GCT() (*core.GCTIndex, error) {
+	payload, err := f.section(SecGCT)
+	if payload == nil || err != nil {
+		return nil, err
+	}
+	idx, err := core.ReadGCTIndex(bytes.NewReader(payload), f.g)
+	if err != nil {
+		return nil, &CorruptError{Section: SecGCT, Reason: "decode failed", Err: err}
+	}
+	return idx, nil
+}
+
+// Rankings loads the per-k rankings, or (nil, nil) when absent.
+func (f *File) Rankings() ([][]core.VertexScore, error) {
+	payload, err := f.section(SecRankings)
+	if payload == nil || err != nil {
+		return nil, err
+	}
+	return decodeRankings(payload, f.g.N())
+}
+
+// ReadAll opens path against g and loads every section it contains.
+func ReadAll(path string, g *graph.Graph) (*Indexes, error) {
+	f, err := Open(path, g)
+	if err != nil {
+		return nil, err
+	}
+	var ix Indexes
+	if ix.Tau, err = f.Tau(); err != nil {
+		return nil, err
+	}
+	if ix.TSD, err = f.TSD(); err != nil {
+		return nil, err
+	}
+	if ix.GCT, err = f.GCT(); err != nil {
+		return nil, err
+	}
+	if ix.Rankings, err = f.Rankings(); err != nil {
+		return nil, err
+	}
+	return &ix, nil
+}
+
+// --- section payload codecs ---
+
+func encodeInt32s(vs []int32) []byte {
+	out := make([]byte, 4*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+func decodeInt32s(payload []byte) []int32 {
+	out := make([]int32, len(payload)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return out
+}
+
+// encodeRankings lays the per-k rankings out as: maxK u32, then for each
+// k in [2, maxK] a u32 count followed by count {vertex i32, score i32}
+// pairs in ranking order.
+func encodeRankings(perK [][]core.VertexScore, n int) ([]byte, error) {
+	maxK := len(perK) - 1
+	if maxK < 2 {
+		maxK = 2
+	}
+	var buf bytes.Buffer
+	putU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	putU32(uint32(maxK))
+	for k := 2; k <= maxK; k++ {
+		var list []core.VertexScore
+		if k < len(perK) {
+			list = perK[k]
+		}
+		if len(list) > n {
+			return nil, fmt.Errorf("store: ranking for k=%d has %d entries, graph has %d vertices",
+				k, len(list), n)
+		}
+		putU32(uint32(len(list)))
+		for _, e := range list {
+			putU32(uint32(e.V))
+			putU32(uint32(int32(e.Score)))
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeRankings(payload []byte, n int) ([][]core.VertexScore, error) {
+	corrupt := func(reason string) error {
+		return &CorruptError{Section: SecRankings, Reason: reason}
+	}
+	if len(payload) < 4 {
+		return nil, corrupt("missing maxK")
+	}
+	pos := 0
+	nextU32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(payload[pos:])
+		pos += 4
+		return v
+	}
+	maxK := int(nextU32())
+	if maxK < 2 || maxK > n+2 {
+		return nil, corrupt(fmt.Sprintf("implausible maxK %d for %d vertices", maxK, n))
+	}
+	perK := make([][]core.VertexScore, maxK+1)
+	for k := 2; k <= maxK; k++ {
+		if pos+4 > len(payload) {
+			return nil, corrupt(fmt.Sprintf("truncated before ranking k=%d", k))
+		}
+		count := int(nextU32())
+		if count > n {
+			return nil, corrupt(fmt.Sprintf("ranking k=%d claims %d entries for %d vertices", k, count, n))
+		}
+		if pos+8*count > len(payload) {
+			return nil, corrupt(fmt.Sprintf("truncated inside ranking k=%d", k))
+		}
+		list := make([]core.VertexScore, count)
+		for i := range list {
+			v := int32(nextU32())
+			score := int32(nextU32())
+			if v < 0 || int(v) >= n {
+				return nil, corrupt(fmt.Sprintf("ranking k=%d entry %d: vertex %d out of range", k, i, v))
+			}
+			list[i] = core.VertexScore{V: v, Score: int(score)}
+		}
+		perK[k] = list
+	}
+	if pos != len(payload) {
+		return nil, corrupt(fmt.Sprintf("%d trailing bytes", len(payload)-pos))
+	}
+	return perK, nil
+}

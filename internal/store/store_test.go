@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/truss"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden index-store file")
+
+// buildIndexes constructs every section for g, the way cmd/tsdindex does.
+func buildIndexes(g *graph.Graph) Indexes {
+	gct := core.BuildGCTIndex(g)
+	return Indexes{
+		Tau:      truss.Decompose(g),
+		TSD:      core.BuildTSDIndex(g),
+		GCT:      gct,
+		Rankings: core.BuildHybrid(gct).Rankings(),
+	}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return gen.Fig1Graph()
+}
+
+// saveTo writes a full index file into a temp dir and returns its path.
+func saveTo(t *testing.T, g *graph.Graph, ix Indexes) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), FileName)
+	if err := Save(path, g, ix); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTripAllSections(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	path := saveTo(t, g, ix)
+
+	f, err := Open(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Section{SecTruss, SecTSD, SecGCT, SecRankings}
+	if got := f.Sections(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sections = %v, want %v", got, want)
+	}
+
+	back, err := ReadAll(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Tau, ix.Tau) {
+		t.Errorf("truss decomposition changed across the round trip")
+	}
+	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
+		t.Errorf("rankings changed across the round trip")
+	}
+	// The index structures have unexported scratch; compare through their
+	// serialized forms, which cover every searchable field.
+	var a, b bytes.Buffer
+	if _, err := ix.TSD.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.TSD.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("TSD index changed across the round trip")
+	}
+	a.Reset()
+	b.Reset()
+	if _, err := ix.GCT.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := back.GCT.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("GCT index changed across the round trip")
+	}
+}
+
+func TestPartialFileOnlyHasWrittenSections(t *testing.T) {
+	g := testGraph(t)
+	ix := Indexes{Tau: truss.Decompose(g)}
+	path := saveTo(t, g, ix)
+	back, err := ReadAll(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tau == nil || back.TSD != nil || back.GCT != nil || back.Rankings != nil {
+		t.Fatalf("partial file round-tripped to %+v", back)
+	}
+}
+
+// TestGoldenFormat pins the byte-exact on-disk layout of a fully
+// populated version-1 file: any change to the header, TOC, or a section
+// codec fails here and must come with a format-version bump (see the
+// package comment's compatibility policy). Regenerate deliberately with
+// `go test ./internal/store -run TestGoldenFormat -update`.
+func TestGoldenFormat(t *testing.T) {
+	g := testGraph(t)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, g, buildIndexes(g)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_fig1.tdx")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("serialized store (%d bytes) differs from golden file (%d bytes); "+
+			"a format change needs a Version bump and -update", buf.Len(), len(want))
+	}
+}
+
+func TestOpenMissingFileIsNotExist(t *testing.T) {
+	g := testGraph(t)
+	_, err := Open(filepath.Join(t.TempDir(), FileName), g)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestOpenRejectsNonIndexFile(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), FileName)
+	if err := os.WriteFile(path, []byte("not an index file at all, just text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path, g)
+	if !errors.Is(err, ErrNotIndexFile) {
+		t.Fatalf("err = %v, want ErrNotIndexFile", err)
+	}
+}
+
+func TestOpenRejectsTruncatedHeader(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), FileName)
+	if err := os.WriteFile(path, []byte{0x54, 0x44}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path, g)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CorruptError", err)
+	}
+}
+
+func TestOpenRejectsWrongVersion(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, Indexes{Tau: truss.Decompose(g)})
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(blob[4:8], Version+1)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(path, g)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("version error = %+v", err)
+	}
+}
+
+func TestOpenRejectsWrongFingerprint(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, Indexes{Tau: truss.Decompose(g)})
+
+	// A graph with one extra edge must be refused.
+	other := gen.BarabasiAlbert(g.N(), 3, 7)
+	_, err := Open(path, other)
+	if !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("err = %v, want ErrStaleIndex", err)
+	}
+	var fe *FingerprintError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %T, want *FingerprintError", err)
+	}
+	if fe.Got == fe.Want {
+		t.Fatal("fingerprint error carries identical fingerprints")
+	}
+}
+
+func TestSectionChecksumDetectsCorruption(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, buildIndexes(g))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte past the header and TOC (4 sections).
+	blob[headerSize+4*tocEntrySize+10] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path, g) // header is intact, so Open succeeds
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Tau(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Tau() err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedPayloadIsCorrupt(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, buildIndexes(g))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file in half: the TOC still points past the new EOF.
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, g); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRankingsRejectOutOfRangeVertex(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	// Poison one ranking entry with a vertex the graph does not have.
+	ix.Rankings[2] = append([]core.VertexScore(nil), ix.Rankings[2]...)
+	ix.Rankings[2][0].V = int32(g.N() + 100)
+	path := saveTo(t, g, ix)
+	f, err := Open(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Rankings(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Rankings() err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveIsAtomicAndCreatesDirs(t *testing.T) {
+	g := testGraph(t)
+	dir := filepath.Join(t.TempDir(), "a", "b")
+	path := filepath.Join(dir, FileName)
+	if err := Save(path, g, Indexes{Tau: truss.Decompose(g)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != FileName {
+		t.Fatalf("directory holds %v, want only %s (no temp leftovers)", entries, FileName)
+	}
+	if _, err := Open(path, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	g := testGraph(t)
+	same := testGraph(t)
+	if Fingerprint(g) != Fingerprint(same) {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	if Fingerprint(g) == Fingerprint(gen.BarabasiAlbert(200, 2, 1)) {
+		t.Fatal("different graphs share a fingerprint")
+	}
+}
+
+// TestTOCOffsetOverflowIsCorrupt crafts a TOC entry whose offset+length
+// wraps around uint64: the sum is small, but honoring it would hand a
+// huge length to make([]byte, n). Open must call it corrupt up front.
+func TestTOCOffsetOverflowIsCorrupt(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, Indexes{Tau: truss.Decompose(g)})
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First TOC entry: offset at byte 52, length at byte 60.
+	binary.LittleEndian.PutUint64(blob[headerSize+8:], 1<<63)
+	binary.LittleEndian.PutUint64(blob[headerSize+16:], 1<<63+100)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, g); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,29 @@
+package trussdiv
+
+import "trussdiv/internal/store"
+
+// The persistent index store (internal/store) serializes the search
+// accelerators — the truss decomposition, the TSD and GCT indexes, and
+// the hybrid rankings — into one versioned binary file, so servers warm
+// start instead of rebuilding on every boot. A DB connects to a store
+// with Open(g, WithIndexDir(dir)); cmd/tsdindex builds the file offline.
+// These sentinels surface the store's typed rejections through
+// DB.StoreStatus, matchable with errors.Is.
+var (
+	// ErrStaleIndex reports an index file built from a different graph
+	// than the one the DB serves; the DB rebuilt instead of loading. The
+	// concrete error carries both fingerprints.
+	ErrStaleIndex = store.ErrStaleIndex
+	// ErrIndexVersion reports an index file from an unsupported format
+	// version.
+	ErrIndexVersion = store.ErrVersion
+	// ErrIndexCorrupt reports a truncated, checksum-failing, or otherwise
+	// structurally damaged index file.
+	ErrIndexCorrupt = store.ErrCorrupt
+	// ErrNotIndexFile reports a file that is not a trussdiv index at all.
+	ErrNotIndexFile = store.ErrNotIndexFile
+)
+
+// IndexFileName is the file WithIndexDir reads and writes inside the
+// configured directory.
+const IndexFileName = store.FileName

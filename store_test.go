@@ -1,0 +1,227 @@
+package trussdiv_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"trussdiv"
+)
+
+// storeTestGraph is a community-overlay graph big enough that every
+// engine has non-trivial work but small enough for fast tests.
+func storeTestGraph(tb testing.TB, seed int64) *trussdiv.Graph {
+	tb.Helper()
+	return trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 600, Attach: 3, Cliques: 120, MinSize: 4, MaxSize: 8, Seed: seed,
+	})
+}
+
+// TestLoadedIndexesMatchRebuilt is the round-trip property the index
+// store promises: for every engine, a DB that loaded its indexes from
+// disk returns byte-identical TopR results (scores, order, contexts, and
+// padding) to a DB that built them from the raw graph.
+func TestLoadedIndexesMatchRebuilt(t *testing.T) {
+	g := storeTestGraph(t, 1)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.SaveIndexes(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.StoreStatus(); !st.Warm || st.LoadErr != nil {
+		t.Fatalf("warm open not trusted: %+v", st)
+	}
+
+	for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+		for _, q := range []trussdiv.Query{
+			trussdiv.NewQuery(3, 10, trussdiv.ViaEngine(engine), trussdiv.WithContexts()),
+			trussdiv.NewQuery(4, 25, trussdiv.ViaEngine(engine)),
+			trussdiv.NewQuery(5, 1, trussdiv.ViaEngine(engine), trussdiv.WithContexts(),
+				trussdiv.WithCandidates(0, 1, 2, 3, 4, 50, 51, 52)),
+		} {
+			coldRes, _, err := cold.TopR(ctx, q)
+			if err != nil {
+				t.Fatalf("%s cold: %v", engine, err)
+			}
+			warmRes, _, err := warm.TopR(ctx, q)
+			if err != nil {
+				t.Fatalf("%s warm: %v", engine, err)
+			}
+			if !reflect.DeepEqual(coldRes, warmRes) {
+				t.Errorf("%s k=%d r=%d: loaded-index result differs from rebuilt-index result",
+					engine, q.K, q.R)
+			}
+		}
+	}
+}
+
+// TestStaleIndexFallsBackToRebuild serves an index file built from a
+// different graph: the DB must refuse it with a typed error (errors.Is
+// ErrStaleIndex), rebuild from the graph it actually has, and still
+// answer correctly.
+func TestStaleIndexFallsBackToRebuild(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	oldGraph := storeTestGraph(t, 1)
+	oldDB, err := trussdiv.Open(oldGraph, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oldDB.Prepare(ctx, "tsd"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "redeployed with new data" scenario: same index dir, new graph.
+	newGraph := storeTestGraph(t, 2)
+	db, err := trussdiv.Open(newGraph, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.StoreStatus()
+	if st.Warm {
+		t.Fatal("DB trusted an index file built from a different graph")
+	}
+	if !errors.Is(st.LoadErr, trussdiv.ErrStaleIndex) {
+		t.Fatalf("LoadErr = %v, want errors.Is(_, ErrStaleIndex)", st.LoadErr)
+	}
+
+	// The fallback rebuild must answer, and with the new graph's indexes.
+	fresh, err := trussdiv.Open(newGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := trussdiv.NewQuery(3, 10, trussdiv.ViaEngine("tsd"), trussdiv.WithContexts())
+	got, _, err := db.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := fresh.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fallback rebuild answered differently from a fresh build")
+	}
+	// The rebuild also re-persisted: a third open on the same dir is warm.
+	again, err := trussdiv.Open(newGraph, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := again.StoreStatus(); !st.Warm {
+		t.Fatalf("rebuild did not refresh the store: %+v", st)
+	}
+}
+
+// TestCorruptIndexFallsBackToRebuild damages the persisted file and
+// checks the DB degrades to building with a typed, matchable error.
+func TestCorruptIndexFallsBackToRebuild(t *testing.T) {
+	g := storeTestGraph(t, 1)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	db, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Prepare(ctx, "tsd"); err != nil {
+		t.Fatal(err)
+	}
+	path := db.StoreStatus().Path
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	hurt, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := hurt.StoreStatus()
+	if st.Warm {
+		t.Fatal("DB trusted a truncated index file")
+	}
+	if !errors.Is(st.LoadErr, trussdiv.ErrIndexCorrupt) {
+		t.Fatalf("LoadErr = %v, want errors.Is(_, ErrIndexCorrupt)", st.LoadErr)
+	}
+	if _, _, err := hurt.TopR(ctx, trussdiv.NewQuery(3, 5, trussdiv.ViaEngine("tsd"))); err != nil {
+		t.Fatalf("fallback query failed: %v", err)
+	}
+}
+
+// TestSaveIndexesRequiresDir pins the error contract of SaveIndexes on a
+// DB opened without a store.
+func TestSaveIndexesRequiresDir(t *testing.T) {
+	db, err := trussdiv.Open(storeTestGraph(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveIndexes(); err == nil {
+		t.Fatal("SaveIndexes succeeded without an index directory")
+	}
+}
+
+// TestRoutingPrefersPersistedIndex checks the cost model treats an
+// on-disk index as cheap: a cold DB routes the first contexts-free query
+// to an index-free engine, while the same DB warm-started from a store
+// routes to an index engine because only the load cost remains.
+func TestRoutingPrefersPersistedIndex(t *testing.T) {
+	g := storeTestGraph(t, 1)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	seeded, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seeded.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	q := trussdiv.NewQuery(3, 10)
+	coldDB, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEngine := coldDB.Route(q).Name()
+
+	warmDB, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEngine := warmDB.Route(q).Name()
+
+	switch coldEngine {
+	case "tsd", "gct", "hybrid":
+		t.Fatalf("cold DB routed to index engine %q before any build", coldEngine)
+	}
+	switch warmEngine {
+	case "tsd", "gct", "hybrid":
+		// Routing saw the persisted index: load cost beat online search.
+	default:
+		t.Fatalf("warm DB routed to %q; want an index engine, since the "+
+			"store makes indexes cheap to have", warmEngine)
+	}
+	// And the routed warm query must actually work.
+	if _, _, err := warmDB.TopR(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+}

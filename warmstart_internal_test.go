@@ -1,0 +1,163 @@
+package trussdiv
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/gen"
+	"trussdiv/internal/store"
+)
+
+// TestWarmOpenNeverBuilds pins the warm-start contract: once a complete
+// index store exists, a new DB serves every prepared engine purely from
+// disk — the builders are never entered. The cache's build entry points
+// are swapped for tripwires, so any regression that silently rebuilds
+// (and re-pays the truss decomposition on deploy) fails loudly.
+func TestWarmOpenNeverBuilds(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 400, Attach: 3, Cliques: 80, MinSize: 4, MaxSize: 7, Seed: 5,
+	})
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	seed, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if seed.cache.builds == 0 {
+		t.Fatal("seeding DB built nothing; the tripwires below would prove nothing")
+	}
+	if st := seed.StoreStatus(); st.SaveErr != nil {
+		t.Fatalf("persist failed: %v", st.SaveErr)
+	}
+
+	warm, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.cache.buildTau = func(*Graph) []int32 {
+		t.Error("warm DB rebuilt the truss decomposition")
+		return nil
+	}
+	warm.cache.buildTSD = func(g *Graph) *core.TSDIndex {
+		t.Error("warm DB rebuilt the TSD index")
+		return core.BuildTSDIndex(g)
+	}
+	warm.cache.buildGCT = func(g *Graph) *core.GCTIndex {
+		t.Error("warm DB rebuilt the GCT index")
+		return core.BuildGCTIndex(g)
+	}
+	warm.cache.buildHybrid = func(idx *core.GCTIndex) *core.Hybrid {
+		t.Error("warm DB rebuilt the hybrid rankings")
+		return core.BuildHybrid(idx)
+	}
+
+	if err := warm.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+		if _, _, err := warm.TopR(ctx, NewQuery(3, 10, ViaEngine(engine), WithContexts())); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+	if _, err := warm.Score(ctx, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if warm.cache.builds != 0 {
+		t.Fatalf("warm DB performed %d builds; want 0", warm.cache.builds)
+	}
+	if st := warm.IndexStats(); st.LoadTime == 0 {
+		t.Fatal("warm DB reports zero load time; nothing was read from the store")
+	}
+}
+
+// TestDamagedSectionKeepsSiblings corrupts exactly one section of a full
+// store file and checks two things the per-section checksums exist for:
+// the sibling sections still load (no whole-file demotion), and the
+// post-rebuild persist keeps them instead of writing a file holding only
+// the rebuilt section.
+func TestDamagedSectionKeepsSiblings(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 9,
+	})
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	seed, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	path := store.PathIn(dir)
+
+	// Flip one byte inside the TSD section's payload, located via the TOC
+	// (header: 44 bytes; entries: {id u32, crc u32, off u64, len u64}).
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := int(binary.LittleEndian.Uint32(blob[40:44]))
+	found := false
+	for i := 0; i < count; i++ {
+		e := blob[44+24*i:]
+		if store.Section(binary.LittleEndian.Uint32(e[0:4])) == store.SecTSD {
+			off := binary.LittleEndian.Uint64(e[8:16])
+			blob[off+20] ^= 0xFF
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no TSD section in the persisted file")
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The damaged section must rebuild (builds == 1)...
+	if _, _, err := db.TopR(ctx, NewQuery(3, 5, ViaEngine("tsd"))); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(db.StoreStatus().LoadErr, ErrIndexCorrupt) {
+		t.Fatalf("LoadErr = %v, want ErrIndexCorrupt", db.StoreStatus().LoadErr)
+	}
+	if db.cache.builds != 1 {
+		t.Fatalf("builds = %d, want exactly the damaged section rebuilt", db.cache.builds)
+	}
+	// ...while its siblings still load from disk, not from builders.
+	if err := db.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if db.cache.builds != 1 {
+		t.Fatalf("builds = %d after Prepare; sibling sections were rebuilt instead of loaded",
+			db.cache.builds)
+	}
+	// And the rebuild's persist kept every section: a fresh open is fully
+	// warm again.
+	healed, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healed.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := healed.StoreStatus()
+	if !st.Warm || len(st.Sections) != 4 {
+		t.Fatalf("store after heal: %+v, want all 4 sections", st)
+	}
+	if healed.cache.builds != 0 {
+		t.Fatalf("healed open built %d times; want 0", healed.cache.builds)
+	}
+}
