@@ -1,6 +1,8 @@
 # Tier-1 verification is `make check`: vet, build, and test everything.
 # `make check-race` re-runs the suite under the race detector — required
-# for changes touching the parallel search layer or DB.Batch.
+# for changes touching the parallel search layer, DB.Batch, or the
+# mutable-graph write path (the root-package apply/snapshot tests,
+# e.g. TestConcurrentReadersDuringApply, run under it).
 # `make ci` is the umbrella the GitHub workflow runs: formatting gate
 # plus the tier-1 checks.
 GO ?= go
@@ -41,6 +43,7 @@ bench-parallel:
 bench-artifacts:
 	$(GO) run ./cmd/tsdbench -exp parallel -quick -outdir bench-out
 	$(GO) run ./cmd/tsdbench -exp store -quick -outdir bench-out
+	$(GO) run ./cmd/tsdbench -exp dynamic -quick -outdir bench-out
 
 cover:
 	$(GO) test -cover ./...

@@ -27,6 +27,7 @@ type indexCache struct {
 	g *Graph
 
 	mu        sync.Mutex
+	epoch     Epoch   // the snapshot this cache belongs to; recorded on persist
 	tau       []int32 // global truss decomposition, indexed by edge ID
 	tsd       *core.TSDIndex
 	gct       *core.GCTIndex
@@ -86,6 +87,59 @@ func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
 		}
 	}
 	return c
+}
+
+// setEpoch aligns the cache with the snapshot it serves, so a persist
+// records which graph version the file describes.
+func (c *indexCache) setEpoch(e Epoch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch = e
+}
+
+// storedEpoch reads the epoch a warm index file recorded (0 when cold,
+// absent, or unreadable) — Open resumes the counter from it so epochs
+// keep increasing across redeploys.
+func (c *indexCache) storedEpoch() Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ep := loadSection(c, store.SecEpoch, (*store.File).Epoch)
+	return Epoch(ep)
+}
+
+// advance derives the next snapshot's cache from this one after an update
+// batch: the TSD and GCT indexes — when in memory — are repaired
+// incrementally against the shared edited graph (copy-on-write, so this
+// cache keeps answering for in-flight readers), while the global truss
+// decomposition and the hybrid rankings, whose repair would cost a
+// rebuild, are invalidated and rebuilt lazily on next use. The repairs
+// run outside the lock (they only read the old, now-immutable structures)
+// so readers of this snapshot never block on an Apply. The index store
+// connection moves to the new cache: its next persist re-derives the
+// fingerprint from the edited graph. This cache stops persisting — a late
+// lazy build on a superseded snapshot must not clobber newer state.
+func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.UpdateStats) {
+	c.mu.Lock()
+	tsd, gct := c.tsd, c.gct
+	next := &indexCache{
+		g:           newG,
+		dir:         c.dir,
+		buildTau:    c.buildTau,
+		buildTSD:    c.buildTSD,
+		buildGCT:    c.buildGCT,
+		buildHybrid: c.buildHybrid,
+	}
+	c.dir = ""
+	c.mu.Unlock()
+
+	var stats *core.UpdateStats
+	if tsd != nil {
+		next.tsd, stats = tsd.UpdateOnto(newG, ins, del)
+	}
+	if gct != nil {
+		next.gct, stats = gct.UpdateOnto(newG, ins, del)
+	}
+	return next, stats
 }
 
 // loadSection reads one section from the warm-start file, or returns the
@@ -265,7 +319,7 @@ func (c *indexCache) persistLocked() {
 			}
 		}
 	}
-	ix := store.Indexes{Tau: c.tau, TSD: c.tsd, GCT: c.gct}
+	ix := store.Indexes{Tau: c.tau, TSD: c.tsd, GCT: c.gct, Epoch: uint64(c.epoch)}
 	if c.hybrid != nil {
 		ix.Rankings = c.hybrid.Rankings()
 	}

@@ -1,0 +1,67 @@
+package trussdiv
+
+import (
+	"context"
+	"testing"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/gen"
+)
+
+// TestApplyRepairsWithoutRebuilding pins the incremental-maintenance
+// contract of the snapshot transition: after an Apply, the tsd and gct
+// engines answer from the repaired indexes — their builders are never
+// re-entered — while the invalidated truss decomposition and hybrid
+// rankings rebuild lazily, exactly once each, on first use.
+func TestApplyRepairsWithoutRebuilding(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 38,
+	})
+	ctx := context.Background()
+	db, err := Open(g, WithPreparedIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One insertion between existing non-adjacent vertices.
+	var u Updates
+	for a := int32(0); a < int32(g.N()) && u.Insert == nil; a++ {
+		for b := a + 1; b < int32(g.N()); b++ {
+			if !g.HasEdge(a, b) {
+				u.Insert = []Edge{{U: a, V: b}}
+				break
+			}
+		}
+	}
+	if _, err := db.Apply(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := db.Snapshot().cache
+	cache.buildTSD = func(*Graph) *core.TSDIndex {
+		t.Error("apply-repaired TSD index was rebuilt from scratch")
+		return core.BuildTSDIndex(db.Graph())
+	}
+	cache.buildGCT = func(*Graph) *core.GCTIndex {
+		t.Error("apply-repaired GCT index was rebuilt from scratch")
+		return core.BuildGCTIndex(db.Graph())
+	}
+	for _, engine := range []string{"tsd", "gct"} {
+		if _, _, err := db.TopR(ctx, NewQuery(4, 5, ViaEngine(engine))); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+	if cache.builds != 0 {
+		t.Fatalf("builds = %d after repaired-engine queries, want 0", cache.builds)
+	}
+
+	// The invalidated structures rebuild lazily: bound re-derives the
+	// truss decomposition, hybrid re-ranks (reusing the repaired GCT).
+	for _, engine := range []string{"bound", "hybrid"} {
+		if _, _, err := db.TopR(ctx, NewQuery(4, 5, ViaEngine(engine))); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+	if cache.builds != 2 {
+		t.Fatalf("builds = %d after bound+hybrid queries, want exactly the 2 invalidated structures", cache.builds)
+	}
+}

@@ -1,0 +1,555 @@
+package trussdiv_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"trussdiv"
+	"trussdiv/internal/bench"
+)
+
+// randomUpdates picks a valid update batch for g: insertions among
+// absent vertex pairs, deletions among present edges, no overlaps.
+// The sampling logic lives in internal/bench (the dynamic experiment
+// uses the same batches).
+func randomUpdates(tb testing.TB, g *trussdiv.Graph, rng *rand.Rand, nIns, nDel int) trussdiv.Updates {
+	tb.Helper()
+	return bench.RandomUpdates(g, rng, nIns, nDel)
+}
+
+// sameResult compares two Results up to the epoch stamp (an applied DB
+// and a freshly opened one legitimately disagree on epochs; everything
+// else must be byte-identical).
+func sameResult(tb testing.TB, label string, got, want *trussdiv.Result) {
+	tb.Helper()
+	g, w := *got, *want
+	g.Epoch, w.Epoch = 0, 0
+	if !reflect.DeepEqual(g.TopR, w.TopR) {
+		tb.Fatalf("%s: answers differ:\n got %v\nwant %v", label, g.TopR, w.TopR)
+	}
+	if !reflect.DeepEqual(g.Contexts, w.Contexts) {
+		tb.Fatalf("%s: contexts differ", label)
+	}
+}
+
+var allEngines = []string{"online", "bound", "tsd", "gct", "hybrid"}
+
+// TestApplyMatchesRebuildAllEngines is the correctness bar of the
+// mutable-graph API: a randomized insert/delete stream is applied batch
+// by batch, and after every Apply each of the five engines must answer
+// exactly like a DB built cold on the mutated graph — whether the DB had
+// every index warm (the incremental-repair path) or none (the
+// invalidate-and-lazily-rebuild path).
+func TestApplyMatchesRebuildAllEngines(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		prepare bool
+	}{
+		{"warm-indexes", true},
+		{"cold-indexes", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+				N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 31,
+			})
+			var opts []trussdiv.Option
+			if tc.prepare {
+				opts = append(opts, trussdiv.WithPreparedIndexes())
+			}
+			db, err := trussdiv.Open(g, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(7))
+			for batch := 0; batch < 3; batch++ {
+				u := randomUpdates(t, db.Graph(), rng, 6, 6)
+				epoch, err := db.Apply(ctx, u)
+				if err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				if want := trussdiv.Epoch(2 + batch); epoch != want {
+					t.Fatalf("batch %d: epoch = %d, want %d", batch, epoch, want)
+				}
+				fresh, err := trussdiv.Open(db.Graph())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, engine := range allEngines {
+					for _, k := range []int32{3, 4} {
+						q := trussdiv.NewQuery(k, 10,
+							trussdiv.WithContexts(), trussdiv.ViaEngine(engine))
+						got, _, err := db.TopR(ctx, q)
+						if err != nil {
+							t.Fatalf("%s k=%d: %v", engine, k, err)
+						}
+						if got.Epoch != uint64(epoch) {
+							t.Fatalf("%s: result epoch %d, want %d", engine, got.Epoch, epoch)
+						}
+						want, _, err := fresh.TopR(ctx, q)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameResult(t, engine, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotPinning checks the reader guarantee: a snapshot grabbed
+// before an Apply keeps its epoch, its graph, and its answers, while the
+// DB moves on — and the pinned answers still match a cold DB on the old
+// graph (the copy-on-write repair never mutates superseded state).
+func TestSnapshotPinning(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 32,
+	})
+	db, err := trussdiv.Open(g, trussdiv.WithPreparedIndexes("tsd", "gct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 10, trussdiv.WithContexts(), trussdiv.ViaEngine("tsd"))
+	pinned := db.Snapshot()
+	before, _, err := pinned.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	for batch := 0; batch < 3; batch++ {
+		if _, err := db.Apply(ctx, randomUpdates(t, db.Graph(), rng, 5, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pinned.Epoch() != 1 {
+		t.Fatalf("pinned epoch = %d, want 1", pinned.Epoch())
+	}
+	if db.Epoch() != 4 {
+		t.Fatalf("db epoch = %d, want 4", db.Epoch())
+	}
+	if pinned.Graph() != g {
+		t.Fatal("pinned snapshot swapped its graph")
+	}
+	if db.Graph() == g {
+		t.Fatal("db graph did not advance")
+	}
+
+	after, _, err := pinned.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "pinned pre/post", after, before)
+
+	// The pinned answers equal a cold DB over the original graph: the
+	// applies never leaked into superseded snapshots.
+	coldOld, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := coldOld.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "pinned vs cold-old", after, want)
+}
+
+// TestApplyValidation rejects malformed batches atomically: typed error,
+// no epoch advance, graph untouched.
+func TestApplyValidation(t *testing.T) {
+	g := trussdiv.PaperExampleGraph()
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	edges := g.Edges()
+	present := edges[0]
+	var absent trussdiv.Edge
+	for a := int32(0); a < int32(g.N()) && absent == (trussdiv.Edge{}); a++ {
+		for b := a + 1; b < int32(g.N()); b++ {
+			if !g.HasEdge(a, b) {
+				absent = trussdiv.Edge{U: a, V: b}
+				break
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		u    trussdiv.Updates
+	}{
+		{"insert-present", trussdiv.Updates{Insert: []trussdiv.Edge{present}}},
+		{"delete-absent", trussdiv.Updates{Delete: []trussdiv.Edge{absent}}},
+		{"duplicate-insert", trussdiv.Updates{Insert: []trussdiv.Edge{absent, {U: absent.V, V: absent.U}}}},
+		{"insert-and-delete", trussdiv.Updates{Insert: []trussdiv.Edge{present}, Delete: []trussdiv.Edge{present}}},
+		{"self-loop", trussdiv.Updates{Insert: []trussdiv.Edge{{U: 3, V: 3}}}},
+		{"out-of-range", trussdiv.Updates{Insert: []trussdiv.Edge{{U: 0, V: int32(g.N())}}}},
+		{"negative", trussdiv.Updates{Delete: []trussdiv.Edge{{U: -1, V: 2}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := db.Apply(ctx, tc.u)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if !errors.Is(err, trussdiv.ErrBadUpdate) {
+				t.Fatalf("errors.Is(err, ErrBadUpdate) = false for %v", err)
+			}
+			var ue *trussdiv.UpdateError
+			if !errors.As(err, &ue) {
+				t.Fatalf("err %T is not *UpdateError", err)
+			}
+			if db.Epoch() != 1 {
+				t.Fatalf("epoch advanced to %d on a rejected batch", db.Epoch())
+			}
+			if db.Graph() != g {
+				t.Fatal("graph swapped on a rejected batch")
+			}
+		})
+	}
+
+	// An empty batch is a no-op returning the current epoch.
+	epoch, err := db.Apply(ctx, trussdiv.Updates{})
+	if err != nil || epoch != 1 {
+		t.Fatalf("empty batch = (%d, %v), want (1, nil)", epoch, err)
+	}
+
+	// A cancelled context aborts before anything happens.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.Apply(cancelled, trussdiv.Updates{Insert: []trussdiv.Edge{absent}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled apply err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInjectedIndexValidation pins the WithTSDIndex/WithGCTIndex
+// contract: structural validation at Open, typed error on mismatch, and
+// acceptance of an index over an equal-but-distinct graph (the
+// deserialize-elsewhere case pointer identity used to reject).
+func TestInjectedIndexValidation(t *testing.T) {
+	mk := func() *trussdiv.Graph {
+		return trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+			N: 200, Attach: 3, Cliques: 40, MinSize: 4, MaxSize: 7, Seed: 33,
+		})
+	}
+	g, twin := mk(), mk()
+	other := trussdiv.PaperExampleGraph()
+
+	tsdIdx := trussdiv.BuildTSDIndex(g)
+	gctIdx := trussdiv.BuildGCTIndex(g)
+
+	// Same structure, different pointer: accepted.
+	if _, err := trussdiv.Open(twin, trussdiv.WithTSDIndex(tsdIdx), trussdiv.WithGCTIndex(gctIdx)); err != nil {
+		t.Fatalf("structurally equal graph rejected: %v", err)
+	}
+
+	// Different graph: typed rejection at Open, for each injector.
+	for _, tc := range []struct {
+		name string
+		opt  trussdiv.Option
+	}{
+		{"tsd", trussdiv.WithTSDIndex(tsdIdx)},
+		{"gct", trussdiv.WithGCTIndex(gctIdx)},
+	} {
+		_, err := trussdiv.Open(other, tc.opt)
+		if err == nil {
+			t.Fatalf("%s: want error for index over a different graph", tc.name)
+		}
+		if !errors.Is(err, trussdiv.ErrIndexMismatch) {
+			t.Fatalf("%s: errors.Is(err, ErrIndexMismatch) = false for %v", tc.name, err)
+		}
+		var me *trussdiv.IndexMismatchError
+		if !errors.As(err, &me) {
+			t.Fatalf("%s: err %T is not *IndexMismatchError", tc.name, err)
+		}
+		if me.Index != tc.name {
+			t.Fatalf("mismatch names index %q, want %q", me.Index, tc.name)
+		}
+	}
+
+	// Same vertex count and edge count but different wiring is still
+	// caught (the fingerprint check behind the cheap count checks).
+	b1 := trussdiv.NewBuilder(4)
+	b1.AddEdge(0, 1)
+	b1.AddEdge(2, 3)
+	gA := b1.Build()
+	b2 := trussdiv.NewBuilder(4)
+	b2.AddEdge(0, 2)
+	b2.AddEdge(1, 3)
+	gB := b2.Build()
+	if _, err := trussdiv.Open(gB, trussdiv.WithTSDIndex(trussdiv.BuildTSDIndex(gA))); !errors.Is(err, trussdiv.ErrIndexMismatch) {
+		t.Fatalf("rewired graph not caught: %v", err)
+	}
+}
+
+// reboundEngine is a Register'd backend that implements Rebinder: each
+// Apply hands it the edited graph.
+type reboundEngine struct {
+	name    string
+	g       *trussdiv.Graph
+	rebinds *atomic.Int32
+}
+
+func (e *reboundEngine) Name() string { return e.name }
+func (e *reboundEngine) TopR(ctx context.Context, q trussdiv.Query) (*trussdiv.Result, *trussdiv.Stats, error) {
+	return &trussdiv.Result{}, nil, nil
+}
+func (e *reboundEngine) Score(ctx context.Context, v, k int32) (int, error) { return e.g.M(), nil }
+func (e *reboundEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	return nil, nil
+}
+func (e *reboundEngine) Cost(q trussdiv.Query) trussdiv.Estimate {
+	return trussdiv.Estimate{Query: 1e18}
+}
+func (e *reboundEngine) Rebind(g *trussdiv.Graph) (trussdiv.Engine, error) {
+	e.rebinds.Add(1)
+	return &reboundEngine{name: e.name, g: g, rebinds: e.rebinds}, nil
+}
+
+// TestRegisterSurvivesApply: custom engines are carried into every
+// snapshot an Apply produces, rebound to the edited graph when they
+// implement Rebinder.
+func TestRegisterSurvivesApply(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 150, Attach: 3, Cliques: 30, MinSize: 4, MaxSize: 6, Seed: 34,
+	})
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebinds atomic.Int32
+	if err := db.Register(&reboundEngine{name: "custom", g: g, rebinds: &rebinds}, false); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(9))
+	if _, err := db.Apply(ctx, randomUpdates(t, db.Graph(), rng, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if rebinds.Load() != 1 {
+		t.Fatalf("rebinds = %d, want 1", rebinds.Load())
+	}
+	eng, err := db.Engine("custom")
+	if err != nil {
+		t.Fatalf("custom engine lost across Apply: %v", err)
+	}
+	// The rebound engine sees the edited graph (3 more edges).
+	m, err := eng.Score(ctx, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != db.Graph().M() || m != g.M()+3 {
+		t.Fatalf("rebound engine sees %d edges, want %d", m, g.M()+3)
+	}
+}
+
+// TestConcurrentReadersDuringApply is the -race target of the snapshot
+// transition: readers hammer TopR (and a pinned snapshot) while Apply
+// streams update batches. Every result must carry an epoch the DB
+// actually served, the pinned reader must stay at its epoch, and nothing
+// may fault or race.
+func TestConcurrentReadersDuringApply(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 250, Attach: 3, Cliques: 50, MinSize: 4, MaxSize: 6, Seed: 35,
+	})
+	db, err := trussdiv.Open(g, trussdiv.WithPreparedIndexes("tsd", "gct"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const batches = 4
+	pinned := db.Snapshot()
+	pinnedWant, _, err := pinned.TopR(ctx, trussdiv.NewQuery(4, 5, trussdiv.ViaEngine("tsd"), trussdiv.WithoutStats()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			engine := allEngines[w%len(allEngines)]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, _, err := db.TopR(ctx, trussdiv.NewQuery(3, 5,
+					trussdiv.ViaEngine(engine), trussdiv.WithoutStats()))
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if res.Epoch < 1 || res.Epoch > batches+1 {
+					t.Errorf("reader saw epoch %d outside [1,%d]", res.Epoch, batches+1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, _, err := pinned.TopR(ctx, trussdiv.NewQuery(4, 5,
+				trussdiv.ViaEngine("tsd"), trussdiv.WithoutStats()))
+			if err != nil {
+				t.Errorf("pinned reader: %v", err)
+				return
+			}
+			if res.Epoch != 1 {
+				t.Errorf("pinned reader drifted to epoch %d", res.Epoch)
+				return
+			}
+			if !reflect.DeepEqual(res.TopR, pinnedWant.TopR) {
+				t.Errorf("pinned reader's answer changed under Apply")
+				return
+			}
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(10))
+	for batch := 0; batch < batches; batch++ {
+		if _, err := db.Apply(ctx, randomUpdates(t, db.Graph(), rng, 4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if db.Epoch() != batches+1 {
+		t.Fatalf("final epoch = %d, want %d", db.Epoch(), batches+1)
+	}
+}
+
+// TestStoreEpochAcrossApply: the persistent index store is epoch-aware.
+// SaveIndexes after an Apply persists the post-update state under the new
+// graph's fingerprint and records the epoch; a warm reopen of the mutated
+// graph resumes the epoch counter, while the pre-update graph correctly
+// rejects the file as stale.
+func TestStoreEpochAcrossApply(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 200, Attach: 3, Cliques: 40, MinSize: 4, MaxSize: 6, Seed: 37,
+	})
+	dir := t.TempDir()
+	ctx := context.Background()
+	db, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	epoch, err := db.Apply(ctx, randomUpdates(t, db.Graph(), rng, 5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", epoch)
+	}
+	// Re-prepare the invalidated structures against the new graph, then
+	// persist the post-update state.
+	if err := db.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveIndexes(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm reopen of the mutated graph: store trusted, epoch resumed.
+	warm, err := trussdiv.Open(db.Graph(), trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.StoreStatus(); !st.Warm || st.LoadErr != nil {
+		t.Fatalf("warm reopen rejected the post-update store: %+v", st)
+	}
+	if warm.Epoch() != 2 {
+		t.Fatalf("warm reopen epoch = %d, want 2 (resumed from the store)", warm.Epoch())
+	}
+	q := trussdiv.NewQuery(4, 10, trussdiv.WithContexts(), trussdiv.ViaEngine("tsd"))
+	got, _, err := warm.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := db.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "warm vs applied", got, want)
+
+	// The epoch keeps counting up from the resumed value.
+	if next, err := warm.Apply(ctx, randomUpdates(t, warm.Graph(), rng, 2, 2)); err != nil || next != 3 {
+		t.Fatalf("apply on warm DB = (%d, %v), want (3, nil)", next, err)
+	}
+
+	// The pre-update graph no longer matches the file: typed stale
+	// rejection, rebuild fallback.
+	stale, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stale.StoreStatus(); !errors.Is(st.LoadErr, trussdiv.ErrStaleIndex) {
+		t.Fatalf("old graph against post-update store: LoadErr = %v, want ErrStaleIndex", st.LoadErr)
+	}
+	if stale.Epoch() != 1 {
+		t.Fatalf("stale open epoch = %d, want 1", stale.Epoch())
+	}
+}
+
+// TestApplyStatsAndIndexSurvival: the snapshot after an Apply reports the
+// repair stats, keeps the repaired TSD/GCT indexes ready, and drops the
+// invalidated truss decomposition and hybrid rankings.
+func TestApplyStatsAndIndexSurvival(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 200, Attach: 3, Cliques: 40, MinSize: 4, MaxSize: 6, Seed: 36,
+	})
+	db, err := trussdiv.Open(g, trussdiv.WithPreparedIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db.IndexStats()
+	if !st.TSDReady || !st.GCTReady || !st.HybridReady || !st.TauReady {
+		t.Fatalf("prepare left indexes unready: %+v", st)
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(11))
+	if _, err := db.Apply(ctx, randomUpdates(t, db.Graph(), rng, 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if ast := snap.ApplyStats(); ast == nil || ast.Inserted != 4 || ast.Removed != 4 || ast.Affected == 0 {
+		t.Fatalf("ApplyStats = %+v", ast)
+	}
+	st = snap.IndexStats()
+	if !st.TSDReady || !st.GCTReady {
+		t.Fatalf("repairable indexes did not survive the apply: %+v", st)
+	}
+	if st.TauReady || st.HybridReady {
+		t.Fatalf("global structures survived the apply instead of invalidating: %+v", st)
+	}
+	// A snapshot of a cold DB reports no apply stats.
+	cold, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast := cold.Snapshot().ApplyStats(); ast != nil {
+		t.Fatalf("cold snapshot ApplyStats = %+v, want nil", ast)
+	}
+}

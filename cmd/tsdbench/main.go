@@ -7,11 +7,14 @@
 //	tsdbench -exp all -quick              # everything, small datasets
 //	tsdbench -exp all -timeout 5m         # bound the whole run
 //	tsdbench -exp parallel -workers 8     # serial vs parallel engine timings
+//	tsdbench -exp dynamic -updates 32     # incremental Apply vs cold rebuild
 //	tsdbench -list                        # show available experiment IDs
 //
 // The parallel experiment writes BENCH_parallel.json (serial vs -workers
 // wall times per engine) into -outdir, recording the perf trajectory of
-// the worker-pool search layer.
+// the worker-pool search layer; the dynamic experiment likewise writes
+// BENCH_dynamic.json (DB.Apply vs rebuild under -updates-edge batches),
+// recording the perf trajectory of the mutable-graph write path.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = none)")
 		workers = flag.Int("workers", 0, "worker-pool size for parallel search experiments (0 = GOMAXPROCS)")
+		updates = flag.Int("updates", 0, "edits per Apply batch for the dynamic experiment (0 = default of 16)")
 		outDir  = flag.String("outdir", "", "directory for machine-readable artifacts like BENCH_parallel.json (default: working dir)")
 	)
 	flag.Parse()
@@ -45,7 +49,7 @@ func main() {
 	}
 	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
 	// at first use, so a fresh checkout or CI workspace needs no mkdir.
-	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, OutDir: *outDir}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, OutDir: *outDir}
 	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)

@@ -15,9 +15,13 @@
 //	tsdserve -input graph.txt -addr 127.0.0.1:9000 -timeout 2s
 //	tsdindex -dataset gowalla-sim -out idx/ && tsdserve -dataset gowalla-sim -indexdir idx/
 //
+// The served graph is live by default: POST /edges applies an atomic
+// batch of edge insertions/deletions (incremental index repair, epoch
+// bump, in-flight queries unaffected); -readonly disables it.
+//
 // Endpoints: /healthz, /stats, /engines,
-// /topr?k=&r=&engine=&contexts=&candidates=, /score?v=&k=,
-// /contexts?v=&k=.
+// /topr?k=&r=&engine=&contexts=&candidates=, POST /batch, POST /edges,
+// /score?v=&k=, /contexts?v=&k=.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		timeout  = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
 		indexDir = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
+		readOnly = flag.Bool("readonly", false, "disable POST /edges live updates")
 	)
 	flag.Parse()
 
@@ -54,6 +59,9 @@ func main() {
 	if *indexDir != "" {
 		opts = append(opts, server.WithIndexDir(*indexDir))
 	}
+	if *readOnly {
+		opts = append(opts, server.WithReadOnly())
+	}
 	srv := server.New(g, opts...)
 	if st := srv.DB().StoreStatus(); st.Dir != "" {
 		switch {
@@ -67,8 +75,12 @@ func main() {
 			log.Printf("index store written to %s (sections: %v)", st.Path, st.Sections)
 		}
 	}
-	log.Printf("indexes ready in %v; engines %v; serving on %s",
-		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), *addr)
+	mode := "live updates on POST /edges"
+	if *readOnly {
+		mode = "read-only"
+	}
+	log.Printf("indexes ready in %v; engines %v; epoch %d (%s); serving on %s",
+		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), srv.DB().Epoch(), mode, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

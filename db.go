@@ -6,22 +6,38 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trussdiv/internal/core"
 	"trussdiv/internal/store"
 )
 
-// DB is the query facade over one graph: it owns the engine registry,
-// lazily builds and caches the search indexes, and routes each query to
-// the engine whose cost estimate is lowest (unless the caller pinned one
-// with WithEngine). A DB is safe for concurrent use.
+// DB is the query facade over one evolving graph. Queries always run
+// against a consistent, epoch-numbered Snapshot (db.Snapshot() pins one
+// explicitly; every query method grabs the current snapshot once per
+// call), and Apply installs the next snapshot copy-on-write with the
+// search indexes repaired incrementally. Within a snapshot the DB owns
+// the engine registry, lazily builds and caches the search indexes, and
+// routes each query to the engine whose cost estimate is lowest (unless
+// the caller pinned one with WithEngine). A DB is safe for concurrent
+// use, including queries concurrent with Apply.
 type DB struct {
-	g      *Graph
-	w      workload
-	cache  *indexCache
-	reg    *registry
-	forced string
+	snap atomic.Pointer[Snapshot]
+
+	// applyMu serializes the writers: Apply and Register both swap or
+	// extend snapshot state. Readers never take it.
+	applyMu sync.Mutex
+	custom  []customEngine // Register'd backends, re-added to every snapshot
+	forced  string
+}
+
+// customEngine remembers a DB.Register call so Apply can carry the
+// backend into the next snapshot (rebinding it when it implements
+// Rebinder).
+type customEngine struct {
+	engine   Engine
+	routable bool
 }
 
 // Option configures Open.
@@ -44,12 +60,17 @@ func WithEngine(name string) Option {
 
 // WithTSDIndex seeds the DB with an already-built TSD index (e.g. one
 // deserialized with ReadTSDIndex), so the tsd engine is ready at once.
+// The index must describe the graph being opened: Open validates it
+// structurally and fails with *IndexMismatchError (matching
+// errors.Is(err, ErrIndexMismatch)) when it was built from a different
+// graph.
 func WithTSDIndex(idx *TSDIndex) Option {
 	return func(c *dbConfig) { c.tsdIdx = idx }
 }
 
 // WithGCTIndex seeds the DB with an already-built GCT index, so the gct
 // (and, after one cheap ranking pass, hybrid) engine is ready at once.
+// Validated against the graph like WithTSDIndex.
 func WithGCTIndex(idx *GCTIndex) Option {
 	return func(c *dbConfig) { c.gctIdx = idx }
 }
@@ -63,6 +84,8 @@ func WithGCTIndex(idx *GCTIndex) Option {
 // that is corrupt or from another format version) is never loaded: the DB
 // falls back to building and StoreStatus reports the typed rejection
 // (errors.Is against ErrStaleIndex, ErrIndexCorrupt, ErrIndexVersion).
+// A warm file also restores the epoch counter it recorded, so epochs keep
+// increasing across redeploys of an updated graph.
 func WithIndexDir(dir string) Option {
 	return func(c *dbConfig) { c.indexDir = dir }
 }
@@ -84,10 +107,58 @@ func WithPreparedIndexes(names ...string) Option {
 // index cache (and therefore the index store) manages.
 var prepareAll = []string{"bound", "tsd", "gct", "hybrid"}
 
+// ErrIndexMismatch is the sentinel matched by errors.Is when an injected
+// index (WithTSDIndex, WithGCTIndex) was built from a different graph
+// than the one being opened; the concrete error is *IndexMismatchError.
+var ErrIndexMismatch = errors.New("trussdiv: index does not match the graph")
+
+// IndexMismatchError reports an injected index whose graph differs from
+// the one Open was given — caught structurally at Open time (vertex and
+// edge counts, then the graph fingerprint) rather than surfacing as a
+// wrong answer at query time.
+type IndexMismatchError struct {
+	Index  string // "tsd" or "gct"
+	Reason string
+}
+
+func (e *IndexMismatchError) Error() string {
+	return fmt.Sprintf("trussdiv: injected %s index was built over a different graph: %s",
+		e.Index, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrIndexMismatch) match.
+func (e *IndexMismatchError) Is(target error) bool { return target == ErrIndexMismatch }
+
+// validateInjected checks an injected index's graph against g: pointer
+// identity first (the common case, free), then vertex/edge counts, then
+// the SHA-256 structure fingerprint — so a deserialized-elsewhere index
+// over an equal graph is accepted while any structural difference is a
+// typed error at Open.
+func validateInjected(name string, idxG, g *Graph) error {
+	if idxG == g {
+		return nil
+	}
+	if idxG.N() != g.N() {
+		return &IndexMismatchError{Index: name,
+			Reason: fmt.Sprintf("index graph has %d vertices, opened graph has %d", idxG.N(), g.N())}
+	}
+	if idxG.M() != g.M() {
+		return &IndexMismatchError{Index: name,
+			Reason: fmt.Sprintf("index graph has %d edges, opened graph has %d", idxG.M(), g.M())}
+	}
+	if store.Fingerprint(idxG) != store.Fingerprint(g) {
+		return &IndexMismatchError{Index: name,
+			Reason: "graph fingerprints differ (same size, different edges)"}
+	}
+	return nil
+}
+
 // Open wraps g in a DB with the six built-in engines registered: online,
 // bound, tsd, gct, hybrid (routable) and the comp/kcore baseline models
 // (explicit-name only). Indexes are built lazily on first use unless
 // provided (WithTSDIndex, WithGCTIndex) or prebuilt (WithPreparedIndexes).
+// The DB starts at epoch 1 (or the epoch a warm index store recorded);
+// Apply advances it.
 func Open(g *Graph, opts ...Option) (*DB, error) {
 	if g == nil {
 		return nil, errors.New("trussdiv: Open: nil graph")
@@ -96,108 +167,89 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.tsdIdx != nil && cfg.tsdIdx.Graph() != g {
-		return nil, errors.New("trussdiv: Open: TSD index was built over a different graph")
+	if cfg.tsdIdx != nil {
+		if err := validateInjected("tsd", cfg.tsdIdx.Graph(), g); err != nil {
+			return nil, err
+		}
 	}
-	if cfg.gctIdx != nil && cfg.gctIdx.Graph() != g {
-		return nil, errors.New("trussdiv: Open: GCT index was built over a different graph")
+	if cfg.gctIdx != nil {
+		if err := validateInjected("gct", cfg.gctIdx.Graph(), g); err != nil {
+			return nil, err
+		}
 	}
 
-	db := &DB{
-		g:     g,
-		w:     measure(g),
-		cache: newIndexCache(g, cfg),
-		reg:   newRegistry(),
+	cache := newIndexCache(g, cfg)
+	epoch := Epoch(1)
+	if stored := cache.storedEpoch(); stored > Epoch(0) {
+		epoch = stored
 	}
-	for _, reg := range []struct {
-		engine   Engine
-		routable bool
-	}{
-		{newOnlineEngine(g, db.w), true},
-		{newBoundEngine(g, db.w, db.cache), true},
-		{&tsdEngine{cache: db.cache, w: db.w}, true},
-		{&gctEngine{cache: db.cache, w: db.w}, true},
-		{&hybridEngine{cache: db.cache, w: db.w}, true},
-		{&baselineEngine{name: "comp", model: NewCompDiv(g), g: g, w: db.w}, false},
-		{&baselineEngine{name: "kcore", model: NewCoreDiv(g), g: g, w: db.w}, false},
-	} {
-		if err := db.reg.add(reg.engine, reg.routable); err != nil {
-			return nil, err
-		}
+	snap, err := newSnapshot(epoch, g, cache, cfg.engine)
+	if err != nil {
+		return nil, err
 	}
+	db := &DB{forced: cfg.engine}
+	db.snap.Store(snap)
 	if cfg.engine != "" {
-		if _, err := db.reg.lookup(cfg.engine); err != nil {
+		if _, err := snap.reg.lookup(cfg.engine); err != nil {
 			return nil, err
 		}
-		db.forced = cfg.engine
 	}
 	if cfg.prepare != nil {
-		if err := db.Prepare(context.Background(), cfg.prepare...); err != nil {
+		if err := snap.Prepare(context.Background(), cfg.prepare...); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
 }
 
-// Graph returns the graph the DB serves.
-func (db *DB) Graph() *Graph { return db.g }
+// Graph returns the graph of the DB's current snapshot.
+func (db *DB) Graph() *Graph { return db.Snapshot().g }
 
 // Engines lists the registered engine names in registration order.
-func (db *DB) Engines() []string { return db.reg.names() }
+func (db *DB) Engines() []string { return db.Snapshot().Engines() }
 
-// Engine returns the named engine; the error is a *UnknownEngineError
-// (matching errors.Is(err, ErrUnknownEngine)) for unregistered names.
-func (db *DB) Engine(name string) (Engine, error) { return db.reg.lookup(name) }
+// Engine returns the named engine bound to the current snapshot; the
+// error is a *UnknownEngineError (matching errors.Is(err,
+// ErrUnknownEngine)) for unregistered names. The returned engine keeps
+// serving its snapshot's graph across later Apply calls — re-fetch after
+// applying updates to follow the newest graph.
+func (db *DB) Engine(name string) (Engine, error) { return db.Snapshot().Engine(name) }
 
 // Register adds a custom backend to the DB under e.Name(). Routable
 // engines participate in cost routing and must compute the paper's
 // truss-based diversity; non-routable ones answer only explicit-name
-// queries (e.g. alternative diversity models).
+// queries (e.g. alternative diversity models). Registered engines are
+// carried into every snapshot a later Apply produces; implement Rebinder
+// to receive the edited graph at each transition.
 func (db *DB) Register(e Engine, routable bool) error {
-	return db.reg.add(e, routable)
-}
-
-// Route returns the routable engine with the lowest cost estimate for q,
-// counting any index it would still have to build. Ties keep the earliest
-// registered engine.
-func (db *DB) Route(q Query) Engine {
-	var best Engine
-	bestCost := 0.0
-	for _, e := range db.reg.routable() {
-		if c := e.Cost(q).Total(); best == nil || c < bestCost {
-			best, bestCost = e, c
-		}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if err := db.snap.Load().reg.add(e, routable); err != nil {
+		return err
 	}
-	return best
+	db.custom = append(db.custom, customEngine{engine: e, routable: routable})
+	return nil
 }
 
-// engineFor resolves the engine answering q: a per-query ViaEngine pin
-// first, then the DB-level WithEngine pin, then the cheapest routable
-// engine.
-func (db *DB) engineFor(q Query) (Engine, error) {
-	return db.routeAmortized(q, 1)
-}
+// Route returns the routable engine of the current snapshot with the
+// lowest cost estimate for q; see Snapshot.Route.
+func (db *DB) Route(q Query) Engine { return db.Snapshot().Route(q) }
 
-// TopR answers a top-r query through the cheapest (or pinned) engine.
-// The Stats, when requested, name the engine that answered.
+// TopR answers a top-r query through the cheapest (or pinned) engine of
+// the current snapshot. The Result carries the snapshot's epoch; the
+// Stats, when requested, name the engine that answered.
 func (db *DB) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
-	eng, err := db.engineFor(q)
-	if err != nil {
-		return nil, nil, err
-	}
-	res, stats, err := eng.TopR(ctx, q)
-	if stats != nil {
-		stats.Engine = eng.Name()
-	}
-	return res, stats, err
+	return db.Snapshot().TopR(ctx, q)
 }
 
-// Batch answers many queries in one pass: every engine the batch needs is
-// resolved up front, the indexes behind those engines are built once
-// (before any query runs, so no query stalls on a build another triggered),
-// and the queries then fan out across a pool of GOMAXPROCS goroutines.
-// Results are positional: results[i] answers qs[i], each byte-identical to
-// what TopR would return for the same query.
+// Batch answers many queries in one pass against a single snapshot: every
+// engine the batch needs is resolved up front, the indexes behind those
+// engines are built once (before any query runs, so no query stalls on a
+// build another triggered), and the queries then fan out across a pool of
+// GOMAXPROCS goroutines. Results are positional: results[i] answers
+// qs[i], each byte-identical to what TopR would return for the same
+// query, and all stamped with one epoch — an Apply concurrent with a
+// Batch never splits the batch across graph versions.
 //
 // Routing is batch-aware: an index build amortizes over the whole batch,
 // so a batch of queries may route to an index engine where the same
@@ -214,10 +266,16 @@ func (db *DB) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 // oversubscribe the CPU. An explicit Workers value (including negative
 // for GOMAXPROCS) is honored as given.
 func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
+	return db.Snapshot().Batch(ctx, qs)
+}
+
+// Batch answers many queries in one pass against this snapshot; see
+// DB.Batch.
+func (s *Snapshot) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
-	engines, err := db.resolveBatch(qs)
+	engines, err := s.resolveBatch(qs)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +293,7 @@ func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 				names = append(names, name)
 			}
 		}
-		if err := db.Prepare(ctx, names...); err != nil {
+		if err := s.Prepare(ctx, names...); err != nil {
 			return nil, err
 		}
 	}
@@ -267,6 +325,7 @@ func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					continue
 				}
+				res.Epoch = uint64(s.epoch)
 				results[i] = res
 			}
 		}()
@@ -286,7 +345,13 @@ func (db *DB) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 // the batch-aware routing decision — without running the queries. The
 // HTTP /batch endpoint uses it to label responses.
 func (db *DB) BatchEngines(qs []Query) ([]string, error) {
-	engines, err := db.resolveBatch(qs)
+	return db.Snapshot().BatchEngines(qs)
+}
+
+// BatchEngines reports this snapshot's batch-aware routing decision
+// without running the queries.
+func (s *Snapshot) BatchEngines(qs []Query) ([]string, error) {
+	engines, err := s.resolveBatch(qs)
 	if err != nil {
 		return nil, err
 	}
@@ -297,113 +362,26 @@ func (db *DB) BatchEngines(qs []Query) ([]string, error) {
 	return names, nil
 }
 
-// resolveBatch resolves every query's engine with the index build cost
-// amortized over the batch size.
-func (db *DB) resolveBatch(qs []Query) ([]Engine, error) {
-	engines := make([]Engine, len(qs))
-	for i, q := range qs {
-		eng, err := db.routeAmortized(q, len(qs))
-		if err != nil {
-			return nil, err
-		}
-		engines[i] = eng
-	}
-	return engines, nil
-}
-
-// routeAmortized is the single routing policy: per-query pin, then the
-// DB-level pin, then the cheapest routable engine with the index build
-// cost divided across batchSize queries (1 = the TopR single-query case,
-// where the division is a no-op).
-func (db *DB) routeAmortized(q Query, batchSize int) (Engine, error) {
-	if q.Engine != "" {
-		return db.reg.lookup(q.Engine)
-	}
-	if db.forced != "" {
-		return db.reg.lookup(db.forced)
-	}
-	var best Engine
-	bestCost := 0.0
-	for _, e := range db.reg.routable() {
-		est := e.Cost(q)
-		c := est.Build/float64(batchSize) + est.Query
-		if best == nil || c < bestCost {
-			best, bestCost = e, c
-		}
-	}
-	if best == nil {
-		return nil, errors.New("trussdiv: no routable engine registered")
-	}
-	return best, nil
-}
-
-// Score returns score(v) at threshold k, reading the GCT index when one
-// is built (O(log) per query) and computing online otherwise.
+// Score returns score(v) at threshold k on the current snapshot, reading
+// the GCT index when one is built (O(log) per query) and computing online
+// otherwise.
 func (db *DB) Score(ctx context.Context, v, k int32) (int, error) {
-	return db.pointEngine().Score(ctx, v, k)
+	return db.Snapshot().Score(ctx, v, k)
 }
 
-// Contexts returns the social contexts SC(v) at threshold k, using the
-// same index-if-available strategy as Score.
+// Contexts returns the social contexts SC(v) at threshold k on the
+// current snapshot, using the same index-if-available strategy as Score.
 func (db *DB) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
-	return db.pointEngine().Contexts(ctx, v, k)
-}
-
-// pointEngine picks the engine for single-vertex queries: the pinned one,
-// else gct once its index exists, else the online scorer.
-func (db *DB) pointEngine() Engine {
-	name := db.forced
-	if name == "" {
-		if db.cache.hasGCT() {
-			name = "gct"
-		} else {
-			name = "online"
-		}
-	}
-	e, err := db.reg.lookup(name)
-	if err != nil { // unreachable: built-ins are always registered
-		panic(err)
-	}
-	return e
+	return db.Snapshot().Contexts(ctx, v, k)
 }
 
 // Prepare eagerly readies the named engines (default: bound, tsd, gct,
-// hybrid): it loads each engine's accelerator from the index store when
-// one is configured and holds it, and builds (then persists) otherwise.
-// It observes ctx between builds — an individual build is not
-// interruptible.
+// hybrid) of the current snapshot: it loads each engine's accelerator
+// from the index store when one is configured and holds it, and builds
+// (then persists) otherwise. It observes ctx between builds — an
+// individual build is not interruptible.
 func (db *DB) Prepare(ctx context.Context, names ...string) error {
-	if len(names) == 0 {
-		names = prepareAll
-	}
-	// One store rewrite at the end instead of one per built accelerator.
-	db.cache.beginDeferredPersist()
-	defer db.cache.endDeferredPersist()
-	for _, name := range names {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		switch name {
-		case "bound":
-			// The bound engine's per-query sparsification reads the cached
-			// global truss decomposition.
-			db.cache.trussTau()
-		case "tsd":
-			db.cache.tsdIndex()
-		case "gct":
-			db.cache.gctIndex()
-		case "hybrid":
-			db.cache.hybridEngine()
-		case "online", "comp", "kcore":
-			// stateless engines: nothing to prepare
-		default:
-			if _, err := db.reg.lookup(name); err != nil {
-				return err
-			}
-			return fmt.Errorf("trussdiv: Prepare: engine %q manages its own state", name)
-		}
-	}
-	return nil
+	return db.Snapshot().Prepare(ctx, names...)
 }
 
 // IndexStats describes the DB's index cache.
@@ -415,29 +393,12 @@ type IndexStats struct {
 	LoadTime                        time.Duration // time spent reading the index store
 }
 
-// IndexStats reports which indexes are ready, their sizes, and the time
-// spent building them (from the graph) and loading them (from the index
-// store).
-func (db *DB) IndexStats() IndexStats {
-	c := db.cache
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := IndexStats{
-		TSDReady:    c.tsd != nil,
-		GCTReady:    c.gct != nil,
-		HybridReady: c.hybrid != nil,
-		TauReady:    c.tau != nil,
-		BuildTime:   c.buildTime,
-		LoadTime:    c.loadTime,
-	}
-	if c.tsd != nil {
-		st.TSDBytes = c.tsd.SizeBytes()
-	}
-	if c.gct != nil {
-		st.GCTBytes = c.gct.SizeBytes()
-	}
-	return st
-}
+// IndexStats reports which indexes of the current snapshot are ready,
+// their sizes, and the time spent building them (from the graph) and
+// loading them (from the index store). After an Apply, the repaired TSD
+// and GCT indexes report ready while the invalidated truss decomposition
+// and hybrid rankings do not (until their lazy rebuild).
+func (db *DB) IndexStats() IndexStats { return db.Snapshot().IndexStats() }
 
 // StoreStatus describes the DB's connection to its persistent index
 // store (nothing is set when Open ran without WithIndexDir).
@@ -445,7 +406,8 @@ type StoreStatus struct {
 	// Dir is the configured index directory; Path the index file in it.
 	Dir, Path string
 	// Warm reports that a validated index file is available, and Sections
-	// names the parts it holds ("truss", "tsd", "gct", "rankings").
+	// names the parts it holds ("truss", "tsd", "gct", "rankings",
+	// "epoch").
 	Warm     bool
 	Sections []string
 	// LoadErr is the typed reason an on-disk index was rejected or a
@@ -458,35 +420,20 @@ type StoreStatus struct {
 	SaveErr error
 }
 
-// StoreStatus reports the state of the persistent index store.
-func (db *DB) StoreStatus() StoreStatus {
-	c := db.cache
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := StoreStatus{
-		Dir:     c.dir,
-		LoadErr: c.loadErr,
-		SaveErr: c.saveErr,
-	}
-	if c.dir != "" {
-		st.Path = store.PathIn(c.dir)
-	}
-	if c.file != nil {
-		st.Warm = true
-		for _, s := range c.file.Sections() {
-			st.Sections = append(st.Sections, s.String())
-		}
-	}
-	return st
-}
+// StoreStatus reports the state of the persistent index store as seen by
+// the current snapshot.
+func (db *DB) StoreStatus() StoreStatus { return db.Snapshot().StoreStatus() }
 
-// SaveIndexes persists every index the DB currently holds in memory —
+// SaveIndexes persists every index the current snapshot holds in memory —
 // plus anything already in the index file — to the configured index
-// directory, atomically replacing the file. It builds nothing; call
+// directory, atomically replacing the file. The file is fingerprinted
+// against the snapshot's graph and records its epoch, so calling it after
+// Apply persists the post-update state (and makes the previous on-disk
+// state unreadable for the old graph, by design). It builds nothing; call
 // Prepare first to persist a complete set. Open must have been given
 // WithIndexDir.
 func (db *DB) SaveIndexes() error {
-	c := db.cache
+	c := db.Snapshot().cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dir == "" {
@@ -496,9 +443,10 @@ func (db *DB) SaveIndexes() error {
 	return c.saveErr
 }
 
-// TSDIndexHandle returns the cached TSD index, building it if necessary —
-// for callers that persist indexes with WriteTo.
-func (db *DB) TSDIndexHandle() *core.TSDIndex { return db.cache.tsdIndex() }
+// TSDIndexHandle returns the current snapshot's TSD index, building it if
+// necessary — for callers that persist indexes with WriteTo.
+func (db *DB) TSDIndexHandle() *core.TSDIndex { return db.Snapshot().cache.tsdIndex() }
 
-// GCTIndexHandle returns the cached GCT index, building it if necessary.
-func (db *DB) GCTIndexHandle() *core.GCTIndex { return db.cache.gctIndex() }
+// GCTIndexHandle returns the current snapshot's GCT index, building it if
+// necessary.
+func (db *DB) GCTIndexHandle() *core.GCTIndex { return db.Snapshot().cache.gctIndex() }

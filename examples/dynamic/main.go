@@ -1,10 +1,12 @@
-// Dynamic: maintaining the TSD-index under edge updates (the paper's §5.3
-// remark made concrete). A stream of edge insertions and deletions is
-// applied to a social network; after each batch the index is repaired
-// incrementally — only the ego-networks of the edited edges' endpoints and
-// their common neighbors are rebuilt — and spot-checked against a full
-// rebuild through the public engine API: each index seeds a trussdiv.DB
-// whose "tsd" engine must agree vertex by vertex.
+// Dynamic: serving an evolving social network through the public
+// mutable-graph API (the paper's §5.3 remark made a production write
+// path). A stream of edge insertions and deletions is applied with
+// db.Apply: each batch advances the DB to its next epoch-numbered
+// snapshot with the TSD and GCT indexes repaired incrementally — only
+// the ego-networks of the edited edges' endpoints and their common
+// neighbors are rebuilt — while a reader that pinned the previous
+// snapshot keeps its epoch and its answers. After each batch the updated
+// DB is spot-checked against a freshly built DB on the same graph.
 //
 // Run with: go run ./examples/dynamic
 package main
@@ -17,111 +19,118 @@ import (
 	"time"
 
 	"trussdiv"
-	"trussdiv/internal/core"
-	"trussdiv/internal/gen"
-	"trussdiv/internal/graph"
 )
 
 func main() {
 	const batches = 5
 	ctx := context.Background()
-	g := gen.CommunityOverlay(gen.OverlayConfig{
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
 		N: 6000, Attach: 4, Cliques: 900, MinSize: 4, MaxSize: 10, Seed: 21,
 	})
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	start := time.Now()
-	idx := core.BuildTSDIndex(g)
-	fmt.Printf("initial TSD-index build: %v\n\n", time.Since(start).Round(time.Millisecond))
+	if err := db.Prepare(ctx, "tsd", "gct"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial index build: %v (epoch %d)\n\n",
+		time.Since(start).Round(time.Millisecond), db.Epoch())
+
+	// A long-lived reader pins the opening snapshot: updates applied below
+	// never change what it sees.
+	pinned := db.Snapshot()
 
 	rng := rand.New(rand.NewSource(99))
 	for batch := 1; batch <= batches; batch++ {
-		cur := idx.Graph()
-		ins, del := randomBatch(cur, rng, 8, 8)
+		u := randomBatch(db.Graph(), rng, 8, 8)
 
 		start = time.Now()
-		updated, stats, err := idx.Update(ins, del)
+		epoch, err := db.Apply(ctx, u)
 		if err != nil {
 			log.Fatal(err)
 		}
-		incTime := time.Since(start)
+		applyTime := time.Since(start)
+		repaired := 0
+		if st := db.Snapshot().ApplyStats(); st != nil {
+			repaired = st.Affected
+		}
 
+		// The old way: rebuild everything on the mutated graph.
+		var fresh *trussdiv.DB
 		start = time.Now()
-		fresh := core.BuildTSDIndex(updated.Graph())
-		fullTime := time.Since(start)
+		fresh, err = trussdiv.Open(db.Graph())
+		if err == nil {
+			err = fresh.Prepare(ctx, "tsd", "gct")
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		rebuildTime := time.Since(start)
 
-		// Spot-check equality on a sample of vertices and thresholds,
-		// through the engine interface of two DBs seeded with the
-		// incremental and the fresh index.
-		incremental, err := openTSD(updated)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rebuilt, err := openTSD(fresh)
-		if err != nil {
-			log.Fatal(err)
-		}
+		// Spot-check: the repaired tsd engine must agree with the rebuilt
+		// one on a sample of vertices and thresholds.
 		for probe := 0; probe < 500; probe++ {
-			v := int32(rng.Intn(updated.Graph().N()))
+			v := int32(rng.Intn(db.Graph().N()))
 			k := int32(3 + rng.Intn(4))
-			got, err := incremental.Score(ctx, v, k)
+			q := trussdiv.NewQuery(k, 1,
+				trussdiv.WithCandidates(v), trussdiv.ViaEngine("tsd"), trussdiv.WithoutStats())
+			got, _, err := db.TopR(ctx, q)
 			if err != nil {
 				log.Fatal(err)
 			}
-			want, err := rebuilt.Score(ctx, v, k)
+			want, _, err := fresh.TopR(ctx, q)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if got != want {
+			if got.TopR[0] != want.TopR[0] {
 				log.Fatalf("batch %d: incremental index diverged at v=%d k=%d", batch, v, k)
 			}
 		}
-		fmt.Printf("batch %d: +%d/-%d edges, %4d ego-networks repaired  incremental %8v  full rebuild %8v  (%.0fx)\n",
-			batch, stats.Inserted, stats.Removed, stats.Affected,
-			incTime.Round(time.Microsecond), fullTime.Round(time.Millisecond),
-			float64(fullTime)/float64(incTime))
-		idx = updated
+		fmt.Printf("batch %d -> epoch %d: +%d/-%d edges, %4d ego-networks repaired  apply %8v  rebuild %8v  (%.0fx)\n",
+			batch, epoch, len(u.Insert), len(u.Delete), repaired,
+			applyTime.Round(time.Microsecond), rebuildTime.Round(time.Millisecond),
+			float64(rebuildTime)/float64(applyTime))
 	}
-	fmt.Println("\nincremental repair matched a full rebuild after every batch.")
-}
 
-// openTSD wraps a built TSD index in a DB and returns its tsd engine.
-func openTSD(idx *core.TSDIndex) (trussdiv.Engine, error) {
-	db, err := trussdiv.Open(idx.Graph(), trussdiv.WithTSDIndex(idx))
-	if err != nil {
-		return nil, err
-	}
-	return db.Engine("tsd")
+	fmt.Printf("\npinned reader still serves epoch %d (%d edges); the DB is at epoch %d (%d edges)\n",
+		pinned.Epoch(), pinned.Graph().M(), db.Epoch(), db.Graph().M())
+	fmt.Println("incremental repair matched a full rebuild after every batch.")
 }
 
 // randomBatch picks valid insertions (absent pairs) and deletions
-// (present edges).
-func randomBatch(g *graph.Graph, rng *rand.Rand, nIns, nDel int) (ins, del []graph.Edge) {
+// (present edges) for the next Apply. Inlined rather than imported: the
+// example demonstrates the public API with no internal/ dependencies.
+func randomBatch(g *trussdiv.Graph, rng *rand.Rand, nIns, nDel int) trussdiv.Updates {
 	n := int32(g.N())
-	chosen := map[graph.Edge]bool{}
-	for len(ins) < nIns {
-		u, v := rng.Int31n(n), rng.Int31n(n)
-		if u == v {
+	var u trussdiv.Updates
+	chosen := map[trussdiv.Edge]bool{}
+	for len(u.Insert) < nIns {
+		a, b := rng.Int31n(n), rng.Int31n(n)
+		if a == b {
 			continue
 		}
-		if u > v {
-			u, v = v, u
+		if a > b {
+			a, b = b, a
 		}
-		e := graph.Edge{U: u, V: v}
-		if g.HasEdge(u, v) || chosen[e] {
+		e := trussdiv.Edge{U: a, V: b}
+		if g.HasEdge(a, b) || chosen[e] {
 			continue
 		}
 		chosen[e] = true
-		ins = append(ins, e)
+		u.Insert = append(u.Insert, e)
 	}
 	edges := g.Edges()
-	for len(del) < nDel {
+	for len(u.Delete) < nDel && len(u.Delete) < len(edges) {
 		e := edges[rng.Intn(len(edges))]
 		if chosen[e] {
 			continue
 		}
 		chosen[e] = true
-		del = append(del, e)
+		u.Delete = append(u.Delete, e)
 	}
-	return ins, del
+	return u
 }

@@ -382,3 +382,42 @@ func TestStoreExperimentEmitsJSON(t *testing.T) {
 		t.Fatalf("speedup %v not positive", ds.Speedup)
 	}
 }
+
+// TestDynamicExperimentEmitsJSON runs the quick-mode dynamic experiment
+// on one small dataset and checks the BENCH_dynamic.json artifact: every
+// apply-vs-rebuild sample must have been measured (and implicitly, the
+// five engines verified against a cold rebuild after every batch — the
+// experiment fails otherwise).
+func TestDynamicExperimentEmitsJSON(t *testing.T) {
+	e, ok := ByID("dynamic")
+	if !ok {
+		t.Fatal("dynamic experiment not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1, Updates: 8, OutDir: dir, Datasets: []string{"wiki-sim"}}
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, DynamicReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report DynamicReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_dynamic.json is not valid JSON: %v", err)
+	}
+	if report.BatchEdges != 8 {
+		t.Fatalf("batch_edges = %d, want the -updates override of 8", report.BatchEdges)
+	}
+	if len(report.Datasets) != 1 || report.Datasets[0].Name != "wiki-sim" {
+		t.Fatalf("report datasets = %+v", report.Datasets)
+	}
+	ds := report.Datasets[0]
+	if ds.Batches <= 0 || ds.ApplyNS <= 0 || ds.RebuildNS <= 0 || ds.Repaired <= 0 {
+		t.Fatalf("implausible sample %+v", ds)
+	}
+	if ds.Speedup <= 0 {
+		t.Fatalf("speedup %v not positive", ds.Speedup)
+	}
+}

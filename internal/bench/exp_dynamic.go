@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"trussdiv"
+)
+
+// runDynamic measures the mutable-graph write path (paper §5.3 made a
+// public API): batches of edge insertions and deletions stream into a
+// DB.Apply loop, and each apply's latency — incremental TSD/GCT repair
+// plus the snapshot swap — is compared against the cost of rebuilding a
+// fresh DB on the mutated graph (the only option the frozen API offered).
+// After every batch, all five engines of the updated DB are asserted to
+// answer exactly like a cold rebuild, so the speedup column measures the
+// same answers, faster. Numbers land in BENCH_dynamic.json, tracking the
+// apply-vs-rebuild trajectory from PR to PR.
+
+// DynamicDatasetReport is one dataset's apply-vs-rebuild measurement,
+// averaged over the update batches.
+type DynamicDatasetReport struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	// Batches is the number of update batches applied; BatchEdges the
+	// edits per batch (half insertions, half deletions).
+	Batches    int `json:"batches"`
+	BatchEdges int `json:"batch_edges"`
+	// ApplyNS is the mean DB.Apply wall time per batch; RebuildNS the
+	// mean cost of Open + Prepare(tsd, gct) on the mutated graph.
+	ApplyNS   int64 `json:"apply_ns"`
+	RebuildNS int64 `json:"rebuild_ns"`
+	// Repaired is the mean number of ego-network structures rebuilt per
+	// apply (the incremental repair's working set).
+	Repaired float64 `json:"repaired"`
+	// Speedup is rebuild / apply wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// DynamicReport is the schema of BENCH_dynamic.json.
+type DynamicReport struct {
+	BatchEdges int                    `json:"batch_edges"`
+	Datasets   []DynamicDatasetReport `json:"datasets"`
+}
+
+// DynamicReportFile is the artifact runDynamic writes (into cfg.OutDir,
+// default the working directory).
+const DynamicReportFile = "BENCH_dynamic.json"
+
+// runDynamic streams update batches through DB.Apply, times each against
+// a cold rebuild, verifies all five engines agree with the rebuild, and
+// emits both a table and BENCH_dynamic.json.
+func runDynamic(w io.Writer, cfg Config) error {
+	const k, r = int32(4), 100
+	ctx := context.Background()
+	batchEdges := cfg.Updates
+	if batchEdges <= 0 {
+		batchEdges = 16
+	}
+	batches := 5
+	if cfg.Quick {
+		batches = 3
+	}
+	report := DynamicReport{BatchEdges: batchEdges}
+	t := &Table{
+		Title: fmt.Sprintf("Incremental Apply vs cold rebuild, %d-edge batches (extension)",
+			batchEdges),
+		Headers: []string{"Network", "apply", "rebuild", "repaired", "speedup"},
+	}
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		db, err := trussdiv.Open(g)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		// Ready the two indexes Apply repairs incrementally; the truss
+		// decomposition and hybrid rankings are invalidated per apply and
+		// priced into the rebuild side by preparing the same set there.
+		if err := db.Prepare(ctx, "tsd", "gct"); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rng := rand.New(rand.NewSource(cfg.seed()))
+		var applyTotal, rebuildTotal time.Duration
+		var repairedTotal int
+		for batch := 0; batch < batches; batch++ {
+			u := RandomUpdates(db.Graph(), rng, batchEdges/2, batchEdges-batchEdges/2)
+			var epoch trussdiv.Epoch
+			var applyErr error
+			applyTotal += Timed(func() {
+				epoch, applyErr = db.Apply(ctx, u)
+			})
+			if applyErr != nil {
+				return fmt.Errorf("%s: apply batch %d: %w", name, batch, applyErr)
+			}
+			snap := db.Snapshot()
+			if snap.Epoch() != epoch {
+				return fmt.Errorf("%s: snapshot epoch %d, apply returned %d", name, snap.Epoch(), epoch)
+			}
+			if st := snap.ApplyStats(); st != nil {
+				repairedTotal += st.Affected
+			}
+
+			var rebuilt *trussdiv.DB
+			var rebuildErr error
+			rebuildTotal += Timed(func() {
+				rebuilt, rebuildErr = trussdiv.Open(db.Graph())
+				if rebuildErr == nil {
+					rebuildErr = rebuilt.Prepare(ctx, "tsd", "gct")
+				}
+			})
+			if rebuildErr != nil {
+				return fmt.Errorf("%s: rebuild batch %d: %w", name, batch, rebuildErr)
+			}
+			// The correctness bar: the incrementally maintained DB must
+			// answer every engine's query — ranked answers and recovered
+			// social contexts both — exactly like the cold rebuild.
+			for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
+				q := trussdiv.NewQuery(k, r, trussdiv.WithContexts(), trussdiv.ViaEngine(engine))
+				appliedRes, _, err := db.TopR(ctx, q)
+				if err != nil {
+					return fmt.Errorf("%s/%s: applied query: %w", name, engine, err)
+				}
+				rebuiltRes, _, err := rebuilt.TopR(ctx, q)
+				if err != nil {
+					return fmt.Errorf("%s/%s: rebuilt query: %w", name, engine, err)
+				}
+				if err := sameAnswer(appliedRes, rebuiltRes); err != nil {
+					return fmt.Errorf("%s/%s: incremental apply diverged from rebuild: %w",
+						name, engine, err)
+				}
+				if !reflect.DeepEqual(appliedRes.Contexts, rebuiltRes.Contexts) {
+					return fmt.Errorf("%s/%s: incremental apply's contexts diverged from rebuild",
+						name, engine)
+				}
+			}
+		}
+		apply := applyTotal / time.Duration(batches)
+		rebuild := rebuildTotal / time.Duration(batches)
+		speedup := float64(rebuild) / float64(max(apply, time.Nanosecond))
+		repaired := float64(repairedTotal) / float64(batches)
+		report.Datasets = append(report.Datasets, DynamicDatasetReport{
+			Name:       name,
+			Vertices:   g.N(),
+			Edges:      g.M(),
+			Batches:    batches,
+			BatchEdges: batchEdges,
+			ApplyNS:    apply.Nanoseconds(),
+			RebuildNS:  rebuild.Nanoseconds(),
+			Repaired:   repaired,
+			Speedup:    speedup,
+		})
+		t.AddRow(name, apply, rebuild, fmt.Sprintf("%.0f", repaired), fmt.Sprintf("%.2fx", speedup))
+	}
+	t.Fprint(w)
+	path, err := writeArtifact(cfg, DynamicReportFile, report)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}
+
+// RandomUpdates picks a valid update batch for g: insertions among absent
+// vertex pairs, deletions among present edges, no overlaps. It is shared
+// with the root package's apply tests — one copy of the sampling logic.
+func RandomUpdates(g *trussdiv.Graph, rng *rand.Rand, nIns, nDel int) trussdiv.Updates {
+	n := int32(g.N())
+	var u trussdiv.Updates
+	chosen := map[trussdiv.Edge]bool{}
+	for len(u.Insert) < nIns {
+		a, b := rng.Int31n(n), rng.Int31n(n)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		e := trussdiv.Edge{U: a, V: b}
+		if g.HasEdge(a, b) || chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		u.Insert = append(u.Insert, e)
+	}
+	edges := g.Edges()
+	for len(u.Delete) < nDel && len(u.Delete) < len(edges) {
+		e := edges[rng.Intn(len(edges))]
+		if chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		u.Delete = append(u.Delete, e)
+	}
+	return u
+}

@@ -16,6 +16,7 @@ type Config struct {
 	MCRuns   int      // Monte-Carlo cascades (0 = default)
 	Datasets []string // override the per-figure dataset choice (tests)
 	Workers  int      // worker-pool size for the parallel experiment (0 = GOMAXPROCS)
+	Updates  int      // edits per Apply batch for the dynamic experiment (0 = default)
 	OutDir   string   // where machine-readable artifacts land ("" = working dir)
 }
 
@@ -85,6 +86,7 @@ var experiments = []Experiment{
 	{"ltcheck", "extension", "Fig. 14 robustness check under the Linear Threshold model", runLTCheck},
 	{"parallel", "extension", "serial vs parallel TopR per engine; writes BENCH_parallel.json", runParallel},
 	{"store", "extension", "cold build vs warm index-store load at startup; writes BENCH_store.json", runStore},
+	{"dynamic", "extension", "incremental DB.Apply vs cold rebuild under edge updates; writes BENCH_dynamic.json", runDynamic},
 }
 
 // All returns every registered experiment in paper order.

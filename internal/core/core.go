@@ -34,6 +34,10 @@ type VertexScore struct {
 type Result struct {
 	TopR     []VertexScore
 	Contexts map[int32][][]int32
+	// Epoch identifies the graph snapshot that answered, for mutable-graph
+	// deployments. Searchers leave it zero; the trussdiv.DB facade stamps
+	// it with the epoch of the snapshot the query ran against.
+	Epoch uint64
 }
 
 // Stats reports search effort. ScoreComputations is the paper's "search

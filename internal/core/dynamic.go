@@ -61,11 +61,14 @@ func affectedVertices(oldG, newG *graph.Graph, inserted, removed []graph.Edge) [
 	return out
 }
 
-// applyEdits builds the edited graph. The vertex count is preserved (new
+// ApplyEdits builds the edited graph. The vertex count is preserved (new
 // vertices are not supported: add them by rebuilding). Inserting an
 // existing edge or removing a missing one is an error, so update stats
-// stay meaningful.
-func applyEdits(g *graph.Graph, insert, remove []graph.Edge) (*graph.Graph, error) {
+// stay meaningful. Given the same inputs, the result is deterministic —
+// callers applying one batch to several indexes should build the edited
+// graph once and hand it to the UpdateOnto variants, so every repaired
+// index shares one canonical graph (and its edge-ID assignment).
+func ApplyEdits(g *graph.Graph, insert, remove []graph.Edge) (*graph.Graph, error) {
 	drop := make(map[graph.Edge]bool, len(remove))
 	for _, e := range remove {
 		if e.U > e.V {
@@ -95,21 +98,34 @@ func applyEdits(g *graph.Graph, insert, remove []graph.Edge) (*graph.Graph, erro
 }
 
 // Update applies edge insertions and deletions and repairs the TSD index
-// incrementally, rebuilding only the affected ego-network forests. It
-// returns the new index (sharing unaffected per-vertex storage with the
-// receiver, which must not be used afterwards) and the edited graph.
+// incrementally, rebuilding only the affected ego-network forests. The
+// repair is copy-on-write: the returned index shares unaffected per-vertex
+// storage with the receiver, and the receiver stays fully usable — readers
+// holding the old index keep seeing the pre-update answers.
 func (idx *TSDIndex) Update(insert, remove []graph.Edge) (*TSDIndex, *UpdateStats, error) {
-	oldG := idx.g
-	newG, err := applyEdits(oldG, insert, remove)
+	newG, err := ApplyEdits(idx.g, insert, remove)
 	if err != nil {
 		return nil, nil, err
 	}
+	out, stats := idx.UpdateOnto(newG, insert, remove)
+	return out, stats, nil
+}
+
+// UpdateOnto repairs the index against a pre-built edited graph (the
+// result of ApplyEdits over the same insert/remove batch — UpdateOnto
+// itself performs no validation). It exists so one batch applied to
+// several indexes shares a single canonical new graph. Copy-on-write like
+// Update: the receiver stays valid.
+func (idx *TSDIndex) UpdateOnto(newG *graph.Graph, insert, remove []graph.Edge) (*TSDIndex, *UpdateStats) {
+	oldG := idx.g
 	affected := affectedVertices(oldG, newG, insert, remove)
 	out := &TSDIndex{
-		g:     newG,
-		edges: idx.edges, // unaffected entries are reused in place
-		mv:    idx.mv,
-		vtCum: idx.vtCum,
+		g: newG,
+		// Fresh top-level slices, sharing unaffected per-vertex storage:
+		// writes below never touch the receiver's view.
+		edges: append([][]TSDEdge(nil), idx.edges...),
+		mv:    append([]int32(nil), idx.mv...),
+		vtCum: append([][]int32(nil), idx.vtCum...),
 	}
 	for _, v := range affected {
 		net := ego.ExtractOne(newG, v)
@@ -127,20 +143,27 @@ func (idx *TSDIndex) Update(insert, remove []graph.Edge) (*TSDIndex, *UpdateStat
 		Inserted: len(insert),
 		Removed:  len(remove),
 		Affected: len(affected),
-	}, nil
+	}
 }
 
 // Update applies edge insertions and deletions and repairs the GCT index
-// incrementally, rebuilding only the affected per-vertex structures. The
-// receiver must not be used afterwards.
+// incrementally, rebuilding only the affected per-vertex structures.
+// Copy-on-write: the receiver stays fully usable.
 func (idx *GCTIndex) Update(insert, remove []graph.Edge) (*GCTIndex, *UpdateStats, error) {
-	oldG := idx.g
-	newG, err := applyEdits(oldG, insert, remove)
+	newG, err := ApplyEdits(idx.g, insert, remove)
 	if err != nil {
 		return nil, nil, err
 	}
+	out, stats := idx.UpdateOnto(newG, insert, remove)
+	return out, stats, nil
+}
+
+// UpdateOnto repairs the GCT index against a pre-built edited graph; see
+// TSDIndex.UpdateOnto for the contract.
+func (idx *GCTIndex) UpdateOnto(newG *graph.Graph, insert, remove []graph.Edge) (*GCTIndex, *UpdateStats) {
+	oldG := idx.g
 	affected := affectedVertices(oldG, newG, insert, remove)
-	out := &GCTIndex{g: newG, verts: idx.verts}
+	out := &GCTIndex{g: newG, verts: append([]gctVertex(nil), idx.verts...)}
 	var decomposer truss.BitmapDecomposer
 	for _, v := range affected {
 		net := ego.ExtractOne(newG, v)
@@ -155,5 +178,5 @@ func (idx *GCTIndex) Update(insert, remove []graph.Edge) (*GCTIndex, *UpdateStat
 		Inserted: len(insert),
 		Removed:  len(remove),
 		Affected: len(affected),
-	}, nil
+	}
 }

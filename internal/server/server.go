@@ -7,16 +7,24 @@
 // Endpoints:
 //
 //	GET  /healthz                        liveness probe
-//	GET  /stats                          graph and index statistics
+//	GET  /stats                          graph, index, and epoch statistics
 //	GET  /engines                        registered engine names
 //	GET  /topr?k=4&r=10&engine=gct       top-r search (engine optional: cost-routed)
 //	POST /batch                          many top-r searches in one DB.Batch pass
+//	POST /edges                          apply one edge insert/delete batch (DB.Apply)
 //	GET  /score?v=17&k=4                 one vertex's diversity score
 //	GET  /contexts?v=17&k=4              one vertex's social contexts
 //
 // The topr endpoint accepts workers=N to shard the search across a
 // worker pool; /batch accepts the same per query. Answers are identical
 // for every worker count.
+//
+// The graph is mutable: POST /edges applies an atomic batch of edge
+// insertions and deletions, advancing the DB to its next epoch-numbered
+// snapshot with the search indexes repaired incrementally. Every query
+// response reports the epoch it was answered at; each request runs
+// against one consistent snapshot, so an update concurrent with a search
+// never changes that search's answer. WithReadOnly disables the endpoint.
 package server
 
 import (
@@ -34,12 +42,12 @@ import (
 	"trussdiv/internal/graph"
 )
 
-// Server answers structural diversity queries over one graph.
+// Server answers structural diversity queries over one evolving graph.
 type Server struct {
 	db       *trussdiv.DB
-	g        *graph.Graph
 	timeout  time.Duration
 	indexDir string
+	readOnly bool
 	built    time.Duration
 }
 
@@ -63,10 +71,16 @@ func WithIndexDir(dir string) Option {
 	return func(s *Server) { s.indexDir = dir }
 }
 
+// WithReadOnly disables the POST /edges endpoint: every update request
+// fails with 403 and the graph stays exactly as loaded.
+func WithReadOnly() Option {
+	return func(s *Server) { s.readOnly = true }
+}
+
 // New prepares the indexes for g — loading them from the index store
 // when one is configured and warm — and returns a ready Server.
 func New(g *graph.Graph, opts ...Option) *Server {
-	s := &Server{g: g}
+	s := &Server{}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -98,6 +112,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /engines", s.handleEngines)
 	mux.HandleFunc("GET /topr", s.handleTopR)
 	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /edges", s.handleEdges)
 	mux.HandleFunc("GET /score", s.handleScore)
 	mux.HandleFunc("GET /contexts", s.handleContexts)
 	return mux
@@ -140,17 +155,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	idx := s.db.IndexStats()
+	// One snapshot for the whole report, so the counts, epoch, and index
+	// readiness describe a single graph version even mid-update.
+	snap := s.db.Snapshot()
+	idx := snap.IndexStats()
+	g := snap.Graph()
 	body := map[string]any{
-		"vertices":        s.g.N(),
-		"edges":           s.g.M(),
-		"max_degree":      s.g.MaxDegree(),
-		"engines":         s.db.Engines(),
+		"vertices":        g.N(),
+		"edges":           g.M(),
+		"max_degree":      g.MaxDegree(),
+		"epoch":           snap.Epoch(),
+		"read_only":       s.readOnly,
+		"engines":         snap.Engines(),
 		"gct_index_bytes": idx.GCTBytes,
 		"tsd_index_bytes": idx.TSDBytes,
 		"index_build":     s.built.String(),
 	}
-	if st := s.db.StoreStatus(); st.Dir != "" {
+	if st := snap.StoreStatus(); st.Dir != "" {
 		source := "cold"
 		if st.Warm && idx.LoadTime > 0 {
 			source = "warm"
@@ -231,6 +252,7 @@ func candidatesParam(r *http.Request) ([]int32, error) {
 type topRResponse struct {
 	Engine   string       `json:"engine"`
 	Routed   bool         `json:"routed"`
+	Epoch    uint64       `json:"epoch"`
 	K        int          `json:"k"`
 	R        int          `json:"r"`
 	TookUS   int64        `json:"took_us"`
@@ -273,18 +295,21 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 		Workers:         clampWorkers(workers),
 	}
 
-	// Resolve the engine through the registry; an absent parameter means
-	// the DB routes by cost.
+	// Resolve the engine through one snapshot's registry and run the query
+	// against that same snapshot, so routing and execution agree on the
+	// graph version even when an update lands mid-request. An absent
+	// parameter means the snapshot routes by cost.
+	snap := s.db.Snapshot()
 	var eng trussdiv.Engine
 	routed := false
 	if name := r.URL.Query().Get("engine"); name != "" {
-		eng, err = s.db.Engine(name)
+		eng, err = snap.Engine(name)
 		if err != nil {
 			badRequest(w, "%v", err)
 			return
 		}
 	} else {
-		eng = s.db.Route(q)
+		eng = snap.Route(q)
 		routed = true
 	}
 
@@ -299,6 +324,7 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 	body := topRResponse{
 		Engine: eng.Name(),
 		Routed: routed,
+		Epoch:  uint64(snap.Epoch()),
 		K:      k,
 		R:      rr,
 		TookUS: time.Since(start).Microseconds(),
@@ -374,7 +400,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			SkipStats:       true, // Batch drops stats anyway
 		}
 	}
-	engines, err := s.db.BatchEngines(qs)
+	// One snapshot labels and answers the whole batch: every result shares
+	// one epoch, never split across graph versions by a concurrent update.
+	snap := s.db.Snapshot()
+	engines, err := snap.BatchEngines(qs)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -383,7 +412,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	results, err := s.db.Batch(ctx, qs)
+	results, err := snap.Batch(ctx, qs)
 	if err != nil {
 		searchError(w, err)
 		return
@@ -394,6 +423,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		item := topRResponse{
 			Engine: engines[i],
 			Routed: req.Queries[i].Engine == "",
+			Epoch:  res.Epoch,
 			K:      int(qs[i].K),
 			R:      qs[i].R,
 		}
@@ -405,6 +435,107 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			item.Results = append(item.Results, out)
 		}
 		resp.Results[i] = item
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// edgeJSON is one edge in a POST /edges body.
+type edgeJSON struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+type edgesRequest struct {
+	Insert []edgeJSON `json:"insert,omitempty"`
+	Delete []edgeJSON `json:"delete,omitempty"`
+}
+
+type edgesResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	Inserted int    `json:"inserted"`
+	Deleted  int    `json:"deleted"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	TookUS   int64  `json:"took_us"`
+	// Repaired counts the ego-network structures the incremental index
+	// maintenance rebuilt (0 when no repairable index was in memory).
+	Repaired int `json:"repaired"`
+}
+
+const (
+	// maxEdgeBatch bounds one /edges request; the affected ego-network set
+	// grows with the batch, so huge batches should go through a rebuild.
+	maxEdgeBatch = 4096
+	// maxEdgesBody bounds the request body.
+	maxEdgesBody = 4 << 20
+)
+
+// handleEdges applies one atomic edge-update batch through DB.Apply: the
+// response reports the new epoch, in-flight searches keep their snapshot,
+// and subsequent requests see the edited graph with its indexes repaired
+// incrementally. A batch the DB rejects (errors.Is ErrBadUpdate: duplicate
+// edits, inserting a present edge, deleting an absent one, out-of-range
+// endpoints) fails with 409 and leaves the graph untouched.
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly {
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "server is read-only (started with -readonly)"})
+		return
+	}
+	var req edgesRequest
+	body := http.MaxBytesReader(w, r.Body, maxEdgesBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		badRequest(w, "edges body: %v", err)
+		return
+	}
+	if len(req.Insert)+len(req.Delete) == 0 {
+		badRequest(w, "edges body: no edits")
+		return
+	}
+	if len(req.Insert)+len(req.Delete) > maxEdgeBatch {
+		badRequest(w, "edges body: %d edits exceeds the limit of %d",
+			len(req.Insert)+len(req.Delete), maxEdgeBatch)
+		return
+	}
+	u := trussdiv.Updates{
+		Insert: make([]trussdiv.Edge, len(req.Insert)),
+		Delete: make([]trussdiv.Edge, len(req.Delete)),
+	}
+	for i, e := range req.Insert {
+		u.Insert[i] = trussdiv.Edge{U: e.U, V: e.V}
+	}
+	for i, e := range req.Delete {
+		u.Delete[i] = trussdiv.Edge{U: e.U, V: e.V}
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	if _, err := s.db.Apply(ctx, u); err != nil {
+		switch {
+		case errors.Is(err, trussdiv.ErrBadUpdate):
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		default:
+			badRequest(w, "%v", err)
+		}
+		return
+	}
+	// Every derived field comes from one snapshot, keyed by its epoch. A
+	// concurrent update may land between Apply and this read; the response
+	// then describes that newer snapshot consistently (epoch included)
+	// rather than mixing this batch's epoch with newer state.
+	snap := s.db.Snapshot()
+	resp := edgesResponse{
+		Epoch:    uint64(snap.Epoch()),
+		Inserted: len(req.Insert),
+		Deleted:  len(req.Delete),
+		Vertices: snap.Graph().N(),
+		Edges:    snap.Graph().M(),
+		TookUS:   time.Since(start).Microseconds(),
+	}
+	if st := snap.ApplyStats(); st != nil {
+		resp.Repaired = st.Affected
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -321,3 +321,76 @@ func TestWarmStartFromIndexDir(t *testing.T) {
 		t.Fatalf("warm answers differ from cold:\n%s\n%s", coldRes, warmRes)
 	}
 }
+
+// TestEdgesEndpoint drives the live-update write path: a POST /edges
+// batch advances the epoch, /stats and /topr report it, the edited graph
+// answers subsequent queries, and a rejected batch is a 409 that leaves
+// the graph untouched.
+func TestEdgesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if stats["epoch"].(float64) != 1 {
+		t.Fatalf("initial epoch = %v, want 1", stats["epoch"])
+	}
+	if stats["read_only"].(bool) {
+		t.Fatal("server unexpectedly read-only")
+	}
+	edges := stats["edges"].(float64)
+
+	body := postJSON(t, ts.URL+"/edges", `{"insert":[{"u":0,"v":15}],"delete":[{"u":0,"v":1}]}`, http.StatusOK)
+	if body["epoch"].(float64) != 2 {
+		t.Fatalf("epoch after apply = %v, want 2", body["epoch"])
+	}
+	if body["inserted"].(float64) != 1 || body["deleted"].(float64) != 1 {
+		t.Fatalf("apply response = %v", body)
+	}
+	if body["edges"].(float64) != edges {
+		t.Fatalf("edge count = %v after +1/-1, want %v", body["edges"], edges)
+	}
+	if body["repaired"].(float64) <= 0 {
+		t.Fatalf("repaired = %v, want > 0 (the server prepares its indexes)", body["repaired"])
+	}
+
+	stats = getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if stats["epoch"].(float64) != 2 {
+		t.Fatalf("stats epoch = %v, want 2", stats["epoch"])
+	}
+	topr := getJSON(t, ts.URL+"/topr?k=4&r=3&engine=tsd", http.StatusOK)
+	if topr["epoch"].(float64) != 2 {
+		t.Fatalf("topr epoch = %v, want 2", topr["epoch"])
+	}
+	batch := postJSON(t, ts.URL+"/batch", `{"queries":[{"k":4,"r":3}]}`, http.StatusOK)
+	if batch["results"].([]any)[0].(map[string]any)["epoch"].(float64) != 2 {
+		t.Fatalf("batch epoch = %v, want 2", batch)
+	}
+
+	// Conflicting batch: inserting a present edge is a 409, epoch frozen.
+	body = postJSON(t, ts.URL+"/edges", `{"insert":[{"u":0,"v":15}]}`, http.StatusConflict)
+	if body["error"] == "" {
+		t.Fatal("409 without an error body")
+	}
+	stats = getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if stats["epoch"].(float64) != 2 {
+		t.Fatalf("epoch after rejected batch = %v, want 2", stats["epoch"])
+	}
+
+	// Malformed bodies are 400s.
+	postJSON(t, ts.URL+"/edges", `{`, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/edges", `{}`, http.StatusBadRequest)
+}
+
+// TestEdgesReadOnly pins the WithReadOnly contract: 403, nothing applied.
+func TestEdgesReadOnly(t *testing.T) {
+	srv := New(gen.Fig1Graph(), WithReadOnly())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	body := postJSON(t, ts.URL+"/edges", `{"insert":[{"u":0,"v":15}]}`, http.StatusForbidden)
+	if body["error"] == "" {
+		t.Fatal("403 without an error body")
+	}
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if stats["epoch"].(float64) != 1 || !stats["read_only"].(bool) {
+		t.Fatalf("read-only stats = %v", stats)
+	}
+}

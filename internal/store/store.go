@@ -72,6 +72,11 @@ const (
 	SecGCT Section = 3
 	// SecRankings is the hybrid engine's per-k vertex rankings.
 	SecRankings Section = 4
+	// SecEpoch is the epoch counter of the snapshot the file was persisted
+	// from (8 bytes, little-endian), so a warm start resumes the version
+	// numbering of an updated graph instead of restarting at 1. Readers
+	// that predate it skip it as an unknown section — no version bump.
+	SecEpoch Section = 5
 )
 
 // String names the section for error messages.
@@ -85,6 +90,8 @@ func (s Section) String() string {
 		return "gct"
 	case SecRankings:
 		return "rankings"
+	case SecEpoch:
+		return "epoch"
 	}
 	return fmt.Sprintf("section(%d)", uint32(s))
 }
@@ -203,6 +210,9 @@ type Indexes struct {
 	// Rankings are the hybrid engine's per-k vertex rankings
 	// (Rankings[k] is sorted by score descending, vertex ascending).
 	Rankings [][]core.VertexScore
+	// Epoch is the snapshot version the indexes describe; 0 means "not
+	// recorded" and writes no section.
+	Epoch uint64
 }
 
 // Write serializes the present sections of ix, fingerprinted against g,
@@ -240,6 +250,11 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 			return 0, err
 		}
 		secs = append(secs, section{SecRankings, payload})
+	}
+	if ix.Epoch != 0 {
+		payload := make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, ix.Epoch)
+		secs = append(secs, section{SecEpoch, payload})
 	}
 
 	fp := Fingerprint(g)
@@ -377,7 +392,7 @@ func Open(path string, g *graph.Graph) (*File, error) {
 					entry.offset, entry.length, st.Size())}
 		}
 		switch id {
-		case SecTruss, SecTSD, SecGCT, SecRankings:
+		case SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch:
 			if _, dup := toc[id]; dup {
 				return nil, &CorruptError{Section: id, Reason: "duplicate section"}
 			}
@@ -402,7 +417,7 @@ func (f *File) Has(s Section) bool {
 // Sections lists the recognized sections present in the file, in ID order.
 func (f *File) Sections() []Section {
 	var out []Section
-	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings} {
+	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch} {
 		if f.Has(s) {
 			out = append(out, s)
 		}
@@ -474,6 +489,19 @@ func (f *File) GCT() (*core.GCTIndex, error) {
 	return idx, nil
 }
 
+// Epoch loads the recorded snapshot epoch, or (0, nil) when absent.
+func (f *File) Epoch() (uint64, error) {
+	payload, err := f.section(SecEpoch)
+	if payload == nil || err != nil {
+		return 0, err
+	}
+	if len(payload) != 8 {
+		return 0, &CorruptError{Section: SecEpoch,
+			Reason: fmt.Sprintf("%d payload bytes, want 8", len(payload))}
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
 // Rankings loads the per-k rankings, or (nil, nil) when absent.
 func (f *File) Rankings() ([][]core.VertexScore, error) {
 	payload, err := f.section(SecRankings)
@@ -500,6 +528,9 @@ func ReadAll(path string, g *graph.Graph) (*Indexes, error) {
 		return nil, err
 	}
 	if ix.Rankings, err = f.Rankings(); err != nil {
+		return nil, err
+	}
+	if ix.Epoch, err = f.Epoch(); err != nil {
 		return nil, err
 	}
 	return &ix, nil

@@ -1,0 +1,456 @@
+package trussdiv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/store"
+)
+
+// Epoch numbers the graph versions a DB has served: Open produces epoch 1
+// (or resumes the epoch a warm index store recorded), and every successful
+// Apply produces the next one. A Result's Epoch field names the snapshot
+// that answered it.
+type Epoch uint64
+
+// Updates is one atomic batch of edge edits for DB.Apply. Edges may be
+// given in either orientation; the batch must be internally consistent:
+// no duplicate edits, no edge appearing in both lists, every insertion
+// absent from the current graph and every deletion present in it. The
+// vertex set is fixed at Open — edits naming vertices outside [0, N) are
+// rejected (grow the vertex set by rebuilding the graph).
+type Updates struct {
+	Insert []Edge
+	Delete []Edge
+}
+
+// UpdateError reports a rejected update batch: the offending edge and the
+// reason. Apply rejects the whole batch atomically — the DB keeps serving
+// its current snapshot and the epoch does not advance.
+type UpdateError struct {
+	Edge   Edge
+	Reason string
+}
+
+func (e *UpdateError) Error() string {
+	return fmt.Sprintf("trussdiv: cannot apply edit (%d,%d): %s", e.Edge.U, e.Edge.V, e.Reason)
+}
+
+// ErrBadUpdate is the sentinel matched by errors.Is when an update batch
+// is rejected; the concrete error is *UpdateError.
+var ErrBadUpdate = errors.New("trussdiv: invalid update batch")
+
+// Is makes errors.Is(err, ErrBadUpdate) match.
+func (e *UpdateError) Is(target error) bool { return target == ErrBadUpdate }
+
+// Rebinder is an optional interface for engines plugged in through
+// DB.Register: when the DB applies an update batch, a custom engine
+// implementing Rebinder is asked for a replacement bound to the edited
+// graph, which serves in the next snapshot. Custom engines without it are
+// carried into the next snapshot unchanged — correct only for engines
+// that read the graph through the DB rather than holding their own copy.
+type Rebinder interface {
+	Rebind(g *Graph) (Engine, error)
+}
+
+// Snapshot is one immutable version of the DB: a graph, the index cache
+// built over it, and the engine registry bound to both, all stamped with
+// an epoch. Queries against a Snapshot are guaranteed consistent — a
+// concurrent Apply builds the next snapshot on the side and never touches
+// this one, so a reader that grabbed a Snapshot keeps its epoch (and its
+// answers) for as long as it holds the reference. DB query methods grab
+// the current snapshot once per call; hold one explicitly (db.Snapshot())
+// to pin a multi-query read to a single graph version.
+type Snapshot struct {
+	epoch  Epoch
+	g      *Graph
+	w      workload
+	cache  *indexCache
+	reg    *registry
+	forced string
+	// applied records the incremental-repair work of the update batch that
+	// produced this snapshot (nil for the Open snapshot and for snapshots
+	// whose caches held nothing repairable).
+	applied *core.UpdateStats
+}
+
+// newSnapshot binds the built-in engines to one graph + cache pair. The
+// cache's epoch is aligned so persisted state names this snapshot.
+func newSnapshot(epoch Epoch, g *Graph, cache *indexCache, forced string) (*Snapshot, error) {
+	s := &Snapshot{
+		epoch:  epoch,
+		g:      g,
+		w:      measure(g),
+		cache:  cache,
+		reg:    newRegistry(),
+		forced: forced,
+	}
+	cache.setEpoch(epoch)
+	for _, reg := range []struct {
+		engine   Engine
+		routable bool
+	}{
+		{newOnlineEngine(g, s.w), true},
+		{newBoundEngine(g, s.w, cache), true},
+		{&tsdEngine{cache: cache, w: s.w}, true},
+		{&gctEngine{cache: cache, w: s.w}, true},
+		{&hybridEngine{cache: cache, w: s.w}, true},
+		{&baselineEngine{name: "comp", model: NewCompDiv(g), g: g, w: s.w}, false},
+		{&baselineEngine{name: "kcore", model: NewCoreDiv(g), g: g, w: s.w}, false},
+	} {
+		if err := s.reg.add(reg.engine, reg.routable); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Epoch returns the snapshot's version number.
+func (s *Snapshot) Epoch() Epoch { return s.epoch }
+
+// Graph returns the graph this snapshot serves.
+func (s *Snapshot) Graph() *Graph { return s.g }
+
+// ApplyStats reports the incremental-repair work of the Apply that
+// produced this snapshot: how many edges changed and how many ego-network
+// structures were rebuilt rather than rebuilt-from-scratch. Nil for the
+// Open snapshot, and for applies that found no repairable index in memory.
+func (s *Snapshot) ApplyStats() *UpdateStats {
+	if s.applied == nil {
+		return nil
+	}
+	cp := *s.applied
+	return &cp
+}
+
+// Engines lists the snapshot's registered engine names in registration
+// order.
+func (s *Snapshot) Engines() []string { return s.reg.names() }
+
+// Engine returns the named engine bound to this snapshot; the error is a
+// *UnknownEngineError (matching errors.Is(err, ErrUnknownEngine)) for
+// unregistered names.
+func (s *Snapshot) Engine(name string) (Engine, error) { return s.reg.lookup(name) }
+
+// Route returns the routable engine with the lowest cost estimate for q,
+// counting any index it would still have to build. Ties keep the earliest
+// registered engine. Routing is snapshot-aware: an index that survived the
+// last Apply (the TSD and GCT structures repair incrementally) keeps its
+// zero build cost, while invalidated ones (the global truss decomposition
+// and the hybrid rankings) price their lazy rebuild back in.
+func (s *Snapshot) Route(q Query) Engine {
+	var best Engine
+	bestCost := 0.0
+	for _, e := range s.reg.routable() {
+		if c := e.Cost(q).Total(); best == nil || c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	return best
+}
+
+// routeAmortized is the single routing policy: per-query pin, then the
+// DB-level pin, then the cheapest routable engine with the index build
+// cost divided across batchSize queries (1 = the TopR single-query case,
+// where the division is a no-op).
+func (s *Snapshot) routeAmortized(q Query, batchSize int) (Engine, error) {
+	if q.Engine != "" {
+		return s.reg.lookup(q.Engine)
+	}
+	if s.forced != "" {
+		return s.reg.lookup(s.forced)
+	}
+	var best Engine
+	bestCost := 0.0
+	for _, e := range s.reg.routable() {
+		est := e.Cost(q)
+		c := est.Build/float64(batchSize) + est.Query
+		if best == nil || c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	if best == nil {
+		return nil, errors.New("trussdiv: no routable engine registered")
+	}
+	return best, nil
+}
+
+// resolveBatch resolves every query's engine with the index build cost
+// amortized over the batch size.
+func (s *Snapshot) resolveBatch(qs []Query) ([]Engine, error) {
+	engines := make([]Engine, len(qs))
+	for i, q := range qs {
+		eng, err := s.routeAmortized(q, len(qs))
+		if err != nil {
+			return nil, err
+		}
+		engines[i] = eng
+	}
+	return engines, nil
+}
+
+// TopR answers a top-r query through the cheapest (or pinned) engine of
+// this snapshot. The Result is stamped with the snapshot's epoch; the
+// Stats, when requested, name the engine that answered.
+func (s *Snapshot) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	eng, err := s.routeAmortized(q, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, stats, err := eng.TopR(ctx, q)
+	if res != nil {
+		res.Epoch = uint64(s.epoch)
+	}
+	if stats != nil {
+		stats.Engine = eng.Name()
+	}
+	return res, stats, err
+}
+
+// Score returns score(v) at threshold k, reading the GCT index when one
+// is built (O(log) per query) and computing online otherwise.
+func (s *Snapshot) Score(ctx context.Context, v, k int32) (int, error) {
+	return s.pointEngine().Score(ctx, v, k)
+}
+
+// Contexts returns the social contexts SC(v) at threshold k, using the
+// same index-if-available strategy as Score.
+func (s *Snapshot) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	return s.pointEngine().Contexts(ctx, v, k)
+}
+
+// pointEngine picks the engine for single-vertex queries: the pinned one,
+// else gct once its index exists, else the online scorer.
+func (s *Snapshot) pointEngine() Engine {
+	name := s.forced
+	if name == "" {
+		if s.cache.hasGCT() {
+			name = "gct"
+		} else {
+			name = "online"
+		}
+	}
+	e, err := s.reg.lookup(name)
+	if err != nil { // unreachable: built-ins are always registered
+		panic(err)
+	}
+	return e
+}
+
+// Prepare eagerly readies the named engines of this snapshot; see
+// DB.Prepare.
+func (s *Snapshot) Prepare(ctx context.Context, names ...string) error {
+	if len(names) == 0 {
+		names = prepareAll
+	}
+	// One store rewrite at the end instead of one per built accelerator.
+	s.cache.beginDeferredPersist()
+	defer s.cache.endDeferredPersist()
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch name {
+		case "bound":
+			// The bound engine's per-query sparsification reads the cached
+			// global truss decomposition.
+			s.cache.trussTau()
+		case "tsd":
+			s.cache.tsdIndex()
+		case "gct":
+			s.cache.gctIndex()
+		case "hybrid":
+			s.cache.hybridEngine()
+		case "online", "comp", "kcore":
+			// stateless engines: nothing to prepare
+		default:
+			if _, err := s.reg.lookup(name); err != nil {
+				return err
+			}
+			return fmt.Errorf("trussdiv: Prepare: engine %q manages its own state", name)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the DB's current snapshot. The reference stays valid —
+// and keeps answering with its own graph version — across any number of
+// subsequent Apply calls.
+func (db *DB) Snapshot() *Snapshot { return db.snap.Load() }
+
+// Epoch returns the epoch of the DB's current snapshot.
+func (db *DB) Epoch() Epoch { return db.Snapshot().epoch }
+
+// Apply atomically applies one batch of edge insertions and deletions and
+// installs the resulting graph as the DB's next snapshot, returning its
+// epoch. The transition is copy-on-write: in-flight readers keep the
+// snapshot (and epoch) they started with, never block on the apply, and
+// never observe a half-applied batch — the new snapshot becomes visible in
+// one pointer swap after it is fully built.
+//
+// Indexes are maintained incrementally instead of rebuilt: an in-memory
+// TSD or GCT index is repaired by rebuilding only the ego-network
+// structures the batch touched (the paper's §5.3 locality argument), while
+// the global truss decomposition and the hybrid per-k rankings — whose
+// repair would cost as much as a rebuild — are invalidated and rebuilt
+// lazily on next use. Cost routing sees exactly which indexes survived.
+//
+// A batch that fails validation (errors.Is(err, ErrBadUpdate)) is rejected
+// whole: the epoch does not advance and the DB keeps serving its current
+// snapshot. An empty batch is a no-op returning the current epoch. Apply
+// calls serialize with each other; ctx is observed between repair phases
+// (an individual repair is not interruptible).
+//
+// The persistent index store, when configured, is not rewritten by Apply —
+// call SaveIndexes to persist the post-update state (the file is
+// fingerprinted against the new graph and records the new epoch).
+func (db *DB) Apply(ctx context.Context, u Updates) (Epoch, error) {
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	cur := db.snap.Load()
+	ins, del, err := u.normalize(cur.g)
+	if err != nil {
+		return 0, err
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return cur.epoch, nil
+	}
+	newG, err := core.ApplyEdits(cur.g, ins, del)
+	if err != nil {
+		// unreachable after normalize, but a second line of defense
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	nextCache, stats := cur.cache.advance(newG, ins, del)
+	next, err := newSnapshot(cur.epoch+1, newG, nextCache, db.forced)
+	if err != nil {
+		return 0, err // unreachable: built-ins always register cleanly
+	}
+	next.applied = stats
+	// Rebind custom engines into a scratch list first: a failure anywhere
+	// must leave db.custom untouched, or an engine could end up bound to a
+	// graph the DB never adopted.
+	rebound := make([]customEngine, len(db.custom))
+	copy(rebound, db.custom)
+	for i := range rebound {
+		e := rebound[i].engine
+		if rb, ok := e.(Rebinder); ok {
+			re, err := rb.Rebind(newG)
+			if err != nil {
+				return 0, fmt.Errorf("trussdiv: Apply: rebind engine %q: %w", e.Name(), err)
+			}
+			e = re
+			rebound[i].engine = re
+		}
+		if err := next.reg.add(e, rebound[i].routable); err != nil {
+			return 0, err
+		}
+	}
+	db.custom = rebound
+	db.snap.Store(next)
+	return next.epoch, nil
+}
+
+// normalize canonicalizes and validates one update batch against g:
+// orientations are normalized to U < V, and the batch must contain no
+// duplicates, no insert∩delete overlap, only in-range endpoints, only
+// absent edges in Insert and present edges in Delete.
+func (u Updates) normalize(g *Graph) (ins, del []Edge, err error) {
+	n := int32(g.N())
+	seen := make(map[Edge]string, len(u.Insert)+len(u.Delete))
+	canon := func(e Edge, kind string) (Edge, error) {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		if e.U == e.V {
+			return e, &UpdateError{Edge: e, Reason: "self-loop"}
+		}
+		if e.U < 0 || e.V >= n {
+			return e, &UpdateError{Edge: e,
+				Reason: fmt.Sprintf("endpoint out of range [0,%d) (the vertex set is fixed at Open; rebuild to grow it)", n)}
+		}
+		if prev, dup := seen[e]; dup {
+			reason := "duplicate edit in batch"
+			if prev != kind {
+				reason = "edge appears in both Insert and Delete"
+			}
+			return e, &UpdateError{Edge: e, Reason: reason}
+		}
+		seen[e] = kind
+		return e, nil
+	}
+	for _, e := range u.Insert {
+		e, err := canon(e, "insert")
+		if err != nil {
+			return nil, nil, err
+		}
+		if g.HasEdge(e.U, e.V) {
+			return nil, nil, &UpdateError{Edge: e, Reason: "insert of an edge already present"}
+		}
+		ins = append(ins, e)
+	}
+	for _, e := range u.Delete {
+		e, err := canon(e, "delete")
+		if err != nil {
+			return nil, nil, err
+		}
+		if !g.HasEdge(e.U, e.V) {
+			return nil, nil, &UpdateError{Edge: e, Reason: "delete of an edge not present"}
+		}
+		del = append(del, e)
+	}
+	return ins, del, nil
+}
+
+// IndexStats reports which indexes of this snapshot are ready, their
+// sizes, and the time spent building and loading them.
+func (s *Snapshot) IndexStats() IndexStats {
+	c := s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := IndexStats{
+		TSDReady:    c.tsd != nil,
+		GCTReady:    c.gct != nil,
+		HybridReady: c.hybrid != nil,
+		TauReady:    c.tau != nil,
+		BuildTime:   c.buildTime,
+		LoadTime:    c.loadTime,
+	}
+	if c.tsd != nil {
+		st.TSDBytes = c.tsd.SizeBytes()
+	}
+	if c.gct != nil {
+		st.GCTBytes = c.gct.SizeBytes()
+	}
+	return st
+}
+
+// StoreStatus reports the state of this snapshot's connection to the
+// persistent index store.
+func (s *Snapshot) StoreStatus() StoreStatus {
+	c := s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := StoreStatus{
+		Dir:     c.dir,
+		LoadErr: c.loadErr,
+		SaveErr: c.saveErr,
+	}
+	if c.dir != "" {
+		st.Path = store.PathIn(c.dir)
+	}
+	if c.file != nil {
+		st.Warm = true
+		for _, sec := range c.file.Sections() {
+			st.Sections = append(st.Sections, sec.String())
+		}
+	}
+	return st
+}

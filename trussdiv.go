@@ -16,6 +16,14 @@
 //	db, _ := trussdiv.Open(g)
 //	res, stats, _ := db.TopR(ctx, trussdiv.NewQuery(4, 10, trussdiv.WithContexts()))
 //
+// The graph is mutable after Open: db.Apply installs an atomic batch of
+// edge insertions/deletions as the next epoch-numbered snapshot, with
+// the TSD and GCT indexes repaired incrementally (paper §5.3). Queries
+// always run against one consistent snapshot — Result.Epoch names it,
+// and db.Snapshot() pins one across applies:
+//
+//	epoch, _ := db.Apply(ctx, trussdiv.Updates{Insert: []trussdiv.Edge{{U: 1, V: 9}}})
+//
 // A specific engine can be pinned with Open(g, WithEngine("gct")) or
 // fetched by name with db.Engine("tsd"); every engine satisfies the
 // context-aware Engine interface. The direct constructors further down

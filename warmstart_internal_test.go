@@ -31,7 +31,7 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if err := seed.Prepare(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if seed.cache.builds == 0 {
+	if seed.Snapshot().cache.builds == 0 {
 		t.Fatal("seeding DB built nothing; the tripwires below would prove nothing")
 	}
 	if st := seed.StoreStatus(); st.SaveErr != nil {
@@ -42,19 +42,19 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm.cache.buildTau = func(*Graph) []int32 {
+	warm.Snapshot().cache.buildTau = func(*Graph) []int32 {
 		t.Error("warm DB rebuilt the truss decomposition")
 		return nil
 	}
-	warm.cache.buildTSD = func(g *Graph) *core.TSDIndex {
+	warm.Snapshot().cache.buildTSD = func(g *Graph) *core.TSDIndex {
 		t.Error("warm DB rebuilt the TSD index")
 		return core.BuildTSDIndex(g)
 	}
-	warm.cache.buildGCT = func(g *Graph) *core.GCTIndex {
+	warm.Snapshot().cache.buildGCT = func(g *Graph) *core.GCTIndex {
 		t.Error("warm DB rebuilt the GCT index")
 		return core.BuildGCTIndex(g)
 	}
-	warm.cache.buildHybrid = func(idx *core.GCTIndex) *core.Hybrid {
+	warm.Snapshot().cache.buildHybrid = func(idx *core.GCTIndex) *core.Hybrid {
 		t.Error("warm DB rebuilt the hybrid rankings")
 		return core.BuildHybrid(idx)
 	}
@@ -70,8 +70,8 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if _, err := warm.Score(ctx, 0, 3); err != nil {
 		t.Fatal(err)
 	}
-	if warm.cache.builds != 0 {
-		t.Fatalf("warm DB performed %d builds; want 0", warm.cache.builds)
+	if warm.Snapshot().cache.builds != 0 {
+		t.Fatalf("warm DB performed %d builds; want 0", warm.Snapshot().cache.builds)
 	}
 	if st := warm.IndexStats(); st.LoadTime == 0 {
 		t.Fatal("warm DB reports zero load time; nothing was read from the store")
@@ -133,16 +133,16 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 	if !errors.Is(db.StoreStatus().LoadErr, ErrIndexCorrupt) {
 		t.Fatalf("LoadErr = %v, want ErrIndexCorrupt", db.StoreStatus().LoadErr)
 	}
-	if db.cache.builds != 1 {
-		t.Fatalf("builds = %d, want exactly the damaged section rebuilt", db.cache.builds)
+	if db.Snapshot().cache.builds != 1 {
+		t.Fatalf("builds = %d, want exactly the damaged section rebuilt", db.Snapshot().cache.builds)
 	}
 	// ...while its siblings still load from disk, not from builders.
 	if err := db.Prepare(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if db.cache.builds != 1 {
+	if db.Snapshot().cache.builds != 1 {
 		t.Fatalf("builds = %d after Prepare; sibling sections were rebuilt instead of loaded",
-			db.cache.builds)
+			db.Snapshot().cache.builds)
 	}
 	// And the rebuild's persist kept every section: a fresh open is fully
 	// warm again.
@@ -154,10 +154,10 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := healed.StoreStatus()
-	if !st.Warm || len(st.Sections) != 4 {
-		t.Fatalf("store after heal: %+v, want all 4 sections", st)
+	if !st.Warm || len(st.Sections) != 5 {
+		t.Fatalf("store after heal: %+v, want all 4 index sections plus the epoch", st)
 	}
-	if healed.cache.builds != 0 {
-		t.Fatalf("healed open built %d times; want 0", healed.cache.builds)
+	if healed.Snapshot().cache.builds != 0 {
+		t.Fatalf("healed open built %d times; want 0", healed.Snapshot().cache.builds)
 	}
 }
