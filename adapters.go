@@ -32,6 +32,7 @@ type indexCache struct {
 	tsd       *core.TSDIndex
 	gct       *core.GCTIndex
 	hybrid    *core.Hybrid
+	mrank     map[core.Measure][][]core.VertexScore // per-measure per-k rankings (non-truss)
 	buildTime time.Duration
 	loadTime  time.Duration
 
@@ -44,7 +45,7 @@ type indexCache struct {
 	// one (dirty remembers that something was built meanwhile).
 	dir          string
 	file         *store.File
-	bad          map[store.Section]bool
+	bad          map[store.SectionRef]bool
 	loadErr      error
 	saveErr      error
 	deferPersist bool
@@ -56,7 +57,14 @@ type indexCache struct {
 	buildTSD    func(*Graph) *core.TSDIndex
 	buildGCT    func(*Graph) *core.GCTIndex
 	buildHybrid func(*core.GCTIndex) *core.Hybrid
+	buildMRank  func(*Graph, core.Measure) [][]core.VertexScore
 	builds      int
+}
+
+// trussSec addresses a truss-tagged section of the index store (the only
+// kind that existed before format v2).
+func trussSec(s store.Section) store.SectionRef {
+	return store.SectionRef{Section: s, Measure: core.MeasureTruss}
 }
 
 // newIndexCache wires a cache to its builders and, when cfg names an
@@ -74,6 +82,7 @@ func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
 		buildTSD:    core.BuildTSDIndex,
 		buildGCT:    core.BuildGCTIndex,
 		buildHybrid: core.BuildHybrid,
+		buildMRank:  core.BuildMeasureRankings,
 	}
 	if c.dir != "" {
 		f, err := store.Open(store.PathIn(c.dir), g)
@@ -103,7 +112,7 @@ func (c *indexCache) setEpoch(e Epoch) {
 func (c *indexCache) storedEpoch() Epoch {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ep := loadSection(c, store.SecEpoch, (*store.File).Epoch)
+	ep := loadSection(c, trussSec(store.SecEpoch), (*store.File).Epoch)
 	return Epoch(ep)
 }
 
@@ -121,6 +130,9 @@ func (c *indexCache) storedEpoch() Epoch {
 func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.UpdateStats) {
 	c.mu.Lock()
 	tsd, gct := c.tsd, c.gct
+	// The per-measure rankings (like the hybrid rankings) are global
+	// orderings whose repair would cost a rebuild: invalidated, rebuilt
+	// lazily on next Prepare — they are simply not carried into next.
 	next := &indexCache{
 		g:           newG,
 		dir:         c.dir,
@@ -128,6 +140,7 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 		buildTSD:    c.buildTSD,
 		buildGCT:    c.buildGCT,
 		buildHybrid: c.buildHybrid,
+		buildMRank:  c.buildMRank,
 	}
 	c.dir = ""
 	c.mu.Unlock()
@@ -142,15 +155,15 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 	return next, stats
 }
 
-// loadSection reads one section from the warm-start file, or returns the
-// zero value when the file is absent or lacks the section. A damaged
-// section records the typed error and is marked bad so later misses
-// rebuild (and re-persist) instead of retrying a broken read; the file's
-// other sections stay trusted — each carries its own checksum.
-// Callers must hold c.mu.
-func loadSection[T any](c *indexCache, s store.Section, read func(*store.File) (T, error)) T {
+// loadSection reads one section instance (section kind + measure tag)
+// from the warm-start file, or returns the zero value when the file is
+// absent or lacks the section. A damaged section records the typed error
+// and is marked bad so later misses rebuild (and re-persist) instead of
+// retrying a broken read; the file's other sections stay trusted — each
+// carries its own checksum. Callers must hold c.mu.
+func loadSection[T any](c *indexCache, ref store.SectionRef, read func(*store.File) (T, error)) T {
 	var zero T
-	if c.file == nil || !c.file.Has(s) || c.bad[s] {
+	if c.file == nil || !c.file.HasMeasure(ref.Section, ref.Measure) || c.bad[ref] {
 		return zero
 	}
 	start := time.Now()
@@ -158,9 +171,9 @@ func loadSection[T any](c *indexCache, s store.Section, read func(*store.File) (
 	if err != nil {
 		c.loadErr = err
 		if c.bad == nil {
-			c.bad = make(map[store.Section]bool)
+			c.bad = make(map[store.SectionRef]bool)
 		}
-		c.bad[s] = true
+		c.bad[ref] = true
 		return zero
 	}
 	c.loadTime += time.Since(start)
@@ -181,7 +194,7 @@ func (c *indexCache) trussTauLocked() []int32 {
 	if c.tau != nil {
 		return c.tau
 	}
-	if tau := loadSection(c, store.SecTruss, (*store.File).Tau); tau != nil {
+	if tau := loadSection(c, trussSec(store.SecTruss), (*store.File).Tau); tau != nil {
 		c.tau = tau
 		return c.tau
 	}
@@ -203,7 +216,7 @@ func (c *indexCache) tsdIndexLocked() *core.TSDIndex {
 	if c.tsd != nil {
 		return c.tsd
 	}
-	if idx := loadSection(c, store.SecTSD, (*store.File).TSD); idx != nil {
+	if idx := loadSection(c, trussSec(store.SecTSD), (*store.File).TSD); idx != nil {
 		c.tsd = idx
 		return c.tsd
 	}
@@ -225,7 +238,7 @@ func (c *indexCache) gctIndexLocked() *core.GCTIndex {
 	if c.gct != nil {
 		return c.gct
 	}
-	if idx := loadSection(c, store.SecGCT, (*store.File).GCT); idx != nil {
+	if idx := loadSection(c, trussSec(store.SecGCT), (*store.File).GCT); idx != nil {
 		c.gct = idx
 		return c.gct
 	}
@@ -249,7 +262,7 @@ func (c *indexCache) hybridLocked() *core.Hybrid {
 	}
 	// Persisted rankings rebuild the hybrid without touching the GCT
 	// index: NewHybridFromRankings only allocates a scorer.
-	if perK := loadSection(c, store.SecRankings, (*store.File).Rankings); perK != nil {
+	if perK := loadSection(c, trussSec(store.SecRankings), (*store.File).Rankings); perK != nil {
 		c.hybrid = core.NewHybridFromRankings(c.g, perK)
 		return c.hybrid
 	}
@@ -260,6 +273,64 @@ func (c *indexCache) hybridLocked() *core.Hybrid {
 	c.builds++
 	c.persistAfterBuildLocked()
 	return c.hybrid
+}
+
+// measureRankings returns measure m's per-k rankings: from memory, else
+// loaded from a v2 index store section, else — only when build is set —
+// built from the graph (one ego decomposition per vertex) and persisted.
+// Without build, a cold cache returns nil and the caller falls back to
+// scanning; Prepare("comp"/"kcore") is the build path.
+func (c *indexCache) measureRankings(m Measure, build bool) [][]core.VertexScore {
+	m = m.Normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.measureRankingsLocked(m, build)
+}
+
+func (c *indexCache) measureRankingsLocked(m Measure, build bool) [][]core.VertexScore {
+	if perK := c.mrank[m]; perK != nil {
+		return perK
+	}
+	ref := store.SectionRef{Section: store.SecRankings, Measure: m}
+	if perK := loadSection(c, ref, func(f *store.File) ([][]core.VertexScore, error) {
+		return f.MeasureRankings(m)
+	}); perK != nil {
+		c.setMeasureRankLocked(m, perK)
+		return perK
+	}
+	if !build {
+		return nil
+	}
+	start := time.Now()
+	perK := c.buildMRank(c.g, m)
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.setMeasureRankLocked(m, perK)
+	c.persistAfterBuildLocked()
+	return perK
+}
+
+func (c *indexCache) setMeasureRankLocked(m Measure, perK [][]core.VertexScore) {
+	if c.mrank == nil {
+		c.mrank = make(map[core.Measure][][]core.VertexScore, 2)
+	}
+	c.mrank[m] = perK
+}
+
+func (c *indexCache) hasMeasureRank(m Measure) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mrank[m.Normalize()] != nil
+}
+
+// onDiskMeasureRank reports whether measure m's rankings can be loaded
+// from the warm-start file (a v2 store with the measure-tagged section).
+func (c *indexCache) onDiskMeasureRank(m Measure) bool {
+	m = m.Normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref := store.SectionRef{Section: store.SecRankings, Measure: m}
+	return c.file != nil && c.file.HasMeasure(store.SecRankings, m) && !c.bad[ref]
 }
 
 // persistAfterBuildLocked is the write path of every from-scratch build:
@@ -305,23 +376,37 @@ func (c *indexCache) persistLocked() {
 	}
 	if c.file != nil {
 		if c.tau == nil {
-			c.tau = loadSection(c, store.SecTruss, (*store.File).Tau)
+			c.tau = loadSection(c, trussSec(store.SecTruss), (*store.File).Tau)
 		}
 		if c.tsd == nil {
-			c.tsd = loadSection(c, store.SecTSD, (*store.File).TSD)
+			c.tsd = loadSection(c, trussSec(store.SecTSD), (*store.File).TSD)
 		}
 		if c.gct == nil {
-			c.gct = loadSection(c, store.SecGCT, (*store.File).GCT)
+			c.gct = loadSection(c, trussSec(store.SecGCT), (*store.File).GCT)
 		}
 		if c.hybrid == nil {
-			if perK := loadSection(c, store.SecRankings, (*store.File).Rankings); perK != nil {
+			if perK := loadSection(c, trussSec(store.SecRankings), (*store.File).Rankings); perK != nil {
 				c.hybrid = core.NewHybridFromRankings(c.g, perK)
+			}
+		}
+		for _, m := range core.AllMeasures() {
+			if m == MeasureTruss || c.mrank[m] != nil {
+				continue
+			}
+			ref := store.SectionRef{Section: store.SecRankings, Measure: m}
+			if perK := loadSection(c, ref, func(f *store.File) ([][]core.VertexScore, error) {
+				return f.MeasureRankings(m)
+			}); perK != nil {
+				c.setMeasureRankLocked(m, perK)
 			}
 		}
 	}
 	ix := store.Indexes{Tau: c.tau, TSD: c.tsd, GCT: c.gct, Epoch: uint64(c.epoch)}
 	if c.hybrid != nil {
 		ix.Rankings = c.hybrid.Rankings()
+	}
+	if len(c.mrank) > 0 {
+		ix.MeasureRankings = c.mrank
 	}
 	path := store.PathIn(c.dir)
 	if err := store.Save(path, c.g, ix); err != nil {
@@ -359,13 +444,13 @@ func (c *indexCache) hasHybrid() bool {
 	return c.hybrid != nil
 }
 
-// onDisk reports whether section s can be loaded from the warm-start
-// file — the "cheap to have" signal the cost estimates use. A section
-// that failed its checksum is not cheap: it will be rebuilt.
+// onDisk reports whether truss section s can be loaded from the
+// warm-start file — the "cheap to have" signal the cost estimates use. A
+// section that failed its checksum is not cheap: it will be rebuilt.
 func (c *indexCache) onDisk(s store.Section) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.file != nil && c.file.Has(s) && !c.bad[s]
+	return c.file != nil && c.file.Has(s) && !c.bad[trussSec(s)]
 }
 
 // --- online (Algorithm 3) ---
@@ -381,6 +466,10 @@ func newOnlineEngine(g *Graph, w workload) *onlineEngine {
 }
 
 func (e *onlineEngine) Name() string { return "online" }
+
+// Measures: the online scan is measure-generic — it plugs in whichever
+// scorer the query's measure names.
+func (e *onlineEngine) Measures() []Measure { return AllMeasures() }
 
 func (e *onlineEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	return e.eng.Search(ctx, q.params())
@@ -427,6 +516,10 @@ func newBoundEngine(g *Graph, w workload, cache *indexCache) *boundEngine {
 
 func (e *boundEngine) Name() string { return "bound" }
 
+// Measures: the bound framework serves every measure — each supplies its
+// own upper bound (core.MeasureUpperBound) to the same ranked scan.
+func (e *boundEngine) Measures() []Measure { return AllMeasures() }
+
 func (e *boundEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	return e.eng.Search(ctx, q.params())
 }
@@ -446,6 +539,13 @@ func (e *boundEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, erro
 }
 
 func (e *boundEngine) Cost(q Query) Estimate {
+	if m := q.Measure.Normalize(); m != MeasureTruss {
+		// The non-truss bound pass replaces sparsification with one
+		// triangle count over the full graph (the per-vertex ego-edge
+		// input of the measure's upper bound), then prunes the same way.
+		triangles := e.w.m * e.w.avgDeg / 2
+		return Estimate{Query: triangles + e.w.searchWork(e.w.egoWork, q)/8 + e.w.contextWork(q)}
+	}
 	// Sparsification needs the global truss decomposition: a fresh
 	// decomposition when nothing is cached, a sequential O(m) load when
 	// the index store has it, and only the edge filter once in memory.
@@ -466,6 +566,9 @@ type tsdEngine struct {
 }
 
 func (e *tsdEngine) Name() string { return "tsd" }
+
+// Measures: the TSD forest encodes trussness weights — truss only.
+func (e *tsdEngine) Measures() []Measure { return []Measure{MeasureTruss} }
 
 func (e *tsdEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
@@ -518,6 +621,9 @@ type gctEngine struct {
 
 func (e *gctEngine) Name() string { return "gct" }
 
+// Measures: the supernode compression encodes trussness — truss only.
+func (e *gctEngine) Measures() []Measure { return []Measure{MeasureTruss} }
+
 func (e *gctEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -567,6 +673,10 @@ type hybridEngine struct {
 
 func (e *hybridEngine) Name() string { return "hybrid" }
 
+// Measures: the hybrid rankings are truss-scored — truss only (the
+// native measure engines hold the other measures' rankings).
+func (e *hybridEngine) Measures() []Measure { return []Measure{MeasureTruss} }
+
 func (e *hybridEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
@@ -611,23 +721,43 @@ func (e *hybridEngine) Cost(q Query) Estimate {
 	return est
 }
 
-// --- comp / kcore baselines ---
+// --- comp / kcore native measure engines ---
 
-// baselineEngine adapts a baseline.Model (Comp-Div or Core-Div). These
-// compute a different diversity definition than the truss engines, so
-// they are registered as non-routable: reachable only by explicit name.
+// baselineEngine adapts a baseline.Model (Comp-Div or Core-Div) into the
+// native engine of its measure. It is routable for that measure only —
+// truss queries never see it — and it is the measure's fast path: once
+// the per-k rankings are prepared (Prepare("comp"/"kcore"), a Batch that
+// routes to it, or a v2 index store holding the measure's section), a
+// top-r query is an O(r) prefix read instead of a full ego-network scan.
 type baselineEngine struct {
-	name  string
-	model baseline.Model
-	g     *Graph
-	w     workload
+	name    string
+	measure Measure
+	model   baseline.Model
+	g       *Graph
+	w       workload
+	cache   *indexCache
 }
 
 func (e *baselineEngine) Name() string { return e.name }
 
+// Measures: exactly the one diversity definition the model computes.
+func (e *baselineEngine) Measures() []Measure { return []Measure{e.measure} }
+
 func (e *baselineEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	if m := q.Measure.Normalize(); q.Measure != "" && m != e.measure {
+		return nil, nil, &UnsupportedMeasureError{Engine: e.name, Measure: m}
+	}
+	// Rankings fast path: serve from the prepared (or store-loaded) per-k
+	// ranking, the same strategy the hybrid engine uses for truss. The
+	// answer is byte-identical to the scan below — same scores, same
+	// canonical order, same contexts — only cheaper.
+	if perK := e.cache.measureRankings(e.measure, false); perK != nil {
+		p := q.params()
+		p.Measure = e.measure
+		return core.NewRanked(e.g, e.measure, perK).Search(ctx, p)
 	}
 	n := e.g.N()
 	// Same preconditions as the truss engines (core.Params.normalized),
@@ -711,7 +841,27 @@ func (e *baselineEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, e
 }
 
 func (e *baselineEngine) Cost(q Query) Estimate {
-	return Estimate{Query: e.w.searchWork(e.w.egoWork, q) + e.w.contextWork(q)}
+	// With the per-k rankings ready the query is an O(r) prefix read plus
+	// per-answer context recovery; on disk they are one cheap sequential
+	// load. Cold, the rankings build costs slightly more than one online
+	// scan (it scores every k, not one), so a single cold query routes to
+	// online/bound while batches amortize the build here — Batch prepares
+	// the rankings before running when it picks this engine.
+	est := Estimate{Query: float64(q.R) + e.w.contextWork(q)}
+	switch {
+	case e.cache.hasMeasureRank(e.measure):
+		// ready: nothing to build
+	case e.cache.onDiskMeasureRank(e.measure):
+		est.Build = e.w.n
+	default:
+		factor := 1.25
+		if e.measure == MeasureCore {
+			// The core rankings need one component count per k.
+			factor = 1.5
+		}
+		est.Build = factor * e.w.egoWork
+	}
+	return est
 }
 
 // singleVertexErr folds the context check into single-vertex validation.

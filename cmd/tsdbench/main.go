@@ -8,6 +8,8 @@
 //	tsdbench -exp all -timeout 5m         # bound the whole run
 //	tsdbench -exp parallel -workers 8     # serial vs parallel engine timings
 //	tsdbench -exp dynamic -updates 32     # incremental Apply vs cold rebuild
+//	tsdbench -exp measures                # per-measure serving cost (BENCH_measures.json)
+//	tsdbench -exp measures -measure core  # one measure only
 //	tsdbench -list                        # show available experiment IDs
 //
 // The parallel experiment writes BENCH_parallel.json (serial vs -workers
@@ -37,6 +39,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = none)")
 		workers = flag.Int("workers", 0, "worker-pool size for parallel search experiments (0 = GOMAXPROCS)")
 		updates = flag.Int("updates", 0, "edits per Apply batch for the dynamic experiment (0 = default of 16)")
+		measure = flag.String("measure", "", "restrict the measures experiment to one diversity measure: truss|component|core (default: all)")
 		outDir  = flag.String("outdir", "", "directory for machine-readable artifacts like BENCH_parallel.json (default: working dir)")
 	)
 	flag.Parse()
@@ -49,7 +52,7 @@ func main() {
 	}
 	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
 	// at first use, so a fresh checkout or CI workspace needs no mkdir.
-	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, OutDir: *outDir}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, Measure: *measure, OutDir: *outDir}
 	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)

@@ -8,11 +8,15 @@
 // decomposition, the TSD and GCT indexes, and the hybrid engine's per-k
 // rankings, fingerprinted against the exact graph they were built from;
 // a reader refuses the file for any other graph and rebuilds instead.
+// With -measures the file additionally carries the per-k rankings of the
+// component and core diversity measures (format v2 measure-tagged
+// sections), so a warm server answers every measure's top-r in O(r).
 //
 // Usage:
 //
 //	tsdindex -dataset gowalla-sim -out idx/
 //	tsdindex -input graph.txt -out /var/lib/tsd/indexes
+//	tsdindex -input graph.txt -out idx/ -measures  # include component/core rankings
 //	tsdindex -input graph.txt -out idx/ -verify    # validate an existing store
 package main
 
@@ -31,20 +35,21 @@ import (
 
 func main() {
 	var (
-		input   = flag.String("input", "", "edge-list file (SNAP text format)")
-		dataset = flag.String("dataset", "", "built-in synthetic dataset name")
-		out     = flag.String("out", ".", "directory the index store is written to")
-		verify  = flag.Bool("verify", false, "validate the existing store against the graph instead of building")
+		input    = flag.String("input", "", "edge-list file (SNAP text format)")
+		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
+		out      = flag.String("out", ".", "directory the index store is written to")
+		verify   = flag.Bool("verify", false, "validate the existing store against the graph instead of building")
+		measures = flag.Bool("measures", false, "also build the component/core per-measure rankings into the store")
 	)
 	flag.Parse()
 
-	if err := run(*input, *dataset, *out, *verify); err != nil {
+	if err := run(*input, *dataset, *out, *verify, *measures); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdindex:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, dataset, out string, verify bool) error {
+func run(input, dataset, out string, verify, measures bool) error {
 	g, err := loadGraph(input, dataset)
 	if err != nil {
 		return err
@@ -64,8 +69,16 @@ func run(input, dataset, out string, verify bool) error {
 		fmt.Printf("existing store rejected (%v); rebuilding\n", st.LoadErr)
 	}
 
+	// One Prepare call builds everything inside a single deferred persist,
+	// so the store file is serialized once, not once per Prepare.
+	names := []string(nil) // default set: bound, tsd, gct, hybrid
+	if measures {
+		// Plus the native measure engines' per-k rankings, landing in the
+		// same file as measure-tagged sections.
+		names = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore"}
+	}
 	start := time.Now()
-	if err := db.Prepare(context.Background()); err != nil {
+	if err := db.Prepare(context.Background(), names...); err != nil {
 		return err
 	}
 	prepared := time.Since(start)

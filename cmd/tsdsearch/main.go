@@ -7,10 +7,16 @@
 //
 //	tsdsearch -input graph.txt -algo gct -k 4 -r 10 -contexts
 //	tsdsearch -dataset wiki-sim -algo tsd -k 3 -r 100
-//	tsdsearch -dataset wiki-sim -k 3 -r 100        # cost-routed
+//	tsdsearch -dataset wiki-sim -k 3 -r 100                 # cost-routed
+//	tsdsearch -dataset wiki-sim -measure component -k 3 -r 10  # alternative model
 //
 // Engines: online (Alg. 3), bound (Alg. 4), tsd (Alg. 5-6),
 // gct (Alg. 7-8), hybrid, comp (Comp-Div), kcore (Core-Div).
+//
+// -measure selects the diversity definition (truss, the default;
+// component; core): the query routes to the cheapest engine serving that
+// measure, and -algo pins one engine inside the measure's row of the
+// routing matrix.
 package main
 
 import (
@@ -33,16 +39,17 @@ func main() {
 		k        = flag.Int("k", 4, "trussness threshold (>= 2)")
 		r        = flag.Int("r", 10, "result count")
 		contexts = flag.Bool("contexts", false, "print the social contexts of each answer")
+		measure  = flag.String("measure", "", "diversity measure: truss (default) | component | core")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this long (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*input, *dataset, *algo, int32(*k), *r, *contexts, *timeout); err != nil {
+	if err := run(*input, *dataset, *algo, *measure, int32(*k), *r, *contexts, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdsearch:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, dataset, algo string, k int32, r int, showContexts bool, timeout time.Duration) error {
+func run(input, dataset, algo, measure string, k int32, r int, showContexts bool, timeout time.Duration) error {
 	g, err := loadGraph(input, dataset)
 	if err != nil {
 		return err
@@ -64,16 +71,21 @@ func run(input, dataset, algo string, k int32, r int, showContexts bool, timeout
 	if showContexts {
 		opts = append(opts, trussdiv.WithContexts())
 	}
-	q := trussdiv.NewQuery(k, r, opts...)
-
-	var engine trussdiv.Engine
-	if algo == "" {
-		engine = db.Route(q)
-	} else {
-		engine, err = db.Engine(algo)
+	if measure != "" {
+		m, err := trussdiv.ParseMeasure(measure)
 		if err != nil {
 			return err
 		}
+		opts = append(opts, trussdiv.WithMeasure(m))
+	}
+	q := trussdiv.NewQuery(k, r, opts...)
+	q.Engine = algo
+
+	// Resolve through the snapshot so a pinned engine is checked against
+	// the measure (tsd cannot answer -measure component).
+	engine, err := db.Snapshot().ResolveEngine(q)
+	if err != nil {
+		return err
 	}
 
 	// Setup (index builds happen inside the first TopR) and query time
@@ -89,8 +101,9 @@ func run(input, dataset, algo string, k int32, r int, showContexts bool, timeout
 	if stats != nil {
 		searched = fmt.Sprintf("%d", stats.ScoreComputations)
 	}
-	fmt.Printf("engine=%s k=%d r=%d  total=%v  search-space=%s\n",
-		engine.Name(), k, r, took.Round(time.Microsecond), searched)
+	fmt.Printf("engine=%s measure=%s k=%d r=%d  total=%v  search-space=%s\n",
+		engine.Name(), trussdiv.EffectiveMeasure(q, engine), k, r,
+		took.Round(time.Microsecond), searched)
 	for rank, e := range res.TopR {
 		fmt.Printf("%3d. vertex %-8d score %d\n", rank+1, e.V, e.Score)
 		if showContexts {

@@ -19,9 +19,15 @@
 // batch of edge insertions/deletions (incremental index repair, epoch
 // bump, in-flight queries unaffected); -readonly disables it.
 //
-// Endpoints: /healthz, /stats, /engines,
-// /topr?k=&r=&engine=&contexts=&candidates=, POST /batch, POST /edges,
-// /score?v=&k=, /contexts?v=&k=.
+// The diversity measure is a query axis: measure=truss|component|core on
+// /topr, /score, and /contexts (and a "measure" field per /batch query)
+// selects the model, with GET /measures listing which engines serve
+// which measure. An index store built with tsdindex -measures warm
+// starts the component/core rankings too.
+//
+// Endpoints: /healthz, /stats, /engines, /measures,
+// /topr?k=&r=&engine=&measure=&contexts=&candidates=, POST /batch,
+// POST /edges, /score?v=&k=&measure=, /contexts?v=&k=&measure=.
 package main
 
 import (

@@ -103,9 +103,15 @@ func WithPreparedIndexes(names ...string) Option {
 	}
 }
 
-// prepareAll is the default Prepare set: every engine whose readiness the
-// index cache (and therefore the index store) manages.
+// prepareAll is the default Prepare set: every truss engine whose
+// readiness the index cache (and therefore the index store) manages. The
+// native measure engines are prepared by explicit name ("comp", "kcore")
+// so the default stays byte-compatible with pre-measure DBs.
 var prepareAll = []string{"bound", "tsd", "gct", "hybrid"}
+
+// batchPrepare is every name Batch may need to ready up front, in
+// Prepare order.
+var batchPrepare = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore"}
 
 // ErrIndexMismatch is the sentinel matched by errors.Is when an injected
 // index (WithTSDIndex, WithGCTIndex) was built from a different graph
@@ -282,13 +288,16 @@ func (s *Snapshot) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 	prepare := make(map[string]bool)
 	for _, eng := range engines {
 		switch name := eng.Name(); name {
-		case "bound", "tsd", "gct", "hybrid":
+		case "bound", "tsd", "gct", "hybrid", "comp", "kcore":
+			// comp/kcore: batch-aware routing may pick the native measure
+			// engines on the strength of their amortized rankings build, so
+			// the rankings must actually be built before the queries run.
 			prepare[name] = true
 		}
 	}
 	if len(prepare) > 0 {
 		names := make([]string, 0, len(prepare))
-		for _, name := range prepareAll {
+		for _, name := range batchPrepare {
 			if prepare[name] {
 				names = append(names, name)
 			}
@@ -389,8 +398,12 @@ type IndexStats struct {
 	TSDReady, GCTReady, HybridReady bool
 	TauReady                        bool  // global truss decomposition cached
 	TSDBytes, GCTBytes              int64 // 0 until the index is built
-	BuildTime                       time.Duration
-	LoadTime                        time.Duration // time spent reading the index store
+	// MeasureRankings lists the non-truss measures whose per-k rankings
+	// are ready in memory (built by Prepare("comp"/"kcore") or loaded
+	// from a v2 index store).
+	MeasureRankings []Measure
+	BuildTime       time.Duration
+	LoadTime        time.Duration // time spent reading the index store
 }
 
 // IndexStats reports which indexes of the current snapshot are ready,

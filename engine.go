@@ -6,10 +6,15 @@ import (
 )
 
 // Engine is the uniform face of every top-r structural diversity
-// searcher. The library ships six implementations — online (Alg. 3),
+// searcher. The library ships seven implementations — online (Alg. 3),
 // bound (Alg. 4), tsd (Alg. 5-6), gct (Alg. 7-8), hybrid (Exp-4), plus
-// the comp/kcore baseline models — and new backends plug in through
-// DB.Register without touching the callers.
+// the comp/kcore native measure engines — and new backends plug in
+// through DB.Register without touching the callers.
+//
+// An engine serves one or more diversity measures: implement the
+// optional MeasureLister interface to declare them (engines without it
+// are treated as truss-only). A query whose Measure falls outside the
+// engine's set fails with an *UnsupportedMeasureError.
 //
 // All methods honor context cancellation: a search observes ctx inside
 // its hot loops and returns ctx.Err() promptly, including when ctx is

@@ -421,3 +421,67 @@ func TestDynamicExperimentEmitsJSON(t *testing.T) {
 		t.Fatalf("speedup %v not positive", ds.Speedup)
 	}
 }
+
+// TestMeasuresExperimentEmitsJSON runs the quick-mode measures
+// experiment on one small dataset and checks the BENCH_measures.json
+// artifact: every (dataset, measure) row must carry positive timings and
+// the Verified flag — the experiment itself fails when any engine's
+// answer diverges from the online reference, so a written artifact means
+// the parity held.
+func TestMeasuresExperimentEmitsJSON(t *testing.T) {
+	e, ok := ByID("measures")
+	if !ok {
+		t.Fatal("measures experiment not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1, OutDir: dir, Datasets: []string{"wiki-sim"}}
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, MeasuresReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report MeasuresReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_measures.json is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, row := range report.Rows {
+		if row.Dataset != "wiki-sim" {
+			t.Fatalf("unexpected dataset %q", row.Dataset)
+		}
+		if row.OnlineNS <= 0 || row.BoundNS <= 0 || row.RankedNS <= 0 || row.PrepareNS <= 0 {
+			t.Fatalf("row %+v has non-positive timings", row)
+		}
+		if !row.Verified {
+			t.Fatalf("row %+v not verified", row)
+		}
+		seen[row.Measure] = true
+	}
+	for _, m := range []string{"truss", "component", "core"} {
+		if !seen[m] {
+			t.Fatalf("measure %s missing from the report (rows: %+v)", m, report.Rows)
+		}
+	}
+	// The -measure flag narrows the run to one measure.
+	one := Config{Quick: true, Seed: 1, OutDir: t.TempDir(), Datasets: []string{"wiki-sim"}, Measure: "core"}
+	if err := e.Run(&buf, one); err != nil {
+		t.Fatal(err)
+	}
+	blob, err = os.ReadFile(filepath.Join(one.OutDir, MeasuresReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var narrowed MeasuresReport
+	if err := json.Unmarshal(blob, &narrowed); err != nil {
+		t.Fatal(err)
+	}
+	if len(narrowed.Rows) != 1 || narrowed.Rows[0].Measure != "core" {
+		t.Fatalf("-measure core produced rows %+v", narrowed.Rows)
+	}
+	if _, err := measuresUnderTest(Config{Measure: "bogus"}); err == nil {
+		t.Fatal("bad -measure value accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"trussdiv"
+)
+
+// runMeasures benchmarks the measure axis (the §7 model comparison made
+// a servable workload): for every dataset and every diversity measure it
+// times the three routes a measure query can take — the generic online
+// scan, the generic bound search, and the measure's rankings-backed fast
+// engine (hybrid for truss, comp/kcore for the alternatives) after one
+// Prepare — and verifies all three return identical answers. Numbers
+// land in BENCH_measures.json, tracking the per-measure serving cost
+// from PR to PR.
+
+// MeasureRow is one (dataset, measure) timing.
+type MeasureRow struct {
+	Dataset string `json:"dataset"`
+	Measure string `json:"measure"`
+	// OnlineNS and BoundNS are per-query wall times of the generic
+	// engines; RankedNS is the per-query time of the rankings-backed
+	// engine once prepared, and PrepareNS what that preparation cost.
+	OnlineNS  int64 `json:"online_ns"`
+	BoundNS   int64 `json:"bound_ns"`
+	PrepareNS int64 `json:"prepare_ns"`
+	RankedNS  int64 `json:"ranked_ns"`
+	// Speedup is OnlineNS / RankedNS: what the prepared fast path buys
+	// over recomputing the measure from scratch per query.
+	Speedup float64 `json:"speedup"`
+	// Verified records that online, bound, and ranked answers matched.
+	Verified bool `json:"verified"`
+}
+
+// MeasuresReport is the schema of BENCH_measures.json.
+type MeasuresReport struct {
+	K    int          `json:"k"`
+	R    int          `json:"r"`
+	Rows []MeasureRow `json:"rows"`
+}
+
+// MeasuresReportFile is the artifact runMeasures writes.
+const MeasuresReportFile = "BENCH_measures.json"
+
+// fastEngineFor names the rankings-backed engine of each measure.
+func fastEngineFor(m trussdiv.Measure) string {
+	switch m {
+	case trussdiv.MeasureComponent:
+		return "comp"
+	case trussdiv.MeasureCore:
+		return "kcore"
+	default:
+		return "hybrid"
+	}
+}
+
+// measuresUnderTest honors the -measure flag (cfg.Measure): one measure
+// when set, all three otherwise.
+func measuresUnderTest(cfg Config) ([]trussdiv.Measure, error) {
+	if cfg.Measure == "" {
+		return trussdiv.AllMeasures(), nil
+	}
+	m, err := trussdiv.ParseMeasure(cfg.Measure)
+	if err != nil {
+		return nil, err
+	}
+	return []trussdiv.Measure{m}, nil
+}
+
+func runMeasures(w io.Writer, cfg Config) error {
+	const k, r = int32(4), 100
+	ctx := context.Background()
+	measures, err := measuresUnderTest(cfg)
+	if err != nil {
+		return err
+	}
+	queryReps := 5
+	if cfg.Quick {
+		queryReps = 3
+	}
+	report := MeasuresReport{K: int(k), R: r}
+	t := &Table{
+		Title:   fmt.Sprintf("Per-measure top-r serving cost, k=%d r=%d (extension)", k, r),
+		Headers: []string{"Network", "measure", "online", "bound", "prepare", "ranked", "speedup"},
+	}
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		for _, m := range measures {
+			db, err := trussdiv.Open(g)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			var onlineRes, boundRes, rankedRes *trussdiv.Result
+			online := timePerQuery(queryReps, func() error {
+				onlineRes, _, err = db.TopR(ctx, trussdiv.NewQuery(k, r,
+					trussdiv.WithMeasure(m), trussdiv.ViaEngine("online")))
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s online: %w", name, m, err)
+			}
+			bound := timePerQuery(queryReps, func() error {
+				boundRes, _, err = db.TopR(ctx, trussdiv.NewQuery(k, r,
+					trussdiv.WithMeasure(m), trussdiv.ViaEngine("bound")))
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s bound: %w", name, m, err)
+			}
+
+			fast := fastEngineFor(m)
+			var prepare time.Duration
+			prepare += Timed(func() {
+				err = db.Prepare(ctx, fast)
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s prepare(%s): %w", name, m, fast, err)
+			}
+			ranked := timePerQuery(queryReps, func() error {
+				rankedRes, _, err = db.TopR(ctx, trussdiv.NewQuery(k, r,
+					trussdiv.WithMeasure(m), trussdiv.ViaEngine(fast)))
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s/%s ranked(%s): %w", name, m, fast, err)
+			}
+
+			// The speedup must measure the same answers, faster.
+			if err := sameAnswer(onlineRes, boundRes); err != nil {
+				return fmt.Errorf("%s/%s: bound diverged from online: %w", name, m, err)
+			}
+			if err := sameAnswer(onlineRes, rankedRes); err != nil {
+				return fmt.Errorf("%s/%s: %s diverged from online: %w", name, m, fast, err)
+			}
+			if !reflect.DeepEqual(onlineRes.TopR, rankedRes.TopR) {
+				return fmt.Errorf("%s/%s: ranked answer not byte-identical", name, m)
+			}
+			speedup := float64(online) / float64(max(ranked, time.Nanosecond))
+			report.Rows = append(report.Rows, MeasureRow{
+				Dataset:   name,
+				Measure:   string(m),
+				OnlineNS:  online.Nanoseconds(),
+				BoundNS:   bound.Nanoseconds(),
+				PrepareNS: prepare.Nanoseconds(),
+				RankedNS:  ranked.Nanoseconds(),
+				Speedup:   speedup,
+				Verified:  true,
+			})
+			t.AddRow(name, string(m), online, bound, prepare, ranked,
+				fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	t.Fprint(w)
+	path, err := writeArtifact(cfg, MeasuresReportFile, report)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}
+
+// timePerQuery runs f reps times and returns the mean duration; the
+// first error aborts (the caller inspects the captured err).
+func timePerQuery(reps int, f func() error) time.Duration {
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		var err error
+		total += Timed(func() { err = f() })
+		if err != nil {
+			return total / time.Duration(i+1)
+		}
+	}
+	return total / time.Duration(reps)
+}

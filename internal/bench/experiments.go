@@ -17,6 +17,7 @@ type Config struct {
 	Datasets []string // override the per-figure dataset choice (tests)
 	Workers  int      // worker-pool size for the parallel experiment (0 = GOMAXPROCS)
 	Updates  int      // edits per Apply batch for the dynamic experiment (0 = default)
+	Measure  string   // restrict the measures experiment to one measure ("" = all)
 	OutDir   string   // where machine-readable artifacts land ("" = working dir)
 }
 
@@ -87,6 +88,7 @@ var experiments = []Experiment{
 	{"parallel", "extension", "serial vs parallel TopR per engine; writes BENCH_parallel.json", runParallel},
 	{"store", "extension", "cold build vs warm index-store load at startup; writes BENCH_store.json", runStore},
 	{"dynamic", "extension", "incremental DB.Apply vs cold rebuild under edge updates; writes BENCH_dynamic.json", runDynamic},
+	{"measures", "extension", "per-measure top-r serving: online vs bound vs prepared rankings; writes BENCH_measures.json", runMeasures},
 }
 
 // All returns every registered experiment in paper order.

@@ -94,6 +94,11 @@ func (b *Bound) TopR(k int32, r int) (*Result, *Stats, error) {
 // score. The exact-score pass shards across p.Workers goroutines in
 // chunks (see scanRanked). The context is checked before the
 // sparsification and before every exact score computation.
+//
+// The search is measure-generic: for a non-truss p.Measure, trussness
+// sparsification (Property 1 holds only for the truss model) is replaced
+// by the measure's own upper bound over the unsparsified graph — see
+// searchMeasure — while the ranked, early-terminating scan is shared.
 func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	p, err := p.normalized(b.g.N())
 	if err != nil {
@@ -102,27 +107,50 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if m := p.Measure.Normalize(); m != MeasureTruss {
+		// The trussness sparsification lemma (Property 1) does not transfer
+		// to the other models, so the non-truss bound pass prunes over the
+		// original graph with the measure's own upper bound and scorer.
+		mv := b.g.TrianglesPerVertex()
+		scorer := NewMeasureScorer(b.g, m)
+		return b.rankedSearch(ctx, p, b.g,
+			func(v int32, d int) int { return MeasureUpperBound(m, d, mv[v], p.K) },
+			scorer)
+	}
 	var sp *SparsifyResult
 	if b.tauFn != nil {
 		sp = SparsifyWithTau(b.g, b.tauFn(), p.K)
 	} else {
 		sp = Sparsify(b.g, p.K)
 	}
-	sub := sp.Graph
-	scorer := NewScorer(sub)
-	stats := &Stats{}
-
 	// Upper bounds on the sparsified graph (its ego-networks are subgraphs
-	// of the originals, so the bound is valid and tighter).
+	// of the originals, so the bound is valid and tighter). A vertex
+	// isolated by the sparsification has score 0 and is skipped by the
+	// degree check inside rankedSearch.
+	sub := sp.Graph
 	mv := sub.TrianglesPerVertex()
-	cands := make([]rankedCand, 0, sub.N())
-	err = forEachCandidate(ctx, sub.N(), p.Candidates, false, func(v int32) {
-		d := sub.Degree(v)
+	return b.rankedSearch(ctx, p, sub,
+		func(v int32, d int) int { return UpperBound(d, mv[v], p.K) },
+		NewScorer(sub))
+}
+
+// rankedSearch is the bound framework's shared skeleton, identical for
+// every measure: collect each candidate's upper bound over candG (the
+// sparsified graph for truss, the original otherwise), visit candidates
+// in decreasing bound order with early termination (scanRanked), pad to
+// the canonical answer, and recover contexts with the measure's scorer.
+// Keeping one copy is what pins the measure paths to the truss path's
+// tie-break and padding rules — the byte-parity contract.
+func (b *Bound) rankedSearch(ctx context.Context, p Params, candG *graph.Graph, ub func(v int32, d int) int, scorer DivScorer) (*Result, *Stats, error) {
+	stats := &Stats{}
+	cands := make([]rankedCand, 0, candG.N())
+	err := forEachCandidate(ctx, candG.N(), p.Candidates, false, func(v int32) {
+		d := candG.Degree(v)
 		if d == 0 {
-			return // isolated after sparsification: score is 0
+			return // no edges, no contexts: score is 0
 		}
-		if ub := UpperBound(d, mv[v], p.K); ub > 0 {
-			cands = append(cands, rankedCand{v, ub})
+		if u := ub(v, d); u > 0 {
+			cands = append(cands, rankedCand{v, u})
 		}
 	})
 	if err != nil {
@@ -135,7 +163,6 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 		}
 		return cands[i].v < cands[j].v
 	})
-
 	heap, scored, err := scanRanked(ctx, cands, p.R, p.workers(),
 		func() func(v int32) int {
 			return func(v int32) int { return scorer.Score(v, p.K) }

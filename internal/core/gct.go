@@ -290,6 +290,11 @@ func (s *GCT) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if m := p.Measure.Normalize(); m != MeasureTruss {
+		// The supernode/superedge compression encodes truss decompositions;
+		// it cannot answer the component or core measures.
+		return nil, nil, &UnsupportedMeasureError{Engine: "gct", Measure: m}
+	}
 	heap, scored, err := scanTopR(ctx, g.N(), p.Candidates, p.R, p.workers(), false,
 		func() func(v int32) int {
 			return func(v int32) int { return s.idx.Score(v, p.K) }

@@ -80,6 +80,11 @@ func (h *Hybrid) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	if m := p.Measure.Normalize(); m != MeasureTruss {
+		// The per-k rankings were scored by the truss model; per-measure
+		// rankings for the other models are served elsewhere.
+		return nil, nil, &UnsupportedMeasureError{Engine: "hybrid", Measure: m}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -87,10 +92,36 @@ func (h *Hybrid) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 	if int(p.K) < len(h.perK) {
 		ranked = h.perK[p.K]
 	}
+	answer, candidates := rankedAnswer(ranked, h.g.N(), p)
+	stats := &Stats{Candidates: candidates}
+	res, err := finishResult(ctx, answer, p, func(v int32) [][]int32 {
+		// Online social-context recovery (Algorithm 2); finishResult shards
+		// it across p.Workers goroutines — the dominant hybrid query cost.
+		return h.scorer.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.SkipContexts {
+		// Every answer vertex cost one online recovery (the hybrid's
+		// "search space"); counted here so parallel recovery stays
+		// race-free.
+		stats.ScoreComputations = len(answer)
+	}
+	return res, exportStats(stats, p), nil
+}
+
+// rankedAnswer selects the canonical top-r answer from one precomputed
+// per-k ranking (sorted by score descending, vertex ascending): an O(r)
+// prefix read without a candidate subset, a filtered pass with one, and
+// zero-score padding when fewer than r candidates have any social
+// context — matching the scanning searchers' answer byte for byte. The
+// second return is the number of ranked candidates considered (the
+// Stats.Candidates of rankings-backed engines).
+func rankedAnswer(ranked []VertexScore, n int, p Params) ([]VertexScore, int) {
 	var answer []VertexScore
 	var candidates int
 	if p.Candidates == nil {
-		// The ranking is precomputed: answering is an O(r) prefix read.
 		candidates = len(ranked)
 		answer = append(make([]VertexScore, 0, p.R), ranked[:min(p.R, len(ranked))]...)
 	} else {
@@ -109,32 +140,15 @@ func (h *Hybrid) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 			}
 		}
 	}
-	// Pad with zero-score vertices when fewer than r candidates have any
-	// social context, matching the other searchers' answer size.
 	if len(answer) < p.R {
 		heap := newTopRHeap(p.R)
 		for _, e := range answer {
 			heap.Offer(e.V, e.Score)
 		}
-		padAnswer(heap, h.g.N(), p.Candidates)
+		padAnswer(heap, n, p.Candidates)
 		answer = heap.Answer()
 	}
-	stats := &Stats{Candidates: candidates}
-	res, err := finishResult(ctx, answer, p, func(v int32) [][]int32 {
-		// Online social-context recovery (Algorithm 2); finishResult shards
-		// it across p.Workers goroutines — the dominant hybrid query cost.
-		return h.scorer.Contexts(v, p.K)
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	if !p.SkipContexts {
-		// Every answer vertex cost one online recovery (the hybrid's
-		// "search space"); counted here so parallel recovery stays
-		// race-free.
-		stats.ScoreComputations = len(answer)
-	}
-	return res, exportStats(stats, p), nil
+	return answer, candidates
 }
 
 // SizeBytes reports the ranking storage footprint.

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"trussdiv/internal/baseline"
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/kcore"
+)
+
+// Measure names one structural diversity definition — the axis the
+// paper's §7 varies when it compares the truss-based model against the
+// component-based (Comp-Div) and core-based (Core-Div) alternatives.
+// The generic engines (Online, Bound) serve every measure; the
+// truss-index engines (TSD, GCT, Hybrid) serve only MeasureTruss and
+// reject other measures with an *UnsupportedMeasureError.
+type Measure string
+
+const (
+	// MeasureTruss counts maximal connected k-trusses of the ego-network
+	// (the paper's model, Def. 3). It is the default: an empty Measure
+	// normalizes to it.
+	MeasureTruss Measure = "truss"
+	// MeasureComponent counts connected components of the ego-network
+	// with at least k vertices (Huang et al. / Chang et al. [7, 21]).
+	MeasureComponent Measure = "component"
+	// MeasureCore counts maximal connected k-cores of the ego-network
+	// (Huang et al. [20]).
+	MeasureCore Measure = "core"
+)
+
+// AllMeasures lists every supported measure, default first.
+func AllMeasures() []Measure {
+	return []Measure{MeasureTruss, MeasureComponent, MeasureCore}
+}
+
+// Normalize maps the empty measure to the truss default.
+func (m Measure) Normalize() Measure {
+	if m == "" {
+		return MeasureTruss
+	}
+	return m
+}
+
+// Valid reports whether m (after normalization) names a known measure.
+func (m Measure) Valid() bool {
+	switch m.Normalize() {
+	case MeasureTruss, MeasureComponent, MeasureCore:
+		return true
+	}
+	return false
+}
+
+// ParseMeasure resolves a user-supplied measure name ("" = truss).
+func ParseMeasure(s string) (Measure, error) {
+	m := Measure(s)
+	if !m.Valid() {
+		return "", fmt.Errorf("core: unknown measure %q (known: truss|component|core)", s)
+	}
+	return m.Normalize(), nil
+}
+
+// ErrUnsupportedMeasure is the sentinel matched by errors.Is when a
+// query names a measure the chosen engine cannot compute (the TSD, GCT,
+// and Hybrid structures encode truss decompositions only); the concrete
+// error is *UnsupportedMeasureError.
+var ErrUnsupportedMeasure = errors.New("core: engine does not support the requested measure")
+
+// UnsupportedMeasureError reports a (engine, measure) pair outside the
+// routing matrix: the engine exists and the measure exists, but that
+// engine cannot compute that measure.
+type UnsupportedMeasureError struct {
+	Engine  string
+	Measure Measure
+}
+
+func (e *UnsupportedMeasureError) Error() string {
+	return fmt.Sprintf("core: engine %q does not support measure %q", e.Engine, e.Measure)
+}
+
+// Is makes errors.Is(err, ErrUnsupportedMeasure) match.
+func (e *UnsupportedMeasureError) Is(target error) bool { return target == ErrUnsupportedMeasure }
+
+// DivScorer is the per-vertex interface a measure provides to the
+// generic engines: an exact score and the social contexts behind it.
+// Implementations must be safe for concurrent use (the stock scorers
+// carry no mutable state beyond the graph reference).
+type DivScorer interface {
+	Score(v int32, k int32) int
+	Contexts(v int32, k int32) [][]int32
+}
+
+// NewMeasureScorer returns the scorer computing measure m over g: the
+// truss Scorer (Algorithm 2), or the baseline Comp-Div / Core-Div
+// models promoted to first-class measures.
+func NewMeasureScorer(g *graph.Graph, m Measure) DivScorer {
+	switch m.Normalize() {
+	case MeasureComponent:
+		return baseline.NewCompDiv(g)
+	case MeasureCore:
+		return baseline.NewCoreDiv(g)
+	default:
+		return NewScorer(g)
+	}
+}
+
+// MeasureUpperBound bounds score(v) under measure m from two quantities
+// every measure shares: the degree d(v) and the ego-network edge count
+// m_v (= the number of triangles through v). Each measure's contexts
+// have a minimum size, which caps how many can fit in the ego-network:
+//
+//   - truss: Lemma 2 — a k-truss has >= k vertices and >= k(k-1)/2 edges.
+//   - component: a connected component with >= k vertices has >= k-1 edges.
+//   - core: a connected k-core has >= k+1 vertices (every member needs k
+//     neighbors inside it) and therefore >= k(k+1)/2 edges — Lemma 2
+//     evaluated at k+1.
+func MeasureUpperBound(m Measure, degree int, egoEdges int32, k int32) int {
+	switch m.Normalize() {
+	case MeasureComponent:
+		byVerts := degree / int(k)
+		byEdges := int(egoEdges) / int(k-1)
+		return min(byVerts, byEdges)
+	case MeasureCore:
+		return UpperBound(degree, egoEdges, k+1)
+	default:
+		return UpperBound(degree, egoEdges, k)
+	}
+}
+
+// BuildMeasureRankings precomputes, for every k, the complete vertex
+// ranking of g under measure m — the same per-k artifact the Hybrid
+// engine holds for the truss measure, generalized to the alternative
+// models. One ego decomposition per vertex yields the scores for every
+// k at once (components expose their sizes; cores their full core
+// numbers), so the build costs one online scan, after which any top-r
+// query under m is an O(r) prefix read. perK[k] is sorted by score
+// descending then vertex ascending and omits zero scores; entries below
+// k=2 are nil. MeasureTruss rankings come from BuildHybrid instead.
+func BuildMeasureRankings(g *graph.Graph, m Measure) [][]VertexScore {
+	perVertex := make([][]int, g.N()) // perVertex[v][k] = score(v, k), index 0/1 unused
+	maxK := int32(2)
+	for v := int32(0); int(v) < g.N(); v++ {
+		scores := measureScoresAllK(g, v, m)
+		perVertex[v] = scores
+		if top := int32(len(scores)) - 1; top > maxK {
+			maxK = top
+		}
+	}
+	perK := make([][]VertexScore, maxK+1)
+	for k := int32(2); k <= maxK; k++ {
+		var list []VertexScore
+		for v := int32(0); int(v) < g.N(); v++ {
+			if int(k) < len(perVertex[v]) {
+				if s := perVertex[v][k]; s > 0 {
+					list = append(list, VertexScore{V: v, Score: s})
+				}
+			}
+		}
+		sortAnswer(list)
+		perK[k] = list
+	}
+	return perK
+}
+
+// Ranked serves top-r queries of one measure from its precomputed per-k
+// rankings — the Hybrid strategy generalized beyond the truss model.
+// Reading the ranking is an O(r) prefix scan; the social contexts of the
+// answer vertices are recovered online with the measure's own scorer
+// (sharded across p.Workers, the dominant per-answer cost).
+type Ranked struct {
+	g      *graph.Graph
+	m      Measure
+	scorer DivScorer
+	perK   [][]VertexScore
+}
+
+// NewRanked returns a rankings-backed searcher for measure m over g.
+// perK must come from BuildMeasureRankings(g, m) (or an index store that
+// persisted it): perK[k] sorted by score descending, vertex ascending,
+// zero scores omitted. The rankings are adopted, not copied.
+func NewRanked(g *graph.Graph, m Measure, perK [][]VertexScore) *Ranked {
+	return &Ranked{g: g, m: m.Normalize(), scorer: NewMeasureScorer(g, m), perK: perK}
+}
+
+// Measure returns the measure the rankings were scored under.
+func (r *Ranked) Measure() Measure { return r.m }
+
+// Search answers a top-r query of r.Measure() from the rankings; a
+// Params.Measure naming any other measure is rejected with an
+// *UnsupportedMeasureError.
+func (r *Ranked) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
+	p, err := p.normalized(r.g.N())
+	if err != nil {
+		return nil, nil, err
+	}
+	if m := p.Measure.Normalize(); m != r.m {
+		return nil, nil, &UnsupportedMeasureError{Engine: "ranked[" + string(r.m) + "]", Measure: m}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var ranked []VertexScore
+	if int(p.K) < len(r.perK) {
+		ranked = r.perK[p.K]
+	}
+	answer, candidates := rankedAnswer(ranked, r.g.N(), p)
+	stats := &Stats{Candidates: candidates}
+	res, err := finishResult(ctx, answer, p, func(v int32) [][]int32 {
+		return r.scorer.Contexts(v, p.K)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.SkipContexts {
+		// One online recovery per answer vertex, same accounting as Hybrid.
+		stats.ScoreComputations = len(answer)
+	}
+	return res, exportStats(stats, p), nil
+}
+
+// measureScoresAllK computes score(v, k) for every k >= 2 with a
+// positive score, from one ego-network decomposition. The returned
+// slice is indexed by k (length maxK+1, entries 0 and 1 unused).
+func measureScoresAllK(g *graph.Graph, v int32, m Measure) []int {
+	net := ego.ExtractOne(g, v)
+	if net.G.M() == 0 {
+		return nil
+	}
+	switch m.Normalize() {
+	case MeasureComponent:
+		// Component sizes give every threshold at once: a size-s component
+		// counts toward score(v, k) for every k <= s.
+		labels, count := net.G.ConnectedComponents()
+		sizes := make([]int32, count)
+		for _, lbl := range labels {
+			sizes[lbl]++
+		}
+		maxS := int32(0)
+		for _, s := range sizes {
+			if s > maxS {
+				maxS = s
+			}
+		}
+		if maxS < 2 {
+			return nil
+		}
+		scores := make([]int, maxS+1)
+		for _, s := range sizes {
+			for k := int32(2); k <= s; k++ {
+				scores[k]++
+			}
+		}
+		return scores
+	case MeasureCore:
+		core := kcore.Decompose(net.G)
+		maxC := kcore.Degeneracy(core)
+		if maxC < 2 {
+			return nil
+		}
+		scores := make([]int, maxC+1)
+		for k := int32(2); k <= maxC; k++ {
+			scores[k] = kcore.CountComponents(net.G, core, k)
+		}
+		return scores
+	default:
+		panic("core: BuildMeasureRankings is for the non-truss measures; use BuildHybrid")
+	}
+}

@@ -26,25 +26,31 @@ func (o *Online) TopR(k int32, r int) (*Result, *Stats, error) {
 }
 
 // Search runs Algorithm 3 over the candidate set, sharded across
-// p.Workers goroutines (the Scorer is stateless, so workers share it).
-// Each candidate costs one ego-network truss decomposition, so
-// cancellation is checked before every score computation.
+// p.Workers goroutines (the scorers are stateless, so workers share
+// one). Each candidate costs one ego-network decomposition, so
+// cancellation is checked before every score computation. The search is
+// measure-generic: p.Measure swaps the truss scorer for the
+// component-based or core-based one, same scan either way.
 func (o *Online) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	g := o.scorer.Graph()
 	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
 	}
+	scorer := DivScorer(o.scorer)
+	if m := p.Measure.Normalize(); m != MeasureTruss {
+		scorer = NewMeasureScorer(g, m)
+	}
 	heap, scored, err := scanTopR(ctx, g.N(), p.Candidates, p.R, p.workers(), true,
 		func() func(v int32) int {
-			return func(v int32) int { return o.scorer.Score(v, p.K) }
+			return func(v int32) int { return scorer.Score(v, p.K) }
 		})
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &Stats{ScoreComputations: scored, Candidates: scored}
 	res, err := finishResult(ctx, heap.Answer(), p, func(v int32) [][]int32 {
-		return o.scorer.Contexts(v, p.K)
+		return scorer.Contexts(v, p.K)
 	})
 	if err != nil {
 		return nil, nil, err

@@ -35,6 +35,12 @@ type Params struct {
 	// parallel, so their Stats.ScoreComputations may exceed the serial
 	// count by up to one chunk (the answer is still identical).
 	Workers int
+	// Measure selects the structural diversity definition ("" or
+	// MeasureTruss = the paper's truss-based model). The Online and Bound
+	// engines serve every measure; the index engines (TSD, GCT, Hybrid)
+	// serve only the truss measure and fail other values with an
+	// *UnsupportedMeasureError.
+	Measure Measure
 }
 
 // maxWorkers is a safety bound on the per-search pool size: beyond it
@@ -61,6 +67,9 @@ func (p Params) normalized(n int) (Params, error) {
 	}
 	if p.R < 1 {
 		return p, fmt.Errorf("core: r = %d, must be >= 1", p.R)
+	}
+	if !p.Measure.Valid() {
+		return p, fmt.Errorf("core: unknown measure %q (known: truss|component|core)", p.Measure)
 	}
 	limit := n
 	if p.Candidates != nil {

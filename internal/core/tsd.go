@@ -234,44 +234,43 @@ func (s *TSDScorer) Score(v int32, k int32) int {
 
 // Contexts reconstructs the social contexts SC(v) from the forest: the
 // components of the weight->=k prefix, mapped back to global vertex IDs.
+// Grouping walks the local vertex range in ascending order — which is
+// ascending global order, because neighbor lists are sorted — assigning
+// each touched vertex to its component's slice via a dense root->group
+// table. No map (so no nondeterministic iteration to sort away) and no
+// sort at all: members come out ascending and groups ordered by first
+// member by construction. See BenchmarkTSDContexts for the win over the
+// original map[root][]member grouping.
 func (idx *TSDIndex) Contexts(v int32, k int32) [][]int32 {
 	p := idx.prefixLen(v, k)
 	if p == 0 {
 		return nil
 	}
 	verts := idx.g.Neighbors(v)
-	d := dsu.New(len(verts))
+	deg := len(verts)
+	d := dsu.New(deg)
+	touched := make([]bool, deg)
 	for _, e := range idx.edges[v][:p] {
 		d.Union(e.U, e.W)
+		touched[e.U] = true
+		touched[e.W] = true
 	}
-	groups := map[int32][]int32{}
-	for _, e := range idx.edges[v][:p] {
-		for _, lv := range [2]int32{e.U, e.W} {
-			r := d.Find(lv)
-			members := groups[r]
-			if len(members) == 0 || members[len(members)-1] != verts[lv] {
-				groups[r] = append(members, verts[lv])
-			}
-		}
-	}
-	out := make([][]int32, 0, len(groups))
-	for _, members := range groups {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		out = append(out, dedupSortedInt32(members))
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
-}
-
-func dedupSortedInt32(s []int32) []int32 {
-	out := s[:0]
-	for i, v := range s {
-		if i > 0 && v == s[i-1] {
+	groupOf := make([]int32, deg) // DSU root -> 1-based group index
+	groups := make([][]int32, 0, 4)
+	for lv := 0; lv < deg; lv++ {
+		if !touched[lv] {
 			continue
 		}
-		out = append(out, v)
+		r := d.Find(int32(lv))
+		gi := groupOf[r]
+		if gi == 0 {
+			groups = append(groups, nil)
+			gi = int32(len(groups))
+			groupOf[r] = gi
+		}
+		groups[gi-1] = append(groups[gi-1], verts[lv])
 	}
-	return out
+	return groups
 }
 
 // SizeBytes returns the in-memory footprint of the stored forests (12
@@ -315,6 +314,11 @@ func (t *TSD) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	p, err := p.normalized(g.N())
 	if err != nil {
 		return nil, nil, err
+	}
+	if m := p.Measure.Normalize(); m != MeasureTruss {
+		// The forest encodes trussness weights; it cannot answer the
+		// component or core measures.
+		return nil, nil, &UnsupportedMeasureError{Engine: "tsd", Measure: m}
 	}
 	stats := &Stats{}
 	cands := make([]rankedCand, 0, g.N())

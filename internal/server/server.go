@@ -9,6 +9,7 @@
 //	GET  /healthz                        liveness probe
 //	GET  /stats                          graph, index, and epoch statistics
 //	GET  /engines                        registered engine names
+//	GET  /measures                       measure axis: each measure with its engines
 //	GET  /topr?k=4&r=10&engine=gct       top-r search (engine optional: cost-routed)
 //	POST /batch                          many top-r searches in one DB.Batch pass
 //	POST /edges                          apply one edge insert/delete batch (DB.Apply)
@@ -18,6 +19,13 @@
 // The topr endpoint accepts workers=N to shard the search across a
 // worker pool; /batch accepts the same per query. Answers are identical
 // for every worker count.
+//
+// The diversity measure is a query axis: /topr, /score, and /contexts
+// accept measure=truss|component|core (omitted = truss, the paper's
+// model), and each /batch query may carry a "measure" field. The DB
+// routes a measure query to the cheapest engine serving that measure;
+// pairing an explicit engine with a measure outside its row of the
+// routing matrix (GET /measures) fails with 400.
 //
 // The graph is mutable: POST /edges applies an atomic batch of edge
 // insertions and deletions, advancing the DB to its next epoch-numbered
@@ -110,6 +118,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /engines", s.handleEngines)
+	mux.HandleFunc("GET /measures", s.handleMeasures)
 	mux.HandleFunc("GET /topr", s.handleTopR)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("POST /edges", s.handleEdges)
@@ -167,6 +176,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"epoch":           snap.Epoch(),
 		"read_only":       s.readOnly,
 		"engines":         snap.Engines(),
+		"measures":        snap.Measures(),
 		"gct_index_bytes": idx.GCTBytes,
 		"tsd_index_bytes": idx.TSDBytes,
 		"index_build":     s.built.String(),
@@ -192,6 +202,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleEngines(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"engines": s.db.Engines()})
+}
+
+// handleMeasures reports the measure axis: every diversity measure the
+// DB serves with the engines that can answer it (the routing matrix).
+func (s *Server) handleMeasures(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"measures": s.db.Measures()})
+}
+
+// measureParam parses the optional measure= query parameter ("" = truss).
+func measureParam(r *http.Request) (trussdiv.Measure, error) {
+	raw := r.URL.Query().Get("measure")
+	if raw == "" {
+		return "", nil
+	}
+	return trussdiv.ParseMeasure(raw)
 }
 
 // intParam parses a required integer query parameter.
@@ -250,14 +275,15 @@ func candidatesParam(r *http.Request) ([]int32, error) {
 }
 
 type topRResponse struct {
-	Engine   string       `json:"engine"`
-	Routed   bool         `json:"routed"`
-	Epoch    uint64       `json:"epoch"`
-	K        int          `json:"k"`
-	R        int          `json:"r"`
-	TookUS   int64        `json:"took_us"`
-	Searched int          `json:"search_space"`
-	Results  []topRResult `json:"results"`
+	Engine   string           `json:"engine"`
+	Routed   bool             `json:"routed"`
+	Measure  trussdiv.Measure `json:"measure"`
+	Epoch    uint64           `json:"epoch"`
+	K        int              `json:"k"`
+	R        int              `json:"r"`
+	TookUS   int64            `json:"took_us"`
+	Searched int              `json:"search_space"`
+	Results  []topRResult     `json:"results"`
 }
 
 type topRResult struct {
@@ -287,30 +313,33 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	measure, err := measureParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	q := trussdiv.Query{
 		K:               int32(k),
 		R:               rr,
 		IncludeContexts: r.URL.Query().Get("contexts") == "true",
 		Candidates:      cands,
 		Workers:         clampWorkers(workers),
+		Measure:         measure,
 	}
 
 	// Resolve the engine through one snapshot's registry and run the query
 	// against that same snapshot, so routing and execution agree on the
 	// graph version even when an update lands mid-request. An absent
-	// parameter means the snapshot routes by cost.
+	// parameter means the snapshot routes by cost among the engines
+	// serving the query's measure; a named engine is checked against the
+	// measure (tsd cannot answer measure=component).
 	snap := s.db.Snapshot()
-	var eng trussdiv.Engine
-	routed := false
-	if name := r.URL.Query().Get("engine"); name != "" {
-		eng, err = snap.Engine(name)
-		if err != nil {
-			badRequest(w, "%v", err)
-			return
-		}
-	} else {
-		eng = snap.Route(q)
-		routed = true
+	q.Engine = r.URL.Query().Get("engine")
+	routed := q.Engine == ""
+	eng, err := snap.ResolveEngine(q)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
 	}
 
 	ctx, cancel := s.requestContext(r)
@@ -324,10 +353,13 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 	body := topRResponse{
 		Engine: eng.Name(),
 		Routed: routed,
-		Epoch:  uint64(snap.Epoch()),
-		K:      k,
-		R:      rr,
-		TookUS: time.Since(start).Microseconds(),
+		// A pinned comp/kcore engine with no measure param answers under
+		// its native definition; echo that, not the truss default.
+		Measure: trussdiv.EffectiveMeasure(q, eng),
+		Epoch:   uint64(snap.Epoch()),
+		K:       k,
+		R:       rr,
+		TookUS:  time.Since(start).Microseconds(),
 	}
 	if stats != nil {
 		body.Searched = stats.ScoreComputations
@@ -347,6 +379,7 @@ type batchQuery struct {
 	K          int32   `json:"k"`
 	R          int     `json:"r"`
 	Engine     string  `json:"engine,omitempty"`
+	Measure    string  `json:"measure,omitempty"`
 	Contexts   bool    `json:"contexts,omitempty"`
 	Candidates []int32 `json:"candidates,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
@@ -390,10 +423,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	qs := make([]trussdiv.Query, len(req.Queries))
 	for i, bq := range req.Queries {
+		var measure trussdiv.Measure
+		if bq.Measure != "" {
+			m, err := trussdiv.ParseMeasure(bq.Measure)
+			if err != nil {
+				badRequest(w, "batch query %d: %v", i, err)
+				return
+			}
+			measure = m
+		}
 		qs[i] = trussdiv.Query{
 			K:               bq.K,
 			R:               bq.R,
 			Engine:          bq.Engine,
+			Measure:         measure,
 			IncludeContexts: bq.Contexts,
 			Candidates:      bq.Candidates,
 			Workers:         clampWorkers(bq.Workers),
@@ -420,12 +463,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := batchResponse{TookUS: time.Since(start).Microseconds()}
 	resp.Results = make([]topRResponse, len(results))
 	for i, res := range results {
+		measure := qs[i].Measure.Normalize()
+		if eng, err := snap.Engine(engines[i]); err == nil {
+			// As in /topr: a pinned native engine with no measure field
+			// answered under its own definition.
+			measure = trussdiv.EffectiveMeasure(qs[i], eng)
+		}
 		item := topRResponse{
-			Engine: engines[i],
-			Routed: req.Queries[i].Engine == "",
-			Epoch:  res.Epoch,
-			K:      int(qs[i].K),
-			R:      qs[i].R,
+			Engine:  engines[i],
+			Routed:  req.Queries[i].Engine == "",
+			Measure: measure,
+			Epoch:   res.Epoch,
+			K:       int(qs[i].K),
+			R:       qs[i].R,
 		}
 		for _, e := range res.TopR {
 			out := topRResult{Vertex: e.V, Score: e.Score}
@@ -558,17 +608,23 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	measure, err := measureParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	score, err := s.db.Score(ctx, v, k)
+	score, err := s.db.ScoreMeasure(ctx, v, k, measure)
 	if err != nil {
 		searchError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"vertex": v,
-		"k":      k,
-		"score":  score,
+		"vertex":  v,
+		"k":       k,
+		"measure": measure.Normalize(),
+		"score":   score,
 	})
 }
 
@@ -578,9 +634,14 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	measure, err := measureParam(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	contexts, err := s.db.Contexts(ctx, v, k)
+	contexts, err := s.db.ContextsMeasure(ctx, v, k, measure)
 	if err != nil {
 		searchError(w, err)
 		return
@@ -588,6 +649,7 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertex":   v,
 		"k":        k,
+		"measure":  measure.Normalize(),
 		"score":    len(contexts),
 		"contexts": contexts,
 	})

@@ -394,3 +394,141 @@ func TestEdgesReadOnly(t *testing.T) {
 		t.Fatalf("read-only stats = %v", stats)
 	}
 }
+
+func TestMeasuresEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/measures", http.StatusOK)
+	measures, ok := body["measures"].([]any)
+	if !ok || len(measures) != 3 {
+		t.Fatalf("measures = %v, want 3 entries", body["measures"])
+	}
+	first := measures[0].(map[string]any)
+	if first["measure"] != "truss" || first["default"] != true {
+		t.Fatalf("first measure = %v, want the truss default", first)
+	}
+	engines := first["engines"].([]any)
+	if len(engines) != 5 {
+		t.Fatalf("truss engines = %v, want the five paper engines", engines)
+	}
+}
+
+func TestTopRMeasureParameter(t *testing.T) {
+	ts := newTestServer(t)
+	// Routed queries under each measure answer 200 and echo the measure;
+	// the engine label must come from the measure's row of the matrix.
+	allowed := map[string]map[string]bool{
+		"truss":     {"online": true, "bound": true, "tsd": true, "gct": true, "hybrid": true},
+		"component": {"online": true, "bound": true, "comp": true},
+		"core":      {"online": true, "bound": true, "kcore": true},
+	}
+	for measure, engines := range allowed {
+		body := getJSON(t, ts.URL+"/topr?k=3&r=5&measure="+measure, http.StatusOK)
+		if body["measure"] != measure {
+			t.Fatalf("measure %s echoed as %v", measure, body["measure"])
+		}
+		if eng := body["engine"].(string); !engines[eng] {
+			t.Fatalf("measure %s answered by %q, outside %v", measure, eng, engines)
+		}
+	}
+	// Omitted measure means truss.
+	body := getJSON(t, ts.URL+"/topr?k=3&r=5", http.StatusOK)
+	if body["measure"] != "truss" {
+		t.Fatalf("default measure = %v, want truss", body["measure"])
+	}
+	// Engine x measure mismatches and unknown names are caller errors.
+	getJSON(t, ts.URL+"/topr?k=3&r=5&engine=tsd&measure=component", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/topr?k=3&r=5&measure=bogus", http.StatusBadRequest)
+	// score/contexts accept the measure too.
+	body = getJSON(t, ts.URL+"/score?v=0&k=3&measure=component", http.StatusOK)
+	if body["measure"] != "component" {
+		t.Fatalf("score measure = %v", body["measure"])
+	}
+	getJSON(t, ts.URL+"/contexts?v=0&k=3&measure=core", http.StatusOK)
+	getJSON(t, ts.URL+"/score?v=0&k=3&measure=nope", http.StatusBadRequest)
+}
+
+func TestBatchMeasureField(t *testing.T) {
+	ts := newTestServer(t)
+	body := `{"queries":[
+		{"k":3,"r":4},
+		{"k":3,"r":4,"measure":"component"},
+		{"k":3,"r":4,"measure":"core","engine":"kcore"}
+	]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Engine  string `json:"engine"`
+			Measure string `json:"measure"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results", len(out.Results))
+	}
+	wantMeasures := []string{"truss", "component", "core"}
+	for i, res := range out.Results {
+		if res.Measure != wantMeasures[i] {
+			t.Fatalf("batch result %d measure = %q, want %q", i, res.Measure, wantMeasures[i])
+		}
+	}
+	if out.Results[2].Engine != "kcore" {
+		t.Fatalf("pinned batch query answered by %q", out.Results[2].Engine)
+	}
+	// A bad measure inside the batch fails the whole request.
+	resp2, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"k":3,"r":4,"measure":"nah"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad measure batch status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestPinnedNativeEngineEchoesItsMeasure: engine=comp with no measure
+// parameter answers under the component model (the pre-measure calling
+// convention); the response must label it component, not truss.
+func TestPinnedNativeEngineEchoesItsMeasure(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?k=3&r=4&engine=comp", http.StatusOK)
+	if body["measure"] != "component" {
+		t.Fatalf("engine=comp echoed measure %v, want component", body["measure"])
+	}
+	body = getJSON(t, ts.URL+"/topr?k=3&r=4&engine=kcore", http.StatusOK)
+	if body["measure"] != "core" {
+		t.Fatalf("engine=kcore echoed measure %v, want core", body["measure"])
+	}
+	// Truss engines keep the truss label.
+	body = getJSON(t, ts.URL+"/topr?k=3&r=4&engine=tsd", http.StatusOK)
+	if body["measure"] != "truss" {
+		t.Fatalf("engine=tsd echoed measure %v, want truss", body["measure"])
+	}
+	// Same rule inside a batch.
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"k":3,"r":4,"engine":"comp"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Results []struct {
+			Measure string `json:"measure"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Measure != "component" {
+		t.Fatalf("batch engine=comp echoed %+v, want component", out.Results)
+	}
+}

@@ -7,10 +7,10 @@
 //
 //	offset  size  field
 //	0       4     magic "TDIX"
-//	4       4     format version (currently 1)
+//	4       4     format version (currently 2)
 //	8       32    SHA-256 fingerprint of the graph the indexes were built from
 //	40      4     section count
-//	44      24*c  table of contents: {id u32, crc32c u32, offset u64, length u64}
+//	44      28*c  table of contents: {id u32, measure u32, crc32c u32, offset u64, length u64}
 //	...           section payloads, in TOC order
 //
 // Every section is independently addressable (offset + length) and
@@ -21,11 +21,20 @@
 // *FingerprintError (errors.Is(err, ErrStaleIndex)) so callers can fall
 // back to a rebuild.
 //
+// Format v2 tags every TOC entry with the diversity measure the section
+// belongs to (0 = truss, 1 = component, 2 = core), so one file carries
+// the accelerators of every measure the DB serves: the truss sections
+// (decomposition, TSD, GCT, hybrid rankings) under measure 0, and per-k
+// ranking sections for the component and core measures under their own
+// tags. Version-1 files — whose 24-byte TOC entries predate the tag —
+// still load, with every section interpreted as measure=truss, exactly
+// what a v1 writer meant.
+//
 // Compatibility policy: the format version is bumped on any layout change;
-// readers accept exactly the versions they know (currently only 1) and
+// readers accept exactly the versions they know (currently 1 and 2) and
 // reject the rest with *VersionError rather than guessing. Unknown section
-// IDs inside a known version are skipped, so minor additions do not force
-// a version bump.
+// IDs (or measure tags) inside a known version are skipped, so minor
+// additions do not force a version bump.
 package store
 
 import (
@@ -47,15 +56,20 @@ const (
 	// Magic identifies a trussdiv index store file ("TDIX" on disk).
 	Magic = uint32(0x58494454)
 	// Version is the current format version; see the package comment for
-	// the compatibility policy.
-	Version = uint32(1)
+	// the compatibility policy. Version 1 files (no measure tags in the
+	// TOC) are still read, as measure=truss.
+	Version = uint32(2)
+	// minVersion is the oldest format this reader still accepts.
+	minVersion = uint32(1)
 	// FileName is the conventional file name inside an index directory.
 	FileName = "indexes.tdx"
 
-	headerSize   = 44
-	tocEntrySize = 24
+	headerSize     = 44
+	tocEntrySize   = 28 // v2: {id, measure, crc, offset, length}
+	tocEntrySizeV1 = 24 // v1: {id, crc, offset, length}, measure implied truss
 	// maxSections bounds the TOC a reader will accept; the format defines
-	// four section IDs, so anything much larger is a corrupt header.
+	// five section IDs across three measures, so anything much larger is a
+	// corrupt header.
 	maxSections = 64
 )
 
@@ -78,6 +92,58 @@ const (
 	// that predate it skip it as an unknown section — no version bump.
 	SecEpoch Section = 5
 )
+
+// Measure tags on TOC entries, binding a section to the diversity
+// measure it accelerates. Truss is tag 0, so a v1 file's untagged
+// sections are exactly the truss sections a v1 writer meant.
+const (
+	measureCodeTruss     = uint32(0)
+	measureCodeComponent = uint32(1)
+	measureCodeCore      = uint32(2)
+)
+
+// measureCode maps a measure to its on-disk tag (truss for anything
+// unknown — writers only emit known measures).
+func measureCode(m core.Measure) uint32 {
+	switch m.Normalize() {
+	case core.MeasureComponent:
+		return measureCodeComponent
+	case core.MeasureCore:
+		return measureCodeCore
+	}
+	return measureCodeTruss
+}
+
+// measureFromCode maps an on-disk tag back; ok is false for tags this
+// reader does not know (sections from a newer writer, skipped).
+func measureFromCode(c uint32) (core.Measure, bool) {
+	switch c {
+	case measureCodeTruss:
+		return core.MeasureTruss, true
+	case measureCodeComponent:
+		return core.MeasureComponent, true
+	case measureCodeCore:
+		return core.MeasureCore, true
+	}
+	return "", false
+}
+
+// SectionRef identifies one section instance in a file: the section kind
+// plus the measure it is tagged with.
+type SectionRef struct {
+	Section Section
+	Measure core.Measure
+}
+
+// String names the section instance for error messages and status
+// listings: truss-measure sections keep their bare v1 names ("tsd"),
+// other measures are suffixed ("rankings@component").
+func (r SectionRef) String() string {
+	if r.Measure.Normalize() == core.MeasureTruss {
+		return r.Section.String()
+	}
+	return r.Section.String() + "@" + string(r.Measure)
+}
 
 // String names the section for error messages.
 func (s Section) String() string {
@@ -120,7 +186,8 @@ type VersionError struct {
 }
 
 func (e *VersionError) Error() string {
-	return fmt.Sprintf("store: index format version %d, this reader supports %d", e.Got, e.Want)
+	return fmt.Sprintf("store: index format version %d, this reader supports %d through %d",
+		e.Got, minVersion, e.Want)
 }
 
 // Is makes errors.Is(err, ErrVersion) match.
@@ -207,9 +274,15 @@ type Indexes struct {
 	TSD *core.TSDIndex
 	// GCT is the compressed supernode/superedge index (paper §6).
 	GCT *core.GCTIndex
-	// Rankings are the hybrid engine's per-k vertex rankings
-	// (Rankings[k] is sorted by score descending, vertex ascending).
+	// Rankings are the hybrid engine's per-k vertex rankings under the
+	// truss measure (Rankings[k] is sorted by score descending, vertex
+	// ascending).
 	Rankings [][]core.VertexScore
+	// MeasureRankings are the per-k rankings of the non-truss measures
+	// ("component", "core"), in the same shape as Rankings; each present
+	// measure becomes one measure-tagged rankings section. The truss
+	// rankings stay in Rankings.
+	MeasureRankings map[core.Measure][][]core.VertexScore
 	// Epoch is the snapshot version the indexes describe; 0 means "not
 	// recorded" and writes no section.
 	Epoch uint64
@@ -220,6 +293,7 @@ type Indexes struct {
 func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 	type section struct {
 		id      Section
+		measure uint32
 		payload []byte
 	}
 	var secs []section
@@ -228,33 +302,49 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 			return 0, fmt.Errorf("store: truss decomposition has %d entries, graph has %d edges",
 				len(ix.Tau), g.M())
 		}
-		secs = append(secs, section{SecTruss, encodeInt32s(ix.Tau)})
+		secs = append(secs, section{SecTruss, measureCodeTruss, encodeInt32s(ix.Tau)})
 	}
 	if ix.TSD != nil {
 		var buf bytes.Buffer
 		if _, err := ix.TSD.WriteTo(&buf); err != nil {
 			return 0, fmt.Errorf("store: serialize TSD index: %w", err)
 		}
-		secs = append(secs, section{SecTSD, buf.Bytes()})
+		secs = append(secs, section{SecTSD, measureCodeTruss, buf.Bytes()})
 	}
 	if ix.GCT != nil {
 		var buf bytes.Buffer
 		if _, err := ix.GCT.WriteTo(&buf); err != nil {
 			return 0, fmt.Errorf("store: serialize GCT index: %w", err)
 		}
-		secs = append(secs, section{SecGCT, buf.Bytes()})
+		secs = append(secs, section{SecGCT, measureCodeTruss, buf.Bytes()})
 	}
 	if ix.Rankings != nil {
 		payload, err := encodeRankings(ix.Rankings, g.N())
 		if err != nil {
 			return 0, err
 		}
-		secs = append(secs, section{SecRankings, payload})
+		secs = append(secs, section{SecRankings, measureCodeTruss, payload})
+	}
+	// Per-measure ranking sections, in fixed measure order so the file
+	// layout is deterministic.
+	for _, m := range core.AllMeasures() {
+		if m == core.MeasureTruss {
+			continue // truss rankings travel in ix.Rankings
+		}
+		perK, ok := ix.MeasureRankings[m]
+		if !ok || perK == nil {
+			continue
+		}
+		payload, err := encodeRankings(perK, g.N())
+		if err != nil {
+			return 0, err
+		}
+		secs = append(secs, section{SecRankings, measureCode(m), payload})
 	}
 	if ix.Epoch != 0 {
 		payload := make([]byte, 8)
 		binary.LittleEndian.PutUint64(payload, ix.Epoch)
-		secs = append(secs, section{SecEpoch, payload})
+		secs = append(secs, section{SecEpoch, measureCodeTruss, payload})
 	}
 
 	fp := Fingerprint(g)
@@ -267,9 +357,10 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 	for i, s := range secs {
 		e := header[headerSize+tocEntrySize*i:]
 		binary.LittleEndian.PutUint32(e[0:4], uint32(s.id))
-		binary.LittleEndian.PutUint32(e[4:8], crc32.Checksum(s.payload, crcTable))
-		binary.LittleEndian.PutUint64(e[8:16], offset)
-		binary.LittleEndian.PutUint64(e[16:24], uint64(len(s.payload)))
+		binary.LittleEndian.PutUint32(e[4:8], s.measure)
+		binary.LittleEndian.PutUint32(e[8:12], crc32.Checksum(s.payload, crcTable))
+		binary.LittleEndian.PutUint64(e[12:20], offset)
+		binary.LittleEndian.PutUint64(e[20:28], uint64(len(s.payload)))
 		offset += uint64(len(s.payload))
 	}
 
@@ -327,15 +418,18 @@ type tocEntry struct {
 // demand. Section reads reopen the file, so a File holds no descriptor
 // between calls and is safe for concurrent use.
 type File struct {
-	path string
-	g    *graph.Graph
-	toc  map[Section]tocEntry
+	path    string
+	g       *graph.Graph
+	version uint32
+	toc     map[SectionRef]tocEntry
 }
 
 // Open validates the file at path against g: magic, format version,
 // graph fingerprint, and TOC sanity. Sections are not read until
 // requested. A missing file surfaces as fs.ErrNotExist; a file built from
-// a different graph fails with *FingerprintError (ErrStaleIndex).
+// a different graph fails with *FingerprintError (ErrStaleIndex). Both
+// current format versions are accepted: a v1 file's sections all load as
+// measure=truss.
 func Open(path string, g *graph.Graph) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -358,7 +452,8 @@ func Open(path string, g *graph.Graph) (*File, error) {
 	if readErr != nil {
 		return nil, &CorruptError{Reason: "truncated header", Err: readErr}
 	}
-	if version := binary.LittleEndian.Uint32(hdr[4:8]); version != Version {
+	version := binary.LittleEndian.Uint32(hdr[4:8])
+	if version < minVersion || version > Version {
 		return nil, &VersionError{Got: version, Want: Version}
 	}
 	var fp [32]byte
@@ -370,14 +465,23 @@ func Open(path string, g *graph.Graph) (*File, error) {
 	if count > maxSections {
 		return nil, &CorruptError{Reason: fmt.Sprintf("implausible section count %d", count)}
 	}
-	tocBytes := make([]byte, tocEntrySize*int(count))
+	entrySize := tocEntrySize
+	if version == 1 {
+		entrySize = tocEntrySizeV1
+	}
+	tocBytes := make([]byte, entrySize*int(count))
 	if _, err := io.ReadFull(f, tocBytes); err != nil {
 		return nil, &CorruptError{Reason: "truncated table of contents", Err: err}
 	}
-	toc := make(map[Section]tocEntry, count)
+	toc := make(map[SectionRef]tocEntry, count)
 	for i := 0; i < int(count); i++ {
-		e := tocBytes[tocEntrySize*i:]
+		e := tocBytes[entrySize*i:]
 		id := Section(binary.LittleEndian.Uint32(e[0:4]))
+		mcode := measureCodeTruss // v1 entries carry no tag: truss by definition
+		if version >= 2 {
+			mcode = binary.LittleEndian.Uint32(e[4:8])
+			e = e[4:] // the remaining fields line up with the v1 layout
+		}
 		entry := tocEntry{
 			crc:    binary.LittleEndian.Uint32(e[4:8]),
 			offset: binary.LittleEndian.Uint64(e[8:16]),
@@ -391,44 +495,71 @@ func Open(path string, g *graph.Graph) (*File, error) {
 				Reason: fmt.Sprintf("section extends beyond the file (offset %d, length %d, file %d)",
 					entry.offset, entry.length, st.Size())}
 		}
+		measure, knownMeasure := measureFromCode(mcode)
+		if !knownMeasure {
+			// A measure tag from a newer writer: skip the section, keep the
+			// file, same policy as unknown section IDs.
+			continue
+		}
 		switch id {
 		case SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch:
-			if _, dup := toc[id]; dup {
+			ref := SectionRef{Section: id, Measure: measure}
+			if _, dup := toc[ref]; dup {
 				return nil, &CorruptError{Section: id, Reason: "duplicate section"}
 			}
-			toc[id] = entry
+			toc[ref] = entry
 		default:
 			// Unknown sections within a known version are additions from a
 			// newer writer; skip them rather than failing the whole file.
 		}
 	}
-	return &File{path: path, g: g, toc: toc}, nil
+	return &File{path: path, g: g, version: version, toc: toc}, nil
 }
+
+// Version reports the format version the file was written with.
+func (f *File) Version() uint32 { return f.version }
 
 // Path returns the file's location on disk.
 func (f *File) Path() string { return f.path }
 
-// Has reports whether the file contains section s.
+// Has reports whether the file contains the truss-measure section s
+// (the v1 notion of presence); use HasMeasure for tagged sections.
 func (f *File) Has(s Section) bool {
-	_, ok := f.toc[s]
+	return f.HasMeasure(s, core.MeasureTruss)
+}
+
+// HasMeasure reports whether the file contains section s tagged with
+// measure m.
+func (f *File) HasMeasure(s Section, m core.Measure) bool {
+	_, ok := f.toc[SectionRef{Section: s, Measure: m.Normalize()}]
 	return ok
 }
 
-// Sections lists the recognized sections present in the file, in ID order.
-func (f *File) Sections() []Section {
-	var out []Section
-	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch} {
-		if f.Has(s) {
-			out = append(out, s)
+// Sections lists the recognized section instances present in the file:
+// truss sections in ID order first (the v1 listing), then the tagged
+// sections of the other measures in measure order.
+func (f *File) Sections() []SectionRef {
+	var out []SectionRef
+	for _, m := range core.AllMeasures() {
+		for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch} {
+			if f.HasMeasure(s, m) {
+				out = append(out, SectionRef{Section: s, Measure: m})
+			}
 		}
 	}
 	return out
 }
 
-// section reads and checksum-verifies one section's payload, or returns
-// (nil, nil) when the section is absent.
+// section reads and checksum-verifies one truss-tagged section's
+// payload, or returns (nil, nil) when the section is absent.
 func (f *File) section(s Section) ([]byte, error) {
-	entry, ok := f.toc[s]
+	return f.sectionMeasure(s, core.MeasureTruss)
+}
+
+// sectionMeasure reads and checksum-verifies one section's payload, or
+// returns (nil, nil) when the section is absent.
+func (f *File) sectionMeasure(s Section, m core.Measure) ([]byte, error) {
+	entry, ok := f.toc[SectionRef{Section: s, Measure: m.Normalize()}]
 	if !ok {
 		return nil, nil
 	}
@@ -502,9 +633,21 @@ func (f *File) Epoch() (uint64, error) {
 	return binary.LittleEndian.Uint64(payload), nil
 }
 
-// Rankings loads the per-k rankings, or (nil, nil) when absent.
+// Rankings loads the truss-measure (hybrid) per-k rankings, or
+// (nil, nil) when absent.
 func (f *File) Rankings() ([][]core.VertexScore, error) {
 	payload, err := f.section(SecRankings)
+	if payload == nil || err != nil {
+		return nil, err
+	}
+	return decodeRankings(payload, f.g.N())
+}
+
+// MeasureRankings loads the per-k rankings of measure m, or (nil, nil)
+// when the file has no rankings section tagged with m. For MeasureTruss
+// this is Rankings.
+func (f *File) MeasureRankings(m core.Measure) ([][]core.VertexScore, error) {
+	payload, err := f.sectionMeasure(SecRankings, m)
 	if payload == nil || err != nil {
 		return nil, err
 	}
@@ -529,6 +672,19 @@ func ReadAll(path string, g *graph.Graph) (*Indexes, error) {
 	}
 	if ix.Rankings, err = f.Rankings(); err != nil {
 		return nil, err
+	}
+	for _, m := range core.AllMeasures() {
+		if m == core.MeasureTruss || !f.HasMeasure(SecRankings, m) {
+			continue
+		}
+		perK, err := f.MeasureRankings(m)
+		if err != nil {
+			return nil, err
+		}
+		if ix.MeasureRankings == nil {
+			ix.MeasureRankings = make(map[core.Measure][][]core.VertexScore)
+		}
+		ix.MeasureRankings[m] = perK
 	}
 	if ix.Epoch, err = f.Epoch(); err != nil {
 		return nil, err

@@ -54,7 +54,10 @@ func TestRoundTripAllSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Section{SecTruss, SecTSD, SecGCT, SecRankings}
+	want := []SectionRef{
+		{SecTruss, core.MeasureTruss}, {SecTSD, core.MeasureTruss},
+		{SecGCT, core.MeasureTruss}, {SecRankings, core.MeasureTruss},
+	}
 	if got := f.Sections(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("sections = %v, want %v", got, want)
 	}
@@ -108,17 +111,23 @@ func TestPartialFileOnlyHasWrittenSections(t *testing.T) {
 }
 
 // TestGoldenFormat pins the byte-exact on-disk layout of a fully
-// populated version-1 file: any change to the header, TOC, or a section
-// codec fails here and must come with a format-version bump (see the
-// package comment's compatibility policy). Regenerate deliberately with
-// `go test ./internal/store -run TestGoldenFormat -update`.
+// populated version-2 file (truss sections plus one measure-tagged
+// rankings section per alternative measure): any change to the header,
+// TOC, or a section codec fails here and must come with a format-version
+// bump (see the package comment's compatibility policy). Regenerate
+// deliberately with `go test ./internal/store -run TestGoldenFormat -update`.
 func TestGoldenFormat(t *testing.T) {
 	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.MeasureRankings = map[core.Measure][][]core.VertexScore{
+		core.MeasureComponent: core.BuildMeasureRankings(g, core.MeasureComponent),
+		core.MeasureCore:      core.BuildMeasureRankings(g, core.MeasureCore),
+	}
 	var buf bytes.Buffer
-	if _, err := Write(&buf, g, buildIndexes(g)); err != nil {
+	if _, err := Write(&buf, g, ix); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "golden_fig1.tdx")
+	golden := filepath.Join("testdata", "golden_fig1_v2.tdx")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -134,6 +143,81 @@ func TestGoldenFormat(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Fatalf("serialized store (%d bytes) differs from golden file (%d bytes); "+
 			"a format change needs a Version bump and -update", buf.Len(), len(want))
+	}
+}
+
+// TestV1GoldenStillLoads is the backward-compatibility gate: the
+// checked-in golden_fig1.tdx was written by the version-1 writer (before
+// the measure axis existed) and must keep loading — every section
+// interpreted as measure=truss — for as long as minVersion stays 1. It
+// is deliberately never regenerated.
+func TestV1GoldenStillLoads(t *testing.T) {
+	g := testGraph(t)
+	f, err := Open(filepath.Join("testdata", "golden_fig1.tdx"), g)
+	if err != nil {
+		t.Fatalf("v1 golden no longer opens: %v", err)
+	}
+	if f.Version() != 1 {
+		t.Fatalf("golden_fig1.tdx reports version %d, want 1 (file overwritten?)", f.Version())
+	}
+	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings} {
+		if !f.Has(s) {
+			t.Fatalf("v1 golden lost section %v", s)
+		}
+		if !f.HasMeasure(s, core.MeasureTruss) {
+			t.Fatalf("v1 section %v not visible under measure=truss", s)
+		}
+	}
+	if f.HasMeasure(SecRankings, core.MeasureComponent) || f.HasMeasure(SecRankings, core.MeasureCore) {
+		t.Fatal("v1 file claims measure-tagged sections it cannot contain")
+	}
+	// The payloads must decode to exactly what a fresh build produces.
+	ix := buildIndexes(g)
+	tau, err := f.Tau()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tau, ix.Tau) {
+		t.Fatal("v1 truss section decodes differently from a fresh build")
+	}
+	rankings, err := f.Rankings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rankings, ix.Rankings) {
+		t.Fatal("v1 rankings section decodes differently from a fresh build")
+	}
+}
+
+// TestMeasureRankingsRoundTrip exercises the v2-only sections: per-k
+// rankings of the component and core measures survive a save/load cycle
+// and stay isolated from the truss rankings.
+func TestMeasureRankingsRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.MeasureRankings = map[core.Measure][][]core.VertexScore{
+		core.MeasureComponent: core.BuildMeasureRankings(g, core.MeasureComponent),
+		core.MeasureCore:      core.BuildMeasureRankings(g, core.MeasureCore),
+	}
+	path := saveTo(t, g, ix)
+	back, err := ReadAll(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []core.Measure{core.MeasureComponent, core.MeasureCore} {
+		if !reflect.DeepEqual(back.MeasureRankings[m], ix.MeasureRankings[m]) {
+			t.Errorf("%s rankings changed across the round trip", m)
+		}
+	}
+	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
+		t.Error("truss rankings polluted by measure-tagged sections")
+	}
+	f, err := Open(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Sections()); got != 6 {
+		t.Fatalf("file holds %d sections, want 6 (4 truss + 2 measure rankings)", got)
 	}
 }
 
@@ -306,9 +390,9 @@ func TestTOCOffsetOverflowIsCorrupt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// First TOC entry: offset at byte 52, length at byte 60.
-	binary.LittleEndian.PutUint64(blob[headerSize+8:], 1<<63)
-	binary.LittleEndian.PutUint64(blob[headerSize+16:], 1<<63+100)
+	// First TOC entry: offset at byte 56, length at byte 64 (v2 layout).
+	binary.LittleEndian.PutUint64(blob[headerSize+12:], 1<<63)
+	binary.LittleEndian.PutUint64(blob[headerSize+20:], 1<<63+100)
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,14 @@ type Query struct {
 	// and the DB-level WithEngine default. Empty means no pin. Unknown
 	// names fail with a *UnknownEngineError.
 	Engine string
+	// Measure selects the structural diversity definition: MeasureTruss
+	// (the default; "" means the same), MeasureComponent, or MeasureCore.
+	// Routing considers only engines that serve the measure; a query that
+	// pins an Engine outside the measure's row of the routing matrix fails
+	// with an *UnsupportedMeasureError. An empty Measure combined with a
+	// pinned Engine means that engine's native definition, so pre-measure
+	// callers of engine=comp/kcore keep their behavior.
+	Measure Measure
 }
 
 // QueryOption customizes a Query built by NewQuery.
@@ -74,6 +82,13 @@ func ViaEngine(name string) QueryOption {
 	return func(q *Query) { q.Engine = name }
 }
 
+// WithMeasure selects the structural diversity definition the query is
+// answered under (MeasureTruss, MeasureComponent, MeasureCore); omitted,
+// the query uses the paper's truss-based default.
+func WithMeasure(m Measure) QueryOption {
+	return func(q *Query) { q.Measure = m }
+}
+
 // params translates the public Query into the internal search parameters.
 func (q Query) params() core.Params {
 	return core.Params{
@@ -83,5 +98,6 @@ func (q Query) params() core.Params {
 		SkipContexts: !q.IncludeContexts,
 		SkipStats:    q.SkipStats,
 		Workers:      q.Workers,
+		Measure:      q.Measure,
 	}
 }

@@ -26,13 +26,16 @@ func (e *UnknownEngineError) Error() string {
 // Is makes errors.Is(err, ErrUnknownEngine) match.
 func (e *UnknownEngineError) Is(target error) bool { return target == ErrUnknownEngine }
 
-// registration pairs an engine with its routing eligibility. Engines
-// computing a diversity definition other than the paper's truss-based one
-// (the comp/kcore baselines) are registered non-routable: they answer
-// only explicit WithEngine / DB.Engine requests, never cost routing.
+// registration pairs an engine with its routing eligibility and the
+// measures it serves. The registry is effectively keyed by (engine,
+// measure): lookups that carry a measure verify support, and routing
+// considers only the engines declaring the query's measure. Engines
+// without a MeasureLister serve the truss measure only — so a routable
+// pre-measure custom backend keeps exactly its old routing behavior.
 type registration struct {
 	engine   Engine
 	routable bool
+	measures map[Measure]bool
 }
 
 // registry is the name-keyed engine catalogue of one DB. Lookups and
@@ -53,12 +56,19 @@ func (r *registry) add(e Engine, routable bool) error {
 	if name == "" {
 		return errors.New("trussdiv: engine name must not be empty")
 	}
+	measures := map[Measure]bool{MeasureTruss: true}
+	if ml, ok := e.(MeasureLister); ok {
+		measures = make(map[Measure]bool, len(ml.Measures()))
+		for _, m := range ml.Measures() {
+			measures[m.Normalize()] = true
+		}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.byName[name]; dup {
 		return fmt.Errorf("trussdiv: engine %q already registered", name)
 	}
-	r.byName[name] = registration{engine: e, routable: routable}
+	r.byName[name] = registration{engine: e, routable: routable, measures: measures}
 	r.order = append(r.order, name)
 	return nil
 }
@@ -81,13 +91,55 @@ func (r *registry) names() []string {
 	return out
 }
 
-func (r *registry) routable() []Engine {
+// lookupFor is the (engine, measure)-keyed lookup: the named engine must
+// exist and, when a measure is given explicitly, declare it. An empty
+// measure imposes no constraint — an explicitly pinned engine then
+// answers under its native definition, which is what pre-measure callers
+// of engine=comp/kcore meant. A measure name that does not exist at all
+// is a parse error, not an *UnsupportedMeasureError — the same category
+// the unpinned routing path reports.
+func (r *registry) lookupFor(name string, m Measure) (Engine, error) {
+	if !m.Valid() {
+		_, err := ParseMeasure(string(m))
+		return nil, err
+	}
+	r.mu.RLock()
+	reg, ok := r.byName[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, &UnknownEngineError{Name: name, Known: r.names()}
+	}
+	if m != "" && !reg.measures[m.Normalize()] {
+		return nil, &UnsupportedMeasureError{Engine: name, Measure: m.Normalize()}
+	}
+	return reg.engine, nil
+}
+
+// routableFor lists the routable engines serving measure m, in
+// registration order.
+func (r *registry) routableFor(m Measure) []Engine {
+	m = m.Normalize()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []Engine
 	for _, name := range r.order {
-		if reg := r.byName[name]; reg.routable {
+		if reg := r.byName[name]; reg.routable && reg.measures[m] {
 			out = append(out, reg.engine)
+		}
+	}
+	return out
+}
+
+// enginesFor lists every engine (routable or not) serving measure m, in
+// registration order.
+func (r *registry) enginesFor(m Measure) []string {
+	m = m.Normalize()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, name := range r.order {
+		if r.byName[name].measures[m] {
+			out = append(out, name)
 		}
 	}
 	return out

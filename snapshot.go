@@ -97,8 +97,13 @@ func newSnapshot(epoch Epoch, g *Graph, cache *indexCache, forced string) (*Snap
 		{&tsdEngine{cache: cache, w: s.w}, true},
 		{&gctEngine{cache: cache, w: s.w}, true},
 		{&hybridEngine{cache: cache, w: s.w}, true},
-		{&baselineEngine{name: "comp", model: NewCompDiv(g), g: g, w: s.w}, false},
-		{&baselineEngine{name: "kcore", model: NewCoreDiv(g), g: g, w: s.w}, false},
+		// The native measure engines are routable for their own measure
+		// only (they declare it via MeasureLister), so truss queries never
+		// see them — same reachability as when they were non-routable.
+		{&baselineEngine{name: "comp", measure: MeasureComponent,
+			model: NewCompDiv(g), g: g, w: s.w, cache: cache}, true},
+		{&baselineEngine{name: "kcore", measure: MeasureCore,
+			model: NewCoreDiv(g), g: g, w: s.w, cache: cache}, true},
 	} {
 		if err := s.reg.add(reg.engine, reg.routable); err != nil {
 			return nil, err
@@ -134,16 +139,22 @@ func (s *Snapshot) Engines() []string { return s.reg.names() }
 // unregistered names.
 func (s *Snapshot) Engine(name string) (Engine, error) { return s.reg.lookup(name) }
 
-// Route returns the routable engine with the lowest cost estimate for q,
-// counting any index it would still have to build. Ties keep the earliest
-// registered engine. Routing is snapshot-aware: an index that survived the
-// last Apply (the TSD and GCT structures repair incrementally) keeps its
-// zero build cost, while invalidated ones (the global truss decomposition
-// and the hybrid rankings) price their lazy rebuild back in.
+// Route returns the routable engine with the lowest cost estimate for q
+// among those serving q.Measure, counting any index the engine would
+// still have to build. Ties keep the earliest registered engine. Routing
+// is snapshot-aware: an index that survived the last Apply (the TSD and
+// GCT structures repair incrementally) keeps its zero build cost, while
+// invalidated ones (the global truss decomposition, the hybrid rankings,
+// and the per-measure rankings) price their lazy rebuild back in. Route
+// returns nil when no routable engine serves the measure (or the measure
+// name is unknown); the query paths report that as an error.
 func (s *Snapshot) Route(q Query) Engine {
+	if !q.Measure.Valid() {
+		return nil
+	}
 	var best Engine
 	bestCost := 0.0
-	for _, e := range s.reg.routable() {
+	for _, e := range s.reg.routableFor(q.Measure) {
 		if c := e.Cost(q).Total(); best == nil || c < bestCost {
 			best, bestCost = e, c
 		}
@@ -152,19 +163,24 @@ func (s *Snapshot) Route(q Query) Engine {
 }
 
 // routeAmortized is the single routing policy: per-query pin, then the
-// DB-level pin, then the cheapest routable engine with the index build
-// cost divided across batchSize queries (1 = the TopR single-query case,
+// DB-level pin (both checked against the query's measure), then the
+// cheapest routable engine serving the measure with the index build cost
+// divided across batchSize queries (1 = the TopR single-query case,
 // where the division is a no-op).
 func (s *Snapshot) routeAmortized(q Query, batchSize int) (Engine, error) {
 	if q.Engine != "" {
-		return s.reg.lookup(q.Engine)
+		return s.reg.lookupFor(q.Engine, q.Measure)
 	}
 	if s.forced != "" {
-		return s.reg.lookup(s.forced)
+		return s.reg.lookupFor(s.forced, q.Measure)
+	}
+	if !q.Measure.Valid() {
+		_, err := ParseMeasure(string(q.Measure))
+		return nil, err
 	}
 	var best Engine
 	bestCost := 0.0
-	for _, e := range s.reg.routable() {
+	for _, e := range s.reg.routableFor(q.Measure) {
 		est := e.Cost(q)
 		c := est.Build/float64(batchSize) + est.Query
 		if best == nil || c < bestCost {
@@ -172,9 +188,20 @@ func (s *Snapshot) routeAmortized(q Query, batchSize int) (Engine, error) {
 		}
 	}
 	if best == nil {
-		return nil, errors.New("trussdiv: no routable engine registered")
+		return nil, fmt.Errorf("trussdiv: no routable engine registered for measure %q",
+			q.Measure.Normalize())
 	}
 	return best, nil
+}
+
+// ResolveEngine resolves the engine that would answer q exactly as TopR
+// does: the per-query Engine pin (checked against q.Measure), else the
+// DB-level WithEngine default, else the cheapest routable engine serving
+// q.Measure. The error is an *UnknownEngineError for unregistered pins
+// and an *UnsupportedMeasureError for pins outside the measure's row of
+// the routing matrix.
+func (s *Snapshot) ResolveEngine(q Query) (Engine, error) {
+	return s.routeAmortized(q, 1)
 }
 
 // resolveBatch resolves every query's engine with the index build cost
@@ -263,8 +290,15 @@ func (s *Snapshot) Prepare(ctx context.Context, names ...string) error {
 			s.cache.gctIndex()
 		case "hybrid":
 			s.cache.hybridEngine()
-		case "online", "comp", "kcore":
-			// stateless engines: nothing to prepare
+		case "comp":
+			// The native measure engines precompute their per-k rankings
+			// (the hybrid strategy generalized), so prepared measures answer
+			// top-r in O(r).
+			s.cache.measureRankings(MeasureComponent, true)
+		case "kcore":
+			s.cache.measureRankings(MeasureCore, true)
+		case "online":
+			// stateless engine: nothing to prepare
 		default:
 			if _, err := s.reg.lookup(name); err != nil {
 				return err
@@ -422,6 +456,11 @@ func (s *Snapshot) IndexStats() IndexStats {
 		TauReady:    c.tau != nil,
 		BuildTime:   c.buildTime,
 		LoadTime:    c.loadTime,
+	}
+	for _, m := range AllMeasures() {
+		if c.mrank[m] != nil {
+			st.MeasureRankings = append(st.MeasureRankings, m)
+		}
 	}
 	if c.tsd != nil {
 		st.TSDBytes = c.tsd.SizeBytes()

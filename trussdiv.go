@@ -30,6 +30,14 @@
 // (NewOnline, NewBound, NewTSD, NewGCT, BuildHybrid) remain as deprecated
 // shims over the same internal implementations.
 //
+// The diversity definition itself is a query axis: WithMeasure selects
+// the paper's truss-based model (the default), the component-based
+// model, or the core-based model, and the DB routes to the cheapest
+// engine serving that measure — db.Measures() reports the matrix:
+//
+//	res, _, _ = db.TopR(ctx, trussdiv.NewQuery(4, 10,
+//		trussdiv.WithMeasure(trussdiv.MeasureComponent)))
+//
 // See README.md for the engine catalogue and migration table and
 // DESIGN.md for the paper-to-code mapping.
 package trussdiv

@@ -100,7 +100,8 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 	path := store.PathIn(dir)
 
 	// Flip one byte inside the TSD section's payload, located via the TOC
-	// (header: 44 bytes; entries: {id u32, crc u32, off u64, len u64}).
+	// (header: 44 bytes; v2 entries: {id u32, measure u32, crc u32,
+	// off u64, len u64}).
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -108,9 +109,9 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 	count := int(binary.LittleEndian.Uint32(blob[40:44]))
 	found := false
 	for i := 0; i < count; i++ {
-		e := blob[44+24*i:]
+		e := blob[44+28*i:]
 		if store.Section(binary.LittleEndian.Uint32(e[0:4])) == store.SecTSD {
-			off := binary.LittleEndian.Uint64(e[8:16])
+			off := binary.LittleEndian.Uint64(e[12:20])
 			blob[off+20] ^= 0xFF
 			found = true
 		}
