@@ -7,7 +7,7 @@
 # plus the tier-1 checks.
 GO ?= go
 
-.PHONY: ci check check-race fmt-check lint vet build test bench bench-parallel bench-artifacts cover fuzz
+.PHONY: ci check check-race fmt-check lint vet build test bench bench-parallel bench-artifacts cluster-smoke cover fuzz
 
 ci: fmt-check lint check
 
@@ -29,6 +29,8 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Includes internal/cluster: the coordinator's hedged/retried fan-out and
+# the worker's epoch catch-up are concurrency-heavy by design.
 check-race:
 	$(GO) test -race ./...
 
@@ -56,6 +58,12 @@ bench-artifacts:
 	$(GO) run ./cmd/tsdbench -exp store -quick -outdir bench-out
 	$(GO) run ./cmd/tsdbench -exp dynamic -quick -outdir bench-out
 	$(GO) run ./cmd/tsdbench -exp measures -quick -outdir bench-out
+	$(GO) run ./cmd/tsdbench -exp cluster -quick -outdir bench-out
+
+# End-to-end cluster parity: 2 shard workers + coordinator vs a single
+# node on the same dataset, answers diffed through tsdsearch -server.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 cover:
 	$(GO) test -cover ./...

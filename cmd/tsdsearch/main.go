@@ -17,13 +17,24 @@
 // component; core): the query routes to the cheapest engine serving that
 // measure, and -algo pins one engine inside the measure's row of the
 // routing matrix.
+//
+// With -server the query runs against a running tsdserve instance —
+// single-node or cluster coordinator, both speak the same /topr shape —
+// instead of loading a graph locally:
+//
+//	tsdsearch -server http://localhost:8080 -k 4 -r 10
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"trussdiv"
@@ -41,12 +52,98 @@ func main() {
 		contexts = flag.Bool("contexts", false, "print the social contexts of each answer")
 		measure  = flag.String("measure", "", "diversity measure: truss (default) | component | core")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this long (0 = none)")
+		serverTo = flag.String("server", "", "query a running tsdserve at this URL instead of loading a graph")
 	)
 	flag.Parse()
-	if err := run(*input, *dataset, *algo, *measure, int32(*k), *r, *contexts, *timeout); err != nil {
+	var err error
+	if *serverTo != "" {
+		err = runRemote(*serverTo, *algo, *measure, *k, *r, *contexts, *timeout)
+	} else {
+		err = run(*input, *dataset, *algo, *measure, int32(*k), *r, *contexts, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsdsearch:", err)
 		os.Exit(1)
 	}
+}
+
+// remoteResponse covers the fields shared by the single-node and cluster
+// /topr response shapes.
+type remoteResponse struct {
+	Engine  string `json:"engine"`
+	Measure string `json:"measure"`
+	Epoch   uint64 `json:"epoch"`
+	TookUS  int64  `json:"took_us"`
+	Error   string `json:"error"`
+	Results []struct {
+		Vertex   int32     `json:"vertex"`
+		Score    int       `json:"score"`
+		Contexts [][]int32 `json:"contexts"`
+	} `json:"results"`
+}
+
+// runRemote answers the query through a running tsdserve (single node or
+// cluster coordinator — the /topr shapes agree on everything printed).
+func runRemote(base, algo, measure string, k, r int, showContexts bool, timeout time.Duration) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	params := url.Values{}
+	params.Set("k", fmt.Sprint(k))
+	params.Set("r", fmt.Sprint(r))
+	if algo != "" {
+		params.Set("engine", algo)
+	}
+	if measure != "" {
+		params.Set("measure", measure)
+	}
+	if showContexts {
+		params.Set("contexts", "true")
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(base, "/")+"/topr?"+params.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	var body remoteResponse
+	if err := json.Unmarshal(blob, &body); err != nil {
+		return fmt.Errorf("%s: HTTP %d: %s", base, resp.StatusCode, strings.TrimSpace(string(blob)))
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
+		return fmt.Errorf("%s: HTTP %d: %s", base, resp.StatusCode, body.Error)
+	}
+	if resp.StatusCode == http.StatusPartialContent {
+		fmt.Fprintf(os.Stderr, "tsdsearch: WARNING: partial result: %s\n", body.Error)
+	}
+	fmt.Printf("engine=%s measure=%s k=%d r=%d epoch=%d  total=%v (server %v)\n",
+		body.Engine, body.Measure, k, r, body.Epoch,
+		time.Since(start).Round(time.Microsecond),
+		(time.Duration(body.TookUS) * time.Microsecond).Round(time.Microsecond))
+	for rank, e := range body.Results {
+		fmt.Printf("%3d. vertex %-8d score %d\n", rank+1, e.Vertex, e.Score)
+		if showContexts {
+			for i, members := range e.Contexts {
+				fmt.Printf("      context %d (%d members): %v\n", i+1, len(members), members)
+			}
+		}
+	}
+	return nil
 }
 
 func run(input, dataset, algo, measure string, k int32, r int, showContexts bool, timeout time.Duration) error {

@@ -25,20 +25,45 @@
 // which measure. An index store built with tsdindex -measures warm
 // starts the component/core rankings too.
 //
-// Endpoints: /healthz, /stats, /engines, /measures,
-// /topr?k=&r=&engine=&measure=&contexts=&candidates=, POST /batch,
-// POST /edges, /score?v=&k=&measure=, /contexts?v=&k=&measure=.
+// # Cluster modes
+//
+// The same binary runs the distributed serving tier. A shard worker owns
+// one contiguous vertex id range of the shared graph and answers partial
+// queries; a coordinator fans queries out to the shards and merges their
+// answers byte-identically to a single node (see internal/cluster):
+//
+//	tsdserve -shard -dataset gowalla-sim -range 0:500 -addr :7001
+//	tsdserve -shard -dataset gowalla-sim -range 500:1000 -addr :7002
+//	tsdserve -coordinator -shards localhost:7001,localhost:7002 -addr :8080
+//
+// Shard groups in -shards are comma-separated; replicas of one shard are
+// separated by '|' ("a:7001|a:7101,b:7002" = two shards, the first
+// replicated). The coordinator serves /topr, /score, /contexts, /edges
+// with the single-node shapes plus GET /cluster for shard health.
+//
+// All modes shut down gracefully: SIGINT/SIGTERM stops accepting
+// connections and drains in-flight requests for up to -drain.
+//
+// Endpoints (single node): /healthz, /stats, /metrics, /engines,
+// /measures, /topr?k=&r=&engine=&measure=&contexts=&candidates=,
+// POST /batch, POST /edges, /score?v=&k=&measure=, /contexts?v=&k=&measure=.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"trussdiv"
 	"trussdiv/internal/bench"
+	"trussdiv/internal/cluster"
 	"trussdiv/internal/graph"
 	"trussdiv/internal/server"
 )
@@ -51,21 +76,87 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
 		indexDir = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
 		readOnly = flag.Bool("readonly", false, "disable POST /edges live updates")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+
+		coordMode = flag.Bool("coordinator", false, "run as cluster coordinator (requires -shards)")
+		shardsArg = flag.String("shards", "", "coordinator: shard groups, comma-separated; replicas '|'-separated (host:port|host:port,...)")
+		shardMode = flag.Bool("shard", false, "run as shard worker (requires -range)")
+		rangeArg  = flag.String("range", "", "shard: owned vertex id range lo:hi (hi exclusive)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*input, *dataset)
-	if err != nil {
+	if err := run(options{
+		input: *input, dataset: *dataset, addr: *addr, timeout: *timeout,
+		indexDir: *indexDir, readOnly: *readOnly, drain: *drain,
+		coordMode: *coordMode, shards: *shardsArg,
+		shardMode: *shardMode, rangeSpec: *rangeArg,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdserve:", err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	input, dataset, addr string
+	timeout, drain       time.Duration
+	indexDir             string
+	readOnly             bool
+	coordMode            bool
+	shards               string
+	shardMode            bool
+	rangeSpec            string
+}
+
+func run(o options) error {
+	switch {
+	case o.coordMode && o.shardMode:
+		return errors.New("give either -coordinator or -shard, not both")
+	case o.coordMode:
+		return runCoordinator(o)
+	case o.shardMode:
+		return runShard(o)
+	default:
+		return runSingle(o)
+	}
+}
+
+// serve runs handler on addr until SIGINT/SIGTERM, then drains in-flight
+// requests for up to the drain deadline before returning.
+func serve(addr string, handler http.Handler, drain time.Duration) error {
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err // bind failure or similar — never got to serving
+	case <-ctx.Done():
+	}
+	stop() // second signal kills immediately instead of waiting for drain
+	log.Printf("shutdown signal received; draining in-flight requests (up to %v)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain deadline expired: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+func runSingle(o options) error {
+	g, err := loadGraph(o.input, o.dataset)
+	if err != nil {
+		return err
+	}
 	log.Printf("graph loaded: %d vertices, %d edges; preparing indexes...", g.N(), g.M())
 	start := time.Now()
-	opts := []server.Option{server.WithTimeout(*timeout)}
-	if *indexDir != "" {
-		opts = append(opts, server.WithIndexDir(*indexDir))
+	opts := []server.Option{server.WithTimeout(o.timeout)}
+	if o.indexDir != "" {
+		opts = append(opts, server.WithIndexDir(o.indexDir))
 	}
-	if *readOnly {
+	if o.readOnly {
 		opts = append(opts, server.WithReadOnly())
 	}
 	srv := server.New(g, opts...)
@@ -82,12 +173,64 @@ func main() {
 		}
 	}
 	mode := "live updates on POST /edges"
-	if *readOnly {
+	if o.readOnly {
 		mode = "read-only"
 	}
 	log.Printf("indexes ready in %v; engines %v; epoch %d (%s); serving on %s",
-		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), srv.DB().Epoch(), mode, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		time.Since(start).Round(time.Millisecond), srv.DB().Engines(), srv.DB().Epoch(), mode, o.addr)
+	return serve(o.addr, srv.Handler(), o.drain)
+}
+
+func runShard(o options) error {
+	if o.rangeSpec == "" {
+		return errors.New("-shard requires -range lo:hi")
+	}
+	lo, hi, err := cluster.ParseRange(o.rangeSpec)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(o.input, o.dataset)
+	if err != nil {
+		return err
+	}
+	log.Printf("shard graph loaded: %d vertices, %d edges; preparing indexes...", g.N(), g.M())
+	start := time.Now()
+	var dbOpts []trussdiv.Option
+	if o.indexDir != "" {
+		dbOpts = append(dbOpts, trussdiv.WithIndexDir(o.indexDir))
+	}
+	db, err := trussdiv.Open(g, dbOpts...)
+	if err != nil {
+		return err
+	}
+	if err := db.Prepare(context.Background()); err != nil {
+		return err
+	}
+	w, err := cluster.NewWorker(db, lo, hi)
+	if err != nil {
+		return err
+	}
+	log.Printf("shard ready in %v: range [%d,%d) of %d vertices, epoch %d; serving on %s",
+		time.Since(start).Round(time.Millisecond), lo, hi, g.N(), db.Epoch(), o.addr)
+	return serve(o.addr, w.Handler(), o.drain)
+}
+
+func runCoordinator(o options) error {
+	if o.input != "" || o.dataset != "" {
+		return errors.New("-coordinator takes no graph: the shard workers own it")
+	}
+	groups, err := cluster.ParseShards(o.shards)
+	if err != nil {
+		return fmt.Errorf("-shards: %w", err)
+	}
+	coord, err := cluster.NewCoordinator(context.Background(), groups)
+	if err != nil {
+		return err
+	}
+	srv := cluster.NewCoordinatorServer(coord, o.timeout)
+	log.Printf("coordinator ready: %d shards, epoch %d; serving on %s",
+		coord.Shards(), coord.Epoch(), o.addr)
+	return serve(o.addr, srv.Handler(), o.drain)
 }
 
 func loadGraph(input, dataset string) (*graph.Graph, error) {

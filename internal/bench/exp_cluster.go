@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"time"
+
+	"trussdiv"
+	"trussdiv/internal/cluster"
+)
+
+// runCluster measures the distributed serving tier against a single
+// node: the same top-r query through 1, 2, and 4 local shard workers
+// (in-process HTTP, so the numbers isolate the scatter-gather protocol
+// rather than the network), with answers asserted byte-equal to the
+// single-node result — the cluster tier's exactness guarantee, measured
+// rather than assumed. The merge overhead is the coordinator wall time
+// minus the slowest shard's own latency: what the fan-out, decode, and
+// k-way merge cost on top of the partial searches themselves.
+
+// ClusterShardSample is one shard-count configuration's measurement.
+type ClusterShardSample struct {
+	Shards          int     `json:"shards"`
+	WallNS          int64   `json:"wall_ns"`           // coordinator wall time per query
+	MaxShardNS      int64   `json:"max_shard_ns"`      // slowest shard's own latency
+	MergeOverheadNS int64   `json:"merge_overhead_ns"` // wall - max shard
+	Speedup         float64 `json:"speedup_vs_single"` // single-node wall / cluster wall
+}
+
+// ClusterDatasetReport groups one dataset's samples.
+type ClusterDatasetReport struct {
+	Name     string               `json:"name"`
+	Vertices int                  `json:"vertices"`
+	Edges    int                  `json:"edges"`
+	SingleNS int64                `json:"single_node_ns"`
+	Configs  []ClusterShardSample `json:"configs"`
+}
+
+// ClusterReport is the schema of BENCH_cluster.json.
+type ClusterReport struct {
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	K          int32                  `json:"k"`
+	R          int                    `json:"r"`
+	Iterations int                    `json:"iterations"`
+	Datasets   []ClusterDatasetReport `json:"datasets"`
+}
+
+// ClusterReportFile is the artifact runCluster writes.
+const ClusterReportFile = "BENCH_cluster.json"
+
+func runCluster(w io.Writer, cfg Config) error {
+	const k, r = int32(4), 100
+	iters := 5
+	if cfg.Quick {
+		iters = 3
+	}
+	ctx := context.Background()
+	report := ClusterReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		K:          k, R: r, Iterations: iters,
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Single node vs 1/2/4 local shards, k=%d r=%d (extension)", k, r),
+		Headers: []string{"Network", "shards", "wall", "max shard", "merge overhead", "speedup"},
+	}
+	for _, name := range cfg.perfDatasets() {
+		g := MustLoad(name)
+		// One index build shared by the single node and every worker: the
+		// experiment times serving, not index construction.
+		tsdIdx := trussdiv.BuildTSDIndex(g)
+		gctIdx := trussdiv.BuildGCTIndex(g)
+		newDB := func() (*trussdiv.DB, error) {
+			return trussdiv.Open(g, trussdiv.WithTSDIndex(tsdIdx), trussdiv.WithGCTIndex(gctIdx))
+		}
+		single, err := newDB()
+		if err != nil {
+			return err
+		}
+		q := trussdiv.Query{K: k, R: r}
+		var want *trussdiv.Result
+		singleTime, err := timedQueries(iters, func() error {
+			res, _, err := single.TopR(ctx, q)
+			want = res
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: single node: %v", name, err)
+		}
+		ds := ClusterDatasetReport{
+			Name: name, Vertices: g.N(), Edges: g.M(),
+			SingleNS: singleTime.Nanoseconds(),
+		}
+		t.AddRow(name, "single", singleTime, "-", "-", "1.00x")
+
+		for _, count := range []int{1, 2, 4} {
+			var servers []*httptest.Server
+			var groups [][]string
+			for i := 0; i < count; i++ {
+				db, err := newDB()
+				if err != nil {
+					return err
+				}
+				lo, hi := int32(i*g.N()/count), int32((i+1)*g.N()/count)
+				worker, err := cluster.NewWorker(db, lo, hi)
+				if err != nil {
+					return err
+				}
+				srv := httptest.NewServer(worker.Handler())
+				servers = append(servers, srv)
+				groups = append(groups, []string{strings.TrimPrefix(srv.URL, "http://")})
+			}
+			coord, err := cluster.NewCoordinator(ctx, groups)
+			if err != nil {
+				return err
+			}
+			// The merge overhead pairs one fan-out's wall time with that
+			// same fan-out's slowest shard, so it never mixes iterations.
+			var got *trussdiv.Result
+			var total, lastWall time.Duration
+			var maxShardUS int64
+			var qerr error
+			for i := 0; i < iters; i++ {
+				lastWall = Timed(func() {
+					got, _, qerr = coord.TopR(ctx, q)
+				})
+				total += lastWall
+				if qerr != nil {
+					break
+				}
+				maxShardUS = 0
+				for _, sh := range coord.FanoutStats() {
+					maxShardUS = max(maxShardUS, sh.LastUS)
+				}
+			}
+			for _, srv := range servers {
+				srv.Close()
+			}
+			if qerr != nil {
+				return fmt.Errorf("%s: %d shards: %v", name, count, qerr)
+			}
+			if err := sameClusterAnswer(got, want); err != nil {
+				return fmt.Errorf("%s: %d shards: cluster answer differs from single node: %w", name, count, err)
+			}
+			wall := total / time.Duration(iters)
+			maxShard := time.Duration(maxShardUS) * time.Microsecond
+			overhead := lastWall - maxShard
+			speedup := float64(singleTime) / float64(max(wall, time.Nanosecond))
+			ds.Configs = append(ds.Configs, ClusterShardSample{
+				Shards:          count,
+				WallNS:          wall.Nanoseconds(),
+				MaxShardNS:      maxShard.Nanoseconds(),
+				MergeOverheadNS: overhead.Nanoseconds(),
+				Speedup:         speedup,
+			})
+			t.AddRow(name, fmt.Sprint(count), wall, maxShard, overhead, fmt.Sprintf("%.2fx", speedup))
+		}
+		report.Datasets = append(report.Datasets, ds)
+	}
+	t.Fprint(w)
+
+	path, err := writeArtifact(cfg, ClusterReportFile, report)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n\n", path)
+	return nil
+}
+
+// timedQueries runs fn iters times and returns the mean wall time.
+func timedQueries(iters int, fn func() error) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		var err error
+		total += Timed(func() { err = fn() })
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total / time.Duration(iters), nil
+}
+
+// sameClusterAnswer checks the byte-exactness guarantee on the ranked
+// answer.
+func sameClusterAnswer(got, want *trussdiv.Result) error {
+	if got == nil || want == nil {
+		return fmt.Errorf("missing result (%v, %v)", got == nil, want == nil)
+	}
+	if len(got.TopR) != len(want.TopR) {
+		return fmt.Errorf("answer sizes %d vs %d", len(got.TopR), len(want.TopR))
+	}
+	for i := range got.TopR {
+		if got.TopR[i] != want.TopR[i] {
+			return fmt.Errorf("position %d: %+v vs %+v", i, got.TopR[i], want.TopR[i])
+		}
+	}
+	return nil
+}

@@ -36,12 +36,16 @@ type ParallelDatasetReport struct {
 
 // ParallelReport is the schema of BENCH_parallel.json.
 type ParallelReport struct {
-	GOMAXPROCS int                     `json:"gomaxprocs"`
-	Workers    int                     `json:"workers"`
-	K          int32                   `json:"k"`
-	R          int                     `json:"r"`
-	Contexts   bool                    `json:"contexts"`
-	Datasets   []ParallelDatasetReport `json:"datasets"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SingleCoreWarning flags a run that measured "parallelism" on one
+	// core: every speedup in the file is then noise around 1.0x and must
+	// not be read as a regression or an improvement.
+	SingleCoreWarning bool                    `json:"single_core_warning,omitempty"`
+	Workers           int                     `json:"workers"`
+	K                 int32                   `json:"k"`
+	R                 int                     `json:"r"`
+	Contexts          bool                    `json:"contexts"`
+	Datasets          []ParallelDatasetReport `json:"datasets"`
 }
 
 // ParallelReportFile is the artifact runParallel writes (into cfg.OutDir,
@@ -58,11 +62,17 @@ func runParallel(w io.Writer, cfg Config) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	report := ParallelReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    workers,
-		K:          k,
-		R:          r,
-		Contexts:   true,
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		SingleCoreWarning: runtime.GOMAXPROCS(0) == 1,
+		Workers:           workers,
+		K:                 k,
+		R:                 r,
+		Contexts:          true,
+	}
+	if report.SingleCoreWarning {
+		fmt.Fprintf(w, "WARNING: GOMAXPROCS=1 — the parallel measurements below ran on a single core;\n"+
+			"every speedup is noise around 1.0x. Re-run with GOMAXPROCS set to the machine's\n"+
+			"core count before reading anything into these numbers.\n\n")
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("Serial vs parallel TopR, k=%d r=%d, %d workers (extension)", k, r, workers),

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"trussdiv"
+)
+
+// Client is the typed HTTP client for one shard worker. It performs no
+// retries itself — the coordinator owns the retry/backoff/hedging policy
+// — and maps the worker's wire errors back to the package's typed ones
+// (*StaleEpochError for code "stale_epoch", *RemoteError otherwise).
+// Deadlines come from the caller's context.
+type Client struct {
+	addr string // as configured, for error messages
+	base string // http://addr
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at addr ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{addr: addr, base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// Addr reports the configured address.
+func (c *Client) Addr() string { return c.addr }
+
+// do runs one JSON round trip. in == nil sends no body; out == nil skips
+// decoding.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", c.addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(blob, &we) != nil || we.Error == "" {
+			we.Error = strings.TrimSpace(string(blob))
+		}
+		if we.Code == "stale_epoch" {
+			return &StaleEpochError{Addr: c.addr, Want: we.Want, Have: we.Epoch}
+		}
+		return &RemoteError{Addr: c.addr, Status: resp.StatusCode, Code: we.Code, Msg: we.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: %s: decode %s: %w", c.addr, path, err)
+	}
+	return nil
+}
+
+// Health fetches the worker's identity card.
+func (c *Client) Health(ctx context.Context) (shardHealth, error) {
+	var h shardHealth
+	err := c.do(ctx, http.MethodGet, "/shard/health", nil, &h)
+	return h, err
+}
+
+// TopR runs one partial top-r query on the worker.
+func (c *Client) TopR(ctx context.Context, req shardTopRRequest) (*shardTopRResponse, error) {
+	var resp shardTopRResponse
+	if err := c.do(ctx, http.MethodPost, "/shard/topr", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Apply streams one edge batch to the worker and returns its new epoch.
+func (c *Client) Apply(ctx context.Context, ins, del []trussdiv.Edge) (uint64, error) {
+	req := shardApplyRequest{
+		Insert: make([]wireEdge, len(ins)),
+		Delete: make([]wireEdge, len(del)),
+	}
+	for i, e := range ins {
+		req.Insert[i] = wireEdge{U: e.U, V: e.V}
+	}
+	for i, e := range del {
+		req.Delete[i] = wireEdge{U: e.U, V: e.V}
+	}
+	var resp shardApplyResponse
+	if err := c.do(ctx, http.MethodPost, "/shard/apply", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// pointQuery formats the shared query string of the point endpoints.
+func pointQuery(v, k int32, m trussdiv.Measure, epoch uint64) string {
+	q := url.Values{}
+	q.Set("v", fmt.Sprint(v))
+	q.Set("k", fmt.Sprint(k))
+	if m != "" {
+		q.Set("measure", string(m))
+	}
+	if epoch != 0 {
+		q.Set("epoch", fmt.Sprint(epoch))
+	}
+	return "?" + q.Encode()
+}
+
+// Score fetches one vertex's diversity score from the shard owning it.
+func (c *Client) Score(ctx context.Context, v, k int32, m trussdiv.Measure, epoch uint64) (shardScoreResponse, error) {
+	var resp shardScoreResponse
+	err := c.do(ctx, http.MethodGet, "/shard/score"+pointQuery(v, k, m, epoch), nil, &resp)
+	return resp, err
+}
+
+// Contexts fetches one vertex's social contexts from the shard owning it.
+func (c *Client) Contexts(ctx context.Context, v, k int32, m trussdiv.Measure, epoch uint64) (shardContextsResponse, error) {
+	var resp shardContextsResponse
+	err := c.do(ctx, http.MethodGet, "/shard/contexts"+pointQuery(v, k, m, epoch), nil, &resp)
+	return resp, err
+}

@@ -1,0 +1,261 @@
+// Package cluster is the distributed serving tier: top-r structural
+// diversity search sharded across processes, with answers byte-identical
+// to a single node.
+//
+// The partition axis is the vertex id space. A shard Worker owns one
+// contiguous id range [lo, hi) of the shared graph — it holds the whole
+// graph (and its indexes) but only ever scores its own vertices — and a
+// Coordinator fans each query out to every shard, then merges the
+// per-shard top-r answers under the canonical total order (score desc,
+// id asc). Exactness is inherited, not re-proven: every engine's
+// per-shard answer is its range's true top-r under that total order
+// (including zero-score padding from the smallest unused ids, PR 2's
+// guarantee), the ranges partition the candidate set, so the global
+// top-r is contained in the union of per-shard answers and the k-way
+// merge reproduces the single-node answer byte for byte.
+//
+// Consistency across replicas rides on PR 4's epochs. The coordinator
+// tracks a cluster epoch, tags every scatter with it, and streams Apply
+// batches to all workers behind an epoch barrier (all replicas must
+// acknowledge the new epoch before it becomes the query tag). A worker
+// that receives a query tagged ahead of its state parks on DB.WaitEpoch
+// until the apply lands (bounded catch-up window) and answers from the
+// exact requested epoch; a worker that cannot catch up — or that has
+// raced ahead — fails with a typed stale-epoch error, which the
+// coordinator resolves by re-reading the cluster epoch and retrying the
+// fan-out once.
+//
+// The tier degrades the way an inference gateway does rather than
+// falling over: per-shard timeouts with bounded retry + exponential
+// backoff, hedged reads to a replica when a shard is slow, and — when
+// every replica of a shard is down — a typed *PartialResultError that
+// still carries the merged answer of the shards that responded.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// --- Typed failures ---
+
+// ErrStaleEpoch is the sentinel matched by errors.Is when a worker could
+// not serve the epoch a query was tagged with; the concrete error is a
+// *StaleEpochError.
+var ErrStaleEpoch = errors.New("cluster: worker cannot serve the requested epoch")
+
+// StaleEpochError reports an epoch-consistency failure: the worker's
+// current epoch (Have) differs from the query tag (Want) and the bounded
+// catch-up wait did not close the gap. Have > Want means the worker has
+// applied updates the coordinator has not seen yet — the coordinator
+// reacts by raising its cluster epoch and retrying the fan-out once.
+type StaleEpochError struct {
+	Addr string // worker that failed ("" when raised locally)
+	Want uint64
+	Have uint64
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("cluster: worker %s at epoch %d cannot serve epoch %d", e.Addr, e.Have, e.Want)
+}
+
+// Is makes errors.Is(err, ErrStaleEpoch) match.
+func (e *StaleEpochError) Is(target error) bool { return target == ErrStaleEpoch }
+
+// ErrPartialResult is the sentinel matched by errors.Is when one or more
+// shards were down and the answer covers only the shards that responded;
+// the concrete error is a *PartialResultError.
+var ErrPartialResult = errors.New("cluster: partial result: not every shard answered")
+
+// PartialResultError is the degraded-mode answer: every replica of at
+// least one shard failed (after retries and hedging), so the merged
+// result covers only the vertex ranges of the shards that answered.
+// Coordinator.TopR returns it together with that partial merged Result —
+// callers that prefer availability over completeness can use the answer;
+// callers that need exactness treat it as the failure it is.
+type PartialResultError struct {
+	Answered []int         // shard ids that answered, ascending
+	Failed   map[int]error // shard id → final error after retries
+}
+
+func (e *PartialResultError) Error() string {
+	ids := make([]int, 0, len(e.Failed))
+	for id := range e.Failed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("shard %d: %v", id, e.Failed[id])
+	}
+	return fmt.Sprintf("cluster: %d/%d shards answered (%s)",
+		len(e.Answered), len(e.Answered)+len(e.Failed), strings.Join(parts, "; "))
+}
+
+// Is makes errors.Is(err, ErrPartialResult) match.
+func (e *PartialResultError) Is(target error) bool { return target == ErrPartialResult }
+
+// ErrPartialApply is the sentinel matched by errors.Is when an update
+// batch landed on some replicas but not all; the concrete error is a
+// *PartialApplyError.
+var ErrPartialApply = errors.New("cluster: update batch did not reach every replica")
+
+// PartialApplyError reports a torn epoch barrier: the batch applied on
+// the replicas absent from Failed (which now serve Epoch) but not on the
+// ones listed. The coordinator raises its cluster epoch to Epoch anyway —
+// healthy shards keep serving consistent post-update answers, and queries
+// touching a torn replica fail with a typed stale-epoch error until it is
+// restarted or repaired.
+type PartialApplyError struct {
+	Epoch  uint64 // the epoch the successful replicas reached
+	Failed map[string]error
+}
+
+func (e *PartialApplyError) Error() string {
+	addrs := make([]string, 0, len(e.Failed))
+	for addr := range e.Failed {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	parts := make([]string, len(addrs))
+	for i, addr := range addrs {
+		parts[i] = fmt.Sprintf("%s: %v", addr, e.Failed[addr])
+	}
+	return fmt.Sprintf("cluster: apply reached epoch %d but failed on %d replica(s): %s",
+		e.Epoch, len(e.Failed), strings.Join(parts, "; "))
+}
+
+// Is makes errors.Is(err, ErrPartialApply) match.
+func (e *PartialApplyError) Is(target error) bool { return target == ErrPartialApply }
+
+// RemoteError is a non-2xx answer from a worker that is not an epoch
+// problem: a caller error the worker rejected (Status 4xx — bad k,
+// unknown engine, invalid update batch...) or a worker-side failure
+// (5xx). 4xx remote errors abort the fan-out without retries — every
+// replica would reject the same request the same way.
+type RemoteError struct {
+	Addr   string
+	Status int
+	Code   string // machine-readable: "bad_update", "stale_epoch", ...
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: %s: HTTP %d: %s", e.Addr, e.Status, e.Msg)
+}
+
+// --- Wire protocol ---
+// Every worker endpoint speaks JSON. The shapes live here so the client,
+// worker, and coordinator cannot drift apart.
+
+// shardHealth is GET /shard/health: the worker's identity card.
+type shardHealth struct {
+	Lo       int32  `json:"lo"`
+	Hi       int32  `json:"hi"`
+	Epoch    uint64 `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// shardTopRRequest is POST /shard/topr. Epoch 0 means "whatever you
+// have" (used by direct debugging; the coordinator always tags).
+type shardTopRRequest struct {
+	K        int32  `json:"k"`
+	R        int    `json:"r"`
+	Contexts bool   `json:"contexts,omitempty"`
+	Engine   string `json:"engine,omitempty"`
+	Measure  string `json:"measure,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+// shardEntry is one answer row; Contexts is present only when requested
+// and non-empty (core normalizes empty context sets to nil).
+type shardEntry struct {
+	V        int32     `json:"v"`
+	Score    int       `json:"score"`
+	Contexts [][]int32 `json:"contexts,omitempty"`
+}
+
+// shardTopRResponse carries the worker's canonical-order partial answer.
+type shardTopRResponse struct {
+	Epoch   uint64       `json:"epoch"`
+	Engine  string       `json:"engine"`
+	Entries []shardEntry `json:"entries"`
+}
+
+type wireEdge struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// shardApplyRequest is POST /shard/apply: one atomic edge batch.
+type shardApplyRequest struct {
+	Insert []wireEdge `json:"insert,omitempty"`
+	Delete []wireEdge `json:"delete,omitempty"`
+}
+
+type shardApplyResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// shardScoreResponse answers /shard/score.
+type shardScoreResponse struct {
+	V       int32  `json:"v"`
+	K       int32  `json:"k"`
+	Measure string `json:"measure"`
+	Score   int    `json:"score"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+type shardContextsResponse struct {
+	V        int32     `json:"v"`
+	K        int32     `json:"k"`
+	Measure  string    `json:"measure"`
+	Score    int       `json:"score"`
+	Epoch    uint64    `json:"epoch"`
+	Contexts [][]int32 `json:"contexts"`
+}
+
+// wireError is the JSON error body every worker endpoint writes. Code
+// distinguishes machine-actionable failures; Epoch/Want carry the
+// stale-epoch details.
+type wireError struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	Want  uint64 `json:"want,omitempty"`
+}
+
+// ParseShards parses the -shards flag grammar: comma-separated shard
+// groups, each group one or more replica addresses separated by '|'.
+// "a:7001,b:7002|c:7003" is two shards, the second replicated twice.
+func ParseShards(spec string) ([][]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("cluster: empty shard list")
+	}
+	var groups [][]string
+	for _, g := range strings.Split(spec, ",") {
+		var replicas []string
+		for _, addr := range strings.Split(g, "|") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: empty replica address in shard group %q", g)
+			}
+			replicas = append(replicas, addr)
+		}
+		groups = append(groups, replicas)
+	}
+	return groups, nil
+}
+
+// ParseRange parses the -range flag grammar "lo:hi" (hi exclusive).
+func ParseRange(spec string) (lo, hi int32, err error) {
+	var l, h int
+	if _, err := fmt.Sscanf(spec, "%d:%d", &l, &h); err != nil {
+		return 0, 0, fmt.Errorf("cluster: range %q not in lo:hi form", spec)
+	}
+	return int32(l), int32(h), nil
+}

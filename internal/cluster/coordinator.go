@@ -1,0 +1,697 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trussdiv"
+	"trussdiv/internal/metrics"
+)
+
+// replica is one worker process serving a shard's range.
+type replica struct {
+	client *Client
+
+	mu      sync.Mutex
+	healthy bool
+	lastErr string
+	epoch   uint64
+}
+
+func (r *replica) note(healthy bool, epoch uint64, err error) {
+	r.mu.Lock()
+	r.healthy = healthy
+	if epoch != 0 {
+		r.epoch = epoch
+	}
+	if err != nil {
+		r.lastErr = err.Error()
+	} else {
+		r.lastErr = ""
+	}
+	r.mu.Unlock()
+}
+
+// shard is one vertex partition plus its replica set and fan-out stats.
+type shard struct {
+	id       int
+	lo, hi   int32
+	replicas []*replica
+
+	mu        sync.Mutex
+	requests  uint64
+	failures  uint64
+	hedges    uint64
+	retries   uint64
+	staleHits uint64
+	ewmaNS    float64 // latency EWMA of successful calls
+	lastNS    int64
+}
+
+func (s *shard) noteLatency(d time.Duration) {
+	s.mu.Lock()
+	s.lastNS = d.Nanoseconds()
+	if s.ewmaNS == 0 {
+		s.ewmaNS = float64(d.Nanoseconds())
+	} else {
+		const alpha = 0.3
+		s.ewmaNS = alpha*float64(d.Nanoseconds()) + (1-alpha)*s.ewmaNS
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) bump(field *uint64) {
+	s.mu.Lock()
+	*field++
+	s.mu.Unlock()
+}
+
+// config is the coordinator's robustness policy.
+type config struct {
+	shardTimeout time.Duration // budget per fan-out attempt per shard
+	hedgeDelay   time.Duration // silence before a hedged read fires at the next replica
+	retries      int           // extra attempts per shard after the first
+	backoff      time.Duration // base backoff before a retry (doubles per attempt)
+	probeTimeout time.Duration // health-probe budget
+}
+
+// CoordinatorOption configures NewCoordinator.
+type CoordinatorOption func(*config)
+
+// WithShardTimeout bounds every per-shard attempt (default 10s).
+func WithShardTimeout(d time.Duration) CoordinatorOption {
+	return func(c *config) { c.shardTimeout = d }
+}
+
+// WithHedgeDelay sets how long a shard may stay silent before the same
+// request is hedged to its next replica (default 100ms; hedging needs
+// more than one replica in the shard group).
+func WithHedgeDelay(d time.Duration) CoordinatorOption {
+	return func(c *config) { c.hedgeDelay = d }
+}
+
+// WithRetries sets how many extra attempts a failing shard gets after
+// its first (default 1). Each retry backs off exponentially and starts
+// from the shard's next replica.
+func WithRetries(n int) CoordinatorOption {
+	return func(c *config) { c.retries = max(n, 0) }
+}
+
+// WithBackoff sets the base backoff before the first retry (default
+// 25ms, doubling per attempt).
+func WithBackoff(d time.Duration) CoordinatorOption {
+	return func(c *config) { c.backoff = d }
+}
+
+// Coordinator fans queries out to the shard workers, merges their
+// canonical-order partial answers into the exact global answer, and
+// streams updates to every replica behind an epoch barrier. Safe for
+// concurrent use; Apply calls serialize with each other (the epoch
+// barrier is the serialization point) but never block queries.
+type Coordinator struct {
+	shards   []*shard // sorted by lo; ranges tile [0, vertices)
+	vertices int
+	epoch    atomic.Uint64
+	applyMu  sync.Mutex
+	cfg      config
+	metrics  *metrics.Registry
+	started  time.Time
+}
+
+// NewCoordinator probes every replica of every shard group, validates
+// that the shard ranges tile the vertex space [0, N) with no gaps or
+// overlaps and that all workers describe the same graph, and adopts the
+// highest epoch any worker reports as the cluster epoch. Each group must
+// have at least one reachable replica, and every reachable replica of a
+// group must agree on its range.
+func NewCoordinator(ctx context.Context, groups [][]string, opts ...CoordinatorOption) (*Coordinator, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("cluster: NewCoordinator: no shards")
+	}
+	cfg := config{
+		shardTimeout: 10 * time.Second,
+		hedgeDelay:   100 * time.Millisecond,
+		retries:      1,
+		backoff:      25 * time.Millisecond,
+		probeTimeout: 3 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Coordinator{cfg: cfg, metrics: metrics.New(), started: time.Now()}
+
+	type probe struct {
+		health shardHealth
+		ok     bool
+	}
+	var maxEpoch uint64
+	edges := -1
+	for id, group := range groups {
+		sh := &shard{id: id}
+		var ref *shardHealth
+		for _, addr := range group {
+			rep := &replica{client: NewClient(addr)}
+			pctx, cancel := context.WithTimeout(ctx, cfg.probeTimeout)
+			h, err := rep.client.Health(pctx)
+			cancel()
+			rep.note(err == nil, h.Epoch, err)
+			if err == nil {
+				if ref == nil {
+					ref = &h
+				} else if h.Lo != ref.Lo || h.Hi != ref.Hi || h.Vertices != ref.Vertices {
+					return nil, fmt.Errorf("cluster: shard %d: replica %s serves [%d,%d)/%d vertices, expected [%d,%d)/%d",
+						id, addr, h.Lo, h.Hi, h.Vertices, ref.Lo, ref.Hi, ref.Vertices)
+				}
+				maxEpoch = max(maxEpoch, h.Epoch)
+			}
+			sh.replicas = append(sh.replicas, rep)
+		}
+		if ref == nil {
+			return nil, fmt.Errorf("cluster: shard %d: no reachable replica among %v", id, group)
+		}
+		sh.lo, sh.hi = ref.Lo, ref.Hi
+		if c.vertices == 0 {
+			c.vertices = ref.Vertices
+			edges = ref.Edges
+		} else if ref.Vertices != c.vertices || ref.Edges != edges {
+			return nil, fmt.Errorf("cluster: shard %d describes a different graph (%d vertices / %d edges, cluster has %d / %d)",
+				id, ref.Vertices, ref.Edges, c.vertices, edges)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	sort.Slice(c.shards, func(i, j int) bool { return c.shards[i].lo < c.shards[j].lo })
+	want := int32(0)
+	for _, sh := range c.shards {
+		if sh.lo != want {
+			return nil, fmt.Errorf("cluster: shard ranges do not tile the vertex space: gap or overlap at vertex %d (shard %d starts at %d)",
+				want, sh.id, sh.lo)
+		}
+		want = sh.hi
+	}
+	if int(want) != c.vertices {
+		return nil, fmt.Errorf("cluster: shard ranges cover [0,%d) but the graph has %d vertices", want, c.vertices)
+	}
+	c.epoch.Store(maxEpoch)
+	return c, nil
+}
+
+// Epoch reports the coordinator's cluster epoch: the epoch every query
+// is currently tagged with.
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// Shards reports the number of shard groups.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// raiseEpoch lifts the cluster epoch to at least target.
+func (c *Coordinator) raiseEpoch(target uint64) {
+	for {
+		cur := c.epoch.Load()
+		if cur >= target || c.epoch.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}
+
+// QueryStats describes one scatter-gather: which epoch it ran at, who
+// answered with which engine, and whether the stale-epoch retry fired.
+type QueryStats struct {
+	Epoch    uint64
+	Answered []int          // shard ids, ascending
+	Engines  map[int]string // shard id → engine that answered
+	Retried  bool           // second fan-out after a stale-epoch bump
+}
+
+// TopR answers one top-r query across the cluster. The fan-out tags
+// every shard with the cluster epoch, merges the per-shard canonical
+// answers, and returns a Result byte-identical to the single-node answer
+// at that epoch. If a worker reports it is already past the tag, the
+// coordinator adopts the higher epoch and retries the fan-out once. If
+// every replica of some shard is down, the error is a
+// *PartialResultError and the returned Result covers the shards that
+// answered (nil Result only when no shard answered at all).
+func (c *Coordinator) TopR(ctx context.Context, q trussdiv.Query) (*trussdiv.Result, *QueryStats, error) {
+	if q.Candidates != nil {
+		return nil, nil, errors.New("cluster: candidate subsets are not supported by the cluster tier (the shard ranges are the candidate partition)")
+	}
+	req := shardTopRRequest{
+		K: q.K, R: q.R, Contexts: q.IncludeContexts,
+		Engine: q.Engine, Measure: string(q.Measure), Workers: q.Workers,
+	}
+	retried := false
+	for {
+		target := c.epoch.Load()
+		req.Epoch = target
+		parts, errs := c.scatter(ctx, req)
+
+		// A worker ahead of the tag means an Apply landed that this
+		// coordinator has not folded in (e.g. a replica applied before a
+		// torn barrier was reported). Adopt the highest epoch seen and
+		// retry the whole fan-out once — every shard must answer from one
+		// epoch or the merge is meaningless.
+		var ahead uint64
+		for _, err := range errs {
+			var se *StaleEpochError
+			if errors.As(err, &se) && se.Have > target {
+				ahead = max(ahead, se.Have)
+			}
+		}
+		if ahead > target && !retried {
+			retried = true
+			c.raiseEpoch(ahead)
+			continue
+		}
+
+		// A caller error from any shard aborts the query: every replica
+		// would reject the same request identically.
+		for _, err := range errs {
+			var re *RemoteError
+			if errors.As(err, &re) && re.Status >= 400 && re.Status < 500 {
+				return nil, nil, err
+			}
+		}
+
+		stats := &QueryStats{Epoch: target, Engines: make(map[int]string), Retried: retried}
+		for i, p := range parts {
+			if p != nil {
+				stats.Answered = append(stats.Answered, c.shards[i].id)
+				stats.Engines[c.shards[i].id] = p.Engine
+			}
+		}
+		res := mergeTopR(q.R, q.IncludeContexts, parts)
+		if res != nil {
+			res.Epoch = target
+		}
+		if len(errs) > 0 {
+			perr := &PartialResultError{Answered: stats.Answered, Failed: make(map[int]error, len(errs))}
+			for i, err := range errs {
+				perr.Failed[c.shards[i].id] = err
+			}
+			return res, stats, perr
+		}
+		return res, stats, nil
+	}
+}
+
+// scatter fans one tagged request to every shard. parts[i] is shard i's
+// answer (nil on failure); errs maps failed shard indexes to their final
+// error.
+func (c *Coordinator) scatter(ctx context.Context, req shardTopRRequest) ([]*shardTopRResponse, map[int]error) {
+	parts := make([]*shardTopRResponse, len(c.shards))
+	errs := make(map[int]error)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			resp, err := c.queryShard(ctx, sh, req)
+			mu.Lock()
+			if err != nil {
+				errs[i] = err
+			} else {
+				parts[i] = resp
+			}
+			mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	return parts, errs
+}
+
+// queryShard runs one shard's request with the full robustness policy:
+// up to 1+retries attempts, exponential backoff between them, each
+// attempt hedged across the shard's replicas. Stale-epoch and 4xx
+// responses return immediately — retrying cannot change them here.
+func (c *Coordinator) queryShard(ctx context.Context, sh *shard, req shardTopRRequest) (*shardTopRResponse, error) {
+	sh.bump(&sh.requests)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.retries; attempt++ {
+		if attempt > 0 {
+			sh.bump(&sh.retries)
+			backoff := c.cfg.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				sh.bump(&sh.failures)
+				return nil, lastErr
+			case <-time.After(backoff):
+			}
+		}
+		resp, err := c.attemptShard(ctx, sh, req, attempt)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var se *StaleEpochError
+		var re *RemoteError
+		if errors.As(err, &se) {
+			sh.bump(&sh.staleHits)
+			return nil, err
+		}
+		if errors.As(err, &re) && re.Status < 500 {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	sh.bump(&sh.failures)
+	return nil, lastErr
+}
+
+// attemptShard is one hedged attempt: fire the request at one replica,
+// and if it stays silent past the hedge delay, fire the same request at
+// the next replica too — first success wins, the loser is cancelled by
+// the shared attempt context. Transport failures fail over to unsent
+// replicas immediately. Attempts rotate their starting replica so a dead
+// primary stops being the first hop on retries.
+func (c *Coordinator) attemptShard(ctx context.Context, sh *shard, req shardTopRRequest, attempt int) (*shardTopRResponse, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.shardTimeout)
+	defer cancel()
+	n := len(sh.replicas)
+	first := attempt % n
+	type outcome struct {
+		resp *shardTopRResponse
+		err  error
+		idx  int
+	}
+	ch := make(chan outcome, n)
+	sent := 0
+	launch := func() {
+		idx := (first + sent) % n
+		sent++
+		rep := sh.replicas[idx]
+		go func() {
+			start := time.Now()
+			resp, err := rep.client.TopR(actx, req)
+			if err == nil {
+				sh.noteLatency(time.Since(start))
+				rep.note(true, resp.Epoch, nil)
+			}
+			ch <- outcome{resp, err, idx}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(c.cfg.hedgeDelay)
+	defer hedge.Stop()
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				return out.resp, nil
+			}
+			lastErr = out.err
+			var se *StaleEpochError
+			if errors.As(out.err, &se) {
+				return nil, out.err
+			}
+			var re *RemoteError
+			if errors.As(out.err, &re) && re.Status < 500 {
+				return nil, out.err
+			}
+			sh.replicas[out.idx].note(false, 0, out.err)
+			if sent < n {
+				// Fail over without waiting for the hedge timer.
+				launch()
+				inflight++
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		case <-hedge.C:
+			if sent < n {
+				sh.bump(&sh.hedges)
+				launch()
+				inflight++
+			}
+		case <-actx.Done():
+			if lastErr == nil {
+				lastErr = fmt.Errorf("cluster: shard %d: %w", sh.id, actx.Err())
+			}
+			return nil, lastErr
+		}
+	}
+}
+
+// mergeTopR k-way-merges the per-shard canonical answers (each sorted by
+// score desc, id asc) into the global top r under the same order. parts
+// entries may be nil (failed shards); with every part nil the merge is
+// nil too.
+func mergeTopR(r int, includeContexts bool, parts []*shardTopRResponse) *trussdiv.Result {
+	any := false
+	for _, p := range parts {
+		if p != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	res := &trussdiv.Result{}
+	if includeContexts {
+		res.Contexts = make(map[int32][][]int32)
+	}
+	heads := make([]int, len(parts))
+	for len(res.TopR) < r {
+		best := -1
+		for i, p := range parts {
+			if p == nil || heads[i] >= len(p.Entries) {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			a, b := p.Entries[heads[i]], parts[best].Entries[heads[best]]
+			if a.Score > b.Score || (a.Score == b.Score && a.V < b.V) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := parts[best].Entries[heads[best]]
+		heads[best]++
+		res.TopR = append(res.TopR, trussdiv.VertexScore{V: e.V, Score: e.Score})
+		if includeContexts {
+			res.Contexts[e.V] = e.Contexts
+		}
+	}
+	return res
+}
+
+// Apply streams one edge batch to every replica of every shard behind
+// the epoch barrier: all replicas must acknowledge the new epoch before
+// it becomes the tag queries carry. Apply calls serialize. A batch every
+// replica rejects as invalid leaves the cluster untouched and returns
+// the rejection; a batch that lands on some replicas but not others
+// returns a *PartialApplyError, raises the cluster epoch anyway (the
+// healthy majority serves the new state), and leaves the torn replicas
+// to fail typed at query time until repaired.
+func (c *Coordinator) Apply(ctx context.Context, ins, del []trussdiv.Edge) (uint64, error) {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+
+	var targets []*replica
+	for _, sh := range c.shards {
+		targets = append(targets, sh.replicas...)
+	}
+	epochs := make([]uint64, len(targets))
+	applyErrs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, rep := range targets {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			epoch, err := rep.client.Apply(ctx, ins, del)
+			epochs[i], applyErrs[i] = epoch, err
+			rep.note(err == nil, epoch, err)
+		}(i, rep)
+	}
+	wg.Wait()
+
+	var newEpoch uint64
+	failed := make(map[string]error)
+	var firstReject error
+	for i, err := range applyErrs {
+		if err == nil {
+			newEpoch = max(newEpoch, epochs[i])
+			continue
+		}
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == "bad_update" && firstReject == nil {
+			firstReject = err
+		}
+		failed[targets[i].client.Addr()] = err
+	}
+	if len(failed) == 0 {
+		c.raiseEpoch(newEpoch)
+		return newEpoch, nil
+	}
+	if len(failed) == len(targets) && firstReject != nil {
+		// Deterministic validation rejected the batch everywhere: the
+		// cluster is untouched and still consistent. Surface the
+		// rejection itself, not a partial-apply.
+		return c.epoch.Load(), firstReject
+	}
+	if newEpoch != 0 {
+		c.raiseEpoch(newEpoch)
+	}
+	return newEpoch, &PartialApplyError{Epoch: newEpoch, Failed: failed}
+}
+
+// Score answers a single-vertex diversity query by routing to the shard
+// owning v, tagged with the cluster epoch.
+func (c *Coordinator) Score(ctx context.Context, v, k int32, m trussdiv.Measure) (int, uint64, error) {
+	sh, err := c.owner(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	epoch := c.epoch.Load()
+	resp, err := pointCall(ctx, c, sh, func(ctx context.Context, cl *Client) (shardScoreResponse, error) {
+		return cl.Score(ctx, v, k, m, epoch)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Score, resp.Epoch, nil
+}
+
+// Contexts answers a single-vertex contexts query via the owning shard.
+func (c *Coordinator) Contexts(ctx context.Context, v, k int32, m trussdiv.Measure) ([][]int32, uint64, error) {
+	sh, err := c.owner(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	epoch := c.epoch.Load()
+	resp, err := pointCall(ctx, c, sh, func(ctx context.Context, cl *Client) (shardContextsResponse, error) {
+		return cl.Contexts(ctx, v, k, m, epoch)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Contexts, resp.Epoch, nil
+}
+
+// owner finds the shard whose range contains v.
+func (c *Coordinator) owner(v int32) (*shard, error) {
+	i := sort.Search(len(c.shards), func(i int) bool { return c.shards[i].hi > v })
+	if v < 0 || i == len(c.shards) {
+		return nil, fmt.Errorf("cluster: vertex %d outside [0,%d)", v, c.vertices)
+	}
+	return c.shards[i], nil
+}
+
+// pointCall runs one point query against a shard's replicas with simple
+// failover (first healthy answer wins; point queries are cheap enough
+// that hedging is not worth the duplicate load).
+func pointCall[T any](ctx context.Context, c *Coordinator, sh *shard, call func(context.Context, *Client) (T, error)) (T, error) {
+	var lastErr error
+	var zero T
+	for _, rep := range sh.replicas {
+		actx, cancel := context.WithTimeout(ctx, c.cfg.shardTimeout)
+		resp, err := call(actx, rep.client)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var re *RemoteError
+		if errors.As(err, &re) && re.Status < 500 {
+			return zero, err
+		}
+		var se *StaleEpochError
+		if errors.As(err, &se) {
+			return zero, err
+		}
+	}
+	return zero, lastErr
+}
+
+// --- Cluster status (/cluster) ---
+
+// ReplicaStatus is one worker's health as the coordinator sees it.
+type ReplicaStatus struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Epoch   uint64 `json:"epoch"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ShardStatus is one shard's range, replica set, and fan-out stats.
+type ShardStatus struct {
+	ID        int             `json:"id"`
+	Lo        int32           `json:"lo"`
+	Hi        int32           `json:"hi"`
+	Requests  uint64          `json:"requests"`
+	Failures  uint64          `json:"failures,omitempty"`
+	Hedges    uint64          `json:"hedges,omitempty"`
+	Retries   uint64          `json:"retries,omitempty"`
+	StaleHits uint64          `json:"stale_hits,omitempty"`
+	LatencyUS int64           `json:"latency_ewma_us"`
+	LastUS    int64           `json:"latency_last_us"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+}
+
+// ClusterStatus is the GET /cluster body.
+type ClusterStatus struct {
+	Epoch    uint64        `json:"epoch"`
+	Vertices int           `json:"vertices"`
+	Shards   []ShardStatus `json:"shards"`
+}
+
+// Status probes every replica live (bounded by the probe timeout) and
+// reports per-shard health, epochs, and accumulated fan-out stats.
+func (c *Coordinator) Status(ctx context.Context) ClusterStatus {
+	st := ClusterStatus{Epoch: c.epoch.Load(), Vertices: c.vertices}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		ss := ShardStatus{
+			ID: sh.id, Lo: sh.lo, Hi: sh.hi,
+			Requests: sh.requests, Failures: sh.failures,
+			Hedges: sh.hedges, Retries: sh.retries, StaleHits: sh.staleHits,
+			LatencyUS: int64(sh.ewmaNS) / 1e3, LastUS: sh.lastNS / 1e3,
+		}
+		sh.mu.Unlock()
+		for _, rep := range sh.replicas {
+			pctx, cancel := context.WithTimeout(ctx, c.cfg.probeTimeout)
+			h, err := rep.client.Health(pctx)
+			cancel()
+			rep.note(err == nil, h.Epoch, err)
+			rep.mu.Lock()
+			rs := ReplicaStatus{
+				Addr: rep.client.Addr(), Healthy: rep.healthy,
+				Epoch: rep.epoch, Error: rep.lastErr,
+			}
+			rep.mu.Unlock()
+			ss.Replicas = append(ss.Replicas, rs)
+		}
+		st.Shards = append(st.Shards, ss)
+	}
+	return st
+}
+
+// FanoutStats reports the accumulated per-shard fan-out counters without
+// probing (the /metrics summary).
+func (c *Coordinator) FanoutStats() []ShardStatus {
+	out := make([]ShardStatus, 0, len(c.shards))
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		ss := ShardStatus{
+			ID: sh.id, Lo: sh.lo, Hi: sh.hi,
+			Requests: sh.requests, Failures: sh.failures,
+			Hedges: sh.hedges, Retries: sh.retries, StaleHits: sh.staleHits,
+			LatencyUS: int64(sh.ewmaNS) / 1e3, LastUS: sh.lastNS / 1e3,
+		}
+		sh.mu.Unlock()
+		out = append(out, ss)
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"trussdiv"
+	"trussdiv/internal/metrics"
+)
+
+// Worker is one shard of the cluster: it serves partial top-r, score,
+// and contexts queries for the contiguous vertex range [lo, hi) of the
+// shared graph, and applies replicated edge batches. The worker holds a
+// full DB (whole graph + indexes) — the partition restricts which
+// vertices it scores, not what it knows — so any shard can recover the
+// social contexts of its own answer vertices without cross-shard talk.
+//
+// Epoch discipline: a query tagged with an epoch ahead of the worker's
+// state parks on DB.WaitEpoch for up to the catch-up window (the
+// replicated Apply is presumably in flight) and then answers from
+// exactly the requested epoch; a tag the worker cannot serve — catch-up
+// expired, or the worker has already moved past it — fails with a typed
+// stale-epoch error (HTTP 409, code "stale_epoch").
+type Worker struct {
+	db      *trussdiv.DB
+	lo, hi  int32
+	catchup time.Duration
+	delay   time.Duration
+	metrics *metrics.Registry
+}
+
+// WorkerOption configures NewWorker.
+type WorkerOption func(*Worker)
+
+// WithCatchup bounds how long a query tagged ahead of the worker's epoch
+// waits for the replicated Apply to land before failing stale (default
+// 2s).
+func WithCatchup(d time.Duration) WorkerOption {
+	return func(w *Worker) { w.catchup = d }
+}
+
+// WithDelay makes the worker sleep before answering every top-r request.
+// It exists for fault-injection tests and latency experiments (a slow
+// shard triggers the coordinator's hedged read); production workers do
+// not set it.
+func WithDelay(d time.Duration) WorkerOption {
+	return func(w *Worker) { w.delay = d }
+}
+
+// NewWorker wraps db as the shard owning [lo, hi). The range must be
+// non-empty and inside the graph's vertex space.
+func NewWorker(db *trussdiv.DB, lo, hi int32, opts ...WorkerOption) (*Worker, error) {
+	if db == nil {
+		return nil, errors.New("cluster: NewWorker: nil DB")
+	}
+	n := int32(db.Graph().N())
+	if lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("cluster: NewWorker: range [%d,%d) invalid for %d vertices", lo, hi, n)
+	}
+	w := &Worker{db: db, lo: lo, hi: hi, catchup: 2 * time.Second, metrics: metrics.New()}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w, nil
+}
+
+// Range reports the vertex range this worker owns.
+func (w *Worker) Range() (lo, hi int32) { return w.lo, w.hi }
+
+// DB exposes the underlying facade (tests, embedding servers).
+func (w *Worker) DB() *trussdiv.DB { return w.db }
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	instr := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, w.metrics.Instrument(route, h))
+	}
+	instr("GET /shard/health", "/shard/health", w.handleHealth)
+	instr("POST /shard/topr", "/shard/topr", w.handleTopR)
+	instr("POST /shard/apply", "/shard/apply", w.handleApply)
+	instr("GET /shard/score", "/shard/score", w.handleScore)
+	instr("GET /shard/contexts", "/shard/contexts", w.handleContexts)
+	mux.HandleFunc("GET /metrics", w.metrics.Handler())
+	return mux
+}
+
+func writeWireJSON(rw http.ResponseWriter, status int, body any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(body)
+}
+
+func writeWireError(rw http.ResponseWriter, status int, code, format string, args ...any) {
+	writeWireJSON(rw, status, wireError{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
+	snap := w.db.Snapshot()
+	writeWireJSON(rw, http.StatusOK, shardHealth{
+		Lo:       w.lo,
+		Hi:       w.hi,
+		Epoch:    uint64(snap.Epoch()),
+		Vertices: snap.Graph().N(),
+		Edges:    snap.Graph().M(),
+	})
+}
+
+// snapshotAt resolves the snapshot a query tagged with epoch must run
+// against: the current one for an untagged query, the exact epoch after
+// a bounded catch-up wait otherwise.
+func (w *Worker) snapshotAt(ctx context.Context, epoch uint64) (*trussdiv.Snapshot, *StaleEpochError) {
+	snap := w.db.Snapshot()
+	if epoch == 0 || uint64(snap.Epoch()) == epoch {
+		return snap, nil
+	}
+	if uint64(snap.Epoch()) < epoch {
+		wctx, cancel := context.WithTimeout(ctx, w.catchup)
+		caught, err := w.db.WaitEpoch(wctx, trussdiv.Epoch(epoch))
+		cancel()
+		if err != nil {
+			return nil, &StaleEpochError{Want: epoch, Have: uint64(w.db.Epoch())}
+		}
+		snap = caught
+	}
+	if uint64(snap.Epoch()) != epoch {
+		// The worker moved past the tag (Have > Want): answering would mix
+		// epochs across shards, so fail typed and let the coordinator
+		// re-read the cluster epoch.
+		return nil, &StaleEpochError{Want: epoch, Have: uint64(snap.Epoch())}
+	}
+	return snap, nil
+}
+
+func writeStale(rw http.ResponseWriter, se *StaleEpochError) {
+	writeWireJSON(rw, http.StatusConflict, wireError{
+		Error: se.Error(), Code: "stale_epoch", Epoch: se.Have, Want: se.Want,
+	})
+}
+
+func (w *Worker) handleTopR(rw http.ResponseWriter, r *http.Request) {
+	var req shardTopRRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "topr body: %v", err)
+		return
+	}
+	if w.delay > 0 {
+		select {
+		case <-time.After(w.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	measure, err := trussdiv.ParseMeasure(req.Measure)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	snap, stale := w.snapshotAt(r.Context(), req.Epoch)
+	if stale != nil {
+		writeStale(rw, stale)
+		return
+	}
+	q := trussdiv.Query{
+		K:               req.K,
+		R:               req.R,
+		IncludeContexts: req.Contexts,
+		Engine:          req.Engine,
+		Measure:         measure,
+		Workers:         clampShardWorkers(req.Workers),
+	}
+	res, stats, err := snap.TopRRange(r.Context(), q, w.lo, w.hi)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeWireError(rw, http.StatusGatewayTimeout, "timeout", "%v", err)
+			return
+		}
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	resp := shardTopRResponse{Epoch: uint64(snap.Epoch())}
+	if stats != nil {
+		resp.Engine = stats.Engine
+	}
+	resp.Entries = make([]shardEntry, len(res.TopR))
+	for i, e := range res.TopR {
+		resp.Entries[i] = shardEntry{V: e.V, Score: e.Score}
+		if req.Contexts {
+			resp.Entries[i].Contexts = res.Contexts[e.V]
+		}
+	}
+	writeWireJSON(rw, http.StatusOK, resp)
+}
+
+// clampShardWorkers mirrors the single-node HTTP clamp: the per-shard
+// scan must not spawn unbounded goroutine pools on worker machines.
+func clampShardWorkers(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return min(n, runtime.GOMAXPROCS(0))
+}
+
+func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
+	var req shardApplyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "apply body: %v", err)
+		return
+	}
+	u := trussdiv.Updates{
+		Insert: make([]trussdiv.Edge, len(req.Insert)),
+		Delete: make([]trussdiv.Edge, len(req.Delete)),
+	}
+	for i, e := range req.Insert {
+		u.Insert[i] = trussdiv.Edge{U: e.U, V: e.V}
+	}
+	for i, e := range req.Delete {
+		u.Delete[i] = trussdiv.Edge{U: e.U, V: e.V}
+	}
+	epoch, err := w.db.Apply(r.Context(), u)
+	if err != nil {
+		if errors.Is(err, trussdiv.ErrBadUpdate) {
+			writeWireError(rw, http.StatusConflict, "bad_update", "%v", err)
+			return
+		}
+		writeWireError(rw, http.StatusInternalServerError, "apply_failed", "%v", err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, shardApplyResponse{Epoch: uint64(epoch)})
+}
+
+// pointParams parses the shared v/k/measure/epoch parameters of the
+// point-query endpoints and checks shard ownership of v.
+func (w *Worker) pointParams(r *http.Request) (v, k int32, m trussdiv.Measure, epoch uint64, err error) {
+	vi, err := strconv.Atoi(r.URL.Query().Get("v"))
+	if err != nil {
+		return 0, 0, "", 0, fmt.Errorf("parameter \"v\": %v", err)
+	}
+	ki, err := strconv.Atoi(r.URL.Query().Get("k"))
+	if err != nil {
+		return 0, 0, "", 0, fmt.Errorf("parameter \"k\": %v", err)
+	}
+	m, err = trussdiv.ParseMeasure(r.URL.Query().Get("measure"))
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	if raw := r.URL.Query().Get("epoch"); raw != "" {
+		e, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			return 0, 0, "", 0, fmt.Errorf("parameter \"epoch\": %v", err)
+		}
+		epoch = e
+	}
+	v, k = int32(vi), int32(ki)
+	if v < w.lo || v >= w.hi {
+		return 0, 0, "", 0, fmt.Errorf("vertex %d outside this shard's range [%d,%d)", v, w.lo, w.hi)
+	}
+	return v, k, m, epoch, nil
+}
+
+func (w *Worker) handleScore(rw http.ResponseWriter, r *http.Request) {
+	v, k, m, epoch, err := w.pointParams(r)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	snap, stale := w.snapshotAt(r.Context(), epoch)
+	if stale != nil {
+		writeStale(rw, stale)
+		return
+	}
+	score, err := snap.ScoreMeasure(r.Context(), v, k, m)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, shardScoreResponse{
+		V: v, K: k, Measure: string(m.Normalize()), Score: score, Epoch: uint64(snap.Epoch()),
+	})
+}
+
+func (w *Worker) handleContexts(rw http.ResponseWriter, r *http.Request) {
+	v, k, m, epoch, err := w.pointParams(r)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	snap, stale := w.snapshotAt(r.Context(), epoch)
+	if stale != nil {
+		writeStale(rw, stale)
+		return
+	}
+	contexts, err := snap.ContextsMeasure(r.Context(), v, k, m)
+	if err != nil {
+		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, shardContextsResponse{
+		V: v, K: k, Measure: string(m.Normalize()), Score: len(contexts),
+		Epoch: uint64(snap.Epoch()), Contexts: contexts,
+	})
+}

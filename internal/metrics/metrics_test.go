@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveAndSnapshot(t *testing.T) {
+	r := New()
+	r.Observe("/topr", 200, 90*time.Microsecond)
+	r.Observe("/topr", 200, 200*time.Microsecond)
+	r.Observe("/topr", 504, 2*time.Second)
+	r.Observe("/topr", 400, time.Millisecond)
+	r.Observe("/edges", 200, 10*time.Millisecond)
+
+	rep := r.Snapshot()
+	if rep.Requests != 5 {
+		t.Fatalf("requests = %d, want 5", rep.Requests)
+	}
+	if len(rep.Endpoints) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(rep.Endpoints))
+	}
+	// Sorted by route: /edges first.
+	topr := rep.Endpoints[1]
+	if topr.Route != "/topr" || topr.Count != 4 || topr.Errors != 1 || topr.ClientErrors != 1 {
+		t.Fatalf("topr stats = %+v", topr)
+	}
+	if topr.MaxUS < 2_000_000 {
+		t.Fatalf("max_us = %d, want >= 2s", topr.MaxUS)
+	}
+	var total uint64
+	for _, b := range topr.Latency {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("histogram total = %d, want 4", total)
+	}
+	// 90µs lands in the first bucket (le 100).
+	if topr.Latency[0].LEUS != 100 || topr.Latency[0].Count != 1 {
+		t.Fatalf("first bucket = %+v", topr.Latency[0])
+	}
+}
+
+func TestOverflowBucket(t *testing.T) {
+	r := New()
+	r.Observe("/slow", 200, time.Hour)
+	ep := r.Snapshot().Endpoints[0]
+	if len(ep.Latency) != 1 || ep.Latency[0].LEUS != 0 {
+		t.Fatalf("want single overflow bucket (le_us 0), got %+v", ep.Latency)
+	}
+}
+
+func TestInstrumentCapturesStatus(t *testing.T) {
+	r := New()
+	h := r.Instrument("/fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if _, err := http.Get(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	ep := r.Snapshot().Endpoints[0]
+	if ep.Count != 1 || ep.Errors != 1 {
+		t.Fatalf("stats = %+v, want count 1 errors 1", ep)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := New()
+	r.Observe("/x", 200, time.Millisecond)
+	rec := httptest.NewRecorder()
+	r.Handler()(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var rep Report
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("metrics body not JSON: %v", err)
+	}
+	if rep.Requests != 1 {
+		t.Fatalf("requests = %d, want 1", rep.Requests)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Observe("/topr", 200, time.Microsecond*time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Snapshot().Requests; got != 1600 {
+		t.Fatalf("requests = %d, want 1600", got)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Observe("/x", 200, time.Second) // must not panic
+	h := r.Instrument("/x", func(w http.ResponseWriter, _ *http.Request) {})
+	h(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

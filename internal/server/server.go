@@ -8,6 +8,7 @@
 //
 //	GET  /healthz                        liveness probe
 //	GET  /stats                          graph, index, and epoch statistics
+//	GET  /metrics                        per-endpoint request counts + latency histograms
 //	GET  /engines                        registered engine names
 //	GET  /measures                       measure axis: each measure with its engines
 //	GET  /topr?k=4&r=10&engine=gct       top-r search (engine optional: cost-routed)
@@ -48,6 +49,7 @@ import (
 
 	"trussdiv"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/metrics"
 )
 
 // Server answers structural diversity queries over one evolving graph.
@@ -57,6 +59,7 @@ type Server struct {
 	indexDir string
 	readOnly bool
 	built    time.Duration
+	metrics  *metrics.Registry
 }
 
 // Option configures New.
@@ -88,7 +91,7 @@ func WithReadOnly() Option {
 // New prepares the indexes for g — loading them from the index store
 // when one is configured and warm — and returns a ready Server.
 func New(g *graph.Graph, opts ...Option) *Server {
-	s := &Server{}
+	s := &Server{metrics: metrics.New()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -112,18 +115,25 @@ func New(g *graph.Graph, opts ...Option) *Server {
 // DB exposes the underlying facade (used by tests and embedding servers).
 func (s *Server) DB() *trussdiv.DB { return s.db }
 
-// Handler returns the HTTP routing for the service.
+// Handler returns the HTTP routing for the service. Every endpoint except
+// the metrics read itself is instrumented: request counts and latency
+// histograms land on GET /metrics, with per-route totals summarized in
+// /stats.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /engines", s.handleEngines)
-	mux.HandleFunc("GET /measures", s.handleMeasures)
-	mux.HandleFunc("GET /topr", s.handleTopR)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /edges", s.handleEdges)
-	mux.HandleFunc("GET /score", s.handleScore)
-	mux.HandleFunc("GET /contexts", s.handleContexts)
+	instr := func(pattern, route string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.Instrument(route, h))
+	}
+	instr("GET /healthz", "/healthz", s.handleHealth)
+	instr("GET /stats", "/stats", s.handleStats)
+	instr("GET /engines", "/engines", s.handleEngines)
+	instr("GET /measures", "/measures", s.handleMeasures)
+	instr("GET /topr", "/topr", s.handleTopR)
+	instr("POST /batch", "/batch", s.handleBatch)
+	instr("POST /edges", "/edges", s.handleEdges)
+	instr("GET /score", "/score", s.handleScore)
+	instr("GET /contexts", "/contexts", s.handleContexts)
+	mux.HandleFunc("GET /metrics", s.metrics.Handler())
 	return mux
 }
 
@@ -180,6 +190,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"gct_index_bytes": idx.GCTBytes,
 		"tsd_index_bytes": idx.TSDBytes,
 		"index_build":     s.built.String(),
+		// Per-route request totals; GET /metrics has the full histograms.
+		"requests": s.metrics.Totals(),
 	}
 	if st := snap.StoreStatus(); st.Dir != "" {
 		source := "cold"

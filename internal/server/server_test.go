@@ -532,3 +532,47 @@ func TestPinnedNativeEngineEchoesItsMeasure(t *testing.T) {
 		t.Fatalf("batch engine=comp echoed %+v, want component", out.Results)
 	}
 }
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Generate traffic on two routes, including a caller error.
+	getJSON(t, ts.URL+"/topr?k=3&r=5", http.StatusOK)
+	getJSON(t, ts.URL+"/topr?k=3&r=5", http.StatusOK)
+	getJSON(t, ts.URL+"/topr?k=3", http.StatusBadRequest) // missing r
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+
+	body := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	if got := body["requests"].(float64); got < 4 {
+		t.Fatalf("metrics requests = %v, want >= 4", got)
+	}
+	eps, ok := body["endpoints"].([]any)
+	if !ok || len(eps) < 2 {
+		t.Fatalf("metrics endpoints = %v, want >= 2 routes", body["endpoints"])
+	}
+	var topr map[string]any
+	for _, e := range eps {
+		ep := e.(map[string]any)
+		if ep["route"] == "/topr" {
+			topr = ep
+		}
+	}
+	if topr == nil {
+		t.Fatalf("no /topr route in metrics: %v", eps)
+	}
+	if topr["count"].(float64) != 3 || topr["client_errors"].(float64) != 1 {
+		t.Fatalf("topr metrics = %v, want count 3, client_errors 1", topr)
+	}
+	if _, ok := topr["latency"].([]any); !ok {
+		t.Fatalf("topr metrics missing latency histogram: %v", topr)
+	}
+
+	// /stats summarizes the same counters per route.
+	stats := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	reqs, ok := stats["requests"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing requests summary: %v", stats["requests"])
+	}
+	if reqs["/topr"].(float64) != 3 {
+		t.Fatalf("stats requests[/topr] = %v, want 3", reqs["/topr"])
+	}
+}

@@ -1,0 +1,154 @@
+package trussdiv_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"trussdiv"
+)
+
+// TestTopRRangeFullSpanMatchesTopR: the whole-graph range is the same
+// query as no range at all.
+func TestTopRRangeFullSpanMatchesTopR(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 10, trussdiv.WithContexts())
+	want, _, err := db.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := db.TopRRange(ctx, q, 0, int32(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TopRRange(0,N) differs from TopR:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestTopRRangePartitionCoversTopR: the global top-r is contained in the
+// union of the per-range answers — the property the cluster merge rests
+// on.
+func TestTopRRangePartitionCoversTopR(t *testing.T) {
+	g := overlayGraph(t)
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 8)
+	global, _, err := db.TopR(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := int32(g.N() / 2)
+	union := make(map[int32]int)
+	for _, span := range [][2]int32{{0, mid}, {mid, int32(g.N())}} {
+		part, _, err := db.TopRRange(ctx, q, span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range part.TopR {
+			if e.V < span[0] || e.V >= span[1] {
+				t.Fatalf("range [%d,%d) answered vertex %d outside it", span[0], span[1], e.V)
+			}
+			union[e.V] = e.Score
+		}
+	}
+	for _, e := range global.TopR {
+		score, ok := union[e.V]
+		if !ok {
+			t.Fatalf("global answer vertex %d missing from the per-range union", e.V)
+		}
+		if score != e.Score {
+			t.Fatalf("vertex %d: range score %d, global score %d", e.V, score, e.Score)
+		}
+	}
+}
+
+func TestTopRRangeRejectsBadSpans(t *testing.T) {
+	db, err := trussdiv.Open(trussdiv.PaperExampleGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := trussdiv.NewQuery(4, 3)
+	for _, span := range [][2]int32{{-1, 5}, {0, 1000}, {9, 3}} {
+		if _, _, err := db.TopRRange(ctx, q, span[0], span[1]); err == nil {
+			t.Fatalf("TopRRange(%d,%d) accepted an invalid span", span[0], span[1])
+		}
+	}
+	q.Candidates = []int32{1, 2, 3}
+	if _, _, err := db.TopRRange(ctx, q, 0, 5); err == nil {
+		t.Fatal("TopRRange accepted a query that already carries candidates")
+	}
+}
+
+func TestWaitEpoch(t *testing.T) {
+	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+		N: 60, Attach: 2, Cliques: 10, MinSize: 4, MaxSize: 6, Seed: 7,
+	})
+	db, err := trussdiv.Open(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Already-reached targets return without blocking.
+	snap, err := db.WaitEpoch(ctx, db.Epoch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch() != db.Epoch() {
+		t.Fatalf("WaitEpoch returned epoch %d, current is %d", snap.Epoch(), db.Epoch())
+	}
+
+	// A waiter parked on the next epoch wakes when Apply installs it.
+	target := db.Epoch() + 1
+	type wake struct {
+		snap *trussdiv.Snapshot
+		err  error
+	}
+	done := make(chan wake, 1)
+	go func() {
+		s, err := db.WaitEpoch(ctx, target)
+		done <- wake{s, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+	u := trussdiv.Updates{Insert: []trussdiv.Edge{{U: 0, V: int32(g.N() - 1)}}}
+	if !g.HasEdge(0, int32(g.N()-1)) {
+		if _, err := db.Apply(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		u = trussdiv.Updates{Delete: u.Insert}
+		if _, err := db.Apply(ctx, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case w := <-done:
+		if w.err != nil {
+			t.Fatal(w.err)
+		}
+		if w.snap.Epoch() < target {
+			t.Fatalf("woke at epoch %d, want >= %d", w.snap.Epoch(), target)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitEpoch never woke after Apply")
+	}
+
+	// A context deadline unparks the waiter with the context's error.
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := db.WaitEpoch(cctx, db.Epoch()+10); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitEpoch past-the-horizon err = %v, want deadline exceeded", err)
+	}
+}

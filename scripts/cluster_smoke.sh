@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Cluster smoke test: boots a single-node tsdserve and a 2-shard cluster
+# (two workers + coordinator) on the same dataset, runs the same top-r
+# query against both through tsdsearch -server for every measure, and
+# fails unless the ranked answers are identical line for line. Finishes
+# by shutting everything down with SIGTERM, exercising the graceful
+# drain path.
+#
+# Usage: scripts/cluster_smoke.sh [dataset]   (default: wiki-sim)
+set -euo pipefail
+
+DATASET="${1:-wiki-sim}"
+SINGLE_PORT=18080
+SHARD0_PORT=18081
+SHARD1_PORT=18082
+COORD_PORT=18083
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+    # SIGTERM first: the graceful drain path is part of what we smoke.
+    for pid in "${pids[@]:-}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "${pids[@]:-}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "building binaries..."
+go build -o "$tmp/tsdserve" ./cmd/tsdserve
+go build -o "$tmp/tsdsearch" ./cmd/tsdsearch
+
+wait_healthy() {
+    local url="$1" name="$2"
+    for _ in $(seq 1 120); do
+        if curl -fsS "$url" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.25
+    done
+    echo "FAIL: $name never became healthy at $url" >&2
+    exit 1
+}
+
+echo "starting single node on :$SINGLE_PORT..."
+"$tmp/tsdserve" -dataset "$DATASET" -addr "127.0.0.1:$SINGLE_PORT" >"$tmp/single.log" 2>&1 &
+pids+=($!)
+wait_healthy "http://127.0.0.1:$SINGLE_PORT/healthz" "single node"
+
+vertices="$(curl -fsS "http://127.0.0.1:$SINGLE_PORT/stats" | sed -n 's/.*"vertices":\([0-9]*\).*/\1/p')"
+if [ -z "$vertices" ]; then
+    echo "FAIL: could not read the vertex count from /stats" >&2
+    exit 1
+fi
+mid=$((vertices / 2))
+echo "graph has $vertices vertices; shard split at $mid"
+
+echo "starting shard workers on :$SHARD0_PORT and :$SHARD1_PORT..."
+"$tmp/tsdserve" -shard -dataset "$DATASET" -range "0:$mid" -addr "127.0.0.1:$SHARD0_PORT" >"$tmp/shard0.log" 2>&1 &
+pids+=($!)
+"$tmp/tsdserve" -shard -dataset "$DATASET" -range "$mid:$vertices" -addr "127.0.0.1:$SHARD1_PORT" >"$tmp/shard1.log" 2>&1 &
+pids+=($!)
+wait_healthy "http://127.0.0.1:$SHARD0_PORT/shard/health" "shard 0"
+wait_healthy "http://127.0.0.1:$SHARD1_PORT/shard/health" "shard 1"
+
+echo "starting coordinator on :$COORD_PORT..."
+"$tmp/tsdserve" -coordinator \
+    -shards "127.0.0.1:$SHARD0_PORT,127.0.0.1:$SHARD1_PORT" \
+    -addr "127.0.0.1:$COORD_PORT" >"$tmp/coord.log" 2>&1 &
+pids+=($!)
+wait_healthy "http://127.0.0.1:$COORD_PORT/healthz" "coordinator"
+
+# Ranked answers only: the timing line legitimately differs.
+answers() {
+    "$tmp/tsdsearch" -server "http://127.0.0.1:$1" -k 4 -r 10 -measure "$2" -contexts |
+        grep -E '^\s*[0-9]+\. vertex|^\s+context '
+}
+
+status=0
+for measure in truss component core; do
+    single_out="$(answers "$SINGLE_PORT" "$measure")"
+    cluster_out="$(answers "$COORD_PORT" "$measure")"
+    if [ "$single_out" != "$cluster_out" ]; then
+        echo "FAIL: measure=$measure: cluster answer differs from single node" >&2
+        diff <(echo "$single_out") <(echo "$cluster_out") >&2 || true
+        status=1
+    else
+        echo "OK: measure=$measure: cluster answer matches single node ($(echo "$single_out" | grep -c 'vertex') rows)"
+    fi
+done
+
+curl -fsS "http://127.0.0.1:$COORD_PORT/cluster" >"$tmp/cluster.json"
+if ! grep -q '"shards"' "$tmp/cluster.json"; then
+    echo "FAIL: /cluster status missing shard list" >&2
+    status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "cluster smoke: PASS"
+else
+    echo "cluster smoke: FAIL" >&2
+fi
+exit "$status"

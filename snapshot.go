@@ -236,6 +236,34 @@ func (s *Snapshot) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	return res, stats, err
 }
 
+// TopRRange answers q restricted to the contiguous vertex range [lo, hi)
+// — the partition primitive of the cluster tier, where each shard worker
+// owns one id range of the shared graph. The answer is exactly what TopR
+// would return for q with Candidates set to lo..hi-1: canonical order
+// (score desc, id asc) with zero-score padding from the smallest unused
+// ids in range, so per-shard answers merge byte-identically into the
+// whole-graph answer. q must not carry its own Candidates.
+func (s *Snapshot) TopRRange(ctx context.Context, q Query, lo, hi int32) (*Result, *Stats, error) {
+	if q.Candidates != nil {
+		return nil, nil, errors.New("trussdiv: TopRRange: query already carries Candidates")
+	}
+	if lo < 0 || int(hi) > s.g.N() || lo > hi {
+		return nil, nil, fmt.Errorf("trussdiv: TopRRange: range [%d,%d) outside [0,%d)", lo, hi, s.g.N())
+	}
+	cands := make([]int32, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		cands = append(cands, v)
+	}
+	q.Candidates = cands
+	return s.TopR(ctx, q)
+}
+
+// TopRRange answers q restricted to the vertex range [lo, hi) on the
+// current snapshot; see Snapshot.TopRRange.
+func (db *DB) TopRRange(ctx context.Context, q Query, lo, hi int32) (*Result, *Stats, error) {
+	return db.Snapshot().TopRRange(ctx, q, lo, hi)
+}
+
 // Score returns score(v) at threshold k, reading the GCT index when one
 // is built (O(log) per query) and computing online otherwise.
 func (s *Snapshot) Score(ctx context.Context, v, k int32) (int, error) {
@@ -389,6 +417,7 @@ func (db *DB) Apply(ctx context.Context, u Updates) (Epoch, error) {
 	}
 	db.custom = rebound
 	db.snap.Store(next)
+	db.broadcastEpoch()
 	return next.epoch, nil
 }
 
