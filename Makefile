@@ -7,7 +7,7 @@
 # plus the tier-1 checks.
 GO ?= go
 
-.PHONY: ci check check-race fmt-check lint vet build test bench bench-parallel bench-artifacts cluster-smoke cover fuzz
+.PHONY: ci check check-race fmt-check lint vet build test bench bench-parallel bench-artifacts check-parallel-baseline cluster-smoke cover fuzz
 
 ci: fmt-check lint check
 
@@ -59,6 +59,12 @@ bench-artifacts:
 	$(GO) run ./cmd/tsdbench -exp dynamic -quick -outdir bench-out
 	$(GO) run ./cmd/tsdbench -exp measures -quick -outdir bench-out
 	$(GO) run ./cmd/tsdbench -exp cluster -quick -outdir bench-out
+
+# Fails when bench-out/BENCH_parallel.json came from a GOMAXPROCS=1 run —
+# CI runs this right after bench-artifacts so a single-core parallel
+# baseline can never be published as the perf trajectory.
+check-parallel-baseline:
+	bash scripts/check_parallel_baseline.sh bench-out/BENCH_parallel.json
 
 # End-to-end cluster parity: 2 shard workers + coordinator vs a single
 # node on the same dataset, answers diffed through tsdsearch -server.

@@ -29,6 +29,7 @@ type indexCache struct {
 	mu        sync.Mutex
 	epoch     Epoch   // the snapshot this cache belongs to; recorded on persist
 	tau       []int32 // global truss decomposition, indexed by edge ID
+	sup       []int32 // pristine edge supports matching tau (nil when tau was store-loaded)
 	tsd       *core.TSDIndex
 	gct       *core.GCTIndex
 	hybrid    *core.Hybrid
@@ -52,8 +53,10 @@ type indexCache struct {
 	dirty        bool
 
 	// Build entry points, swappable by tests that assert a warm open
-	// never builds; builds counts the from-scratch constructions.
-	buildTau    func(*Graph) []int32
+	// never builds; builds counts the from-scratch constructions. buildTau
+	// returns the supports alongside the decomposition — the incremental
+	// repair consumes them on the next Apply.
+	buildTau    func(*Graph) (tau, sup []int32)
 	buildTSD    func(*Graph) *core.TSDIndex
 	buildGCT    func(*Graph) *core.GCTIndex
 	buildHybrid func(*core.GCTIndex) *core.Hybrid
@@ -73,12 +76,18 @@ func trussSec(s store.Section) store.SectionRef {
 // fingerprint, wrong version, corruption) is recorded in loadErr — the
 // typed error StoreStatus exposes — and the cache falls back to building.
 func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
+	workers := cfg.buildWorkers
 	c := &indexCache{
-		g:           g,
-		tsd:         cfg.tsdIdx,
-		gct:         cfg.gctIdx,
-		dir:         cfg.indexDir,
-		buildTau:    truss.Decompose,
+		g:   g,
+		tsd: cfg.tsdIdx,
+		gct: cfg.gctIdx,
+		dir: cfg.indexDir,
+		// Cold decompositions run the parallel h-index peeling; the tau
+		// array is byte-identical to the serial Decompose, and the supports
+		// come back pristine so the next Apply can repair incrementally.
+		buildTau: func(g *Graph) ([]int32, []int32) {
+			return truss.DecomposeFull(g, workers)
+		},
 		buildTSD:    core.BuildTSDIndex,
 		buildGCT:    core.BuildGCTIndex,
 		buildHybrid: core.BuildHybrid,
@@ -117,22 +126,33 @@ func (c *indexCache) storedEpoch() Epoch {
 }
 
 // advance derives the next snapshot's cache from this one after an update
-// batch: the TSD and GCT indexes — when in memory — are repaired
-// incrementally against the shared edited graph (copy-on-write, so this
-// cache keeps answering for in-flight readers), while the global truss
-// decomposition and the hybrid rankings, whose repair would cost a
-// rebuild, are invalidated and rebuilt lazily on next use. The repairs
-// run outside the lock (they only read the old, now-immutable structures)
-// so readers of this snapshot never block on an Apply. The index store
-// connection moves to the new cache: its next persist re-derives the
-// fingerprint from the edited graph. This cache stops persisting — a late
-// lazy build on a superseded snapshot must not clobber newer state.
+// batch: every index in memory is repaired incrementally against the
+// shared edited graph (copy-on-write, so this cache keeps answering for
+// in-flight readers). The TSD and GCT indexes rebuild only the affected
+// ego-networks; the global truss decomposition is repaired by the bounded
+// region descent of truss.Repair (falling back to invalidation — and a
+// lazy parallel rebuild — when the affected region exceeds its budget or
+// the supports were not retained); the hybrid and per-measure rankings
+// are patched in place by re-scoring only the affected vertices. The
+// repairs run outside the lock (they only read the old, now-immutable
+// structures) so readers of this snapshot never block on an Apply. The
+// index store connection moves to the new cache: its next persist
+// re-derives the fingerprint from the edited graph. This cache stops
+// persisting — a late lazy build on a superseded snapshot must not
+// clobber newer state.
 func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.UpdateStats) {
 	c.mu.Lock()
+	oldG := c.g
 	tsd, gct := c.tsd, c.gct
-	// The per-measure rankings (like the hybrid rankings) are global
-	// orderings whose repair would cost a rebuild: invalidated, rebuilt
-	// lazily on next Prepare — they are simply not carried into next.
+	tau, sup := c.tau, c.sup
+	hybrid := c.hybrid
+	var mrank map[core.Measure][][]core.VertexScore
+	if len(c.mrank) > 0 {
+		mrank = make(map[core.Measure][][]core.VertexScore, len(c.mrank))
+		for m, perK := range c.mrank {
+			mrank[m] = perK
+		}
+	}
 	next := &indexCache{
 		g:           newG,
 		dir:         c.dir,
@@ -151,6 +171,46 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 	}
 	if gct != nil {
 		next.gct, stats = gct.UpdateOnto(newG, ins, del)
+	}
+
+	ensureStats := func() *core.UpdateStats {
+		if stats == nil {
+			stats = &core.UpdateStats{Inserted: len(ins), Removed: len(del)}
+		}
+		return stats
+	}
+
+	// Global truss decomposition: bounded incremental repair. Repair
+	// declines (and the decomposition is invalidated, to be rebuilt by the
+	// parallel peeling on next use) when the region the batch can influence
+	// exceeds the size cutoff — the cost router then prices the rebuild
+	// back into the bound engine's estimate.
+	if tau != nil && sup != nil {
+		if rr, ok := truss.Repair(oldG, newG, tau, sup, ins, del, 0); ok {
+			next.tau, next.sup = rr.Tau, rr.Sup
+			st := ensureStats()
+			st.TrussRepaired = true
+			st.TrussRegion = rr.Region
+		}
+	}
+
+	// Ranking tables: patch in place by re-scoring only the vertices whose
+	// ego-networks the batch touched. The hybrid patch re-scores against
+	// the repaired GCT index, so it needs one in memory; a hybrid that was
+	// reconstructed from persisted rankings without its GCT falls back to
+	// invalidation.
+	if (hybrid != nil && next.gct != nil) || len(mrank) > 0 {
+		affected := core.AffectedVertices(oldG, newG, ins, del)
+		st := ensureStats()
+		if hybrid != nil && next.gct != nil {
+			next.hybrid = core.PatchHybrid(hybrid, next.gct, affected)
+			st.RankingsPatched++
+		}
+		for m, perK := range mrank {
+			// next is not shared yet: no lock needed.
+			next.setMeasureRankLocked(m, core.PatchMeasureRankings(newG, m, perK, affected))
+			st.RankingsPatched++
+		}
 	}
 	return next, stats
 }
@@ -195,11 +255,14 @@ func (c *indexCache) trussTauLocked() []int32 {
 		return c.tau
 	}
 	if tau := loadSection(c, trussSec(store.SecTruss), (*store.File).Tau); tau != nil {
+		// Store-loaded decompositions come without supports (sup stays
+		// nil), so the first Apply after a warm start rebuilds instead of
+		// repairing; the rebuild re-derives both and repair resumes.
 		c.tau = tau
 		return c.tau
 	}
 	start := time.Now()
-	c.tau = c.buildTau(c.g)
+	c.tau, c.sup = c.buildTau(c.g)
 	c.buildTime += time.Since(start)
 	c.builds++
 	c.persistAfterBuildLocked()

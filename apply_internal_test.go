@@ -6,13 +6,15 @@ import (
 
 	"trussdiv/internal/core"
 	"trussdiv/internal/gen"
+	"trussdiv/internal/truss"
 )
 
 // TestApplyRepairsWithoutRebuilding pins the incremental-maintenance
-// contract of the snapshot transition: after an Apply, the tsd and gct
-// engines answer from the repaired indexes — their builders are never
-// re-entered — while the invalidated truss decomposition and hybrid
-// rankings rebuild lazily, exactly once each, on first use.
+// contract of the snapshot transition: after an Apply, EVERY prepared
+// structure survives repaired in place — the ego-network indexes via
+// UpdateOnto, the truss decomposition via truss.Repair, and the hybrid
+// rankings via the affected-vertex patch. No builder is ever re-entered;
+// a small edit batch must not pay O(graph) anywhere.
 func TestApplyRepairsWithoutRebuilding(t *testing.T) {
 	g := gen.CommunityOverlay(gen.OverlayConfig{
 		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 38,
@@ -35,8 +37,27 @@ func TestApplyRepairsWithoutRebuilding(t *testing.T) {
 	if _, err := db.Apply(ctx, u); err != nil {
 		t.Fatal(err)
 	}
+	stats := db.Snapshot().ApplyStats()
+	if stats == nil {
+		t.Fatal("Apply onto a prepared DB recorded no repair stats")
+	}
+	if !stats.TrussRepaired {
+		t.Fatalf("single-edge Apply fell back to a full decomposition: %+v", stats)
+	}
+	if stats.TrussRegion <= 0 || stats.TrussRegion >= db.Graph().M()/2 {
+		t.Fatalf("repair region %d edges is not local (m = %d)", stats.TrussRegion, db.Graph().M())
+	}
+	if stats.RankingsPatched == 0 {
+		t.Fatalf("hybrid rankings were not patched: %+v", stats)
+	}
 
+	// Tripwire every builder: any engine that re-derives a global
+	// structure after the repair fails loudly.
 	cache := db.Snapshot().cache
+	cache.buildTau = func(g *Graph) ([]int32, []int32) {
+		t.Error("apply-repaired truss decomposition was rebuilt from scratch")
+		return truss.DecomposeFull(g, 1)
+	}
 	cache.buildTSD = func(*Graph) *core.TSDIndex {
 		t.Error("apply-repaired TSD index was rebuilt from scratch")
 		return core.BuildTSDIndex(db.Graph())
@@ -45,23 +66,16 @@ func TestApplyRepairsWithoutRebuilding(t *testing.T) {
 		t.Error("apply-repaired GCT index was rebuilt from scratch")
 		return core.BuildGCTIndex(db.Graph())
 	}
-	for _, engine := range []string{"tsd", "gct"} {
+	cache.buildHybrid = func(idx *core.GCTIndex) *core.Hybrid {
+		t.Error("apply-patched hybrid rankings were rebuilt from scratch")
+		return core.BuildHybrid(idx)
+	}
+	for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
 		if _, _, err := db.TopR(ctx, NewQuery(4, 5, ViaEngine(engine))); err != nil {
 			t.Fatalf("%s: %v", engine, err)
 		}
 	}
 	if cache.builds != 0 {
-		t.Fatalf("builds = %d after repaired-engine queries, want 0", cache.builds)
-	}
-
-	// The invalidated structures rebuild lazily: bound re-derives the
-	// truss decomposition, hybrid re-ranks (reusing the repaired GCT).
-	for _, engine := range []string{"bound", "hybrid"} {
-		if _, _, err := db.TopR(ctx, NewQuery(4, 5, ViaEngine(engine))); err != nil {
-			t.Fatalf("%s: %v", engine, err)
-		}
-	}
-	if cache.builds != 2 {
-		t.Fatalf("builds = %d after bound+hybrid queries, want exactly the 2 invalidated structures", cache.builds)
+		t.Fatalf("builds = %d after querying every engine post-Apply, want 0", cache.builds)
 	}
 }

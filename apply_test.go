@@ -514,8 +514,10 @@ func TestStoreEpochAcrossApply(t *testing.T) {
 }
 
 // TestApplyStatsAndIndexSurvival: the snapshot after an Apply reports the
-// repair stats, keeps the repaired TSD/GCT indexes ready, and drops the
-// invalidated truss decomposition and hybrid rankings.
+// repair stats, and every prepared structure survives — the TSD/GCT
+// indexes via ego-network repair, the truss decomposition via the
+// incremental locality-bounded repair, and the hybrid rankings via the
+// affected-vertex patch.
 func TestApplyStatsAndIndexSurvival(t *testing.T) {
 	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
 		N: 200, Attach: 3, Cliques: 40, MinSize: 4, MaxSize: 6, Seed: 36,
@@ -534,15 +536,19 @@ func TestApplyStatsAndIndexSurvival(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := db.Snapshot()
-	if ast := snap.ApplyStats(); ast == nil || ast.Inserted != 4 || ast.Removed != 4 || ast.Affected == 0 {
+	ast := snap.ApplyStats()
+	if ast == nil || ast.Inserted != 4 || ast.Removed != 4 || ast.Affected == 0 {
 		t.Fatalf("ApplyStats = %+v", ast)
 	}
-	st = snap.IndexStats()
-	if !st.TSDReady || !st.GCTReady {
-		t.Fatalf("repairable indexes did not survive the apply: %+v", st)
+	if !ast.TrussRepaired || ast.TrussRegion <= 0 {
+		t.Fatalf("truss decomposition was not repaired incrementally: %+v", ast)
 	}
-	if st.TauReady || st.HybridReady {
-		t.Fatalf("global structures survived the apply instead of invalidating: %+v", st)
+	if ast.RankingsPatched == 0 {
+		t.Fatalf("hybrid rankings were not patched: %+v", ast)
+	}
+	st = snap.IndexStats()
+	if !st.TSDReady || !st.GCTReady || !st.TauReady || !st.HybridReady {
+		t.Fatalf("prepared structures did not survive the apply repaired: %+v", st)
 	}
 	// A snapshot of a cold DB reports no apply stats.
 	cold, err := trussdiv.Open(g)

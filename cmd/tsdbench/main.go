@@ -41,6 +41,7 @@ func main() {
 		updates = flag.Int("updates", 0, "edits per Apply batch for the dynamic experiment (0 = default of 16)")
 		measure = flag.String("measure", "", "restrict the measures experiment to one diversity measure: truss|component|core (default: all)")
 		outDir  = flag.String("outdir", "", "directory for machine-readable artifacts like BENCH_parallel.json (default: working dir)")
+		force   = flag.Bool("force", false, "overwrite guarded baselines (a GOMAXPROCS=1 run refuses to replace an existing BENCH_parallel.json without this)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 	}
 	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
 	// at first use, so a fresh checkout or CI workspace needs no mkdir.
-	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, Measure: *measure, OutDir: *outDir}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, Measure: *measure, OutDir: *outDir, Force: *force}
 	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)

@@ -25,6 +25,12 @@ import (
 type DB struct {
 	snap atomic.Pointer[Snapshot]
 
+	// results is the serving-side result cache, shared by every snapshot
+	// the DB installs (nil when disabled). Entries are keyed by epoch, so
+	// the cache never needs locking against Apply: the epoch bump is the
+	// invalidation.
+	results *resultCache
+
 	// applyMu serializes the writers: Apply and Register both swap or
 	// extend snapshot state. Readers never take it.
 	applyMu sync.Mutex
@@ -50,11 +56,14 @@ type customEngine struct {
 type Option func(*dbConfig)
 
 type dbConfig struct {
-	engine   string
-	tsdIdx   *TSDIndex
-	gctIdx   *GCTIndex
-	prepare  []string
-	indexDir string
+	engine       string
+	tsdIdx       *TSDIndex
+	gctIdx       *GCTIndex
+	prepare      []string
+	indexDir     string
+	buildWorkers int
+	resultCap    int
+	resultCapSet bool
 }
 
 // WithEngine pins every DB query to the named engine instead of cost
@@ -79,6 +88,28 @@ func WithTSDIndex(idx *TSDIndex) Option {
 // Validated against the graph like WithTSDIndex.
 func WithGCTIndex(idx *GCTIndex) Option {
 	return func(c *dbConfig) { c.gctIdx = idx }
+}
+
+// WithBuildWorkers sets the worker-pool size for parallel index
+// construction — today the global truss decomposition, which cold builds
+// and Prepare run as an h-index peeling sharded across the pool (the
+// result is byte-identical to the serial peeling). 0 (the default) means
+// GOMAXPROCS; 1 forces the serial bin-sort peeling. Query-time
+// parallelism is per-query (Query.Workers), not this.
+func WithBuildWorkers(n int) Option {
+	return func(c *dbConfig) { c.buildWorkers = n }
+}
+
+// WithResultCache sets the capacity of the serving-side result cache,
+// which memoizes TopR answers per (epoch, engine, query) and is
+// invalidated wholesale by Apply's epoch bump — repeated dashboard
+// queries between updates cost one lookup instead of a search. n <= 0
+// disables the cache. The default capacity is 512 entries. Results
+// served from the cache are byte-identical to a fresh computation
+// (callers must treat Result values as immutable, which every built-in
+// consumer already does).
+func WithResultCache(n int) Option {
+	return func(c *dbConfig) { c.resultCap = n; c.resultCapSet = true }
 }
 
 // WithIndexDir connects the DB to a persistent index store in dir (the
@@ -200,6 +231,12 @@ func Open(g *Graph, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{forced: cfg.engine, epochCh: make(chan struct{})}
+	resultCap := resultCacheDefaultCap
+	if cfg.resultCapSet {
+		resultCap = cfg.resultCap
+	}
+	db.results = newResultCache(resultCap)
+	snap.results = db.results
 	db.snap.Store(snap)
 	if cfg.engine != "" {
 		if _, err := snap.reg.lookup(cfg.engine); err != nil {
@@ -370,12 +407,14 @@ func (s *Snapshot) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, _, err := engines[i].TopR(ctx, queries[i])
+				// cachedTopR consults the result cache; Workers is not part
+				// of the key (answers are byte-identical across worker
+				// counts), so batch and single-query traffic share entries.
+				res, _, err := s.cachedTopR(ctx, engines[i], queries[i])
 				if err != nil {
 					errOnce.Do(func() { firstErr = err; cancel() })
 					continue
 				}
-				res.Epoch = uint64(s.epoch)
 				results[i] = res
 			}
 		}()
@@ -449,9 +488,9 @@ type IndexStats struct {
 
 // IndexStats reports which indexes of the current snapshot are ready,
 // their sizes, and the time spent building them (from the graph) and
-// loading them (from the index store). After an Apply, the repaired TSD
-// and GCT indexes report ready while the invalidated truss decomposition
-// and hybrid rankings do not (until their lazy rebuild).
+// loading them (from the index store). After an Apply every in-memory
+// structure normally survives repaired; one whose repair declined
+// (region over budget) reports not-ready until its lazy rebuild.
 func (db *DB) IndexStats() IndexStats { return db.Snapshot().IndexStats() }
 
 // StoreStatus describes the DB's connection to its persistent index
@@ -477,6 +516,12 @@ type StoreStatus struct {
 // StoreStatus reports the state of the persistent index store as seen by
 // the current snapshot.
 func (db *DB) StoreStatus() StoreStatus { return db.Snapshot().StoreStatus() }
+
+// ResultCacheStats reports the serving-side result cache's counters:
+// hits, misses, entries invalidated by Apply, and the current LRU
+// occupancy. All-zero with Enabled false when Open disabled the cache
+// via WithResultCache(0).
+func (db *DB) ResultCacheStats() ResultCacheStats { return db.results.statsSnapshot() }
 
 // SaveIndexes persists every index the current snapshot holds in memory —
 // plus anything already in the index file — to the configured index

@@ -4,10 +4,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"slices"
 	"time"
 
 	"trussdiv/internal/core"
+	"trussdiv/internal/truss"
 )
 
 // runParallel is the engineering extension behind the ROADMAP's "fast as
@@ -26,12 +30,23 @@ type ParallelEngineSample struct {
 	Speedup    float64 `json:"speedup"` // serial / parallel wall time
 }
 
+// ParallelDecomposeSample times the cold truss decomposition serial
+// (Decompose) versus sharded h-index peeling (DecomposeParallel), the
+// build-time half of the parallel layer. Tau arrays are asserted
+// byte-equal before the sample is recorded.
+type ParallelDecomposeSample struct {
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"` // serial / parallel wall time
+}
+
 // ParallelDatasetReport groups the samples of one dataset.
 type ParallelDatasetReport struct {
-	Name     string                 `json:"name"`
-	Vertices int                    `json:"vertices"`
-	Edges    int                    `json:"edges"`
-	Engines  []ParallelEngineSample `json:"engines"`
+	Name      string                  `json:"name"`
+	Vertices  int                     `json:"vertices"`
+	Edges     int                     `json:"edges"`
+	Decompose ParallelDecomposeSample `json:"decompose"`
+	Engines   []ParallelEngineSample  `json:"engines"`
 }
 
 // ParallelReport is the schema of BENCH_parallel.json.
@@ -80,6 +95,12 @@ func runParallel(w io.Writer, cfg Config) error {
 	}
 	for _, name := range cfg.perfDatasets() {
 		g := MustLoad(name)
+		var serialTau, parallelTau []int32
+		decomposeSerial := Timed(func() { serialTau = truss.Decompose(g) })
+		decomposeParallel := Timed(func() { parallelTau = truss.DecomposeParallel(g, workers) })
+		if !slices.Equal(serialTau, parallelTau) {
+			return fmt.Errorf("%s: parallel decomposition diverges from serial tau", name)
+		}
 		tsdIdx := core.BuildTSDIndexParallel(g, workers)
 		gctIdx := core.BuildGCTIndexParallel(g, workers)
 		searchers := []struct {
@@ -94,7 +115,16 @@ func runParallel(w io.Writer, cfg Config) error {
 			{"gct", core.NewGCT(gctIdx)},
 			{"hybrid", core.BuildHybrid(gctIdx)},
 		}
-		ds := ParallelDatasetReport{Name: name, Vertices: g.N(), Edges: g.M()}
+		ds := ParallelDatasetReport{
+			Name: name, Vertices: g.N(), Edges: g.M(),
+			Decompose: ParallelDecomposeSample{
+				SerialNS:   decomposeSerial.Nanoseconds(),
+				ParallelNS: decomposeParallel.Nanoseconds(),
+				Speedup:    float64(decomposeSerial) / float64(max(decomposeParallel, time.Nanosecond)),
+			},
+		}
+		t.AddRow(name, "decompose", decomposeSerial, decomposeParallel,
+			fmt.Sprintf("%.2fx", ds.Decompose.Speedup))
 		for _, eng := range searchers {
 			var serialRes, parallelRes *core.Result
 			var serialErr, parallelErr error
@@ -124,6 +154,18 @@ func runParallel(w io.Writer, cfg Config) error {
 	}
 	t.Fprint(w)
 
+	// Guard the committed baseline: a single-core run must never silently
+	// replace an existing BENCH_parallel.json — its speedups are noise and
+	// would read as a perf regression of the parallel layer. -force opts
+	// into the overwrite (and the file still carries single_core_warning).
+	target := filepath.Join(cfg.OutDir, ParallelReportFile)
+	if report.SingleCoreWarning && !cfg.Force {
+		if _, statErr := os.Stat(target); statErr == nil {
+			return fmt.Errorf("refusing to overwrite %s with a single-core run "+
+				"(GOMAXPROCS=1): re-run on a multicore machine, or pass -force "+
+				"to record it anyway with single_core_warning=true", target)
+		}
+	}
 	path, err := writeArtifact(cfg, ParallelReportFile, report)
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ type Config struct {
 	Updates  int      // edits per Apply batch for the dynamic experiment (0 = default)
 	Measure  string   // restrict the measures experiment to one measure ("" = all)
 	OutDir   string   // where machine-readable artifacts land ("" = working dir)
+	Force    bool     // overwrite guarded baselines (e.g. a single-core BENCH_parallel.json)
 }
 
 func (c Config) tier() int {

@@ -620,3 +620,85 @@ func TestCoordinatorRejectsBrokenTopologies(t *testing.T) {
 		t.Fatalf("valid topology rejected: %v", err)
 	}
 }
+
+// TestReplicaOutcomeRecording pins the per-replica fan-out bookkeeping:
+// a dead primary records a failure for EVERY attempt that hit it (not
+// just silence), the replica that actually answered records successes
+// tagged as hedged wins (it was not the attempt's first hop), and an
+// untroubled shard's replica accumulates plain successes.
+func TestReplicaOutcomeRecording(t *testing.T) {
+	g := testGraph(t)
+	mid := int32(g.N() / 2)
+	primary := startShard(t, g, 0, mid)
+	secondary := startShard(t, g, 0, mid)
+	other := startShard(t, g, mid, int32(g.N()))
+	groups := [][]string{{primary.addr(), secondary.addr()}, {other.addr()}}
+	coord, err := NewCoordinator(context.Background(), groups, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primary.down.Store(true)
+
+	ctx := context.Background()
+	const rounds = 3
+	for i := 0; i < rounds; i++ {
+		if _, _, err := coord.TopR(ctx, trussdiv.Query{K: 4, R: 6}); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+
+	fs := coord.FanoutStats()
+	p, s := fs[0].Replicas[0], fs[0].Replicas[1]
+	if p.Failures < rounds {
+		t.Fatalf("dead primary recorded %d failures, want >= %d (%+v)", p.Failures, rounds, p)
+	}
+	if p.Healthy || p.Error == "" {
+		t.Fatalf("dead primary reads healthy: %+v", p)
+	}
+	if s.Successes < rounds {
+		t.Fatalf("answering secondary recorded %d successes, want >= %d (%+v)", s.Successes, rounds, s)
+	}
+	if s.HedgedWins < rounds {
+		t.Fatalf("secondary's wins were not tagged hedged: %+v", s)
+	}
+	if s.LatencyUS <= 0 || s.LastUS <= 0 {
+		t.Fatalf("secondary's successes did not feed its latency EWMA: %+v", s)
+	}
+	o := fs[1].Replicas[0]
+	if o.Successes < rounds || o.Failures != 0 || o.HedgedWins != 0 {
+		t.Fatalf("untroubled shard's replica outcomes: %+v", o)
+	}
+}
+
+// TestFailedAttemptUpdatesReplicaLatency: a replica that burns the whole
+// shard timeout before failing must show that latency in its EWMA — a
+// failure is an observation, not a gap in the record.
+func TestFailedAttemptUpdatesReplicaLatency(t *testing.T) {
+	g := testGraph(t)
+	stuck := startShard(t, g, 0, int32(g.N()), WithDelay(2*time.Second))
+	coord, err := NewCoordinator(context.Background(), [][]string{{stuck.addr()}},
+		WithShardTimeout(150*time.Millisecond), WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := coord.TopR(context.Background(), trussdiv.Query{K: 4, R: 6}); err == nil {
+		t.Fatal("query against a stuck single-replica shard succeeded")
+	}
+	// Outcome recording happens in the request goroutine, which may land a
+	// beat after the coordinator gives up on the attempt — poll briefly.
+	var rep ReplicaStatus
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rep = coord.FanoutStats()[0].Replicas[0]
+		if rep.Failures > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if rep.Failures == 0 {
+		t.Fatalf("timed-out attempt recorded no failure: %+v", rep)
+	}
+	if rep.LatencyUS < 100_000 {
+		t.Fatalf("timed-out attempt's latency (%dus) missing from the EWMA, want >= the ~150ms timeout", rep.LatencyUS)
+	}
+}

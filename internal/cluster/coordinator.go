@@ -21,6 +21,18 @@ type replica struct {
 	healthy bool
 	lastErr string
 	epoch   uint64
+	// Per-replica fan-out outcomes. successes/failures count completed
+	// query attempts (hedge losers cancelled because a sibling already won
+	// are neither); hedgedWins counts successes by a replica that was not
+	// the attempt's first hop — the hedged or failed-over winner. ewmaNS
+	// includes FAILED attempts: a replica that burns the full shard
+	// timeout before erroring must look slow, not invisible, or the
+	// health picture stays rosy while every request hedges away from it.
+	successes  uint64
+	failures   uint64
+	hedgedWins uint64
+	ewmaNS     float64
+	lastNS     int64
 }
 
 func (r *replica) note(healthy bool, epoch uint64, err error) {
@@ -35,6 +47,35 @@ func (r *replica) note(healthy bool, epoch uint64, err error) {
 		r.lastErr = ""
 	}
 	r.mu.Unlock()
+}
+
+// observe records one completed query attempt against this replica —
+// success or failure — with its wall latency.
+func (r *replica) observe(d time.Duration, epoch uint64, err error, hedged bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastNS = d.Nanoseconds()
+	if r.ewmaNS == 0 {
+		r.ewmaNS = float64(d.Nanoseconds())
+	} else {
+		const alpha = 0.3
+		r.ewmaNS = alpha*float64(d.Nanoseconds()) + (1-alpha)*r.ewmaNS
+	}
+	if err == nil {
+		r.healthy = true
+		r.successes++
+		if hedged {
+			r.hedgedWins++
+		}
+		if epoch != 0 {
+			r.epoch = epoch
+		}
+		r.lastErr = ""
+		return
+	}
+	r.healthy = false
+	r.failures++
+	r.lastErr = err.Error()
 }
 
 // shard is one vertex partition plus its replica set and fan-out stats.
@@ -384,13 +425,37 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh *shard, req shardTopR
 	launch := func() {
 		idx := (first + sent) % n
 		sent++
+		hedged := idx != first
 		rep := sh.replicas[idx]
 		go func() {
+			// Outcomes are recorded here, in the request goroutine, so a
+			// hedge LOSER's result is captured too — the select loop below
+			// may have returned with the winner long before the loser
+			// finishes. The channel is buffered to n, so late sends never
+			// leak the goroutine.
 			start := time.Now()
 			resp, err := rep.client.TopR(actx, req)
-			if err == nil {
-				sh.noteLatency(time.Since(start))
-				rep.note(true, resp.Epoch, nil)
+			d := time.Since(start)
+			var se *StaleEpochError
+			var re *RemoteError
+			switch {
+			case err == nil:
+				sh.noteLatency(d)
+				rep.observe(d, resp.Epoch, nil, hedged)
+			case errors.As(err, &se):
+				// The replica answered; it is just ahead of the tag. Its
+				// reported epoch is fresher than ours — keep it.
+				rep.note(true, se.Have, err)
+			case errors.As(err, &re) && re.Status < 500:
+				// A caller error: the replica is alive and the request was
+				// the problem, not the worker.
+				rep.note(true, 0, err)
+			case errors.Is(err, context.Canceled) && ctx.Err() == nil:
+				// The attempt context was cancelled because a sibling
+				// already won (the caller's own ctx is still live): not an
+				// outcome of this replica at all.
+			default:
+				rep.observe(d, 0, err, false)
 			}
 			ch <- outcome{resp, err, idx}
 		}()
@@ -416,7 +481,6 @@ func (c *Coordinator) attemptShard(ctx context.Context, sh *shard, req shardTopR
 			if errors.As(out.err, &re) && re.Status < 500 {
 				return nil, out.err
 			}
-			sh.replicas[out.idx].note(false, 0, out.err)
 			if sent < n {
 				// Fail over without waiting for the hedge timer.
 				launch()
@@ -617,12 +681,34 @@ func pointCall[T any](ctx context.Context, c *Coordinator, sh *shard, call func(
 
 // --- Cluster status (/cluster) ---
 
-// ReplicaStatus is one worker's health as the coordinator sees it.
+// ReplicaStatus is one worker's health as the coordinator sees it,
+// including its per-replica fan-out outcomes: every completed attempt is
+// recorded (success AND failure), HedgedWins counts the times this
+// replica won an attempt it was not the first hop of, and the latency
+// EWMA covers failed attempts too — a replica that times out reads slow,
+// not absent.
 type ReplicaStatus struct {
-	Addr    string `json:"addr"`
-	Healthy bool   `json:"healthy"`
-	Epoch   uint64 `json:"epoch"`
-	Error   string `json:"error,omitempty"`
+	Addr       string `json:"addr"`
+	Healthy    bool   `json:"healthy"`
+	Epoch      uint64 `json:"epoch"`
+	Error      string `json:"error,omitempty"`
+	Successes  uint64 `json:"successes,omitempty"`
+	Failures   uint64 `json:"failures,omitempty"`
+	HedgedWins uint64 `json:"hedged_wins,omitempty"`
+	LatencyUS  int64  `json:"latency_ewma_us,omitempty"`
+	LastUS     int64  `json:"latency_last_us,omitempty"`
+}
+
+// status snapshots the replica's mutable state.
+func (r *replica) status() ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStatus{
+		Addr: r.client.Addr(), Healthy: r.healthy,
+		Epoch: r.epoch, Error: r.lastErr,
+		Successes: r.successes, Failures: r.failures, HedgedWins: r.hedgedWins,
+		LatencyUS: int64(r.ewmaNS) / 1e3, LastUS: r.lastNS / 1e3,
+	}
 }
 
 // ShardStatus is one shard's range, replica set, and fan-out stats.
@@ -665,21 +751,16 @@ func (c *Coordinator) Status(ctx context.Context) ClusterStatus {
 			h, err := rep.client.Health(pctx)
 			cancel()
 			rep.note(err == nil, h.Epoch, err)
-			rep.mu.Lock()
-			rs := ReplicaStatus{
-				Addr: rep.client.Addr(), Healthy: rep.healthy,
-				Epoch: rep.epoch, Error: rep.lastErr,
-			}
-			rep.mu.Unlock()
-			ss.Replicas = append(ss.Replicas, rs)
+			ss.Replicas = append(ss.Replicas, rep.status())
 		}
 		st.Shards = append(st.Shards, ss)
 	}
 	return st
 }
 
-// FanoutStats reports the accumulated per-shard fan-out counters without
-// probing (the /metrics summary).
+// FanoutStats reports the accumulated per-shard fan-out counters —
+// including the per-replica outcome records — without probing (the
+// /metrics summary; replica health/epoch fields are as-last-observed).
 func (c *Coordinator) FanoutStats() []ShardStatus {
 	out := make([]ShardStatus, 0, len(c.shards))
 	for _, sh := range c.shards {
@@ -691,6 +772,9 @@ func (c *Coordinator) FanoutStats() []ShardStatus {
 			LatencyUS: int64(sh.ewmaNS) / 1e3, LastUS: sh.lastNS / 1e3,
 		}
 		sh.mu.Unlock()
+		for _, rep := range sh.replicas {
+			ss.Replicas = append(ss.Replicas, rep.status())
+		}
 		out = append(out, ss)
 	}
 	return out

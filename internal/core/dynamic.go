@@ -28,6 +28,25 @@ import (
 type UpdateStats struct {
 	Inserted, Removed int // edges actually changed
 	Affected          int // vertices whose ego-networks were rebuilt
+	// TrussRepaired reports that the global truss decomposition was
+	// repaired in place rather than invalidated; TrussRegion is the number
+	// of edges whose trussness the repair re-derived (the arXiv:1806.05523
+	// locality bound realized — everything else was provably unchanged).
+	TrussRepaired bool
+	TrussRegion   int
+	// RankingsPatched counts per-k ranking tables (hybrid plus per-measure)
+	// that were patched in place instead of invalidated.
+	RankingsPatched int
+}
+
+// AffectedVertices returns the sorted set of vertices whose ego-networks
+// an edit batch touches: {u, v} ∪ (N(u) ∩ N(v)) per edit, with common
+// neighbors taken in the graph where the edge exists (the new graph for
+// insertions, the old one for deletions). No other vertex's ego-network
+// contains both endpoints of a changed edge, so this is exactly the set
+// whose per-vertex scores — and therefore ranking entries — can change.
+func AffectedVertices(oldG, newG *graph.Graph, inserted, removed []graph.Edge) []int32 {
+	return affectedVertices(oldG, newG, inserted, removed)
 }
 
 // affectedVertices collects {u, v} ∪ (N(u) ∩ N(v)) for each edit, taking

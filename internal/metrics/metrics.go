@@ -40,6 +40,7 @@ type Registry struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
 	started   time.Time
+	gauges    map[string]func() map[string]uint64
 }
 
 // New returns an empty Registry.
@@ -98,13 +99,45 @@ type Report struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Requests      uint64          `json:"requests"`
 	Endpoints     []EndpointStats `json:"endpoints"`
+	// Gauges carries point-in-time counter groups registered with Gauge
+	// (e.g. result-cache hit/miss/size), sampled at Snapshot time.
+	Gauges map[string]map[string]uint64 `json:"gauges,omitempty"`
+}
+
+// Gauge registers a named group of point-in-time counters that every
+// Snapshot samples — for state that is not a request observation, like
+// cache occupancy. The callback must be safe for concurrent use;
+// re-registering a name replaces the callback.
+func (r *Registry) Gauge(name string, sample func() map[string]uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]func() map[string]uint64)
+	}
+	r.gauges[name] = sample
+	r.mu.Unlock()
 }
 
 // Snapshot returns a consistent copy of every counter, routes sorted.
 func (r *Registry) Snapshot() Report {
 	r.mu.Lock()
+	var gauges map[string]func() map[string]uint64
+	if len(r.gauges) > 0 {
+		gauges = make(map[string]func() map[string]uint64, len(r.gauges))
+		for name, fn := range r.gauges {
+			gauges[name] = fn
+		}
+	}
 	defer r.mu.Unlock()
 	rep := Report{UptimeSeconds: time.Since(r.started).Seconds()}
+	if gauges != nil {
+		rep.Gauges = make(map[string]map[string]uint64, len(gauges))
+		for name, fn := range gauges {
+			rep.Gauges[name] = fn()
+		}
+	}
 	routes := make([]string, 0, len(r.endpoints))
 	for route := range r.endpoints {
 		routes = append(routes, route)

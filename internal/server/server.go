@@ -109,6 +109,16 @@ func New(g *graph.Graph, opts ...Option) *Server {
 	}
 	s.db = db
 	s.built = time.Since(start)
+	s.metrics.Gauge("result_cache", func() map[string]uint64 {
+		rc := db.ResultCacheStats()
+		return map[string]uint64{
+			"hits":        rc.Hits,
+			"misses":      rc.Misses,
+			"invalidated": rc.Invalidated,
+			"size":        uint64(rc.Size),
+			"capacity":    uint64(rc.Capacity),
+		}
+	})
 	return s
 }
 
@@ -192,6 +202,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"index_build":     s.built.String(),
 		// Per-route request totals; GET /metrics has the full histograms.
 		"requests": s.metrics.Totals(),
+	}
+	if rc := s.db.ResultCacheStats(); rc.Enabled {
+		body["result_cache"] = map[string]any{
+			"hits":        rc.Hits,
+			"misses":      rc.Misses,
+			"invalidated": rc.Invalidated,
+			"size":        rc.Size,
+			"capacity":    rc.Capacity,
+		}
 	}
 	if st := snap.StoreStatus(); st.Dir != "" {
 		source := "cold"
@@ -357,7 +376,10 @@ func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	start := time.Now()
-	res, stats, err := eng.TopR(ctx, q)
+	// snap.TopR re-resolves to the same engine (routing is deterministic
+	// on one snapshot) and consults the result cache — eng is kept only
+	// to label the response.
+	res, stats, err := snap.TopR(ctx, q)
 	if err != nil {
 		searchError(w, err)
 		return

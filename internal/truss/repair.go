@@ -1,0 +1,369 @@
+package truss
+
+import (
+	"trussdiv/internal/graph"
+)
+
+// Incremental repair of a truss decomposition after a batch of edge edits,
+// following the locality bounds of arXiv:1806.05523 §5: a single insertion
+// raises any τ(e) by at most one and a deletion lowers it by at most one,
+// and — more importantly — the set of edges whose trussness can change at
+// all is confined to a triangle-connected neighborhood of the edits:
+//
+//   - If τ(g) increased, the connected (τ_new(g))-truss certifying the new
+//     value must contain an inserted edge (otherwise it existed before the
+//     batch and certified the same value then), and every edge of that
+//     truss had old trussness >= τ_new(g) − I for a batch of I insertions.
+//     So g is triangle-connected to an inserted edge through edges whose
+//     old level is >= level(g) + 1 − I.
+//   - If τ(g) decreased, the old connected (τ_old(g))-truss certifying the
+//     old value must contain a deleted edge (otherwise it survives intact
+//     and still certifies), and every edge on the old-graph triangle path
+//     had old level >= level(g).
+//
+// ("level" is the h-space value τ−2 throughout.) Repair discovers both
+// regions with a bottleneck (maximin) traversal over triangle adjacency,
+// seeds every region edge at the provable upper bound min(sup_new,
+// h_old + I), pins everything outside the region at its old (provably
+// unchanged) value, and runs the h-index descent of DecomposeParallel to
+// the fixpoint. The descent can only terminate at the true decomposition:
+// it stays >= τ−2 because the boundary equals the truth and the operator
+// is monotone, and it cannot stay above it because any level set of a
+// fixpoint is itself a truss certifying its level.
+
+// RepairResult is a successfully repaired decomposition.
+type RepairResult struct {
+	Tau []int32 // trussness per new-graph edge ID, byte-equal to Decompose(newG)
+	Sup []int32 // pristine supports of the new graph (input to the next Repair)
+	// Region counts the edges whose trussness the repair re-derived (the
+	// locality bound realized); Evals the h-index evaluations the descent
+	// spent on them.
+	Region int
+	Evals  int
+}
+
+// repairInf is the level assigned to inserted edges during region
+// discovery: a new edge constrains no triangle path, since it had no old
+// trussness to certify.
+const repairInf = int32(1) << 30
+
+// Repair derives the truss decomposition of newG from the decomposition
+// (oldTau) and supports (oldSup) of oldG, where newG is the result of
+// applying the canonical (U < V, validated) insertion and deletion batches
+// to oldG — exactly the contract of core.ApplyEdits. budget caps the
+// repairable region size per step (and, scaled, the traversal and descent
+// work); 0 picks a default proportional to the graph. When the region the
+// edits can influence exceeds the budget, Repair returns (nil, false) and
+// the caller falls back to a full (parallel) rebuild — the returned bool
+// is the size-cutoff policy, not an error.
+//
+// Internally a batch is repaired in stages: all deletions in one step
+// (the decrease region needs no batch slack — its certificate lives
+// entirely in the old graph), then each insertion individually, chaining
+// exact repairs through intermediate graphs. A single insertion raises
+// any trussness by at most one, which keeps the admission threshold of
+// the increase traversal tight; repairing an I-insertion batch in one
+// step would widen it by I−1 levels and balloon the region past the
+// budget for even small batches. The intermediate graphs cost O(I·m) to
+// build — far below the decomposition work the repair avoids.
+//
+// On success the tau array is byte-identical to Decompose(newG): the
+// repair is exact, not approximate.
+func Repair(oldG, newG *graph.Graph, oldTau, oldSup []int32, ins, del []graph.Edge, budget int) (*RepairResult, bool) {
+	mOld, mNew := oldG.M(), newG.M()
+	if len(oldTau) != mOld || len(oldSup) != mOld || mNew != mOld+len(ins)-len(del) {
+		return nil, false
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return &RepairResult{
+			Tau: append([]int32(nil), oldTau...),
+			Sup: append([]int32(nil), oldSup...),
+		}, true
+	}
+	total := &RepairResult{}
+	g, tau, sup := oldG, oldTau, oldSup
+	step := func(next *graph.Graph, ins, del []graph.Edge) bool {
+		rr, ok := repairStep(g, next, tau, sup, ins, del, budget)
+		if !ok {
+			return false
+		}
+		total.Region += rr.Region
+		total.Evals += rr.Evals
+		g, tau, sup = next, rr.Tau, rr.Sup
+		return true
+	}
+	if len(del) > 0 {
+		next := newG
+		if len(ins) > 0 {
+			next = buildEdited(g, nil, del)
+		}
+		if !step(next, nil, del) {
+			return nil, false
+		}
+	}
+	for i := range ins {
+		next := newG
+		if i < len(ins)-1 {
+			next = buildEdited(g, ins[i:i+1], nil)
+		}
+		if !step(next, ins[i:i+1], nil) {
+			return nil, false
+		}
+	}
+	total.Tau, total.Sup = tau, sup
+	return total, true
+}
+
+// buildEdited constructs an intermediate edited graph with the same
+// deterministic edge-ID assignment (ascending U, then V) the final newG
+// has, so chained repair steps line up with the caller's edge IDs.
+func buildEdited(g *graph.Graph, ins, del []graph.Edge) *graph.Graph {
+	drop := make(map[graph.Edge]bool, len(del))
+	for _, e := range del {
+		drop[e] = true
+	}
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if !drop[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range ins {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// repairStep repairs one stage of a batch: either the whole deletion set
+// or a single insertion. See Repair for the region theorems; the batch
+// slack below (I−1 for I insertions) is kept general but is always 0 in
+// the staged calls Repair makes.
+func repairStep(oldG, newG *graph.Graph, oldTau, oldSup []int32, ins, del []graph.Edge, budget int) (*RepairResult, bool) {
+	mOld, mNew := oldG.M(), newG.M()
+	if len(oldTau) != mOld || len(oldSup) != mOld || mNew != mOld+len(ins)-len(del) {
+		return nil, false
+	}
+	if budget <= 0 {
+		// Default cutoff: repair while the affected region stays under half
+		// the graph. The descent costs O(region · triangles-per-edge), so
+		// even at the cutoff the repair is well below a full decomposition;
+		// past it, the parallel rebuild's better constants win. Deletions
+		// need the headroom — a deleted edge's certificate region is the
+		// whole triangle-connected truss community at each level below it,
+		// which for low levels can span a sizable fraction of a sparse graph.
+		budget = mNew/2 + 64
+	}
+
+	// Carry the old values onto the new edge IDs. Both graphs assign IDs
+	// in sorted (U,V) order, so one merge pass lines them up; the old
+	// edges skipped are the deletions, the new edges unmatched are the
+	// insertions.
+	sup := make([]int32, mNew)
+	h := make([]int32, mNew)   // working values, seeded at the old h
+	lvl := make([]int32, mNew) // old level for carried edges, inf for inserted
+	oldEdges, newEdges := oldG.Edges(), newG.Edges()
+	var inserted []int32
+	j := 0
+	for i, e := range newEdges {
+		for j < mOld && (oldEdges[j].U < e.U || (oldEdges[j].U == e.U && oldEdges[j].V < e.V)) {
+			j++ // a deleted edge
+		}
+		if j < mOld && oldEdges[j] == e {
+			sup[i] = oldSup[j]
+			h[i] = oldTau[j] - 2
+			lvl[i] = h[i]
+			j++
+		} else {
+			inserted = append(inserted, int32(i))
+			lvl[i] = repairInf
+		}
+	}
+	if len(inserted) != len(ins) {
+		return nil, false // newG does not match (oldG, ins, del)
+	}
+
+	// Recompute supports exactly for every edge sharing a triangle with an
+	// edit. Counting common neighbors afresh sidesteps the bookkeeping of
+	// triangles formed by several edits at once.
+	dirty := make([]bool, mNew)
+	var dirtyList []int32
+	markDirty := func(e int32) {
+		if e >= 0 && !dirty[e] {
+			dirty[e] = true
+			dirtyList = append(dirtyList, e)
+		}
+	}
+	for _, id := range inserted {
+		markDirty(id)
+		ed := newG.Edge(id)
+		forEachCommonArc(newG, ed.U, ed.V, func(_, euw, evw int32) {
+			markDirty(euw)
+			markDirty(evw)
+		})
+	}
+	for _, e := range del {
+		forEachCommonArc(oldG, e.U, e.V, func(w, _, _ int32) {
+			// Either side edge may itself be deleted (EdgeID then -1).
+			markDirty(newG.EdgeID(e.U, w))
+			markDirty(newG.EdgeID(e.V, w))
+		})
+	}
+	for _, e := range dirtyList {
+		ed := newG.Edge(e)
+		n := int32(0)
+		forEachCommonArc(newG, ed.U, ed.V, func(_, _, _ int32) { n++ })
+		sup[e] = n
+	}
+
+	region := make([]bool, mNew)
+	var regionList []int32
+	addRegion := func(e int32) {
+		if !region[e] {
+			region[e] = true
+			regionList = append(regionList, e)
+		}
+	}
+	for _, e := range dirtyList {
+		addRegion(e)
+	}
+
+	maxScans := 32*budget + 4096
+
+	// Increase candidates: bottleneck traversal from the inserted edges in
+	// the new graph. The batch slack I−1 widens the admission threshold —
+	// I insertions can lift a trussness by up to I.
+	if len(inserted) > 0 {
+		slack := int32(len(ins)) - 1
+		dist, ok := bottleneckFrom(newG, lvl, inserted, maxScans)
+		if !ok {
+			return nil, false
+		}
+		for e, d := range dist {
+			if d >= 0 && d >= lvl[e]-slack {
+				addRegion(int32(e))
+			}
+		}
+	}
+
+	// Decrease candidates: bottleneck traversal from the deleted edges in
+	// the old graph, at old levels throughout (no slack — the certificate
+	// lives entirely in the old graph).
+	if len(del) > 0 {
+		lvlOld := make([]int32, mOld)
+		for i := range lvlOld {
+			lvlOld[i] = oldTau[i] - 2
+		}
+		srcOld := make([]int32, 0, len(del))
+		for _, e := range del {
+			if id := oldG.EdgeID(e.U, e.V); id >= 0 {
+				srcOld = append(srcOld, id)
+			}
+		}
+		dist, ok := bottleneckFrom(oldG, lvlOld, srcOld, maxScans)
+		if !ok {
+			return nil, false
+		}
+		for e, d := range dist {
+			if d >= 0 && d >= lvlOld[e] {
+				ed := oldG.Edge(int32(e))
+				if id := newG.EdgeID(ed.U, ed.V); id >= 0 {
+					addRegion(id)
+				}
+			}
+		}
+	}
+
+	if len(regionList) > budget {
+		return nil, false
+	}
+
+	// Seed every region edge at its provable cap and descend. Edges
+	// outside the region keep their old value — the region theorems above
+	// guarantee it is still exact — and serve as the fixed boundary that
+	// stops the descent from undershooting.
+	ii := int32(len(ins))
+	for _, e := range regionList {
+		c := sup[e]
+		if lvl[e] != repairInf && h[e]+ii < c {
+			c = h[e] + ii
+		}
+		h[e] = c
+	}
+	evals, ok := hIndexDescent(newG, h, append([]int32(nil), regionList...), region, 1, 16*budget+1024)
+	if !ok {
+		return nil, false
+	}
+	tau := h
+	for i := range tau {
+		tau[i] += 2
+	}
+	return &RepairResult{Tau: tau, Sup: sup, Region: len(regionList), Evals: evals}, true
+}
+
+// bottleneckFrom computes, for every edge of g, the best bottleneck over
+// triangle paths from any source edge: dist(f) = max over paths of the
+// minimum level among all path edges except f itself (sources included,
+// the target excluded — its own level never constrains its candidacy).
+// Unreached edges stay at −1. Levels above the graph's maximum finite
+// level are clamped to maxLvl+1, which preserves every >= comparison the
+// caller makes. Processing buckets from high to low makes each relaxation
+// final (the maximin analogue of Dijkstra); ok=false reports the scan
+// budget blew before the traversal finished.
+func bottleneckFrom(g *graph.Graph, lvl []int32, sources []int32, maxScans int) (dist []int32, ok bool) {
+	m := g.M()
+	top := int32(0)
+	for _, l := range lvl {
+		if l != repairInf && l > top {
+			top = l
+		}
+	}
+	top++
+	clamp := func(l int32) int32 {
+		if l > top {
+			return top
+		}
+		return l
+	}
+	dist = make([]int32, m)
+	for i := range dist {
+		dist[i] = -1
+	}
+	buckets := make([][]int32, top+1)
+	for _, s := range sources {
+		if dist[s] < top {
+			dist[s] = top
+			buckets[top] = append(buckets[top], s)
+		}
+	}
+	scans := 0
+	for d := top; d >= 0; d-- {
+		// Relaxations at level d may append to buckets[d]; the index loop
+		// picks the growth up in the same sweep.
+		for i := 0; i < len(buckets[d]); i++ {
+			e := buckets[d][i]
+			if dist[e] != d {
+				continue // superseded entry (lazy deletion)
+			}
+			base := clamp(lvl[e])
+			if d < base {
+				base = d
+			}
+			ed := g.Edge(e)
+			forEachCommonArc(g, ed.U, ed.V, func(_, euw, evw int32) {
+				scans++
+				if nb := min(base, clamp(lvl[evw])); nb > dist[euw] {
+					dist[euw] = nb
+					buckets[nb] = append(buckets[nb], euw)
+				}
+				if nb := min(base, clamp(lvl[euw])); nb > dist[evw] {
+					dist[evw] = nb
+					buckets[nb] = append(buckets[nb], evw)
+				}
+			})
+			if scans > maxScans {
+				return nil, false
+			}
+		}
+	}
+	return dist, true
+}

@@ -1,0 +1,213 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+
+	"trussdiv/internal/gen"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/testutil"
+)
+
+// applyEdits rebuilds g with the canonical (U < V) batches applied — the
+// same deterministic edge-ID assignment core.ApplyEdits produces (that
+// package cannot be imported here without a cycle).
+func applyEdits(g *graph.Graph, ins, del []graph.Edge) *graph.Graph {
+	drop := make(map[graph.Edge]bool, len(del))
+	for _, e := range del {
+		drop[e] = true
+	}
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		if !drop[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range ins {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// checkRepair runs Repair over (g, ins, del) and asserts exactness against
+// a cold decomposition of the edited graph. Returns the repair result for
+// callers asserting on the locality stats.
+func checkRepair(t *testing.T, g *graph.Graph, ins, del []graph.Edge, budget int) *RepairResult {
+	t.Helper()
+	newG := applyEdits(g, ins, del)
+	oldTau, oldSup := Decompose(g), g.Supports()
+	rr, ok := Repair(g, newG, oldTau, oldSup, ins, del, budget)
+	if !ok {
+		t.Fatalf("Repair declined (ins=%d del=%d budget=%d)", len(ins), len(del), budget)
+	}
+	wantTau := Decompose(newG)
+	wantSup := newG.Supports()
+	for id := range wantTau {
+		if rr.Tau[id] != wantTau[id] {
+			e := newG.Edge(int32(id))
+			t.Fatalf("edge (%d,%d): repaired tau = %d, cold = %d (ins=%v del=%v)",
+				e.U, e.V, rr.Tau[id], wantTau[id], ins, del)
+		}
+		if rr.Sup[id] != wantSup[id] {
+			e := newG.Edge(int32(id))
+			t.Fatalf("edge (%d,%d): repaired sup = %d, cold = %d", e.U, e.V, rr.Sup[id], wantSup[id])
+		}
+	}
+	return rr
+}
+
+// The adversarial case for any purely ascending repair: inserting the
+// missing edge of K5−e lifts the trussness of every edge — including the
+// three edges not touching the insertion, whose supports are unchanged and
+// which certify each other's new level only mutually. The region traversal
+// must pull them in and the seeded descent must settle them at 5.
+func TestRepairK5MissingEdge(t *testing.T) {
+	b := graph.NewBuilder(5)
+	for u := int32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if u == 2 && v == 3 {
+				continue
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	g := b.Build()
+	rr := checkRepair(t, g, []graph.Edge{{U: 2, V: 3}}, nil, 0)
+	newG := applyEdits(g, []graph.Edge{{U: 2, V: 3}}, nil)
+	for id, tau := range rr.Tau {
+		if tau != 5 {
+			e := newG.Edge(int32(id))
+			t.Fatalf("K5 edge (%d,%d): tau = %d, want 5", e.U, e.V, tau)
+		}
+	}
+}
+
+// Deleting that same edge again must walk the region back down to 4.
+func TestRepairK5EdgeDeletion(t *testing.T) {
+	g := gen.Clique(5)
+	del := []graph.Edge{{U: 2, V: 3}}
+	rr := checkRepair(t, g, nil, del, 10*g.M())
+	for id, tau := range rr.Tau {
+		if tau != 4 {
+			t.Fatalf("edge %d: tau = %d, want 4 after deletion", id, tau)
+		}
+	}
+}
+
+func TestRepairRandomizedBatches(t *testing.T) {
+	rng := testutil.Rand(t, 31)
+	for trial := 0; trial < 60; trial++ {
+		n := 14 + rng.Intn(18)
+		g := randomGraph(t, n, 3*n+rng.Intn(4*n), int64(500+trial))
+		ins, del := randomBatch(rng, g, 1+rng.Intn(6), rng.Intn(5))
+		if len(ins) == 0 && len(del) == 0 {
+			continue
+		}
+		checkRepair(t, g, ins, del, 10*g.M())
+	}
+}
+
+func TestRepairDeleteOnlyBatches(t *testing.T) {
+	rng := testutil.Rand(t, 77)
+	for trial := 0; trial < 30; trial++ {
+		g := randomGraph(t, 20, 90, int64(900+trial))
+		_, del := randomBatch(rng, g, 0, 1+rng.Intn(6))
+		if len(del) == 0 {
+			continue
+		}
+		checkRepair(t, g, nil, del, 10*g.M())
+	}
+}
+
+// A stream of small batches, each repaired from the previous repair's own
+// output — the exact usage pattern of DB.Apply, where supports and taus
+// must stay valid inputs across generations.
+func TestRepairStream(t *testing.T) {
+	rng := testutil.Rand(t, 55)
+	g := randomGraph(t, 40, 220, 123)
+	tau, sup := Decompose(g), g.Supports()
+	for step := 0; step < 25; step++ {
+		ins, del := randomBatch(rng, g, 1+rng.Intn(3), rng.Intn(3))
+		if len(ins) == 0 && len(del) == 0 {
+			continue
+		}
+		newG := applyEdits(g, ins, del)
+		rr, ok := Repair(g, newG, tau, sup, ins, del, 10*g.M())
+		if !ok {
+			t.Fatalf("step %d: Repair declined", step)
+		}
+		want := Decompose(newG)
+		for id := range want {
+			if rr.Tau[id] != want[id] {
+				t.Fatalf("step %d edge %d: tau = %d, cold = %d", step, id, rr.Tau[id], want[id])
+			}
+		}
+		g, tau, sup = newG, rr.Tau, rr.Sup
+	}
+}
+
+// The cutoff contract: an impossible budget makes Repair decline instead
+// of degrading, and a normal budget on a clique insertion (whose region is
+// the whole clique) still succeeds.
+func TestRepairBudgetCutoff(t *testing.T) {
+	g := gen.Clique(10)
+	del := []graph.Edge{{U: 0, V: 1}}
+	newG := applyEdits(g, nil, del)
+	tau, sup := Decompose(g), g.Supports()
+	if _, ok := Repair(g, newG, tau, sup, nil, del, 1); ok {
+		t.Fatal("Repair accepted a budget of 1 edge on a clique deletion")
+	}
+	if _, ok := Repair(g, newG, tau, sup, nil, del, g.M()); !ok {
+		t.Fatal("Repair declined a budget covering the whole graph")
+	}
+}
+
+// Mismatched inputs (a new graph that is not oldG+ins−del) must be
+// rejected, not silently mis-repaired.
+func TestRepairRejectsMismatchedGraphs(t *testing.T) {
+	g := gen.Clique(6)
+	other := gen.Clique(6)
+	otherPlus := applyEdits(other, nil, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	tau, sup := Decompose(g), g.Supports()
+	if _, ok := Repair(g, otherPlus, tau, sup, nil, []graph.Edge{{U: 0, V: 1}}, 0); ok {
+		t.Fatal("Repair accepted a new graph inconsistent with the batch")
+	}
+	if _, ok := Repair(g, otherPlus, tau[:3], sup, nil, []graph.Edge{{U: 0, V: 1}}, 0); ok {
+		t.Fatal("Repair accepted a truncated tau array")
+	}
+}
+
+// randomBatch samples up to nIns absent edges and nDel present edges from
+// g, canonical and duplicate-free.
+func randomBatch(rng *rand.Rand, g *graph.Graph, nIns, nDel int) (ins, del []graph.Edge) {
+	n := int32(g.N())
+	seen := make(map[graph.Edge]bool)
+	for len(ins) < nIns {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := graph.Edge{U: u, V: v}
+		if seen[e] || g.HasEdge(u, v) {
+			continue
+		}
+		seen[e] = true
+		ins = append(ins, e)
+	}
+	edges := g.Edges()
+	for attempts := 0; len(del) < nDel && attempts < 50*nDel+50; attempts++ {
+		if len(edges) == 0 {
+			break
+		}
+		e := edges[rng.Intn(len(edges))]
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		del = append(del, e)
+	}
+	return ins, del
+}

@@ -23,9 +23,11 @@ func Decompose(g *graph.Graph) []int32 {
 }
 
 // DecomposeWithSupports is Decompose for callers that already computed the
-// edge supports. sup is consumed (overwritten during peeling).
+// edge supports. sup is left untouched: the peeling works on a private
+// copy, so supports can be cached across calls (the incremental repair
+// path keeps them alive between applies).
 func DecomposeWithSupports(g *graph.Graph, sup []int32) []int32 {
-	return decompose(g, sup)
+	return decompose(g, append([]int32(nil), sup...))
 }
 
 // decompose peels edges in ascending support order using a bin sort,

@@ -296,11 +296,12 @@ func TestV1IndexFileStillWarmLoads(t *testing.T) {
 	}
 }
 
-// TestApplyInvalidatesMeasureRankings: an edge update invalidates the
-// per-measure rankings (their repair would cost a rebuild); the next
-// Prepare rebuilds them against the edited graph and the answers match a
-// cold DB over that graph.
-func TestApplyInvalidatesMeasureRankings(t *testing.T) {
+// TestApplyPatchesMeasureRankings: an edge update no longer invalidates
+// the per-measure rankings — they survive the Apply patched in place
+// (only vertices in the edit's triangle neighborhoods re-score) and the
+// very next query, without a re-Prepare, matches a cold DB over the
+// edited graph.
+func TestApplyPatchesMeasureRankings(t *testing.T) {
 	g := overlayGraph(t)
 	ctx := context.Background()
 	db, err := trussdiv.Open(g)
@@ -316,11 +317,11 @@ func TestApplyInvalidatesMeasureRankings(t *testing.T) {
 	if _, err := db.Apply(ctx, trussdiv.Updates{Insert: []trussdiv.Edge{{U: 0, V: int32(g.N() - 1)}}}); err != nil {
 		t.Fatal(err)
 	}
-	if got := db.IndexStats().MeasureRankings; len(got) != 0 {
-		t.Fatalf("measure rankings survived Apply: %v (their scores may be stale)", got)
+	if got := db.IndexStats().MeasureRankings; len(got) != 1 {
+		t.Fatalf("measure rankings did not survive Apply patched: %v", got)
 	}
-	if err := db.Prepare(ctx, "comp"); err != nil {
-		t.Fatal(err)
+	if ast := db.Snapshot().ApplyStats(); ast == nil || ast.RankingsPatched == 0 {
+		t.Fatalf("ApplyStats does not record the ranking patch: %+v", ast)
 	}
 	want := measureReference(t, db.Graph(), trussdiv.MeasureComponent, 3, 20)
 	res, _, err := db.TopR(ctx, trussdiv.NewQuery(3, 20,
@@ -329,7 +330,7 @@ func TestApplyInvalidatesMeasureRankings(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(res.TopR, want.TopR) || !reflect.DeepEqual(res.Contexts, want.Contexts) {
-		t.Fatal("rebuilt rankings diverged from a cold DB over the edited graph")
+		t.Fatal("patched rankings diverged from a cold DB over the edited graph")
 	}
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Fails when a BENCH_parallel.json was recorded on a single core: its
+# speedups are noise around 1.0x and must never be committed (or uploaded
+# by CI) as the parallel layer's perf baseline. exp_parallel stamps such
+# runs with "single_core_warning": true; this guard makes the stamp fatal
+# where a baseline is about to be published.
+#
+# Usage: check_parallel_baseline.sh [path/to/BENCH_parallel.json]
+set -euo pipefail
+
+file="${1:-bench-out/BENCH_parallel.json}"
+if [ ! -f "$file" ]; then
+    echo "check_parallel_baseline: $file not found" >&2
+    exit 1
+fi
+
+if grep -q '"single_core_warning": true' "$file"; then
+    echo "check_parallel_baseline: $file was recorded at GOMAXPROCS=1 —" >&2
+    echo "its parallel speedups are noise. Re-run 'make bench-artifacts' on a" >&2
+    echo "multicore machine (CI pins GOMAXPROCS=\$(nproc)) before publishing." >&2
+    exit 1
+fi
+
+echo "check_parallel_baseline: $file is a multicore run"

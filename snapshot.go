@@ -74,6 +74,10 @@ type Snapshot struct {
 	// produced this snapshot (nil for the Open snapshot and for snapshots
 	// whose caches held nothing repairable).
 	applied *core.UpdateStats
+	// results is the DB's serving-side result cache (nil when disabled).
+	// Keys carry the epoch, so a pinned old snapshot and the live one
+	// share the structure without ever sharing entries.
+	results *resultCache
 }
 
 // newSnapshot binds the built-in engines to one graph + cache pair. The
@@ -142,12 +146,12 @@ func (s *Snapshot) Engine(name string) (Engine, error) { return s.reg.lookup(nam
 // Route returns the routable engine with the lowest cost estimate for q
 // among those serving q.Measure, counting any index the engine would
 // still have to build. Ties keep the earliest registered engine. Routing
-// is snapshot-aware: an index that survived the last Apply (the TSD and
-// GCT structures repair incrementally) keeps its zero build cost, while
-// invalidated ones (the global truss decomposition, the hybrid rankings,
-// and the per-measure rankings) price their lazy rebuild back in. Route
-// returns nil when no routable engine serves the measure (or the measure
-// name is unknown); the query paths report that as an error.
+// is snapshot-aware: an index that survived the last Apply repaired or
+// patched (TSD, GCT, the truss decomposition, the rankings) keeps its
+// zero build cost, while one whose repair declined (region over budget)
+// prices its lazy rebuild back in. Route returns nil when no routable
+// engine serves the measure (or the measure name is unknown); the query
+// paths report that as an error.
 func (s *Snapshot) Route(q Query) Engine {
 	if !q.Measure.Valid() {
 		return nil
@@ -219,12 +223,30 @@ func (s *Snapshot) resolveBatch(qs []Query) ([]Engine, error) {
 }
 
 // TopR answers a top-r query through the cheapest (or pinned) engine of
-// this snapshot. The Result is stamped with the snapshot's epoch; the
+// this snapshot, consulting the serving-side result cache first: a
+// repeat of a query this snapshot already answered returns the cached
+// Result (byte-identical — it IS the earlier answer) without entering
+// the engine. The Result is stamped with the snapshot's epoch; the
 // Stats, when requested, name the engine that answered.
 func (s *Snapshot) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	eng, err := s.routeAmortized(q, 1)
 	if err != nil {
 		return nil, nil, err
+	}
+	return s.cachedTopR(ctx, eng, q)
+}
+
+// cachedTopR runs q through an already-resolved engine with the result
+// cache consulted first — the single execution point shared by TopR,
+// Batch, and (via TopR) the server and cluster tiers, so every serving
+// path sees the same cache.
+func (s *Snapshot) cachedTopR(ctx context.Context, eng Engine, q Query) (*Result, *Stats, error) {
+	var key resultKey
+	if s.results != nil {
+		key = resultCacheKey(s.epoch, eng.Name(), q)
+		if res, stats, ok := s.results.get(key, q.Candidates); ok {
+			return res, stats, nil
+		}
 	}
 	res, stats, err := eng.TopR(ctx, q)
 	if res != nil {
@@ -232,6 +254,9 @@ func (s *Snapshot) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
 	}
 	if stats != nil {
 		stats.Engine = eng.Name()
+	}
+	if err == nil && s.results != nil {
+		s.results.put(key, q.Candidates, res, stats)
 	}
 	return res, stats, err
 }
@@ -354,10 +379,15 @@ func (db *DB) Epoch() Epoch { return db.Snapshot().epoch }
 //
 // Indexes are maintained incrementally instead of rebuilt: an in-memory
 // TSD or GCT index is repaired by rebuilding only the ego-network
-// structures the batch touched (the paper's §5.3 locality argument), while
-// the global truss decomposition and the hybrid per-k rankings — whose
-// repair would cost as much as a rebuild — are invalidated and rebuilt
-// lazily on next use. Cost routing sees exactly which indexes survived.
+// structures the batch touched (the paper's §5.3 locality argument); the
+// global truss decomposition is repaired inside the locality bound of the
+// edit batch (each edit moves trussness by at most one, so the change is
+// confined to a bottleneck-connected region around the edits — see
+// DESIGN.md), falling back to a parallel rebuild when the region exceeds
+// its budget; and the hybrid and per-measure rankings are patched by
+// re-scoring only the vertices in the edits' triangle neighborhoods.
+// ApplyStats on the new snapshot reports which path each structure took,
+// and cost routing prices whichever survivors exist.
 //
 // A batch that fails validation (errors.Is(err, ErrBadUpdate)) is rejected
 // whole: the epoch does not advance and the DB keeps serving its current
@@ -396,6 +426,7 @@ func (db *DB) Apply(ctx context.Context, u Updates) (Epoch, error) {
 		return 0, err // unreachable: built-ins always register cleanly
 	}
 	next.applied = stats
+	next.results = db.results
 	// Rebind custom engines into a scratch list first: a failure anywhere
 	// must leave db.custom untouched, or an engine could end up bound to a
 	// graph the DB never adopted.
@@ -417,6 +448,11 @@ func (db *DB) Apply(ctx context.Context, u Updates) (Epoch, error) {
 	}
 	db.custom = rebound
 	db.snap.Store(next)
+	if db.results != nil {
+		// The epoch in every key already guarantees no stale hit; the
+		// purge just frees the retired graph's entries from the LRU.
+		db.results.invalidateBelow(next.epoch)
+	}
 	db.broadcastEpoch()
 	return next.epoch, nil
 }

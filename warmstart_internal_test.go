@@ -42,9 +42,9 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm.Snapshot().cache.buildTau = func(*Graph) []int32 {
+	warm.Snapshot().cache.buildTau = func(*Graph) (tau, sup []int32) {
 		t.Error("warm DB rebuilt the truss decomposition")
-		return nil
+		return nil, nil
 	}
 	warm.Snapshot().cache.buildTSD = func(g *Graph) *core.TSDIndex {
 		t.Error("warm DB rebuilt the TSD index")
