@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -38,19 +39,29 @@ type indexCache struct {
 	loadTime  time.Duration
 
 	// Persistence state. file is the validated warm-start file (nil on a
-	// cold start); bad marks sections whose payload failed its checksum or
-	// decode — every section is independently checksummed, so one damaged
-	// section does not discredit the rest of the file. loadErr records why
+	// cold start); bad marks sections whose payload failed its checksum
+	// (decode mode) or structural validation (mmap mode) — sections fail
+	// independently, so one damaged section does not discredit the rest of
+	// the file. loadErr records why
 	// an on-disk index (or section) was rejected, saveErr the last persist
 	// failure. deferPersist batches the per-build writes of a Prepare into
 	// one (dirty remembers that something was built meanwhile).
 	dir          string
+	mode         store.Mode
 	file         *store.File
 	bad          map[store.SectionRef]bool
 	loadErr      error
 	saveErr      error
 	deferPersist bool
 	dirty        bool
+
+	// retained pins every mmap-backed store.File whose views this cache's
+	// structures may alias — including files inherited through advance,
+	// because incremental repair shares untouched per-vertex slices with
+	// the previous generation. Each entry owns one File reference, released
+	// by a GC cleanup when the cache itself becomes unreachable, so a
+	// superseded snapshot chain unmaps once its last reader lets go.
+	retained []*store.File
 
 	// Build entry points, swappable by tests that assert a warm open
 	// never builds; builds counts the from-scratch constructions. buildTau
@@ -93,11 +104,15 @@ func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
 		buildHybrid: core.BuildHybrid,
 		buildMRank:  core.BuildMeasureRankings,
 	}
+	if cfg.storeMode == StoreDecode {
+		c.mode = store.ModeDecode
+	}
 	if c.dir != "" {
-		f, err := store.Open(store.PathIn(c.dir), g)
+		f, err := store.OpenFile(store.PathIn(c.dir), g, store.WithMode(c.mode))
 		switch {
 		case err == nil:
 			c.file = f
+			c.adoptFile(f)
 		case errors.Is(err, fs.ErrNotExist):
 			// Cold start: nothing persisted yet.
 		default:
@@ -105,6 +120,20 @@ func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
 		}
 	}
 	return c
+}
+
+// adoptFile takes ownership of one reference to a mapped store file: the
+// cache's structures may serve zero-copy views into it, so the mapping
+// must outlive the cache. The reference is released by a GC cleanup when
+// the cache becomes unreachable — never earlier, never while a snapshot
+// (or a repaired descendant holding shared slices) can still read the
+// views. Decode-mode files hold no mapping and need no lifecycle.
+func (c *indexCache) adoptFile(f *store.File) {
+	if f.Mode() != store.ModeMmap {
+		return
+	}
+	c.retained = append(c.retained, f)
+	runtime.AddCleanup(c, func(f *store.File) { f.Close() }, f)
 }
 
 // setEpoch aligns the cache with the snapshot it serves, so a persist
@@ -156,11 +185,21 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 	next := &indexCache{
 		g:           newG,
 		dir:         c.dir,
+		mode:        c.mode,
 		buildTau:    c.buildTau,
 		buildTSD:    c.buildTSD,
 		buildGCT:    c.buildGCT,
 		buildHybrid: c.buildHybrid,
 		buildMRank:  c.buildMRank,
+	}
+	// The repaired indexes below share every untouched per-vertex slice
+	// with this cache's structures — which may be zero-copy views into a
+	// mapped store file — so the next generation must pin the same
+	// mappings. (The repairs themselves never write into shared storage:
+	// they are copy-on-write by contract, and the mappings are PROT_READ,
+	// so a regression faults loudly instead of corrupting live readers.)
+	for _, f := range c.retained {
+		next.adoptFile(f.Retain())
 	}
 	c.dir = ""
 	c.mu.Unlock()
@@ -219,8 +258,8 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 // from the warm-start file, or returns the zero value when the file is
 // absent or lacks the section. A damaged section records the typed error
 // and is marked bad so later misses rebuild (and re-persist) instead of
-// retrying a broken read; the file's other sections stay trusted — each
-// carries its own checksum. Callers must hold c.mu.
+// retrying a broken read; the file's other sections stay trusted — damage
+// is detected and handled per section. Callers must hold c.mu.
 func loadSection[T any](c *indexCache, ref store.SectionRef, read func(*store.File) (T, error)) T {
 	var zero T
 	if c.file == nil || !c.file.HasMeasure(ref.Section, ref.Measure) || c.bad[ref] {
@@ -255,10 +294,12 @@ func (c *indexCache) trussTauLocked() []int32 {
 		return c.tau
 	}
 	if tau := loadSection(c, trussSec(store.SecTruss), (*store.File).Tau); tau != nil {
-		// Store-loaded decompositions come without supports (sup stays
-		// nil), so the first Apply after a warm start rebuilds instead of
-		// repairing; the rebuild re-derives both and repair resumes.
+		// Format v3 persists the supports next to the decomposition, so a
+		// warm start repairs incrementally on the very first Apply. Older
+		// files lack the section (sup stays nil) and the first Apply
+		// rebuilds; the rebuild re-derives both and repair resumes.
 		c.tau = tau
+		c.sup = loadSection(c, trussSec(store.SecSupports), (*store.File).Sup)
 		return c.tau
 	}
 	start := time.Now()
@@ -440,6 +481,9 @@ func (c *indexCache) persistLocked() {
 	if c.file != nil {
 		if c.tau == nil {
 			c.tau = loadSection(c, trussSec(store.SecTruss), (*store.File).Tau)
+			if c.sup == nil {
+				c.sup = loadSection(c, trussSec(store.SecSupports), (*store.File).Sup)
+			}
 		}
 		if c.tsd == nil {
 			c.tsd = loadSection(c, trussSec(store.SecTSD), (*store.File).TSD)
@@ -464,7 +508,7 @@ func (c *indexCache) persistLocked() {
 			}
 		}
 	}
-	ix := store.Indexes{Tau: c.tau, TSD: c.tsd, GCT: c.gct, Epoch: uint64(c.epoch)}
+	ix := store.Indexes{Tau: c.tau, Sup: c.sup, TSD: c.tsd, GCT: c.gct, Epoch: uint64(c.epoch)}
 	if c.hybrid != nil {
 		ix.Rankings = c.hybrid.Rankings()
 	}
@@ -477,8 +521,9 @@ func (c *indexCache) persistLocked() {
 		return
 	}
 	c.saveErr = nil
-	if f, err := store.Open(path, c.g); err == nil {
+	if f, err := store.OpenFile(path, c.g, store.WithMode(c.mode)); err == nil {
 		c.file = f
+		c.adoptFile(f)
 		c.bad = nil // the rewrite replaced any damaged section
 	}
 }
@@ -509,11 +554,20 @@ func (c *indexCache) hasHybrid() bool {
 
 // onDisk reports whether truss section s can be loaded from the
 // warm-start file — the "cheap to have" signal the cost estimates use. A
-// section that failed its checksum is not cheap: it will be rebuilt.
+// section that failed to load is not cheap: it will be rebuilt.
 func (c *indexCache) onDisk(s store.Section) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.file != nil && c.file.Has(s) && !c.bad[trussSec(s)]
+}
+
+// storeMmap reports whether the warm-start file serves zero-copy views; a
+// "load" is then O(n) slice-header surgery over the mapping instead of an
+// O(m) read-and-decode, and the cost estimates price it accordingly.
+func (c *indexCache) storeMmap() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.file != nil && c.file.Mode() == store.ModeMmap
 }
 
 // --- online (Algorithm 3) ---
@@ -617,6 +671,11 @@ func (e *boundEngine) Cost(q Query) Estimate {
 		sparsify = e.w.m
 	} else if e.cache.onDisk(store.SecTruss) {
 		sparsify = 2 * e.w.m
+		if e.cache.storeMmap() {
+			// The decomposition is an O(1) view into the mapping; only the
+			// per-query edge filter remains.
+			sparsify = e.w.m
+		}
 	}
 	return Estimate{Query: sparsify + e.w.searchWork(e.w.egoWork, q)/8 + e.w.contextWork(q)}
 }
@@ -665,9 +724,13 @@ func (e *tsdEngine) Cost(q Query) Estimate {
 	}
 	if !e.cache.hasTSD() {
 		if e.cache.onDisk(store.SecTSD) {
-			// Deserializing is a sequential O(m) read, far below the Σd²
-			// build, so routing treats a persisted index as nearly ready.
+			// Deserializing is a sequential O(m) read — or O(n) slice-header
+			// surgery under mmap — far below the Σd² build, so routing
+			// treats a persisted index as nearly ready.
 			est.Build = e.w.m
+			if e.cache.storeMmap() {
+				est.Build = e.w.n
+			}
 		} else {
 			est.Build = e.w.egoWork
 		}
@@ -716,8 +779,12 @@ func (e *gctEngine) Cost(q Query) Estimate {
 	}
 	if !e.cache.hasGCT() {
 		if e.cache.onDisk(store.SecGCT) {
-			// A persisted index loads in one O(m) sequential read.
+			// A persisted index loads in one O(m) sequential read, or O(n)
+			// view construction under mmap.
 			est.Build = e.w.m
+			if e.cache.storeMmap() {
+				est.Build = e.w.n
+			}
 		} else {
 			// The GCT build does slightly more work than TSD's
 			// (compression on top of the same per-ego decompositions).

@@ -356,12 +356,43 @@ func TestRegisterSurvivesApply(t *testing.T) {
 // actually served, the pinned reader must stay at its epoch, and nothing
 // may fault or race.
 func TestConcurrentReadersDuringApply(t *testing.T) {
+	t.Run("memory", func(t *testing.T) { concurrentReadersDuringApply(t, nil) })
+	// The same hammer against a mmap-backed DB: queries serve from
+	// zero-copy views over the store mapping while Apply repairs
+	// copy-on-write and persists new epochs, so -race also patrols the
+	// mapping-retention chain.
+	t.Run("mmap", func(t *testing.T) {
+		// Seed the store first so the DB under test warm starts from the
+		// mapping instead of building in memory.
+		dir := t.TempDir()
+		seed, err := trussdiv.Open(trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
+			N: 250, Attach: 3, Cliques: 50, MinSize: 4, MaxSize: 6, Seed: 35,
+		}), trussdiv.WithIndexDir(dir), trussdiv.WithPreparedIndexes("tsd", "gct"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := seed.StoreStatus(); st.SaveErr != nil {
+			t.Fatal(st.SaveErr)
+		}
+		concurrentReadersDuringApply(t, []trussdiv.Option{trussdiv.WithIndexDir(dir)})
+	})
+}
+
+func concurrentReadersDuringApply(t *testing.T, extra []trussdiv.Option) {
 	g := trussdiv.CommunityOverlay(trussdiv.OverlayConfig{
 		N: 250, Attach: 3, Cliques: 50, MinSize: 4, MaxSize: 6, Seed: 35,
 	})
-	db, err := trussdiv.Open(g, trussdiv.WithPreparedIndexes("tsd", "gct"))
+	opts := append([]trussdiv.Option{trussdiv.WithPreparedIndexes("tsd", "gct")}, extra...)
+	db, err := trussdiv.Open(g, opts...)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if extra != nil {
+		st := db.StoreStatus()
+		if !st.Warm {
+			t.Fatalf("store-backed variant did not warm start: %+v", st)
+		}
+		t.Logf("store mode: %v", st.Mode)
 	}
 	ctx := context.Background()
 	const batches = 4
@@ -468,7 +499,7 @@ func TestStoreEpochAcrossApply(t *testing.T) {
 	if err := db.Prepare(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.SaveIndexes(); err != nil {
+	if _, err := db.SaveIndexes(); err != nil {
 		t.Fatal(err)
 	}
 

@@ -82,12 +82,13 @@ func run(input, dataset, out string, verify, measures bool) error {
 		return err
 	}
 	prepared := time.Since(start)
-	if err := db.SaveIndexes(); err != nil {
+	path, err := db.SaveIndexes()
+	if err != nil {
 		return err
 	}
 
 	st := db.StoreStatus()
-	info, err := os.Stat(st.Path)
+	info, err := os.Stat(path)
 	if err != nil {
 		return err
 	}
@@ -95,21 +96,29 @@ func run(input, dataset, out string, verify, measures bool) error {
 	fmt.Printf("prepared in %v (build %v, load %v)\n",
 		prepared.Round(time.Millisecond), idx.BuildTime.Round(time.Millisecond),
 		idx.LoadTime.Round(time.Millisecond))
-	fmt.Printf("wrote %s: %d bytes, sections %v\n", st.Path, info.Size(), st.Sections)
+	fmt.Printf("wrote %s (format v%d): %d bytes, sections %v\n", path, st.FormatVersion, info.Size(), st.Sections)
 	return nil
 }
 
 // verifyStore checks an existing index file end to end: header (magic,
-// version, fingerprint) plus a checksummed read of every section.
+// version, fingerprint), the full per-section CRC pass mmap mode defers at
+// open (VerifySections, run over the mapping when the platform supports
+// it), and a checksummed decode of every section.
 func verifyStore(path string, g *graph.Graph) error {
-	f, err := store.Open(path, g)
+	f, err := store.OpenFile(path, g)
 	if err != nil {
 		return fmt.Errorf("verify %s: %w", path, err)
+	}
+	mode, sections := f.Mode(), f.Sections()
+	crcErr := f.VerifySections()
+	f.Close()
+	if crcErr != nil {
+		return fmt.Errorf("verify %s: %w", path, crcErr)
 	}
 	if _, err := store.ReadAll(path, g); err != nil {
 		return fmt.Errorf("verify %s: %w", path, err)
 	}
-	fmt.Printf("%s: valid (sections: %v)\n", path, f.Sections())
+	fmt.Printf("%s: valid (mode %s, sections: %v)\n", path, mode, sections)
 	return nil
 }
 

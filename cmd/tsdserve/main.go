@@ -7,7 +7,10 @@
 // With -indexdir the server warm starts from a persistent index store:
 // indexes prebuilt by cmd/tsdindex load from dir/indexes.tdx instead of
 // being rebuilt, and a cold start persists what it builds so the next
-// boot is warm. A stale or damaged index file is rebuilt around.
+// boot is warm. A stale or damaged index file is rebuilt around. Format
+// v3 stores are memory-mapped by default, so N replicas of one graph
+// share a single physical copy of the index arrays; -storemode decode
+// forces the classic read-and-decode path.
 //
 // Usage:
 //
@@ -70,13 +73,14 @@ import (
 
 func main() {
 	var (
-		input    = flag.String("input", "", "edge-list file (SNAP text format)")
-		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
-		addr     = flag.String("addr", ":8080", "listen address")
-		timeout  = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
-		indexDir = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
-		readOnly = flag.Bool("readonly", false, "disable POST /edges live updates")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+		input     = flag.String("input", "", "edge-list file (SNAP text format)")
+		dataset   = flag.String("dataset", "", "built-in synthetic dataset name")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 0, "per-request search deadline (0 = none)")
+		indexDir  = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
+		storeMode = flag.String("storemode", "mmap", "index store read mode: mmap (zero-copy views, replicas share pages) or decode")
+		readOnly  = flag.Bool("readonly", false, "disable POST /edges live updates")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 
 		coordMode = flag.Bool("coordinator", false, "run as cluster coordinator (requires -shards)")
 		shardsArg = flag.String("shards", "", "coordinator: shard groups, comma-separated; replicas '|'-separated (host:port|host:port,...)")
@@ -85,9 +89,15 @@ func main() {
 	)
 	flag.Parse()
 
+	mode, err := parseStoreMode(*storeMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsdserve:", err)
+		os.Exit(1)
+	}
+
 	if err := run(options{
 		input: *input, dataset: *dataset, addr: *addr, timeout: *timeout,
-		indexDir: *indexDir, readOnly: *readOnly, drain: *drain,
+		indexDir: *indexDir, storeMode: mode, readOnly: *readOnly, drain: *drain,
 		coordMode: *coordMode, shards: *shardsArg,
 		shardMode: *shardMode, rangeSpec: *rangeArg,
 	}); err != nil {
@@ -100,11 +110,22 @@ type options struct {
 	input, dataset, addr string
 	timeout, drain       time.Duration
 	indexDir             string
+	storeMode            trussdiv.StoreMode
 	readOnly             bool
 	coordMode            bool
 	shards               string
 	shardMode            bool
 	rangeSpec            string
+}
+
+func parseStoreMode(s string) (trussdiv.StoreMode, error) {
+	switch s {
+	case "mmap":
+		return trussdiv.StoreMmap, nil
+	case "decode":
+		return trussdiv.StoreDecode, nil
+	}
+	return 0, fmt.Errorf("-storemode %q: want mmap or decode", s)
 }
 
 func run(o options) error {
@@ -154,7 +175,8 @@ func runSingle(o options) error {
 	start := time.Now()
 	opts := []server.Option{server.WithTimeout(o.timeout)}
 	if o.indexDir != "" {
-		opts = append(opts, server.WithIndexDir(o.indexDir))
+		opts = append(opts, server.WithIndexDir(o.indexDir),
+			server.WithStoreMode(o.storeMode))
 	}
 	if o.readOnly {
 		opts = append(opts, server.WithReadOnly())
@@ -167,7 +189,8 @@ func runSingle(o options) error {
 		case st.LoadErr != nil:
 			log.Printf("index store %s rejected (%v); rebuilt from the graph", st.Path, st.LoadErr)
 		case st.Warm && srv.DB().IndexStats().LoadTime > 0:
-			log.Printf("warm start from %s (sections: %v)", st.Path, st.Sections)
+			log.Printf("warm start from %s (format v%d, %s mode, sections: %v)",
+				st.Path, st.FormatVersion, st.Mode, st.Sections)
 		case st.Warm:
 			log.Printf("index store written to %s (sections: %v)", st.Path, st.Sections)
 		}
@@ -197,7 +220,8 @@ func runShard(o options) error {
 	start := time.Now()
 	var dbOpts []trussdiv.Option
 	if o.indexDir != "" {
-		dbOpts = append(dbOpts, trussdiv.WithIndexDir(o.indexDir))
+		dbOpts = append(dbOpts, trussdiv.WithIndexDir(o.indexDir),
+			trussdiv.WithStoreMode(o.storeMode))
 	}
 	db, err := trussdiv.Open(g, dbOpts...)
 	if err != nil {

@@ -61,9 +61,37 @@ type dbConfig struct {
 	gctIdx       *GCTIndex
 	prepare      []string
 	indexDir     string
+	storeMode    StoreMode
 	buildWorkers int
 	resultCap    int
 	resultCapSet bool
+}
+
+// StoreMode selects how a DB reads its persistent index store (see
+// WithStoreMode). The zero value is StoreMmap.
+type StoreMode int
+
+const (
+	// StoreMmap maps the index file read-only and serves array sections as
+	// zero-copy views out of the page cache — warm starts touch O(1) bytes
+	// per section instead of decoding the file, and N replicas of one graph
+	// share a single physical copy of the index. Requires a format v3 file,
+	// a little-endian host, and OS mmap support; anything else silently
+	// degrades to decoding (StoreStatus.Mode reports what actually
+	// happened).
+	StoreMmap StoreMode = iota
+	// StoreDecode reads and decodes sections into freshly allocated memory,
+	// the pre-v3 behavior. Use it when the index file lives on storage that
+	// cannot back a long-lived mapping (e.g. some network filesystems).
+	StoreDecode
+)
+
+// String returns "mmap" or "decode".
+func (m StoreMode) String() string {
+	if m == StoreDecode {
+		return "decode"
+	}
+	return "mmap"
 }
 
 // WithEngine pins every DB query to the named engine instead of cost
@@ -112,6 +140,12 @@ func WithResultCache(n int) Option {
 	return func(c *dbConfig) { c.resultCap = n; c.resultCapSet = true }
 }
 
+// Store options
+//
+// WithIndexDir connects the DB to its persistent index store and
+// WithStoreMode picks how that store is read; DB.StoreStatus and
+// DB.SaveIndexes complete the store surface.
+
 // WithIndexDir connects the DB to a persistent index store in dir (the
 // file is dir/indexes.tdx; build one offline with cmd/tsdindex or let the
 // DB write it). On a cache miss the DB loads the needed index from the
@@ -123,8 +157,20 @@ func WithResultCache(n int) Option {
 // (errors.Is against ErrStaleIndex, ErrIndexCorrupt, ErrIndexVersion).
 // A warm file also restores the epoch counter it recorded, so epochs keep
 // increasing across redeploys of an updated graph.
+//
+// Format v3 files are memory-mapped by default — see WithStoreMode.
 func WithIndexDir(dir string) Option {
 	return func(c *dbConfig) { c.indexDir = dir }
+}
+
+// WithStoreMode selects how the index store configured with WithIndexDir
+// is read: StoreMmap (the default) serves zero-copy views over a
+// read-only mapping of a format v3 file, StoreDecode forces the classic
+// read-and-decode path. The mode never changes query results — answers
+// are byte-identical either way — only where the index arrays live.
+// Without WithIndexDir the option has no effect.
+func WithStoreMode(m StoreMode) Option {
+	return func(c *dbConfig) { c.storeMode = m }
 }
 
 // WithPreparedIndexes builds the named engines' indexes during Open
@@ -499,10 +545,16 @@ type StoreStatus struct {
 	// Dir is the configured index directory; Path the index file in it.
 	Dir, Path string
 	// Warm reports that a validated index file is available, and Sections
-	// names the parts it holds ("truss", "tsd", "gct", "rankings",
-	// "epoch").
+	// names the parts it holds ("truss", "supports", "tsd", "gct",
+	// "rankings", "epoch", "graph").
 	Warm     bool
 	Sections []string
+	// FormatVersion is the on-disk format version of the warm file (1-3;
+	// 0 when no file is loaded), and Mode is how the file is actually
+	// being read — StoreMmap only when the mapping is live, StoreDecode
+	// when the configured (or fallen-back-to) path decodes sections.
+	FormatVersion uint32
+	Mode          StoreMode
 	// LoadErr is the typed reason an on-disk index was rejected or a
 	// section read failed — match it with errors.Is against
 	// ErrStaleIndex, ErrIndexVersion, ErrIndexCorrupt, or ErrNotIndexFile.
@@ -525,21 +577,24 @@ func (db *DB) ResultCacheStats() ResultCacheStats { return db.results.statsSnaps
 
 // SaveIndexes persists every index the current snapshot holds in memory —
 // plus anything already in the index file — to the configured index
-// directory, atomically replacing the file. The file is fingerprinted
-// against the snapshot's graph and records its epoch, so calling it after
-// Apply persists the post-update state (and makes the previous on-disk
-// state unreadable for the old graph, by design). It builds nothing; call
-// Prepare first to persist a complete set. Open must have been given
-// WithIndexDir.
-func (db *DB) SaveIndexes() error {
+// directory, atomically replacing the file, and returns the path it
+// wrote. The file is fingerprinted against the snapshot's graph and
+// records its epoch, so calling it after Apply persists the post-update
+// state (and makes the previous on-disk state unreadable for the old
+// graph, by design). It builds nothing; call Prepare first to persist a
+// complete set. Open must have been given WithIndexDir.
+func (db *DB) SaveIndexes() (string, error) {
 	c := db.Snapshot().cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dir == "" {
-		return errors.New("trussdiv: SaveIndexes: no index directory configured (Open with WithIndexDir)")
+		return "", errors.New("trussdiv: SaveIndexes: no index directory configured (Open with WithIndexDir)")
 	}
 	c.persistLocked()
-	return c.saveErr
+	if c.saveErr != nil {
+		return "", c.saveErr
+	}
+	return store.PathIn(c.dir), nil
 }
 
 // TSDIndexHandle returns the current snapshot's TSD index, building it if

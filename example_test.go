@@ -16,13 +16,16 @@ func Example() {
 	// Output: 3
 }
 
-// ExampleGCT shows the index-once, query-many workflow.
+// ExampleGCT shows the index-once, query-many workflow: the GCT index is
+// built during Open and every query is answered from it.
 func ExampleGCT() {
 	g := trussdiv.PaperExampleGraph()
-	idx := trussdiv.BuildGCTIndex(g)
-	searcher := trussdiv.NewGCT(idx)
+	db, err := trussdiv.Open(g, trussdiv.WithEngine("gct"), trussdiv.WithPreparedIndexes("gct"))
+	if err != nil {
+		panic(err)
+	}
 	for _, k := range []int32{3, 4, 5} {
-		res, _, err := searcher.TopR(k, 1)
+		res, _, err := db.TopR(context.Background(), trussdiv.NewQuery(k, 1))
 		if err != nil {
 			panic(err)
 		}

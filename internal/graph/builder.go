@@ -74,7 +74,7 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 // fromCanonicalEdges lays out the CSR arrays from a deduplicated edge list
 // already sorted by (U,V) with U < V. Edge i gets ID i.
 func fromCanonicalEdges(n int, edges []Edge) *Graph {
-	off := make([]int, n+1)
+	off := make([]int64, n+1)
 	for _, e := range edges {
 		off[e.U+1]++
 		off[e.V+1]++
@@ -84,7 +84,7 @@ func fromCanonicalEdges(n int, edges []Edge) *Graph {
 	}
 	adj := make([]int32, 2*len(edges))
 	eid := make([]int32, 2*len(edges))
-	cursor := make([]int, n)
+	cursor := make([]int64, n)
 	copy(cursor, off[:n])
 	for id, e := range edges {
 		adj[cursor[e.U]] = e.V

@@ -9,7 +9,13 @@
 // flat arrays.
 package graph
 
-import "sort"
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // Edge is an undirected edge with canonical orientation U < V.
 type Edge struct {
@@ -17,12 +23,18 @@ type Edge struct {
 }
 
 // Graph is an immutable undirected simple graph in CSR form.
-// Build one with a Builder, FromEdges, or the readers in this package.
+// Build one with a Builder, FromEdges, FromCSR, or the readers in this
+// package. All four CSR arrays use fixed-width element types so the layout
+// is identical on 32- and 64-bit builds and can be serialized (or mmap'd
+// back) as raw little-endian slabs.
 type Graph struct {
-	off   []int   // len N()+1; arc range of vertex v is adj[off[v]:off[v+1]]
+	off   []int64 // len N()+1; arc range of vertex v is adj[off[v]:off[v+1]]
 	adj   []int32 // len 2*M(); sorted neighbors per vertex
 	eid   []int32 // len 2*M(); edge ID parallel to adj
 	edges []Edge  // len M(); edges[id] is the canonical endpoint pair
+
+	fpOnce sync.Once
+	fp     [32]byte
 }
 
 // N returns the number of vertices.
@@ -32,7 +44,7 @@ func (g *Graph) N() int { return len(g.off) - 1 }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v int32) int { return g.off[v+1] - g.off[v] }
+func (g *Graph) Degree(v int32) int { return int(g.off[v+1] - g.off[v]) }
 
 // Neighbors returns the sorted neighbor list of v. The returned slice
 // aliases internal storage and must not be modified.
@@ -50,6 +62,91 @@ func (g *Graph) Edge(id int32) Edge { return g.edges[id] }
 // Edges returns the full edge list indexed by edge ID. The returned slice
 // aliases internal storage and must not be modified.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// Fingerprint returns the SHA-256 identity of the graph: a domain string,
+// the vertex and edge counts, and every canonical edge in ID order, all
+// little-endian. Two graphs with the same structure hash identically on any
+// platform. The digest is computed once per Graph and memoized — the graph
+// is immutable — so repeated callers (index persistence, store validation)
+// pay the hash exactly once per process.
+func (g *Graph) Fingerprint() [32]byte {
+	g.fpOnce.Do(func() {
+		h := sha256.New()
+		h.Write([]byte("trussdiv-graph-v1"))
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
+		h.Write(hdr[:])
+		// Encode edges by hand in bounded chunks: reflection-based encoding
+		// of the whole edge list would dominate the hash itself.
+		const chunk = 1 << 13
+		buf := make([]byte, 0, 8*chunk)
+		edges := g.edges
+		for len(edges) > 0 {
+			n := min(len(edges), chunk)
+			buf = buf[:0]
+			for _, e := range edges[:n] {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+			}
+			h.Write(buf)
+			edges = edges[n:]
+		}
+		h.Sum(g.fp[:0])
+	})
+	return g.fp
+}
+
+// CSR returns the four raw CSR arrays: the arc offset table (len N()+1),
+// the sorted neighbor list and parallel edge-ID list (len 2*M() each), and
+// the canonical edge list (len M()). All returned slices alias internal
+// storage and must not be modified; they are exactly the slabs FromCSR
+// accepts, which is what lets a serialized graph round-trip with zero
+// re-encoding.
+func (g *Graph) CSR() (off []int64, adj, eid []int32, edges []Edge) {
+	return g.off, g.adj, g.eid, g.edges
+}
+
+// FromCSR adopts pre-built CSR arrays without copying them — the caller
+// promises the slices stay immutable for the life of the graph (they may be
+// views into a read-only mmap). The layout is validated structurally
+// (lengths, offset monotonicity, neighbor sort order, ID ranges) in O(n+m)
+// but edge IDs are trusted to match the canonical (U,V)-sorted assignment;
+// use Fingerprint-style checks upstream when the source is untrusted.
+func FromCSR(off []int64, adj, eid []int32, edges []Edge) (*Graph, error) {
+	if len(off) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR: empty offset table")
+	}
+	n, m := len(off)-1, len(edges)
+	if len(adj) != 2*m || len(eid) != 2*m {
+		return nil, fmt.Errorf("graph: FromCSR: adj/eid length %d/%d, want %d", len(adj), len(eid), 2*m)
+	}
+	if off[0] != 0 || off[n] != int64(2*m) {
+		return nil, fmt.Errorf("graph: FromCSR: offset table spans [%d,%d], want [0,%d]", off[0], off[n], 2*m)
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := off[v], off[v+1]
+		if lo > hi {
+			return nil, fmt.Errorf("graph: FromCSR: offsets decrease at vertex %d", v)
+		}
+		for i := lo; i < hi; i++ {
+			if w := adj[i]; w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: FromCSR: neighbor %d of vertex %d out of range", w, v)
+			} else if i > lo && adj[i-1] >= w {
+				return nil, fmt.Errorf("graph: FromCSR: neighbors of vertex %d not strictly sorted", v)
+			}
+			if id := eid[i]; id < 0 || int(id) >= m {
+				return nil, fmt.Errorf("graph: FromCSR: edge ID %d at vertex %d out of range", id, v)
+			}
+		}
+	}
+	for id, e := range edges {
+		if e.U >= e.V || e.U < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: FromCSR: edge %d (%d,%d) not canonical for %d vertices", id, e.U, e.V, n)
+		}
+	}
+	return &Graph{off: off, adj: adj, eid: eid, edges: edges}, nil
+}
 
 // HasEdge reports whether the undirected edge {u,v} exists.
 func (g *Graph) HasEdge(u, v int32) bool { return g.EdgeID(u, v) >= 0 }

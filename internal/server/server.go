@@ -54,12 +54,13 @@ import (
 
 // Server answers structural diversity queries over one evolving graph.
 type Server struct {
-	db       *trussdiv.DB
-	timeout  time.Duration
-	indexDir string
-	readOnly bool
-	built    time.Duration
-	metrics  *metrics.Registry
+	db        *trussdiv.DB
+	timeout   time.Duration
+	indexDir  string
+	storeMode trussdiv.StoreMode
+	readOnly  bool
+	built     time.Duration
+	metrics   *metrics.Registry
 }
 
 // Option configures New.
@@ -82,6 +83,13 @@ func WithIndexDir(dir string) Option {
 	return func(s *Server) { s.indexDir = dir }
 }
 
+// WithStoreMode selects how the index store configured with WithIndexDir
+// is read — trussdiv.StoreMmap (the default, zero-copy views over a
+// shared mapping) or trussdiv.StoreDecode (classic read-and-decode).
+func WithStoreMode(m trussdiv.StoreMode) Option {
+	return func(s *Server) { s.storeMode = m }
+}
+
 // WithReadOnly disables the POST /edges endpoint: every update request
 // fails with 403 and the graph stays exactly as loaded.
 func WithReadOnly() Option {
@@ -97,7 +105,8 @@ func New(g *graph.Graph, opts ...Option) *Server {
 	}
 	var dbOpts []trussdiv.Option
 	if s.indexDir != "" {
-		dbOpts = append(dbOpts, trussdiv.WithIndexDir(s.indexDir))
+		dbOpts = append(dbOpts, trussdiv.WithIndexDir(s.indexDir),
+			trussdiv.WithStoreMode(s.storeMode))
 	}
 	db, err := trussdiv.Open(g, dbOpts...)
 	if err != nil {

@@ -1,0 +1,22 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the default open mode: on platforms without a mmap
+// shim OpenFile silently serves every file through the decode path.
+const mmapSupported = true
+
+// mmapFile maps the whole file read-only. The returned mapping is
+// independent of fd (the caller may close it) and of later renames over
+// the path (Save replaces the inode, never rewrites it), so views stay
+// valid until munmap.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

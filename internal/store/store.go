@@ -1,45 +1,45 @@
 // Package store persists the library's search accelerators — the truss
-// decomposition, the TSD and GCT indexes, and the hybrid engine's per-k
-// rankings — in one versioned binary file, so a serving process can warm
-// start from disk instead of paying the full build cost on every boot.
+// decomposition and edge supports, the TSD and GCT indexes, the per-k
+// rankings of every measure, and the graph's own CSR arrays — in one
+// versioned binary file, so a serving process can warm start from disk
+// instead of paying the full build cost on every boot.
 //
 // File layout (all integers little-endian):
 //
 //	offset  size  field
 //	0       4     magic "TDIX"
-//	4       4     format version (currently 2)
+//	4       4     format version (currently 3)
 //	8       32    SHA-256 fingerprint of the graph the indexes were built from
 //	40      4     section count
 //	44      28*c  table of contents: {id u32, measure u32, crc32c u32, offset u64, length u64}
-//	...           section payloads, in TOC order
+//	...           section payloads, in TOC order, each starting 8-byte aligned
 //
 // Every section is independently addressable (offset + length) and
 // checksummed (CRC-32C over the payload), so a reader can load exactly the
 // indexes a query workload needs and detect bit rot in any of them. The
-// fingerprint binds the file to one graph: Open refuses a file whose
+// fingerprint binds the file to one graph: OpenFile refuses a file whose
 // fingerprint does not match the graph it is asked to serve, returning a
 // *FingerprintError (errors.Is(err, ErrStaleIndex)) so callers can fall
 // back to a rebuild.
 //
-// Format v2 tags every TOC entry with the diversity measure the section
-// belongs to (0 = truss, 1 = component, 2 = core), so one file carries
-// the accelerators of every measure the DB serves: the truss sections
-// (decomposition, TSD, GCT, hybrid rankings) under measure 0, and per-k
-// ranking sections for the component and core measures under their own
-// tags. Version-1 files — whose 24-byte TOC entries predate the tag —
-// still load, with every section interpreted as measure=truss, exactly
-// what a v1 writer meant.
+// Format v3 payloads are flat slabs of fixed-width little-endian arrays
+// (see v3.go): section offsets and every array inside a section are 8-byte
+// aligned, so a reader can syscall.Mmap the file once and serve
+// []int32/[]int64 views straight out of the page cache with zero decode —
+// that is what OpenFile does by default on supported platforms. Format v2
+// tagged every TOC entry with the diversity measure the section belongs to
+// (0 = truss, 1 = component, 2 = core); v3 keeps the tagged TOC and adds
+// the supports and graph sections. v1 and v2 files still load, through the
+// decode path only.
 //
 // Compatibility policy: the format version is bumped on any layout change;
-// readers accept exactly the versions they know (currently 1 and 2) and
-// reject the rest with *VersionError rather than guessing. Unknown section
-// IDs (or measure tags) inside a known version are skipped, so minor
-// additions do not force a version bump.
+// readers accept exactly the versions they know (currently 1 through 3)
+// and reject the rest with *VersionError rather than guessing. Unknown
+// section IDs (or measure tags) inside a known version are skipped, so
+// minor additions do not force a version bump.
 package store
 
 import (
-	"bytes"
-	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -57,18 +57,19 @@ const (
 	Magic = uint32(0x58494454)
 	// Version is the current format version; see the package comment for
 	// the compatibility policy. Version 1 files (no measure tags in the
-	// TOC) are still read, as measure=truss.
-	Version = uint32(2)
+	// TOC) and version 2 files (no supports/graph sections, non-slab
+	// payloads) are still read through the decode path.
+	Version = uint32(3)
 	// minVersion is the oldest format this reader still accepts.
 	minVersion = uint32(1)
 	// FileName is the conventional file name inside an index directory.
 	FileName = "indexes.tdx"
 
 	headerSize     = 44
-	tocEntrySize   = 28 // v2: {id, measure, crc, offset, length}
+	tocEntrySize   = 28 // v2+: {id, measure, crc, offset, length}
 	tocEntrySizeV1 = 24 // v1: {id, crc, offset, length}, measure implied truss
 	// maxSections bounds the TOC a reader will accept; the format defines
-	// five section IDs across three measures, so anything much larger is a
+	// seven section IDs across three measures, so anything much larger is a
 	// corrupt header.
 	maxSections = 64
 )
@@ -80,17 +81,28 @@ const (
 	// SecTruss is the global truss decomposition: one int32 trussness per
 	// edge, indexed by edge ID.
 	SecTruss Section = 1
-	// SecTSD is the TSD index in its core serialization.
+	// SecTSD is the TSD index: a core stream serialization in v1/v2 files,
+	// a flat slab (v3.go) since v3.
 	SecTSD Section = 2
-	// SecGCT is the GCT index in its core serialization.
+	// SecGCT is the GCT index, serialized like SecTSD.
 	SecGCT Section = 3
-	// SecRankings is the hybrid engine's per-k vertex rankings.
+	// SecRankings is a per-k vertex ranking set; the measure tag in the TOC
+	// says which measure it ranks (untagged/truss = the hybrid engine's).
 	SecRankings Section = 4
 	// SecEpoch is the epoch counter of the snapshot the file was persisted
 	// from (8 bytes, little-endian), so a warm start resumes the version
-	// numbering of an updated graph instead of restarting at 1. Readers
-	// that predate it skip it as an unknown section — no version bump.
+	// numbering of an updated graph instead of restarting at 1.
 	SecEpoch Section = 5
+	// SecSupports is the global edge support array: one int32 per edge,
+	// parallel to SecTruss. Persisting it (since v3) lets a warm-started DB
+	// repair the decomposition incrementally on the first Apply instead of
+	// rebuilding. Readers that predate it skip it as an unknown section.
+	SecSupports Section = 6
+	// SecGraph is the graph's own CSR arrays (off/adj/eid/edges) as a flat
+	// slab (since v3): replicas can mmap the topology itself instead of
+	// each materializing a heap copy, and OpenGraph can boot from the store
+	// alone.
+	SecGraph Section = 7
 )
 
 // Measure tags on TOC entries, binding a section to the diversity
@@ -158,9 +170,17 @@ func (s Section) String() string {
 		return "rankings"
 	case SecEpoch:
 		return "epoch"
+	case SecSupports:
+		return "supports"
+	case SecGraph:
+		return "graph"
 	}
 	return fmt.Sprintf("section(%d)", uint32(s))
 }
+
+// knownSections lists every section ID this reader understands, in the
+// canonical listing order.
+var knownSections = []Section{SecTruss, SecSupports, SecTSD, SecGCT, SecRankings, SecEpoch, SecGraph}
 
 // Sentinel errors, each matched by errors.Is against the typed error that
 // carries the details.
@@ -239,37 +259,21 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Fingerprint hashes the graph structure (vertex count, edge count, and
 // the canonical edge list) so an index file can prove it was built from
 // the same graph it is asked to serve.
-func Fingerprint(g *graph.Graph) [32]byte {
-	h := sha256.New()
-	h.Write([]byte("trussdiv-graph-v1"))
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
-	h.Write(hdr[:])
-	// Hash edges in bounded chunks: binary.Write buffers its whole
-	// argument, and the full edge list of a large graph would be one
-	// giant allocation.
-	edges := g.Edges()
-	const chunk = 1 << 16
-	for len(edges) > 0 {
-		n := min(len(edges), chunk)
-		_ = binary.Write(h, binary.LittleEndian, edges[:n]) // sha256 writes cannot fail
-		edges = edges[n:]
-	}
-	var fp [32]byte
-	h.Sum(fp[:0])
-	return fp
-}
+func Fingerprint(g *graph.Graph) [32]byte { return g.Fingerprint() }
 
 // PathIn returns the conventional index file path inside dir.
 func PathIn(dir string) string { return filepath.Join(dir, FileName) }
 
 // Indexes bundles the sections a file can hold. Nil fields are simply
 // absent: Write persists only what is present, and ReadAll returns nil for
-// sections the file does not contain.
+// sections the file does not contain. (The graph's CSR section is not part
+// of this bundle — Write derives it from the graph itself.)
 type Indexes struct {
 	// Tau is the global truss decomposition, indexed by edge ID.
 	Tau []int32
+	// Sup is the global edge support array, parallel to Tau. Persisted
+	// since v3 so a warm start can repair incrementally.
+	Sup []int32
 	// TSD is the per-vertex maximum-spanning-forest index (paper §5).
 	TSD *core.TSDIndex
 	// GCT is the compressed supernode/superedge index (paper §6).
@@ -288,8 +292,10 @@ type Indexes struct {
 	Epoch uint64
 }
 
-// Write serializes the present sections of ix, fingerprinted against g,
-// and returns the bytes written.
+// Write serializes the present sections of ix in format v3, fingerprinted
+// against g, and returns the bytes written. The graph's own CSR section is
+// always included; every payload starts on an 8-byte file offset so a
+// mmap reader can serve views in place.
 func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 	type section struct {
 		id      Section
@@ -304,22 +310,21 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 		}
 		secs = append(secs, section{SecTruss, measureCodeTruss, encodeInt32s(ix.Tau)})
 	}
-	if ix.TSD != nil {
-		var buf bytes.Buffer
-		if _, err := ix.TSD.WriteTo(&buf); err != nil {
-			return 0, fmt.Errorf("store: serialize TSD index: %w", err)
+	if ix.Sup != nil {
+		if len(ix.Sup) != g.M() {
+			return 0, fmt.Errorf("store: support array has %d entries, graph has %d edges",
+				len(ix.Sup), g.M())
 		}
-		secs = append(secs, section{SecTSD, measureCodeTruss, buf.Bytes()})
+		secs = append(secs, section{SecSupports, measureCodeTruss, encodeInt32s(ix.Sup)})
+	}
+	if ix.TSD != nil {
+		secs = append(secs, section{SecTSD, measureCodeTruss, encodeTSDSlab(ix.TSD)})
 	}
 	if ix.GCT != nil {
-		var buf bytes.Buffer
-		if _, err := ix.GCT.WriteTo(&buf); err != nil {
-			return 0, fmt.Errorf("store: serialize GCT index: %w", err)
-		}
-		secs = append(secs, section{SecGCT, measureCodeTruss, buf.Bytes()})
+		secs = append(secs, section{SecGCT, measureCodeTruss, encodeGCTSlab(ix.GCT)})
 	}
 	if ix.Rankings != nil {
-		payload, err := encodeRankings(ix.Rankings, g.N())
+		payload, err := encodeRankingsSlab(ix.Rankings, g.N())
 		if err != nil {
 			return 0, err
 		}
@@ -335,7 +340,7 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 		if !ok || perK == nil {
 			continue
 		}
-		payload, err := encodeRankings(perK, g.N())
+		payload, err := encodeRankingsSlab(perK, g.N())
 		if err != nil {
 			return 0, err
 		}
@@ -346,6 +351,7 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 		binary.LittleEndian.PutUint64(payload, ix.Epoch)
 		secs = append(secs, section{SecEpoch, measureCodeTruss, payload})
 	}
+	secs = append(secs, section{SecGraph, measureCodeTruss, encodeGraphSlab(g)})
 
 	fp := Fingerprint(g)
 	header := make([]byte, headerSize+tocEntrySize*len(secs))
@@ -353,27 +359,34 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 	binary.LittleEndian.PutUint32(header[4:8], Version)
 	copy(header[8:40], fp[:])
 	binary.LittleEndian.PutUint32(header[40:44], uint32(len(secs)))
-	offset := uint64(len(header))
+	offset := align8(len(header))
 	for i, s := range secs {
 		e := header[headerSize+tocEntrySize*i:]
 		binary.LittleEndian.PutUint32(e[0:4], uint32(s.id))
 		binary.LittleEndian.PutUint32(e[4:8], s.measure)
 		binary.LittleEndian.PutUint32(e[8:12], crc32.Checksum(s.payload, crcTable))
-		binary.LittleEndian.PutUint64(e[12:20], offset)
+		binary.LittleEndian.PutUint64(e[12:20], uint64(offset))
 		binary.LittleEndian.PutUint64(e[20:28], uint64(len(s.payload)))
-		offset += uint64(len(s.payload))
+		offset = align8(offset + len(s.payload))
 	}
 
+	var pad [8]byte
 	written := int64(0)
-	n, err := w.Write(header)
-	written += int64(n)
-	if err != nil {
+	emit := func(b []byte) error {
+		n, err := w.Write(b)
+		written += int64(n)
+		return err
+	}
+	if err := emit(header); err != nil {
 		return written, err
 	}
 	for _, s := range secs {
-		n, err := w.Write(s.payload)
-		written += int64(n)
-		if err != nil {
+		if gap := align8(int(written)) - int(written); gap > 0 {
+			if err := emit(pad[:gap]); err != nil {
+				return written, err
+			}
+		}
+		if err := emit(s.payload); err != nil {
 			return written, err
 		}
 	}
@@ -383,7 +396,8 @@ func Write(w io.Writer, g *graph.Graph, ix Indexes) (int64, error) {
 // Save atomically writes the index file at path (creating parent
 // directories as needed): the bytes land in a temporary sibling first and
 // replace path only on success, so readers never observe a half-written
-// file.
+// file. A mapping held by an already-open File is unaffected: the rename
+// replaces the inode, never rewrites it.
 func Save(path string, g *graph.Graph, ix Indexes) error {
 	if dir := filepath.Dir(path); dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -408,291 +422,7 @@ func Save(path string, g *graph.Graph, ix Indexes) error {
 	return nil
 }
 
-type tocEntry struct {
-	crc    uint32
-	offset uint64
-	length uint64
-}
-
-// File is an opened, header-validated index file whose sections load on
-// demand. Section reads reopen the file, so a File holds no descriptor
-// between calls and is safe for concurrent use.
-type File struct {
-	path    string
-	g       *graph.Graph
-	version uint32
-	toc     map[SectionRef]tocEntry
-}
-
-// Open validates the file at path against g: magic, format version,
-// graph fingerprint, and TOC sanity. Sections are not read until
-// requested. A missing file surfaces as fs.ErrNotExist; a file built from
-// a different graph fails with *FingerprintError (ErrStaleIndex). Both
-// current format versions are accepted: a v1 file's sections all load as
-// measure=truss.
-func Open(path string, g *graph.Graph) (*File, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
-	var hdr [headerSize]byte
-	n, readErr := io.ReadFull(f, hdr[:])
-	// Judge the magic before a short read: a random small file is "not an
-	// index", while a file that starts like one but ends early is corrupt.
-	if n >= 4 {
-		if magic := binary.LittleEndian.Uint32(hdr[0:4]); magic != Magic {
-			return nil, fmt.Errorf("%w (magic %#x)", ErrNotIndexFile, magic)
-		}
-	}
-	if readErr != nil {
-		return nil, &CorruptError{Reason: "truncated header", Err: readErr}
-	}
-	version := binary.LittleEndian.Uint32(hdr[4:8])
-	if version < minVersion || version > Version {
-		return nil, &VersionError{Got: version, Want: Version}
-	}
-	var fp [32]byte
-	copy(fp[:], hdr[8:40])
-	if want := Fingerprint(g); fp != want {
-		return nil, &FingerprintError{Got: fp, Want: want}
-	}
-	count := binary.LittleEndian.Uint32(hdr[40:44])
-	if count > maxSections {
-		return nil, &CorruptError{Reason: fmt.Sprintf("implausible section count %d", count)}
-	}
-	entrySize := tocEntrySize
-	if version == 1 {
-		entrySize = tocEntrySizeV1
-	}
-	tocBytes := make([]byte, entrySize*int(count))
-	if _, err := io.ReadFull(f, tocBytes); err != nil {
-		return nil, &CorruptError{Reason: "truncated table of contents", Err: err}
-	}
-	toc := make(map[SectionRef]tocEntry, count)
-	for i := 0; i < int(count); i++ {
-		e := tocBytes[entrySize*i:]
-		id := Section(binary.LittleEndian.Uint32(e[0:4]))
-		mcode := measureCodeTruss // v1 entries carry no tag: truss by definition
-		if version >= 2 {
-			mcode = binary.LittleEndian.Uint32(e[4:8])
-			e = e[4:] // the remaining fields line up with the v1 layout
-		}
-		entry := tocEntry{
-			crc:    binary.LittleEndian.Uint32(e[4:8]),
-			offset: binary.LittleEndian.Uint64(e[8:16]),
-			length: binary.LittleEndian.Uint64(e[16:24]),
-		}
-		// Compare without summing: offset+length can wrap in uint64, and a
-		// wrapped sum would wave a huge length through to make([]byte, n).
-		size := uint64(st.Size())
-		if entry.length > size || entry.offset > size-entry.length || entry.offset < headerSize {
-			return nil, &CorruptError{Section: id,
-				Reason: fmt.Sprintf("section extends beyond the file (offset %d, length %d, file %d)",
-					entry.offset, entry.length, st.Size())}
-		}
-		measure, knownMeasure := measureFromCode(mcode)
-		if !knownMeasure {
-			// A measure tag from a newer writer: skip the section, keep the
-			// file, same policy as unknown section IDs.
-			continue
-		}
-		switch id {
-		case SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch:
-			ref := SectionRef{Section: id, Measure: measure}
-			if _, dup := toc[ref]; dup {
-				return nil, &CorruptError{Section: id, Reason: "duplicate section"}
-			}
-			toc[ref] = entry
-		default:
-			// Unknown sections within a known version are additions from a
-			// newer writer; skip them rather than failing the whole file.
-		}
-	}
-	return &File{path: path, g: g, version: version, toc: toc}, nil
-}
-
-// Version reports the format version the file was written with.
-func (f *File) Version() uint32 { return f.version }
-
-// Path returns the file's location on disk.
-func (f *File) Path() string { return f.path }
-
-// Has reports whether the file contains the truss-measure section s
-// (the v1 notion of presence); use HasMeasure for tagged sections.
-func (f *File) Has(s Section) bool {
-	return f.HasMeasure(s, core.MeasureTruss)
-}
-
-// HasMeasure reports whether the file contains section s tagged with
-// measure m.
-func (f *File) HasMeasure(s Section, m core.Measure) bool {
-	_, ok := f.toc[SectionRef{Section: s, Measure: m.Normalize()}]
-	return ok
-}
-
-// Sections lists the recognized section instances present in the file:
-// truss sections in ID order first (the v1 listing), then the tagged
-// sections of the other measures in measure order.
-func (f *File) Sections() []SectionRef {
-	var out []SectionRef
-	for _, m := range core.AllMeasures() {
-		for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings, SecEpoch} {
-			if f.HasMeasure(s, m) {
-				out = append(out, SectionRef{Section: s, Measure: m})
-			}
-		}
-	}
-	return out
-}
-
-// section reads and checksum-verifies one truss-tagged section's
-// payload, or returns (nil, nil) when the section is absent.
-func (f *File) section(s Section) ([]byte, error) {
-	return f.sectionMeasure(s, core.MeasureTruss)
-}
-
-// sectionMeasure reads and checksum-verifies one section's payload, or
-// returns (nil, nil) when the section is absent.
-func (f *File) sectionMeasure(s Section, m core.Measure) ([]byte, error) {
-	entry, ok := f.toc[SectionRef{Section: s, Measure: m.Normalize()}]
-	if !ok {
-		return nil, nil
-	}
-	fd, err := os.Open(f.path)
-	if err != nil {
-		return nil, err
-	}
-	defer fd.Close()
-	payload := make([]byte, entry.length)
-	if _, err := fd.ReadAt(payload, int64(entry.offset)); err != nil {
-		return nil, &CorruptError{Section: s, Reason: "truncated payload", Err: err}
-	}
-	if crc := crc32.Checksum(payload, crcTable); crc != entry.crc {
-		return nil, &CorruptError{Section: s,
-			Reason: fmt.Sprintf("checksum mismatch (file %#x, computed %#x)", entry.crc, crc)}
-	}
-	return payload, nil
-}
-
-// Tau loads the global truss decomposition, or (nil, nil) when absent.
-func (f *File) Tau() ([]int32, error) {
-	payload, err := f.section(SecTruss)
-	if payload == nil || err != nil {
-		return nil, err
-	}
-	if len(payload) != 4*f.g.M() {
-		return nil, &CorruptError{Section: SecTruss,
-			Reason: fmt.Sprintf("%d payload bytes for %d edges", len(payload), f.g.M())}
-	}
-	return decodeInt32s(payload), nil
-}
-
-// TSD loads the TSD index bound to the file's graph, or (nil, nil) when
-// absent.
-func (f *File) TSD() (*core.TSDIndex, error) {
-	payload, err := f.section(SecTSD)
-	if payload == nil || err != nil {
-		return nil, err
-	}
-	idx, err := core.ReadTSDIndex(bytes.NewReader(payload), f.g)
-	if err != nil {
-		return nil, &CorruptError{Section: SecTSD, Reason: "decode failed", Err: err}
-	}
-	return idx, nil
-}
-
-// GCT loads the GCT index bound to the file's graph, or (nil, nil) when
-// absent.
-func (f *File) GCT() (*core.GCTIndex, error) {
-	payload, err := f.section(SecGCT)
-	if payload == nil || err != nil {
-		return nil, err
-	}
-	idx, err := core.ReadGCTIndex(bytes.NewReader(payload), f.g)
-	if err != nil {
-		return nil, &CorruptError{Section: SecGCT, Reason: "decode failed", Err: err}
-	}
-	return idx, nil
-}
-
-// Epoch loads the recorded snapshot epoch, or (0, nil) when absent.
-func (f *File) Epoch() (uint64, error) {
-	payload, err := f.section(SecEpoch)
-	if payload == nil || err != nil {
-		return 0, err
-	}
-	if len(payload) != 8 {
-		return 0, &CorruptError{Section: SecEpoch,
-			Reason: fmt.Sprintf("%d payload bytes, want 8", len(payload))}
-	}
-	return binary.LittleEndian.Uint64(payload), nil
-}
-
-// Rankings loads the truss-measure (hybrid) per-k rankings, or
-// (nil, nil) when absent.
-func (f *File) Rankings() ([][]core.VertexScore, error) {
-	payload, err := f.section(SecRankings)
-	if payload == nil || err != nil {
-		return nil, err
-	}
-	return decodeRankings(payload, f.g.N())
-}
-
-// MeasureRankings loads the per-k rankings of measure m, or (nil, nil)
-// when the file has no rankings section tagged with m. For MeasureTruss
-// this is Rankings.
-func (f *File) MeasureRankings(m core.Measure) ([][]core.VertexScore, error) {
-	payload, err := f.sectionMeasure(SecRankings, m)
-	if payload == nil || err != nil {
-		return nil, err
-	}
-	return decodeRankings(payload, f.g.N())
-}
-
-// ReadAll opens path against g and loads every section it contains.
-func ReadAll(path string, g *graph.Graph) (*Indexes, error) {
-	f, err := Open(path, g)
-	if err != nil {
-		return nil, err
-	}
-	var ix Indexes
-	if ix.Tau, err = f.Tau(); err != nil {
-		return nil, err
-	}
-	if ix.TSD, err = f.TSD(); err != nil {
-		return nil, err
-	}
-	if ix.GCT, err = f.GCT(); err != nil {
-		return nil, err
-	}
-	if ix.Rankings, err = f.Rankings(); err != nil {
-		return nil, err
-	}
-	for _, m := range core.AllMeasures() {
-		if m == core.MeasureTruss || !f.HasMeasure(SecRankings, m) {
-			continue
-		}
-		perK, err := f.MeasureRankings(m)
-		if err != nil {
-			return nil, err
-		}
-		if ix.MeasureRankings == nil {
-			ix.MeasureRankings = make(map[core.Measure][][]core.VertexScore)
-		}
-		ix.MeasureRankings[m] = perK
-	}
-	if ix.Epoch, err = f.Epoch(); err != nil {
-		return nil, err
-	}
-	return &ix, nil
-}
-
-// --- section payload codecs ---
+// --- legacy (v1/v2) payload codecs, still used by the decode read path ---
 
 func encodeInt32s(vs []int32) []byte {
 	out := make([]byte, 4*len(vs))
@@ -710,39 +440,9 @@ func decodeInt32s(payload []byte) []int32 {
 	return out
 }
 
-// encodeRankings lays the per-k rankings out as: maxK u32, then for each
+// decodeRankings reads the v1/v2 rankings payload: maxK u32, then for each
 // k in [2, maxK] a u32 count followed by count {vertex i32, score i32}
 // pairs in ranking order.
-func encodeRankings(perK [][]core.VertexScore, n int) ([]byte, error) {
-	maxK := len(perK) - 1
-	if maxK < 2 {
-		maxK = 2
-	}
-	var buf bytes.Buffer
-	putU32 := func(v uint32) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], v)
-		buf.Write(b[:])
-	}
-	putU32(uint32(maxK))
-	for k := 2; k <= maxK; k++ {
-		var list []core.VertexScore
-		if k < len(perK) {
-			list = perK[k]
-		}
-		if len(list) > n {
-			return nil, fmt.Errorf("store: ranking for k=%d has %d entries, graph has %d vertices",
-				k, len(list), n)
-		}
-		putU32(uint32(len(list)))
-		for _, e := range list {
-			putU32(uint32(e.V))
-			putU32(uint32(int32(e.Score)))
-		}
-	}
-	return buf.Bytes(), nil
-}
-
 func decodeRankings(payload []byte, n int) ([][]core.VertexScore, error) {
 	corrupt := func(reason string) error {
 		return &CorruptError{Section: SecRankings, Reason: reason}

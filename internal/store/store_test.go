@@ -19,11 +19,23 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden index-store file")
 
-// buildIndexes constructs every section for g, the way cmd/tsdindex does.
+// bothModes runs a subtest under each read mode, so every behavioral
+// contract is pinned through the mmap path and the decode path alike.
+func bothModes(t *testing.T, f func(t *testing.T, mode Mode)) {
+	t.Helper()
+	for _, mode := range []Mode{ModeMmap, ModeDecode} {
+		t.Run(mode.String(), func(t *testing.T) { f(t, mode) })
+	}
+}
+
+// buildIndexes constructs every truss-measure section for g, the way
+// cmd/tsdindex does.
 func buildIndexes(g *graph.Graph) Indexes {
+	tau, sup := truss.DecomposeFull(g, 1)
 	gct := core.BuildGCTIndex(g)
 	return Indexes{
-		Tau:      truss.Decompose(g),
+		Tau:      tau,
+		Sup:      sup,
 		TSD:      core.BuildTSDIndex(g),
 		GCT:      gct,
 		Rankings: core.BuildHybrid(gct).Rankings(),
@@ -45,55 +57,99 @@ func saveTo(t *testing.T, g *graph.Graph, ix Indexes) string {
 	return path
 }
 
+func tsdBytes(t *testing.T, idx *core.TSDIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func gctBytes(t *testing.T, idx *core.GCTIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func TestRoundTripAllSections(t *testing.T) {
 	g := testGraph(t)
 	ix := buildIndexes(g)
 	path := saveTo(t, g, ix)
 
-	f, err := Open(path, g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []SectionRef{
-		{SecTruss, core.MeasureTruss}, {SecTSD, core.MeasureTruss},
-		{SecGCT, core.MeasureTruss}, {SecRankings, core.MeasureTruss},
-	}
-	if got := f.Sections(); !reflect.DeepEqual(got, want) {
-		t.Fatalf("sections = %v, want %v", got, want)
-	}
+	bothModes(t, func(t *testing.T, mode Mode) {
+		f, err := OpenFile(path, g, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		want := []SectionRef{
+			{SecTruss, core.MeasureTruss}, {SecSupports, core.MeasureTruss},
+			{SecTSD, core.MeasureTruss}, {SecGCT, core.MeasureTruss},
+			{SecRankings, core.MeasureTruss}, {SecGraph, core.MeasureTruss},
+		}
+		if got := f.Sections(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sections = %v, want %v", got, want)
+		}
+
+		tau, err := f.Tau()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tau, ix.Tau) {
+			t.Errorf("truss decomposition changed across the round trip")
+		}
+		sup, err := f.Sup()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sup, ix.Sup) {
+			t.Errorf("supports changed across the round trip")
+		}
+		rankings, err := f.Rankings()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rankings, ix.Rankings) {
+			t.Errorf("rankings changed across the round trip")
+		}
+		// The index structures have unexported scratch; compare through
+		// their serialized forms, which cover every searchable field.
+		tsd, err := f.TSD()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tsdBytes(t, tsd), tsdBytes(t, ix.TSD)) {
+			t.Errorf("TSD index changed across the round trip")
+		}
+		gct, err := f.GCT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gctBytes(t, gct), gctBytes(t, ix.GCT)) {
+			t.Errorf("GCT index changed across the round trip")
+		}
+		gg, err := f.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gg.N() != g.N() || gg.M() != g.M() || !reflect.DeepEqual(gg.Edges(), g.Edges()) {
+			t.Errorf("graph section changed across the round trip")
+		}
+	})
 
 	back, err := ReadAll(path, g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(back.Tau, ix.Tau) {
-		t.Errorf("truss decomposition changed across the round trip")
+	if !reflect.DeepEqual(back.Tau, ix.Tau) || !reflect.DeepEqual(back.Sup, ix.Sup) {
+		t.Errorf("ReadAll lost the truss arrays")
 	}
 	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
-		t.Errorf("rankings changed across the round trip")
-	}
-	// The index structures have unexported scratch; compare through their
-	// serialized forms, which cover every searchable field.
-	var a, b bytes.Buffer
-	if _, err := ix.TSD.WriteTo(&a); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := back.TSD.WriteTo(&b); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Errorf("TSD index changed across the round trip")
-	}
-	a.Reset()
-	b.Reset()
-	if _, err := ix.GCT.WriteTo(&a); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := back.GCT.WriteTo(&b); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(a.Bytes(), b.Bytes()) {
-		t.Errorf("GCT index changed across the round trip")
+		t.Errorf("ReadAll lost the rankings")
 	}
 }
 
@@ -105,17 +161,50 @@ func TestPartialFileOnlyHasWrittenSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Tau == nil || back.TSD != nil || back.GCT != nil || back.Rankings != nil {
+	if back.Tau == nil || back.Sup != nil || back.TSD != nil || back.GCT != nil || back.Rankings != nil {
 		t.Fatalf("partial file round-tripped to %+v", back)
 	}
 }
 
+// TestV3OffsetsAligned pins the mmap precondition: every payload in a v3
+// file starts on an 8-byte file offset, and a v3 reader refuses a file
+// where one does not.
+func TestV3OffsetsAligned(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, buildIndexes(g))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := int(binary.LittleEndian.Uint32(blob[40:44]))
+	for i := 0; i < count; i++ {
+		e := blob[headerSize+tocEntrySize*i:]
+		if off := binary.LittleEndian.Uint64(e[12:20]); off%8 != 0 {
+			t.Fatalf("TOC entry %d: offset %d not 8-byte aligned", i, off)
+		}
+	}
+
+	// Mis-align the first payload by pointing its entry one byte late (the
+	// payload bytes no longer matter: alignment is checked before the CRC).
+	off := binary.LittleEndian.Uint64(blob[headerSize+12:])
+	binary.LittleEndian.PutUint64(blob[headerSize+12:], off+1)
+	length := binary.LittleEndian.Uint64(blob[headerSize+20:])
+	binary.LittleEndian.PutUint64(blob[headerSize+20:], length-1)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, g); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt for an unaligned v3 offset", err)
+	}
+}
+
 // TestGoldenFormat pins the byte-exact on-disk layout of a fully
-// populated version-2 file (truss sections plus one measure-tagged
-// rankings section per alternative measure): any change to the header,
-// TOC, or a section codec fails here and must come with a format-version
-// bump (see the package comment's compatibility policy). Regenerate
-// deliberately with `go test ./internal/store -run TestGoldenFormat -update`.
+// populated version-3 file (truss sections, supports, graph CSR, plus one
+// measure-tagged rankings section per alternative measure): any change to
+// the header, TOC, or a slab codec fails here and must come with a
+// format-version bump (see the package comment's compatibility policy).
+// Regenerate deliberately with
+// `go test ./internal/store -run TestGoldenFormat -update`.
 func TestGoldenFormat(t *testing.T) {
 	g := testGraph(t)
 	ix := buildIndexes(g)
@@ -127,7 +216,7 @@ func TestGoldenFormat(t *testing.T) {
 	if _, err := Write(&buf, g, ix); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "golden_fig1_v2.tdx")
+	golden := filepath.Join("testdata", "golden_fig1_v3.tdx")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -153,12 +242,16 @@ func TestGoldenFormat(t *testing.T) {
 // is deliberately never regenerated.
 func TestV1GoldenStillLoads(t *testing.T) {
 	g := testGraph(t)
-	f, err := Open(filepath.Join("testdata", "golden_fig1.tdx"), g)
+	f, err := OpenFile(filepath.Join("testdata", "golden_fig1.tdx"), g)
 	if err != nil {
 		t.Fatalf("v1 golden no longer opens: %v", err)
 	}
+	defer f.Close()
 	if f.Version() != 1 {
 		t.Fatalf("golden_fig1.tdx reports version %d, want 1 (file overwritten?)", f.Version())
+	}
+	if f.Mode() != ModeDecode {
+		t.Fatalf("v1 file served in %v mode; pre-v3 files must decode", f.Mode())
 	}
 	for _, s := range []Section{SecTruss, SecTSD, SecGCT, SecRankings} {
 		if !f.Has(s) {
@@ -189,9 +282,58 @@ func TestV1GoldenStillLoads(t *testing.T) {
 	}
 }
 
-// TestMeasureRankingsRoundTrip exercises the v2-only sections: per-k
-// rankings of the component and core measures survive a save/load cycle
-// and stay isolated from the truss rankings.
+// TestV2GoldenStillLoads is the same gate for format v2: the checked-in
+// golden_fig1_v2.tdx (measure-tagged TOC, stream-serialized payloads) must
+// keep loading through the decode path. It is deliberately never
+// regenerated.
+func TestV2GoldenStillLoads(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join("testdata", "golden_fig1_v2.tdx")
+	f, err := OpenFile(path, g)
+	if err != nil {
+		t.Fatalf("v2 golden no longer opens: %v", err)
+	}
+	defer f.Close()
+	if f.Version() != 2 {
+		t.Fatalf("golden_fig1_v2.tdx reports version %d, want 2 (file overwritten?)", f.Version())
+	}
+	if f.Mode() != ModeDecode {
+		t.Fatalf("v2 file served in %v mode; pre-v3 files must decode", f.Mode())
+	}
+	ix := buildIndexes(g)
+	ix.MeasureRankings = map[core.Measure][][]core.VertexScore{
+		core.MeasureComponent: core.BuildMeasureRankings(g, core.MeasureComponent),
+		core.MeasureCore:      core.BuildMeasureRankings(g, core.MeasureCore),
+	}
+	back, err := ReadAll(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Tau, ix.Tau) {
+		t.Fatal("v2 truss section decodes differently from a fresh build")
+	}
+	if back.Sup != nil {
+		t.Fatal("v2 file cannot contain a supports section")
+	}
+	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
+		t.Fatal("v2 rankings section decodes differently from a fresh build")
+	}
+	for _, m := range []core.Measure{core.MeasureComponent, core.MeasureCore} {
+		if !reflect.DeepEqual(back.MeasureRankings[m], ix.MeasureRankings[m]) {
+			t.Fatalf("v2 %s rankings decode differently from a fresh build", m)
+		}
+	}
+	if !bytes.Equal(tsdBytes(t, back.TSD), tsdBytes(t, ix.TSD)) {
+		t.Fatal("v2 TSD section decodes differently from a fresh build")
+	}
+	if !bytes.Equal(gctBytes(t, back.GCT), gctBytes(t, ix.GCT)) {
+		t.Fatal("v2 GCT section decodes differently from a fresh build")
+	}
+}
+
+// TestMeasureRankingsRoundTrip exercises the measure-tagged sections:
+// per-k rankings of the component and core measures survive a save/load
+// cycle and stay isolated from the truss rankings.
 func TestMeasureRankingsRoundTrip(t *testing.T) {
 	g := testGraph(t)
 	ix := buildIndexes(g)
@@ -212,18 +354,191 @@ func TestMeasureRankingsRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
 		t.Error("truss rankings polluted by measure-tagged sections")
 	}
-	f, err := Open(path, g)
+	bothModes(t, func(t *testing.T, mode Mode) {
+		f, err := OpenFile(path, g, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if got := len(f.Sections()); got != 8 {
+			t.Fatalf("file holds %d sections, want 8 (6 truss + 2 measure rankings)", got)
+		}
+		for _, m := range []core.Measure{core.MeasureComponent, core.MeasureCore} {
+			perK, err := f.MeasureRankings(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(perK, ix.MeasureRankings[m]) {
+				t.Errorf("%s rankings changed through the %v handle", m, mode)
+			}
+		}
+	})
+}
+
+// TestMmapMatchesDecode is the mode-equivalence gate: every section of a
+// fully populated file must deserialize to identical values through the
+// zero-copy mmap views and the classic decode path.
+func TestMmapMatchesDecode(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.Epoch = 7
+	path := saveTo(t, g, ix)
+
+	mm, err := OpenFile(path, g, WithMode(ModeMmap))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(f.Sections()); got != 6 {
-		t.Fatalf("file holds %d sections, want 6 (4 truss + 2 measure rankings)", got)
+	defer mm.Close()
+	dec, err := OpenFile(path, g, WithMode(ModeDecode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	if !mmapSupported || !hostLittleEndian {
+		t.Skipf("platform cannot mmap (mmapSupported=%v, littleEndian=%v)", mmapSupported, hostLittleEndian)
+	}
+	if mm.Mode() != ModeMmap || dec.Mode() != ModeDecode {
+		t.Fatalf("modes = %v/%v, want mmap/decode", mm.Mode(), dec.Mode())
+	}
+
+	tauM, err1 := mm.Tau()
+	tauD, err2 := dec.Tau()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(tauM, tauD) {
+		t.Error("tau differs between modes")
+	}
+	supM, err1 := mm.Sup()
+	supD, err2 := dec.Sup()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(supM, supD) {
+		t.Error("supports differ between modes")
+	}
+	tsdM, err1 := mm.TSD()
+	tsdD, err2 := dec.TSD()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(tsdBytes(t, tsdM), tsdBytes(t, tsdD)) {
+		t.Error("TSD differs between modes")
+	}
+	gctM, err1 := mm.GCT()
+	gctD, err2 := dec.GCT()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(gctBytes(t, gctM), gctBytes(t, gctD)) {
+		t.Error("GCT differs between modes")
+	}
+	rkM, err1 := mm.Rankings()
+	rkD, err2 := dec.Rankings()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(rkM, rkD) {
+		t.Error("rankings differ between modes")
+	}
+	epM, err1 := mm.Epoch()
+	epD, err2 := dec.Epoch()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if epM != 7 || epD != 7 {
+		t.Errorf("epochs = %d/%d, want 7/7", epM, epD)
+	}
+	gM, err1 := mm.Graph()
+	gD, err2 := dec.Graph()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !reflect.DeepEqual(gM.Edges(), gD.Edges()) {
+		t.Error("graph section differs between modes")
+	}
+
+	// The mmap handle must not have decoded anything: all of the above were
+	// served as views over the mapping.
+	if n := mm.PayloadReads(); n != 0 {
+		t.Errorf("mmap handle performed %d payload reads, want 0", n)
+	}
+	if n := dec.PayloadReads(); n == 0 {
+		t.Error("decode handle reports 0 payload reads; counter broken")
+	}
+}
+
+// TestOpenGraph boots from the store alone: no prior graph needed, the
+// CSR section materializes one, and the fingerprint self-check binds the
+// remaining sections to it.
+func TestOpenGraph(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	path := saveTo(t, g, ix)
+
+	bothModes(t, func(t *testing.T, mode Mode) {
+		f, err := OpenGraph(path, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		gg, err := f.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gg.N() != g.N() || gg.M() != g.M() || !reflect.DeepEqual(gg.Edges(), g.Edges()) {
+			t.Fatal("OpenGraph materialized a different graph")
+		}
+		tau, err := f.Tau()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tau, ix.Tau) {
+			t.Fatal("tau through OpenGraph differs from the build")
+		}
+	})
+
+	// A file without a graph section (v2 and earlier) cannot self-boot.
+	if _, err := OpenGraph(filepath.Join("testdata", "golden_fig1_v2.tdx")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenGraph on a graphless file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFileRefcount pins the Retain/Close lifecycle that lets superseded
+// snapshots release a mapping only after its last user is gone.
+func TestFileRefcount(t *testing.T) {
+	g := testGraph(t)
+	path := saveTo(t, g, buildIndexes(g))
+	f, err := OpenFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Refs(); got != 1 {
+		t.Fatalf("fresh handle Refs() = %d, want 1", got)
+	}
+	if f.Retain() != f {
+		t.Fatal("Retain did not return the receiver")
+	}
+	if got := f.Refs(); got != 2 {
+		t.Fatalf("after Retain Refs() = %d, want 2", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Tau(); err != nil {
+		t.Fatalf("handle with live reference failed: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("over-close succeeded")
 	}
 }
 
 func TestOpenMissingFileIsNotExist(t *testing.T) {
 	g := testGraph(t)
-	_, err := Open(filepath.Join(t.TempDir(), FileName), g)
+	_, err := OpenFile(filepath.Join(t.TempDir(), FileName), g)
 	if !errors.Is(err, fs.ErrNotExist) {
 		t.Fatalf("err = %v, want fs.ErrNotExist", err)
 	}
@@ -235,7 +550,7 @@ func TestOpenRejectsNonIndexFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not an index file at all, just text"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Open(path, g)
+	_, err := OpenFile(path, g)
 	if !errors.Is(err, ErrNotIndexFile) {
 		t.Fatalf("err = %v, want ErrNotIndexFile", err)
 	}
@@ -247,7 +562,7 @@ func TestOpenRejectsTruncatedHeader(t *testing.T) {
 	if err := os.WriteFile(path, []byte{0x54, 0x44}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Open(path, g)
+	_, err := OpenFile(path, g)
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
@@ -268,7 +583,7 @@ func TestOpenRejectsWrongVersion(t *testing.T) {
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = Open(path, g)
+	_, err = OpenFile(path, g)
 	if !errors.Is(err, ErrVersion) {
 		t.Fatalf("err = %v, want ErrVersion", err)
 	}
@@ -284,7 +599,7 @@ func TestOpenRejectsWrongFingerprint(t *testing.T) {
 
 	// A graph with one extra edge must be refused.
 	other := gen.BarabasiAlbert(g.N(), 3, 7)
-	_, err := Open(path, other)
+	_, err := OpenFile(path, other)
 	if !errors.Is(err, ErrStaleIndex) {
 		t.Fatalf("err = %v, want ErrStaleIndex", err)
 	}
@@ -297,24 +612,112 @@ func TestOpenRejectsWrongFingerprint(t *testing.T) {
 	}
 }
 
-func TestSectionChecksumDetectsCorruption(t *testing.T) {
-	g := testGraph(t)
-	path := saveTo(t, g, buildIndexes(g))
+// corruptSection flips one payload byte of the named section in place.
+func corruptSection(t *testing.T, path string, target Section) {
+	t.Helper()
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Flip one payload byte past the header and TOC (4 sections).
-	blob[headerSize+4*tocEntrySize+10] ^= 0xFF
-	if err := os.WriteFile(path, blob, 0o644); err != nil {
-		t.Fatal(err)
+	count := int(binary.LittleEndian.Uint32(blob[40:44]))
+	for i := 0; i < count; i++ {
+		e := blob[headerSize+tocEntrySize*i:]
+		if Section(binary.LittleEndian.Uint32(e[0:4])) != target {
+			continue
+		}
+		off := binary.LittleEndian.Uint64(e[12:20])
+		blob[off+3] ^= 0xFF
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
 	}
-	f, err := Open(path, g) // header is intact, so Open succeeds
+	t.Fatalf("section %v not found in %s", target, path)
+}
+
+// TestSectionChecksumDetectsCorruption pins the per-section damage
+// contract of the decode path: the file still opens, the damaged section's
+// accessor returns a typed *CorruptError, and its siblings keep serving.
+func TestSectionChecksumDetectsCorruption(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+
+	path := saveTo(t, g, ix)
+	corruptSection(t, path, SecTruss)
+	f, err := OpenFile(path, g, WithMode(ModeDecode)) // header is intact, so open succeeds
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer f.Close()
 	if _, err := f.Tau(); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("Tau() err = %v, want ErrCorrupt", err)
+	}
+	var ce *CorruptError
+	if err2 := func() error { _, err := f.Tau(); return err }(); !errors.As(err2, &ce) || ce.Section != SecTruss {
+		t.Fatalf("corrupt error = %+v, want Section=truss", err2)
+	}
+	// Siblings still serve: checksums are per section.
+	if !f.Has(SecTruss) {
+		t.Fatal("damaged section vanished from the listing")
+	}
+	if _, err := f.Sup(); err != nil {
+		t.Fatalf("sibling supports section failed: %v", err)
+	}
+	if _, err := f.TSD(); err != nil {
+		t.Fatalf("sibling tsd section failed: %v", err)
+	}
+}
+
+// TestVerifySectionsFindsMmapDamage pins the mmap-mode integrity contract:
+// the warm path trusts the page cache (no checksum pass at open — that is
+// what keeps warm starts O(TOC)), structural validation still rejects
+// damage that breaks a section's layout, and VerifySections is the
+// explicit full-CRC pass that flags any flipped payload byte, naming the
+// section it lives in.
+func TestVerifySectionsFindsMmapDamage(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+
+	path := saveTo(t, g, ix)
+	f, err := OpenFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mode() == ModeMmap {
+		if err := f.VerifySections(); err != nil {
+			t.Fatalf("VerifySections on a pristine file: %v", err)
+		}
+	}
+	f.Close()
+
+	corruptSection(t, path, SecTruss) // flips a tau value: structurally silent
+	f, err = OpenFile(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Mode() != ModeMmap {
+		t.Skip("mmap unsupported on this platform")
+	}
+	err = f.VerifySections()
+	var ce *CorruptError
+	if !errors.As(err, &ce) || ce.Section != SecTruss {
+		t.Fatalf("VerifySections = %v, want *CorruptError for the truss section", err)
+	}
+	// A structurally damaged section is caught on access even without the
+	// explicit pass: flip a slab count field rather than an array element.
+	path2 := saveTo(t, g, ix)
+	corruptSection(t, path2, SecTSD) // byte 3 of the slab's first count word
+	f2, err := OpenFile(path2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if _, err := f2.TSD(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("TSD() on structurally damaged slab = %v, want ErrCorrupt", err)
+	}
+	if _, err := f2.Tau(); err != nil {
+		t.Fatalf("sibling truss section failed: %v", err)
 	}
 }
 
@@ -329,9 +732,11 @@ func TestTruncatedPayloadIsCorrupt(t *testing.T) {
 	if err := os.WriteFile(path, blob[:len(blob)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, g); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("err = %v, want ErrCorrupt", err)
-	}
+	bothModes(t, func(t *testing.T, mode Mode) {
+		if _, err := OpenFile(path, g, WithMode(mode)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
 }
 
 func TestRankingsRejectOutOfRangeVertex(t *testing.T) {
@@ -341,13 +746,16 @@ func TestRankingsRejectOutOfRangeVertex(t *testing.T) {
 	ix.Rankings[2] = append([]core.VertexScore(nil), ix.Rankings[2]...)
 	ix.Rankings[2][0].V = int32(g.N() + 100)
 	path := saveTo(t, g, ix)
-	f, err := Open(path, g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Rankings(); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("Rankings() err = %v, want ErrCorrupt", err)
-	}
+	bothModes(t, func(t *testing.T, mode Mode) {
+		f, err := OpenFile(path, g, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := f.Rankings(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Rankings() err = %v, want ErrCorrupt", err)
+		}
+	})
 }
 
 func TestSaveIsAtomicAndCreatesDirs(t *testing.T) {
@@ -364,9 +772,11 @@ func TestSaveIsAtomicAndCreatesDirs(t *testing.T) {
 	if len(entries) != 1 || entries[0].Name() != FileName {
 		t.Fatalf("directory holds %v, want only %s (no temp leftovers)", entries, FileName)
 	}
-	if _, err := Open(path, g); err != nil {
+	f, err := OpenFile(path, g)
+	if err != nil {
 		t.Fatal(err)
 	}
+	f.Close()
 }
 
 func TestFingerprintSensitivity(t *testing.T) {
@@ -390,13 +800,13 @@ func TestTOCOffsetOverflowIsCorrupt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// First TOC entry: offset at byte 56, length at byte 64 (v2 layout).
+	// First TOC entry: offset at +12, length at +20 (v2+ layout).
 	binary.LittleEndian.PutUint64(blob[headerSize+12:], 1<<63)
 	binary.LittleEndian.PutUint64(blob[headerSize+20:], 1<<63+100)
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, g); !errors.Is(err, ErrCorrupt) {
+	if _, err := OpenFile(path, g); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
 }

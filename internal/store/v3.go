@@ -1,0 +1,466 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/graph"
+)
+
+// Format v3 section payloads are "slabs": sequences of fixed-width
+// little-endian arrays, each starting on an 8-byte boundary relative to the
+// payload start (the writer places every payload 8-byte aligned in the
+// file, so slab alignment composes with file alignment). A reader that has
+// mmap'd the file can therefore reinterpret each array in place as
+// []int32/[]int64/[]struct-of-int32 with no decode; a portable reader
+// walks the same layout and copies instead.
+//
+// The element types viewed in place are pinned to their on-disk width at
+// compile time; a struct gaining padding or a field would silently corrupt
+// the format otherwise.
+const (
+	_ = uint(unsafe.Sizeof(core.TSDEdge{}) - 12)
+	_ = uint(12 - unsafe.Sizeof(core.TSDEdge{}))
+	_ = uint(unsafe.Sizeof(core.GCTSuperEdge{}) - 12)
+	_ = uint(12 - unsafe.Sizeof(core.GCTSuperEdge{}))
+	_ = uint(unsafe.Sizeof(graph.Edge{}) - 8)
+	_ = uint(8 - unsafe.Sizeof(graph.Edge{}))
+)
+
+// hostLittleEndian gates the zero-copy views: on a big-endian host the
+// raw bytes do not match the in-memory representation, so every access
+// falls back to the portable copying decoder.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// i32sFromPayload returns a raw int32-array payload (tau, supports) as a
+// zero-copy view when the bytes alias an aligned little-endian mapping, or
+// as a decoded copy otherwise.
+func i32sFromPayload(payload []byte, zeroCopy bool) []int32 {
+	if len(payload) == 0 {
+		return nil
+	}
+	if zeroCopy && hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&payload[0])), len(payload)/4)
+	}
+	return decodeInt32s(payload)
+}
+
+// --- slab writer ---
+
+type slabW struct{ buf []byte }
+
+func (s *slabW) pad8() {
+	for len(s.buf)%8 != 0 {
+		s.buf = append(s.buf, 0)
+	}
+}
+
+func (s *slabW) u64(v uint64) {
+	s.pad8()
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, v)
+}
+
+func (s *slabW) i64s(vs []int64) {
+	s.pad8()
+	for _, v := range vs {
+		s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(v))
+	}
+}
+
+func (s *slabW) i32s(vs []int32) {
+	s.pad8()
+	for _, v := range vs {
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(v))
+	}
+}
+
+func (s *slabW) tsdEdges(vs []core.TSDEdge) {
+	s.pad8()
+	for _, e := range vs {
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.U))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.W))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.T))
+	}
+}
+
+func (s *slabW) gctEdges(vs []core.GCTSuperEdge) {
+	s.pad8()
+	for _, e := range vs {
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.A))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.B))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.W))
+	}
+}
+
+func (s *slabW) edges(vs []graph.Edge) {
+	s.pad8()
+	for _, e := range vs {
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.U))
+		s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(e.V))
+	}
+}
+
+// --- slab reader ---
+
+// slabR walks a slab payload mirroring the writer's layout. With zeroCopy
+// set (mmap'd little-endian data) the array readers return views that alias
+// the payload; otherwise they decode into fresh heap arrays. Errors latch:
+// after the first failure every reader returns nil.
+type slabR struct {
+	sec      Section
+	b        []byte
+	pos      int
+	zeroCopy bool
+	err      error
+}
+
+func newSlabR(sec Section, payload []byte, zeroCopy bool) *slabR {
+	return &slabR{sec: sec, b: payload, zeroCopy: zeroCopy && hostLittleEndian}
+}
+
+func (r *slabR) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = &CorruptError{Section: r.sec, Reason: fmt.Sprintf(format, args...)}
+	}
+}
+
+// window aligns to 8, bounds-checks an upcoming array of count elements of
+// elemSize bytes, and returns its byte window (nil after any error). The
+// check runs before any allocation, so corrupt counts cannot balloon memory.
+func (r *slabR) window(count, elemSize int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	r.pos = align8(r.pos)
+	if count < 0 || count > (len(r.b)-min(r.pos, len(r.b)))/elemSize || r.pos > len(r.b) {
+		r.fail("array of %d x %d bytes exceeds payload (%d of %d bytes consumed)",
+			count, elemSize, r.pos, len(r.b))
+		return nil
+	}
+	w := r.b[r.pos : r.pos+count*elemSize]
+	r.pos += count * elemSize
+	return w
+}
+
+func (r *slabR) u64() uint64 {
+	w := r.window(1, 8)
+	if w == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(w)
+}
+
+// count reads a u64 element count and rejects values that cannot index a
+// slice on this platform.
+func (r *slabR) count() int {
+	v := r.u64()
+	if v > math.MaxInt32 && uint64(int(v)) != v {
+		r.fail("implausible element count %d", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *slabR) i32s(count int) []int32 {
+	w := r.window(count, 4)
+	if w == nil || count == 0 {
+		return nil
+	}
+	if r.zeroCopy {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&w[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(w[4*i:]))
+	}
+	return out
+}
+
+func (r *slabR) i64s(count int) []int64 {
+	w := r.window(count, 8)
+	if w == nil || count == 0 {
+		return nil
+	}
+	if r.zeroCopy {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&w[0])), count)
+	}
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(w[8*i:]))
+	}
+	return out
+}
+
+func (r *slabR) tsdEdges(count int) []core.TSDEdge {
+	w := r.window(count, 12)
+	if w == nil || count == 0 {
+		return nil
+	}
+	if r.zeroCopy {
+		return unsafe.Slice((*core.TSDEdge)(unsafe.Pointer(&w[0])), count)
+	}
+	out := make([]core.TSDEdge, count)
+	for i := range out {
+		out[i] = core.TSDEdge{
+			U: int32(binary.LittleEndian.Uint32(w[12*i:])),
+			W: int32(binary.LittleEndian.Uint32(w[12*i+4:])),
+			T: int32(binary.LittleEndian.Uint32(w[12*i+8:])),
+		}
+	}
+	return out
+}
+
+func (r *slabR) gctEdges(count int) []core.GCTSuperEdge {
+	w := r.window(count, 12)
+	if w == nil || count == 0 {
+		return nil
+	}
+	if r.zeroCopy {
+		return unsafe.Slice((*core.GCTSuperEdge)(unsafe.Pointer(&w[0])), count)
+	}
+	out := make([]core.GCTSuperEdge, count)
+	for i := range out {
+		out[i] = core.GCTSuperEdge{
+			A: int32(binary.LittleEndian.Uint32(w[12*i:])),
+			B: int32(binary.LittleEndian.Uint32(w[12*i+4:])),
+			W: int32(binary.LittleEndian.Uint32(w[12*i+8:])),
+		}
+	}
+	return out
+}
+
+func (r *slabR) edges(count int) []graph.Edge {
+	w := r.window(count, 8)
+	if w == nil || count == 0 {
+		return nil
+	}
+	if r.zeroCopy {
+		return unsafe.Slice((*graph.Edge)(unsafe.Pointer(&w[0])), count)
+	}
+	out := make([]graph.Edge, count)
+	for i := range out {
+		out[i] = graph.Edge{
+			U: int32(binary.LittleEndian.Uint32(w[8*i:])),
+			V: int32(binary.LittleEndian.Uint32(w[8*i+4:])),
+		}
+	}
+	return out
+}
+
+// done reports any latched error; trailing bytes beyond the final array
+// (at most the writer's 8-byte padding) are tolerated.
+func (r *slabR) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b)-r.pos >= 8 {
+		return &CorruptError{Section: r.sec,
+			Reason: fmt.Sprintf("%d trailing bytes", len(r.b)-r.pos)}
+	}
+	return nil
+}
+
+// --- TSD slab: n, nForest, nCum, mv[n], foff[n+1], forest[nForest],
+//     coff[n+1], cum[nCum] ---
+
+func encodeTSDSlab(idx *core.TSDIndex) []byte {
+	f := idx.Flatten()
+	var s slabW
+	s.u64(uint64(len(f.Mv)))
+	s.u64(uint64(len(f.Forest)))
+	s.u64(uint64(len(f.Cum)))
+	s.i32s(f.Mv)
+	s.i64s(f.ForestOff)
+	s.tsdEdges(f.Forest)
+	s.i64s(f.CumOff)
+	s.i32s(f.Cum)
+	return s.buf
+}
+
+func decodeTSDSlab(payload []byte, g *graph.Graph, zeroCopy bool) (*core.TSDIndex, error) {
+	r := newSlabR(SecTSD, payload, zeroCopy)
+	n, nForest, nCum := r.count(), r.count(), r.count()
+	var f core.TSDFlat
+	f.Mv = r.i32s(n)
+	f.ForestOff = r.i64s(n + 1)
+	f.Forest = r.tsdEdges(nForest)
+	f.CumOff = r.i64s(n + 1)
+	f.Cum = r.i32s(nCum)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	idx, err := core.NewTSDIndexFromFlat(g, f)
+	if err != nil {
+		return nil, &CorruptError{Section: SecTSD, Reason: "structure does not describe the graph", Err: err}
+	}
+	return idx, nil
+}
+
+// --- GCT slab: n, nNode, nBound, nMember, nEdge, noff[n+1], nodeTau[nNode],
+//     boff[n+1], bounds[nBound], moff[n+1], members[nMember], eoff[n+1],
+//     edges[nEdge], edgeW[nEdge] ---
+
+func encodeGCTSlab(idx *core.GCTIndex) []byte {
+	f := idx.Flatten()
+	var s slabW
+	s.u64(uint64(len(f.NodeOff) - 1))
+	s.u64(uint64(len(f.NodeTau)))
+	s.u64(uint64(len(f.Bounds)))
+	s.u64(uint64(len(f.Members)))
+	s.u64(uint64(len(f.Edges)))
+	s.i64s(f.NodeOff)
+	s.i32s(f.NodeTau)
+	s.i64s(f.BoundOff)
+	s.i32s(f.Bounds)
+	s.i64s(f.MemberOff)
+	s.i32s(f.Members)
+	s.i64s(f.EdgeOff)
+	s.gctEdges(f.Edges)
+	s.i32s(f.EdgeW)
+	return s.buf
+}
+
+func decodeGCTSlab(payload []byte, g *graph.Graph, zeroCopy bool) (*core.GCTIndex, error) {
+	r := newSlabR(SecGCT, payload, zeroCopy)
+	n, nNode, nBound, nMember, nEdge := r.count(), r.count(), r.count(), r.count(), r.count()
+	var f core.GCTFlat
+	f.NodeOff = r.i64s(n + 1)
+	f.NodeTau = r.i32s(nNode)
+	f.BoundOff = r.i64s(n + 1)
+	f.Bounds = r.i32s(nBound)
+	f.MemberOff = r.i64s(n + 1)
+	f.Members = r.i32s(nMember)
+	f.EdgeOff = r.i64s(n + 1)
+	f.Edges = r.gctEdges(nEdge)
+	f.EdgeW = r.i32s(nEdge)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	idx, err := core.NewGCTIndexFromFlat(g, f)
+	if err != nil {
+		return nil, &CorruptError{Section: SecGCT, Reason: "structure does not describe the graph", Err: err}
+	}
+	return idx, nil
+}
+
+// --- rankings slab: maxK, koff[maxK+2], pairs[2*nPairs] (interleaved
+//     vertex, score) ---
+//
+// Rankings are the one section that cannot be served zero-copy:
+// core.VertexScore holds a platform-width score, so both modes widen the
+// int32 pairs into fresh []core.VertexScore — a single branch-free pass,
+// not a per-element decode.
+
+func encodeRankingsSlab(perK [][]core.VertexScore, n int) ([]byte, error) {
+	maxK := len(perK) - 1
+	if maxK < 2 {
+		maxK = 2
+	}
+	koff := make([]int64, maxK+2)
+	var total int64
+	for k := 0; k <= maxK; k++ {
+		koff[k] = total
+		if k >= 2 && k < len(perK) {
+			if len(perK[k]) > n {
+				return nil, fmt.Errorf("store: ranking for k=%d has %d entries, graph has %d vertices",
+					k, len(perK[k]), n)
+			}
+			total += int64(len(perK[k]))
+		}
+	}
+	koff[maxK+1] = total
+	pairs := make([]int32, 0, 2*total)
+	for k := 2; k <= maxK && k < len(perK); k++ {
+		for _, e := range perK[k] {
+			pairs = append(pairs, e.V, int32(e.Score))
+		}
+	}
+	var s slabW
+	s.u64(uint64(maxK))
+	s.i64s(koff)
+	s.i32s(pairs)
+	return s.buf, nil
+}
+
+func decodeRankingsSlab(payload []byte, n int) ([][]core.VertexScore, error) {
+	// Zero-copy never applies here (see above), but reading the koff table
+	// and pair array as views avoids an intermediate copy of the slab.
+	r := newSlabR(SecRankings, payload, true)
+	maxK := r.count()
+	if r.err == nil && (maxK < 2 || maxK > n+2) {
+		r.fail("implausible maxK %d for %d vertices", maxK, n)
+	}
+	var koff []int64
+	if r.err == nil {
+		koff = r.i64s(maxK + 2)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	total := koff[maxK+1]
+	pairs := r.i32s(2 * int(total))
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	perK := make([][]core.VertexScore, maxK+1)
+	for k := 2; k <= maxK; k++ {
+		lo, hi := koff[k], koff[k+1]
+		if lo < 0 || lo > hi || hi > total || hi-lo > int64(n) {
+			return nil, &CorruptError{Section: SecRankings,
+				Reason: fmt.Sprintf("ranking k=%d spans [%d,%d] for %d vertices", k, lo, hi, n)}
+		}
+		if lo == hi {
+			continue
+		}
+		list := make([]core.VertexScore, hi-lo)
+		for i := range list {
+			v := pairs[2*(lo+int64(i))]
+			if v < 0 || int(v) >= n {
+				return nil, &CorruptError{Section: SecRankings,
+					Reason: fmt.Sprintf("ranking k=%d entry %d: vertex %d out of range", k, i, v)}
+			}
+			list[i] = core.VertexScore{V: v, Score: int(pairs[2*(lo+int64(i))+1])}
+		}
+		perK[k] = list
+	}
+	return perK, nil
+}
+
+// --- graph slab: n, m, off[n+1], adj[2m], eid[2m], edges[m] ---
+
+func encodeGraphSlab(g *graph.Graph) []byte {
+	off, adj, eid, edges := g.CSR()
+	var s slabW
+	s.u64(uint64(g.N()))
+	s.u64(uint64(g.M()))
+	s.i64s(off)
+	s.i32s(adj)
+	s.i32s(eid)
+	s.edges(edges)
+	return s.buf
+}
+
+func decodeGraphSlab(payload []byte, zeroCopy bool) (*graph.Graph, error) {
+	r := newSlabR(SecGraph, payload, zeroCopy)
+	n, m := r.count(), r.count()
+	off := r.i64s(n + 1)
+	adj := r.i32s(2 * m)
+	eid := r.i32s(2 * m)
+	edges := r.edges(m)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	g, err := graph.FromCSR(off, adj, eid, edges)
+	if err != nil {
+		return nil, &CorruptError{Section: SecGraph, Reason: "invalid CSR arrays", Err: err}
+	}
+	return g, nil
+}

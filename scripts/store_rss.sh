@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Per-replica memory cost of the two index-store read modes: boots N
+# tsdserve replicas of the same dataset against one prebuilt index store,
+# first with -storemode decode (every replica decodes its own heap copy
+# of the index arrays), then with -storemode mmap (replicas map the same
+# file and share its pages), and reports each replica's VmRSS and PSS
+# plus the per-mode totals. RSS counts every shared page once per
+# replica; PSS splits shared pages across the replicas mapping them, so
+# the decode-vs-mmap PSS gap is the real physical saving of serving one
+# mapped copy of the index arrays instead of N heap copies.
+#
+# Usage: scripts/store_rss.sh [dataset] [replicas]   (defaults: gowalla-sim 3)
+#
+# Linux-only (reads /proc). Ports 18190.. are assumed free.
+set -euo pipefail
+
+DATASET="${1:-gowalla-sim}"
+REPLICAS="${2:-3}"
+BASE_PORT=18190
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "${pids[@]:-}"; do
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+if [ ! -r /proc/self/status ]; then
+    echo "store_rss.sh needs /proc (Linux); aborting" >&2
+    exit 1
+fi
+
+echo "building binaries..."
+go build -o "$tmp/tsdserve" ./cmd/tsdserve
+go build -o "$tmp/tsdindex" ./cmd/tsdindex
+
+echo "building index store for $DATASET..."
+"$tmp/tsdindex" -dataset "$DATASET" -out "$tmp/idx" -measures >/dev/null
+
+wait_healthy() {
+    local url="$1"
+    for _ in $(seq 1 120); do
+        if curl -fsS "$url" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.25
+    done
+    echo "replica at $url never became healthy" >&2
+    exit 1
+}
+
+rss_kb() { awk '/^VmRSS:/ {print $2}' "/proc/$1/status"; }
+
+# PSS divides each shared page's cost across the processes mapping it, so
+# it is the honest per-replica footprint when replicas share mmap'd pages;
+# falls back to RSS where smaps_rollup is unavailable.
+pss_kb() {
+    if [ -r "/proc/$1/smaps_rollup" ]; then
+        awk '/^Pss:/ {print $2}' "/proc/$1/smaps_rollup"
+    else
+        rss_kb "$1"
+    fi
+}
+
+measure_mode() {
+    local mode="$1"
+    local mode_pids=()
+    for i in $(seq 0 $((REPLICAS - 1))); do
+        port=$((BASE_PORT + i))
+        "$tmp/tsdserve" -dataset "$DATASET" -indexdir "$tmp/idx" \
+            -storemode "$mode" -readonly -addr "127.0.0.1:$port" \
+            >"$tmp/$mode-$i.log" 2>&1 &
+        pids+=($!)
+        mode_pids+=($!)
+    done
+    for i in $(seq 0 $((REPLICAS - 1))); do
+        wait_healthy "http://127.0.0.1:$((BASE_PORT + i))/healthz"
+        # One real query per replica so lazily-faulted index pages are
+        # actually touched before we read RSS.
+        curl -fsS "http://127.0.0.1:$((BASE_PORT + i))/topr?k=4&r=100" >/dev/null
+    done
+    local total=0 ptotal=0
+    for i in $(seq 0 $((REPLICAS - 1))); do
+        kb=$(rss_kb "${mode_pids[$i]}")
+        pkb=$(pss_kb "${mode_pids[$i]}")
+        printf '  %s replica %d: %6d KB RSS  %6d KB PSS\n' "$mode" "$i" "$kb" "$pkb"
+        total=$((total + kb))
+        ptotal=$((ptotal + pkb))
+    done
+    printf '  %s total (%d replicas): %d KB RSS, %d KB PSS\n' "$mode" "$REPLICAS" "$total" "$ptotal"
+    for pid in "${mode_pids[@]}"; do
+        kill -TERM "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+}
+
+echo "== decode mode =="
+measure_mode decode
+echo "== mmap mode =="
+measure_mode mmap
+echo "done: compare the per-replica RSS columns; mmap replicas share the store's pages."

@@ -550,8 +550,13 @@ func (s *Snapshot) StoreStatus() StoreStatus {
 	if c.dir != "" {
 		st.Path = store.PathIn(c.dir)
 	}
+	st.Mode = StoreDecode
 	if c.file != nil {
 		st.Warm = true
+		st.FormatVersion = c.file.Version()
+		if c.file.Mode() == store.ModeMmap {
+			st.Mode = StoreMmap
+		}
 		for _, sec := range c.file.Sections() {
 			st.Sections = append(st.Sections, sec.String())
 		}

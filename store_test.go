@@ -35,8 +35,12 @@ func TestLoadedIndexesMatchRebuilt(t *testing.T) {
 	if err := cold.Prepare(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := cold.SaveIndexes(); err != nil {
+	path, err := cold.SaveIndexes()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if want := cold.StoreStatus().Path; path != want {
+		t.Fatalf("SaveIndexes path = %q, want %q", path, want)
 	}
 
 	warm, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
@@ -174,7 +178,7 @@ func TestSaveIndexesRequiresDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := db.SaveIndexes(); err == nil {
+	if _, err := db.SaveIndexes(); err == nil {
 		t.Fatal("SaveIndexes succeeded without an index directory")
 	}
 }
@@ -223,5 +227,71 @@ func TestRoutingPrefersPersistedIndex(t *testing.T) {
 	// And the routed warm query must actually work.
 	if _, _, err := warmDB.TopR(ctx, q); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStoreModesAnswerIdentically is the mode-equivalence gate at the
+// query layer: a DB warm-started through the mmap path and one through
+// the decode path must return byte-identical results for every
+// (engine, measure) cell the store can serve.
+func TestStoreModesAnswerIdentically(t *testing.T) {
+	g := storeTestGraph(t, 3)
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	seed, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Prepare(ctx, "bound", "tsd", "gct", "hybrid", "comp", "kcore"); err != nil {
+		t.Fatal(err)
+	}
+	if st := seed.StoreStatus(); st.SaveErr != nil {
+		t.Fatal(st.SaveErr)
+	}
+
+	mm, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := trussdiv.Open(g, trussdiv.WithIndexDir(dir), trussdiv.WithStoreMode(trussdiv.StoreDecode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := dec.StoreStatus(); !st.Warm || st.Mode != trussdiv.StoreDecode {
+		t.Fatalf("decode DB store status = %+v", st)
+	}
+	if st := mm.StoreStatus(); !st.Warm {
+		t.Fatalf("mmap DB store status = %+v", st)
+	}
+	t.Logf("mmap DB effective mode: %v", mm.StoreStatus().Mode)
+
+	cells := []struct {
+		measure trussdiv.Measure
+		engines []string
+	}{
+		{trussdiv.MeasureTruss, []string{"online", "bound", "tsd", "gct", "hybrid"}},
+		{trussdiv.MeasureComponent, []string{"online", "bound", "comp"}},
+		{trussdiv.MeasureCore, []string{"online", "bound", "kcore"}},
+	}
+	for _, cell := range cells {
+		for _, engine := range cell.engines {
+			for _, q := range []trussdiv.Query{
+				trussdiv.NewQuery(3, 10, trussdiv.WithMeasure(cell.measure), trussdiv.ViaEngine(engine), trussdiv.WithContexts()),
+				trussdiv.NewQuery(4, 25, trussdiv.WithMeasure(cell.measure), trussdiv.ViaEngine(engine)),
+			} {
+				mmRes, _, err := mm.TopR(ctx, q)
+				if err != nil {
+					t.Fatalf("%s/%s mmap: %v", cell.measure, engine, err)
+				}
+				decRes, _, err := dec.TopR(ctx, q)
+				if err != nil {
+					t.Fatalf("%s/%s decode: %v", cell.measure, engine, err)
+				}
+				if !reflect.DeepEqual(mmRes, decRes) {
+					t.Fatalf("%s/%s: results differ between store modes", cell.measure, engine)
+				}
+			}
+		}
 	}
 }

@@ -76,13 +76,62 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if st := warm.IndexStats(); st.LoadTime == 0 {
 		t.Fatal("warm DB reports zero load time; nothing was read from the store")
 	}
+	st := warm.StoreStatus()
+	if st.FormatVersion != store.Version {
+		t.Fatalf("warm store FormatVersion = %d, want %d", st.FormatVersion, store.Version)
+	}
+	if st.Mode == StoreMmap {
+		// The stronger v3 tripwire: a mapped warm start decodes nothing —
+		// every section above was served as a view over the mapping.
+		if n := warm.Snapshot().cache.file.PayloadReads(); n != 0 {
+			t.Fatalf("mmap warm DB performed %d payload reads; want 0", n)
+		}
+	}
+}
+
+// TestWarmOpenDecodeMode pins the WithStoreMode(StoreDecode) escape hatch:
+// the same warm start works with the mapping disabled, reads sections the
+// classic way, and reports the mode it actually used.
+func TestWarmOpenDecodeMode(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 6,
+	})
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	seed, err := Open(g, WithIndexDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := Open(g, WithIndexDir(dir), WithStoreMode(StoreDecode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Snapshot().cache.builds != 0 {
+		t.Fatalf("decode-mode warm DB performed %d builds; want 0", warm.Snapshot().cache.builds)
+	}
+	st := warm.StoreStatus()
+	if !st.Warm || st.Mode != StoreDecode {
+		t.Fatalf("store status = %+v, want warm in decode mode", st)
+	}
+	if n := warm.Snapshot().cache.file.PayloadReads(); n == 0 {
+		t.Fatal("decode-mode warm DB reports 0 payload reads; counter broken")
+	}
 }
 
 // TestDamagedSectionKeepsSiblings corrupts exactly one section of a full
-// store file and checks two things the per-section checksums exist for:
-// the sibling sections still load (no whole-file demotion), and the
-// post-rebuild persist keeps them instead of writing a file holding only
-// the rebuilt section.
+// store file (a TSD slab count word, so the decode CRC and the mmap
+// structural validation both reject it) and checks two things per-section
+// damage handling exists for: the sibling sections still load (no
+// whole-file demotion), and the post-rebuild persist keeps them instead
+// of writing a file holding only the rebuilt section.
 func TestDamagedSectionKeepsSiblings(t *testing.T) {
 	g := gen.CommunityOverlay(gen.OverlayConfig{
 		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 9,
@@ -155,8 +204,8 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := healed.StoreStatus()
-	if !st.Warm || len(st.Sections) != 5 {
-		t.Fatalf("store after heal: %+v, want all 4 index sections plus the epoch", st)
+	if !st.Warm || len(st.Sections) != 7 {
+		t.Fatalf("store after heal: %+v, want all 6 index sections plus the epoch", st)
 	}
 	if healed.Snapshot().cache.builds != 0 {
 		t.Fatalf("healed open built %d times; want 0", healed.Snapshot().cache.builds)
