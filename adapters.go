@@ -12,6 +12,7 @@ import (
 
 	"trussdiv/internal/baseline"
 	"trussdiv/internal/core"
+	"trussdiv/internal/pfree"
 	"trussdiv/internal/store"
 	"trussdiv/internal/truss"
 )
@@ -35,6 +36,7 @@ type indexCache struct {
 	gct       *core.GCTIndex
 	hybrid    *core.Hybrid
 	mrank     map[core.Measure][][]core.VertexScore // per-measure per-k rankings (non-truss)
+	pfrank    map[core.Measure][]core.VertexScore   // parameter-free rankings (all measures)
 	buildTime time.Duration
 	loadTime  time.Duration
 
@@ -182,6 +184,13 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 			mrank[m] = perK
 		}
 	}
+	var pfrank map[core.Measure][]core.VertexScore
+	if len(c.pfrank) > 0 {
+		pfrank = make(map[core.Measure][]core.VertexScore, len(c.pfrank))
+		for m, ranked := range c.pfrank {
+			pfrank[m] = ranked
+		}
+	}
 	next := &indexCache{
 		g:           newG,
 		dir:         c.dir,
@@ -238,7 +247,7 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 	// the repaired GCT index, so it needs one in memory; a hybrid that was
 	// reconstructed from persisted rankings without its GCT falls back to
 	// invalidation.
-	if (hybrid != nil && next.gct != nil) || len(mrank) > 0 {
+	if (hybrid != nil && next.gct != nil) || len(mrank) > 0 || len(pfrank) > 0 {
 		affected := core.AffectedVertices(oldG, newG, ins, del)
 		st := ensureStats()
 		if hybrid != nil && next.gct != nil {
@@ -248,6 +257,12 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 		for m, perK := range mrank {
 			// next is not shared yet: no lock needed.
 			next.setMeasureRankLocked(m, core.PatchMeasureRankings(newG, m, perK, affected))
+			st.RankingsPatched++
+		}
+		for m, ranked := range pfrank {
+			// The parameter-free ranking splices the same affected set:
+			// re-score only those vertices' all-k vectors, merge canonically.
+			next.setPFreeRankLocked(m, pfree.PatchRanking(newG, m, ranked, affected))
 			st.RankingsPatched++
 		}
 	}
@@ -427,6 +442,118 @@ func (c *indexCache) hasMeasureRank(m Measure) bool {
 	return c.mrank[m.Normalize()] != nil
 }
 
+// pfreeRanking returns the parameter-free engine's canonical ranking for
+// measure m: from memory, else loaded from the store's measure-tagged
+// pfree slab, else derived in O(table) from per-k rankings that are
+// already at hand (the hybrid's truss tables, or a measure-rankings
+// section in memory or on disk). Only when build is set does a fully
+// cold cache pay for the per-k source (one ego decomposition per
+// vertex); without it the caller falls back to the online scan.
+// Derivations and builds persist, so the next boot warm-starts the slab.
+func (c *indexCache) pfreeRanking(m Measure, build bool) []core.VertexScore {
+	m = m.Normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pfreeRankingLocked(m, build)
+}
+
+func (c *indexCache) pfreeRankingLocked(m Measure, build bool) []core.VertexScore {
+	if ranked := c.pfrank[m]; ranked != nil {
+		return ranked
+	}
+	ref := store.SectionRef{Section: store.SecPFree, Measure: m}
+	if ranked := loadSection(c, ref, func(f *store.File) ([]core.VertexScore, error) {
+		return f.PFreeRanking(m)
+	}); ranked != nil {
+		c.setPFreeRankLocked(m, ranked)
+		return ranked
+	}
+	if perK := c.perKForPFreeLocked(m, false); perK != nil {
+		// O(table) slice surgery, cheap enough for the query path; persist
+		// so the next boot loads the slab instead of re-deriving.
+		ranked := pfree.RankingFromPerK(perK)
+		c.setPFreeRankLocked(m, ranked)
+		c.persistAfterBuildLocked()
+		return ranked
+	}
+	if !build {
+		return nil
+	}
+	start := time.Now()
+	ranked := pfree.RankingFromPerK(c.perKForPFreeLocked(m, true))
+	c.buildTime += time.Since(start)
+	c.builds++
+	c.setPFreeRankLocked(m, ranked)
+	c.persistAfterBuildLocked()
+	return ranked
+}
+
+// perKForPFreeLocked resolves the per-k ranking table the pfree
+// derivation consumes: truss tables live in the hybrid engine (memory,
+// then the persisted rankings section), non-truss ones in the measure
+// rankings. Without build, only sources that are already in memory or
+// loadable from the store qualify — never a from-scratch ego pass.
+func (c *indexCache) perKForPFreeLocked(m Measure, build bool) [][]core.VertexScore {
+	if m == MeasureTruss {
+		if c.hybrid != nil {
+			return c.hybrid.Rankings()
+		}
+		if perK := loadSection(c, trussSec(store.SecRankings), (*store.File).Rankings); perK != nil {
+			c.hybrid = core.NewHybridFromRankings(c.g, perK)
+			return perK
+		}
+		if !build {
+			return nil
+		}
+		return c.hybridLocked().Rankings()
+	}
+	return c.measureRankingsLocked(m, build)
+}
+
+func (c *indexCache) setPFreeRankLocked(m Measure, ranked []core.VertexScore) {
+	if c.pfrank == nil {
+		c.pfrank = make(map[core.Measure][]core.VertexScore, 3)
+	}
+	c.pfrank[m] = ranked
+}
+
+func (c *indexCache) hasPFreeRank(m Measure) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pfrank[m.Normalize()] != nil
+}
+
+// onDiskPFreeRank reports whether measure m's pfree ranking can be
+// loaded from the warm-start file.
+func (c *indexCache) onDiskPFreeRank(m Measure) bool {
+	m = m.Normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref := store.SectionRef{Section: store.SecPFree, Measure: m}
+	return c.file != nil && c.file.HasMeasure(store.SecPFree, m) && !c.bad[ref]
+}
+
+// hasPerKForPFree reports whether the pfree ranking for m is derivable
+// in O(table) right now (per-k source in memory or on disk), which the
+// cost model prices far below a cold ego pass.
+func (c *indexCache) hasPerKForPFree(m Measure) bool {
+	m = m.Normalize()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m == MeasureTruss {
+		if c.hybrid != nil {
+			return true
+		}
+		ref := trussSec(store.SecRankings)
+		return c.file != nil && c.file.HasMeasure(store.SecRankings, m) && !c.bad[ref]
+	}
+	if c.mrank[m] != nil {
+		return true
+	}
+	ref := store.SectionRef{Section: store.SecRankings, Measure: m}
+	return c.file != nil && c.file.HasMeasure(store.SecRankings, m) && !c.bad[ref]
+}
+
 // onDiskMeasureRank reports whether measure m's rankings can be loaded
 // from the warm-start file (a v2 store with the measure-tagged section).
 func (c *indexCache) onDiskMeasureRank(m Measure) bool {
@@ -507,6 +634,17 @@ func (c *indexCache) persistLocked() {
 				c.setMeasureRankLocked(m, perK)
 			}
 		}
+		for _, m := range core.AllMeasures() {
+			if c.pfrank[m] != nil {
+				continue
+			}
+			ref := store.SectionRef{Section: store.SecPFree, Measure: m}
+			if ranked := loadSection(c, ref, func(f *store.File) ([]core.VertexScore, error) {
+				return f.PFreeRanking(m)
+			}); ranked != nil {
+				c.setPFreeRankLocked(m, ranked)
+			}
+		}
 	}
 	ix := store.Indexes{Tau: c.tau, Sup: c.sup, TSD: c.tsd, GCT: c.gct, Epoch: uint64(c.epoch)}
 	if c.hybrid != nil {
@@ -514,6 +652,9 @@ func (c *indexCache) persistLocked() {
 	}
 	if len(c.mrank) > 0 {
 		ix.MeasureRankings = c.mrank
+	}
+	if len(c.pfrank) > 0 {
+		ix.PFree = c.pfrank
 	}
 	path := store.PathIn(c.dir)
 	if err := store.Save(path, c.g, ix); err != nil {
@@ -1000,4 +1141,108 @@ func singleVertexErr(ctx context.Context, g *Graph, v, k int32) error {
 		return err
 	}
 	return checkVertex(g, v, k)
+}
+
+// --- pfree (parameter-free diversity, arXiv:1908.11612) ---
+
+// pfreeEngine adapts internal/pfree into the registry: the only engine
+// that serves queries without a K, and the only one k-less queries route
+// to. It serves every measure (it declares all three via MeasureLister),
+// and it is prepared per measure: once the pfree ranking is derived
+// (Prepare("pfree"), a Batch that routes to it, a query that finds the
+// per-k tables already built, or a store holding the pfree slab), a
+// k-less top-r query is an O(r) prefix read; cold, it falls back to the
+// online all-k scan.
+type pfreeEngine struct {
+	g     *Graph
+	w     workload
+	cache *indexCache
+}
+
+func (e *pfreeEngine) Name() string { return "pfree" }
+
+// Measures: the parameter-free objective aggregates any measure's per-k
+// score vector, so all three qualify.
+func (e *pfreeEngine) Measures() []Measure { return AllMeasures() }
+
+// ParameterFree declares the k-less contract to the router and
+// validators.
+func (e *pfreeEngine) ParameterFree() bool { return true }
+
+func (e *pfreeEngine) TopR(ctx context.Context, q Query) (*Result, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if q.K != 0 {
+		return nil, nil, &BadQueryError{Engine: "pfree", K: q.K,
+			Reason: "engine is parameter-free: leave k unset (0)"}
+	}
+	m := q.Measure.Normalize()
+	p := q.params()
+	p.Measure = m
+	// The prepared/online split lives in the Searcher; both paths answer
+	// byte-identically, the ranking only removes the scan.
+	ranked := e.cache.pfreeRanking(m, false)
+	return pfree.NewSearcher(e.g, m, ranked).Search(ctx, p)
+}
+
+// pointErr validates a single-vertex pfree query: the vertex must be in
+// range and k must be left at 0 — the objective chooses the level.
+func (e *pfreeEngine) pointErr(ctx context.Context, v, k int32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if v < 0 || int(v) >= e.g.N() {
+		return fmt.Errorf("trussdiv: vertex %d out of range [0,%d)", v, e.g.N())
+	}
+	if k != 0 {
+		return &BadQueryError{Engine: "pfree", K: k,
+			Reason: "engine is parameter-free: leave k unset (0)"}
+	}
+	return nil
+}
+
+// Score returns the parameter-free diversity of one vertex under the
+// truss measure (the default measure, as on every point path); k must
+// be 0.
+func (e *pfreeEngine) Score(ctx context.Context, v, k int32) (int, error) {
+	if err := e.pointErr(ctx, v, k); err != nil {
+		return 0, err
+	}
+	return pfree.ScoreAt(e.g, v, MeasureTruss), nil
+}
+
+// Contexts returns the vertex's contexts at its discriminating level
+// k* = max(score, 2) under the truss measure; k must be 0.
+func (e *pfreeEngine) Contexts(ctx context.Context, v, k int32) ([][]int32, error) {
+	if err := e.pointErr(ctx, v, k); err != nil {
+		return nil, err
+	}
+	return pfree.ContextsAt(e.g, v, MeasureTruss), nil
+}
+
+func (e *pfreeEngine) Cost(q Query) Estimate {
+	// Ready: an O(r) prefix read plus context recovery — contexts cost two
+	// ego decompositions per answer vertex (level probe + recovery). On
+	// disk: one cheap sequential slab load. Derivable from per-k tables
+	// that already exist: O(table) surgery, priced like a store load. Cold:
+	// the per-k source must be built first (all-k scoring, slightly above
+	// one online scan), amortized by Batch exactly like comp/kcore.
+	m := q.Measure.Normalize()
+	est := Estimate{Query: float64(q.R) + 2*e.w.contextWork(q)}
+	switch {
+	case e.cache.hasPFreeRank(m):
+		// ready: nothing to build
+	case e.cache.onDiskPFreeRank(m):
+		est.Build = e.w.n
+	case e.cache.hasPerKForPFree(m):
+		est.Build = 2 * e.w.n
+	default:
+		factor := 1.25
+		if m == MeasureCore {
+			factor = 1.5
+		}
+		est.Build = factor * e.w.egoWork
+	}
+	return est
 }

@@ -2,6 +2,7 @@ package trussdiv
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"trussdiv/internal/core"
@@ -77,5 +78,92 @@ func TestApplyRepairsWithoutRebuilding(t *testing.T) {
 	}
 	if cache.builds != 0 {
 		t.Fatalf("builds = %d after querying every engine post-Apply, want 0", cache.builds)
+	}
+}
+
+// TestApplyPatchesPFreeRankings pins the parameter-free repair
+// contract: prepared pfree rankings survive a small Apply patched in
+// place — they are present in the new epoch's cache before any query
+// touches them, ApplyStats counts exactly one extra patch per measure
+// relative to an otherwise-identical DB without pfree, and the patched
+// answers are byte-equal to a cold DB on the edited graph.
+func TestApplyPatchesPFreeRankings(t *testing.T) {
+	g := gen.CommunityOverlay(gen.OverlayConfig{
+		N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 39,
+	})
+	ctx := context.Background()
+	withPFree, err := Open(g, WithPreparedIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := withPFree.Prepare(ctx, "comp", "kcore", "pfree"); err != nil {
+		t.Fatal(err)
+	}
+	// The control DB holds the same per-k tables but no pfree rankings,
+	// so the RankingsPatched delta isolates the pfree patches.
+	control, err := Open(g, WithPreparedIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := control.Prepare(ctx, "comp", "kcore"); err != nil {
+		t.Fatal(err)
+	}
+
+	var u Updates
+	for a := int32(0); a < int32(g.N()) && u.Insert == nil; a++ {
+		for b := a + 1; b < int32(g.N()); b++ {
+			if !g.HasEdge(a, b) {
+				u.Insert = []Edge{{U: a, V: b}}
+				break
+			}
+		}
+	}
+	if _, err := withPFree.Apply(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := control.Apply(ctx, u); err != nil {
+		t.Fatal(err)
+	}
+	st, ctl := withPFree.Snapshot().ApplyStats(), control.Snapshot().ApplyStats()
+	if st == nil || !st.TrussRepaired {
+		t.Fatalf("Apply fell back to a rebuild: %+v", st)
+	}
+	if want := ctl.RankingsPatched + len(AllMeasures()); st.RankingsPatched != want {
+		t.Fatalf("RankingsPatched = %d, want %d (control %d + one pfree patch per measure)",
+			st.RankingsPatched, want, ctl.RankingsPatched)
+	}
+	// The patched rankings are already in the new cache — Apply carried
+	// them forward; a query must not have to re-derive them.
+	cache := withPFree.Snapshot().cache
+	cache.mu.Lock()
+	for _, m := range AllMeasures() {
+		if cache.pfrank[m] == nil {
+			cache.mu.Unlock()
+			t.Fatalf("pfree ranking for %s missing after Apply; patch dropped it", m)
+		}
+	}
+	cache.mu.Unlock()
+
+	cold, err := Open(withPFree.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range AllMeasures() {
+		q := NewQuery(0, 12, ViaEngine("pfree"), WithMeasure(m), WithContexts())
+		got, _, err := withPFree.TopR(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		want, _, err := cold.TopR(ctx, q)
+		if err != nil {
+			t.Fatalf("%s (cold): %v", m, err)
+		}
+		if !reflect.DeepEqual(got.TopR, want.TopR) || !reflect.DeepEqual(got.Contexts, want.Contexts) {
+			t.Fatalf("%s: patched pfree answer diverges from a cold rebuild\n got %v\nwant %v",
+				m, got.TopR, want.TopR)
+		}
+	}
+	if cache.builds != 0 {
+		t.Fatalf("builds = %d after post-Apply pfree queries, want 0", cache.builds)
 	}
 }

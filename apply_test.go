@@ -428,6 +428,29 @@ func concurrentReadersDuringApply(t *testing.T, extra []trussdiv.Option) {
 			}
 		}(w)
 	}
+	// A parameter-free reader: the k-less cell of the matrix, hammering
+	// the pfree ranking while Apply patches it copy-on-write.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, _, err := db.TopR(ctx, trussdiv.NewQuery(0, 5,
+				trussdiv.ViaEngine("pfree"), trussdiv.WithoutStats()))
+			if err != nil {
+				t.Errorf("pfree reader: %v", err)
+				return
+			}
+			if res.Epoch < 1 || res.Epoch > batches+1 {
+				t.Errorf("pfree reader saw epoch %d outside [1,%d]", res.Epoch, batches+1)
+				return
+			}
+		}
+	}()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()

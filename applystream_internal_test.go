@@ -99,7 +99,11 @@ func TestApplyStreamRepairMatchesColdRebuild(t *testing.T) {
 		}
 		for _, mi := range db.Measures() {
 			for _, name := range mi.Engines {
-				q := NewQuery(3, 12, ViaEngine(name), WithMeasure(mi.Measure), WithContexts())
+				k := int32(3)
+				if name == "pfree" {
+					k = 0 // the parameter-free engine forbids a threshold
+				}
+				q := NewQuery(k, 12, ViaEngine(name), WithMeasure(mi.Measure), WithContexts())
 				got, _, err := db.TopR(ctx, q)
 				if err != nil {
 					t.Fatalf("step %d %s/%s: %v", step, name, mi.Measure, err)

@@ -1,0 +1,57 @@
+package trussdiv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadQuery is the sentinel every *BadQueryError matches via
+// errors.Is, so callers can branch on "the query itself was malformed
+// for the engine it targeted" without matching message text.
+var ErrBadQuery = errors.New("bad query")
+
+// BadQueryError reports a query whose parameters are invalid for the
+// engine that would serve it — today always the K contract: the fixed-k
+// engines require K >= 2, the parameter-free engine (pfree) requires K
+// to be left at 0. Engine is empty when the query failed validation
+// before an engine was selected (e.g. K = 1, invalid for every engine).
+type BadQueryError struct {
+	// Engine is the engine the query was validated against ("" when the
+	// failure is engine-independent).
+	Engine string
+	// K is the offending threshold value as given.
+	K int32
+	// Reason says what the contract wanted.
+	Reason string
+}
+
+func (e *BadQueryError) Error() string {
+	if e.Engine == "" {
+		return fmt.Sprintf("trussdiv: bad query (k = %d): %s", e.K, e.Reason)
+	}
+	return fmt.Sprintf("trussdiv: bad query for engine %q (k = %d): %s", e.Engine, e.K, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrBadQuery) match.
+func (e *BadQueryError) Is(target error) bool { return target == ErrBadQuery }
+
+// validateQueryK enforces the engine-aware K contract for a selected
+// engine: parameter-free engines take no threshold (K must stay 0),
+// every other engine requires K >= 2.
+func validateQueryK(eng Engine, q Query) error {
+	if isParameterFree(eng) {
+		if q.K != 0 {
+			return &BadQueryError{Engine: eng.Name(), K: q.K,
+				Reason: "engine is parameter-free: leave k unset (0)"}
+		}
+		return nil
+	}
+	switch {
+	case q.K == 0:
+		return &BadQueryError{Engine: eng.Name(), K: q.K,
+			Reason: "k is required (only parameter-free engines accept queries without k)"}
+	case q.K < 2:
+		return &BadQueryError{Engine: eng.Name(), K: q.K, Reason: "k must be >= 2"}
+	}
+	return nil
+}

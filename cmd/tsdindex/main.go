@@ -10,7 +10,9 @@
 // a reader refuses the file for any other graph and rebuilds instead.
 // With -measures the file additionally carries the per-k rankings of the
 // component and core diversity measures (format v2 measure-tagged
-// sections), so a warm server answers every measure's top-r in O(r).
+// sections) and the parameter-free pfree rankings of all three measures,
+// so a warm server answers every measure's top-r — fixed-k and k-less —
+// in O(r).
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ func main() {
 		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
 		out      = flag.String("out", ".", "directory the index store is written to")
 		verify   = flag.Bool("verify", false, "validate the existing store against the graph instead of building")
-		measures = flag.Bool("measures", false, "also build the component/core per-measure rankings into the store")
+		measures = flag.Bool("measures", false, "also build the component/core and parameter-free rankings into the store")
 	)
 	flag.Parse()
 
@@ -73,9 +75,10 @@ func run(input, dataset, out string, verify, measures bool) error {
 	// so the store file is serialized once, not once per Prepare.
 	names := []string(nil) // default set: bound, tsd, gct, hybrid
 	if measures {
-		// Plus the native measure engines' per-k rankings, landing in the
-		// same file as measure-tagged sections.
-		names = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore"}
+		// Plus the native measure engines' per-k rankings and the
+		// parameter-free rankings, landing in the same file as
+		// measure-tagged sections.
+		names = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore", "pfree"}
 	}
 	start := time.Now()
 	if err := db.Prepare(context.Background(), names...); err != nil {

@@ -11,12 +11,21 @@
 //	tsdsearch -dataset wiki-sim -measure component -k 3 -r 10  # alternative model
 //
 // Engines: online (Alg. 3), bound (Alg. 4), tsd (Alg. 5-6),
-// gct (Alg. 7-8), hybrid, comp (Comp-Div), kcore (Core-Div).
+// gct (Alg. 7-8), hybrid, comp (Comp-Div), kcore (Core-Div),
+// pfree (parameter-free).
 //
 // -measure selects the diversity definition (truss, the default;
 // component; core): the query routes to the cheapest engine serving that
 // measure, and -algo pins one engine inside the measure's row of the
 // routing matrix.
+//
+// The pfree engine takes no threshold — it scores every vertex at its
+// own discriminating level. -algo pfree leaves k unset automatically
+// (pairing it with an explicit -k fails), and -k 0 without -algo routes
+// the query to pfree:
+//
+//	tsdsearch -dataset wiki-sim -algo pfree -r 10
+//	tsdsearch -dataset wiki-sim -k 0 -r 10   # same: k-less queries route to pfree
 //
 // With -server the query runs against a running tsdserve instance —
 // single-node or cluster coordinator, both speak the same /topr shape —
@@ -46,8 +55,8 @@ func main() {
 	var (
 		input    = flag.String("input", "", "edge-list file (SNAP text format)")
 		dataset  = flag.String("dataset", "", "built-in synthetic dataset name")
-		algo     = flag.String("algo", "", "engine name (empty = cost-routed); online|bound|tsd|gct|hybrid|comp|kcore")
-		k        = flag.Int("k", 4, "trussness threshold (>= 2)")
+		algo     = flag.String("algo", "", "engine name (empty = cost-routed); online|bound|tsd|gct|hybrid|comp|kcore|pfree")
+		k        = flag.Int("k", 4, "trussness threshold (>= 2); 0 = parameter-free (the pfree engine)")
 		r        = flag.Int("r", 10, "result count")
 		contexts = flag.Bool("contexts", false, "print the social contexts of each answer")
 		measure  = flag.String("measure", "", "diversity measure: truss (default) | component | core")
@@ -55,6 +64,16 @@ func main() {
 		serverTo = flag.String("server", "", "query a running tsdserve at this URL instead of loading a graph")
 	)
 	flag.Parse()
+	// -algo pfree implies a parameter-free query: drop the -k default so
+	// the user need not spell -k 0; an explicit -k is kept and rejected
+	// downstream with the library's bad-query error.
+	if *algo == "pfree" {
+		kSet := false
+		flag.Visit(func(f *flag.Flag) { kSet = kSet || f.Name == "k" })
+		if !kSet {
+			*k = 0
+		}
+	}
 	var err error
 	if *serverTo != "" {
 		err = runRemote(*serverTo, *algo, *measure, *k, *r, *contexts, *timeout)
@@ -89,7 +108,9 @@ func runRemote(base, algo, measure string, k, r int, showContexts bool, timeout 
 		base = "http://" + base
 	}
 	params := url.Values{}
-	params.Set("k", fmt.Sprint(k))
+	if k != 0 {
+		params.Set("k", fmt.Sprint(k)) // absent k = parameter-free on the wire
+	}
 	params.Set("r", fmt.Sprint(r))
 	if algo != "" {
 		params.Set("engine", algo)

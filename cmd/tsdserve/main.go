@@ -28,6 +28,14 @@
 // which measure. An index store built with tsdindex -measures warm
 // starts the component/core rankings too.
 //
+// k is optional on every query endpoint: a /topr request without k (or
+// with k=0, including per /batch query) is parameter-free and routes to
+// the pfree engine, which scores each vertex at its own discriminating
+// level; /score and /contexts without k answer the parameter-free point
+// query. This holds in cluster mode too — the coordinator forwards
+// k-less queries and merges the shards' pfree answers byte-identically
+// to a single node.
+//
 // # Cluster modes
 //
 // The same binary runs the distributed serving tier. A shard worker owns

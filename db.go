@@ -194,7 +194,7 @@ var prepareAll = []string{"bound", "tsd", "gct", "hybrid"}
 
 // batchPrepare is every name Batch may need to ready up front, in
 // Prepare order.
-var batchPrepare = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore"}
+var batchPrepare = []string{"bound", "tsd", "gct", "hybrid", "comp", "kcore", "pfree"}
 
 // ErrIndexMismatch is the sentinel matched by errors.Is when an injected
 // index (WithTSDIndex, WithGCTIndex) was built from a different graph
@@ -412,7 +412,7 @@ func (s *Snapshot) Batch(ctx context.Context, qs []Query) ([]*Result, error) {
 	prepare := make(map[string]bool)
 	for _, eng := range engines {
 		switch name := eng.Name(); name {
-		case "bound", "tsd", "gct", "hybrid", "comp", "kcore":
+		case "bound", "tsd", "gct", "hybrid", "comp", "kcore", "pfree":
 			// comp/kcore: batch-aware routing may pick the native measure
 			// engines on the strength of their amortized rankings build, so
 			// the rankings must actually be built before the queries run.
@@ -528,6 +528,10 @@ type IndexStats struct {
 	// are ready in memory (built by Prepare("comp"/"kcore") or loaded
 	// from a v2 index store).
 	MeasureRankings []Measure
+	// PFreeRankings lists the measures whose parameter-free rankings are
+	// ready in memory (Prepare("pfree"), a derivation on the query path,
+	// or a store pfree section).
+	PFreeRankings []Measure
 	BuildTime       time.Duration
 	LoadTime        time.Duration // time spent reading the index store
 }

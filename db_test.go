@@ -53,12 +53,11 @@ func TestEnginesCatalogue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"online", "bound", "tsd", "gct", "hybrid", "comp", "kcore"}
+	want := []string{"online", "bound", "tsd", "gct", "hybrid", "comp", "kcore", "pfree"}
 	if got := db.Engines(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Engines() = %v, want %v", got, want)
 	}
 	ctx := context.Background()
-	q := trussdiv.NewQuery(4, 1, trussdiv.WithContexts())
 	for _, name := range want {
 		e, err := db.Engine(name)
 		if err != nil {
@@ -67,6 +66,11 @@ func TestEnginesCatalogue(t *testing.T) {
 		if e.Name() != name {
 			t.Fatalf("Engine(%q).Name() = %q", name, e.Name())
 		}
+		k := int32(4)
+		if name == "pfree" {
+			k = 0 // the parameter-free engine forbids a threshold
+		}
+		q := trussdiv.NewQuery(k, 1, trussdiv.WithContexts())
 		res, _, err := e.TopR(ctx, q)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -6,10 +6,11 @@ import (
 )
 
 // Engine is the uniform face of every top-r structural diversity
-// searcher. The library ships seven implementations — online (Alg. 3),
-// bound (Alg. 4), tsd (Alg. 5-6), gct (Alg. 7-8), hybrid (Exp-4), plus
-// the comp/kcore native measure engines — and new backends plug in
-// through DB.Register without touching the callers.
+// searcher. The library ships eight implementations — online (Alg. 3),
+// bound (Alg. 4), tsd (Alg. 5-6), gct (Alg. 7-8), hybrid (Exp-4), the
+// comp/kcore native measure engines, and the parameter-free pfree
+// engine — and new backends plug in through DB.Register without
+// touching the callers.
 //
 // An engine serves one or more diversity measures: implement the
 // optional MeasureLister interface to declare them (engines without it
@@ -34,6 +35,23 @@ type Engine interface {
 	// relative, not wall-clock: only comparisons between engines over the
 	// same graph are meaningful.
 	Cost(q Query) Estimate
+}
+
+// ParameterFree is the optional interface an Engine implements to
+// declare that it takes no trussness threshold: queries routed to it
+// must leave Query.K at 0, and a query with K == 0 can only be served
+// by such an engine. For parameter-free engines the k argument of
+// Score/Contexts must be 0 as well. Engines without the interface (or
+// returning false) keep the classic contract: K >= 2 required.
+type ParameterFree interface {
+	ParameterFree() bool
+}
+
+// isParameterFree reports whether eng declares the parameter-free
+// contract.
+func isParameterFree(eng Engine) bool {
+	pf, ok := eng.(ParameterFree)
+	return ok && pf.ParameterFree()
 }
 
 // Estimate is an engine's predicted effort for one query, in abstract

@@ -485,3 +485,47 @@ func TestMeasuresExperimentEmitsJSON(t *testing.T) {
 		t.Fatal("bad -measure value accepted")
 	}
 }
+
+// TestPFreeExperimentEmitsJSON runs the quick-mode pfree experiment on
+// one small dataset and checks the BENCH_pfree.json artifact: every
+// (dataset, measure) row must carry positive timings and the Verified
+// flag — the experiment fails when the prepared path's answer diverges
+// from the online fallback, so a written artifact means the parity held.
+func TestPFreeExperimentEmitsJSON(t *testing.T) {
+	e, ok := ByID("pfree")
+	if !ok {
+		t.Fatal("pfree experiment not registered")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	cfg := Config{Quick: true, Seed: 1, OutDir: dir, Datasets: []string{"wiki-sim"}}
+	if err := e.Run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, PFreeReportFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report PFreeReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("BENCH_pfree.json is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, row := range report.Rows {
+		if row.Dataset != "wiki-sim" {
+			t.Fatalf("unexpected dataset %q", row.Dataset)
+		}
+		if row.OnlineNS <= 0 || row.RankedNS <= 0 || row.PrepareNS <= 0 {
+			t.Fatalf("row %+v has non-positive timings", row)
+		}
+		if !row.Verified {
+			t.Fatalf("row %+v not verified", row)
+		}
+		seen[row.Measure] = true
+	}
+	for _, m := range []string{"truss", "component", "core"} {
+		if !seen[m] {
+			t.Fatalf("measure %s missing from the report (rows: %+v)", m, report.Rows)
+		}
+	}
+}

@@ -182,8 +182,12 @@ func TestCoordinatorByteEqualSingleNode(t *testing.T) {
 			for _, workers := range []int{0, 2} {
 				label := fmt.Sprintf("shards=%d engine=%q measure=%s workers=%d",
 					count, p.engine, p.measure, workers)
+				k := int32(4)
+				if p.engine == "pfree" {
+					k = 0 // the parameter-free cell queries without a threshold
+				}
 				q := trussdiv.Query{
-					K: 4, R: 12, IncludeContexts: true,
+					K: k, R: 12, IncludeContexts: true,
 					Engine: p.engine, Measure: p.measure, Workers: workers,
 				}
 				want, _, err := single.TopR(ctx, q)

@@ -120,10 +120,15 @@ type clusterResult struct {
 
 func (s *CoordinatorServer) handleTopR(w http.ResponseWriter, r *http.Request) {
 	qp := r.URL.Query()
-	k, err := strconv.Atoi(qp.Get("k"))
-	if err != nil {
-		coordBadRequest(w, "parameter \"k\": %v", err)
-		return
+	// k is optional, matching the single-node server: absent means a
+	// parameter-free query, which every shard routes to its pfree engine.
+	k := 0
+	if raw := qp.Get("k"); raw != "" {
+		var err error
+		if k, err = strconv.Atoi(raw); err != nil {
+			coordBadRequest(w, "parameter \"k\": %v", err)
+			return
+		}
 	}
 	rr, err := strconv.Atoi(qp.Get("r"))
 	if err != nil {
@@ -279,15 +284,18 @@ func (s *CoordinatorServer) handleEdges(w http.ResponseWriter, r *http.Request) 
 }
 
 // pointRequest parses the shared v/k/measure parameters of /score and
-// /contexts.
+// /contexts. k is optional: absent (or 0) asks the owning shard for the
+// parameter-free score, matching the single-node server.
 func pointRequest(r *http.Request) (v, k int32, m trussdiv.Measure, err error) {
 	vi, err := strconv.Atoi(r.URL.Query().Get("v"))
 	if err != nil {
 		return 0, 0, "", fmt.Errorf("parameter \"v\": %v", err)
 	}
-	ki, err := strconv.Atoi(r.URL.Query().Get("k"))
-	if err != nil {
-		return 0, 0, "", fmt.Errorf("parameter \"k\": %v", err)
+	ki := 0
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if ki, err = strconv.Atoi(raw); err != nil {
+			return 0, 0, "", fmt.Errorf("parameter \"k\": %v", err)
+		}
 	}
 	m, err = trussdiv.ParseMeasure(r.URL.Query().Get("measure"))
 	if err != nil {

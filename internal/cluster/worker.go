@@ -242,9 +242,13 @@ func (w *Worker) pointParams(r *http.Request) (v, k int32, m trussdiv.Measure, e
 	if err != nil {
 		return 0, 0, "", 0, fmt.Errorf("parameter \"v\": %v", err)
 	}
-	ki, err := strconv.Atoi(r.URL.Query().Get("k"))
-	if err != nil {
-		return 0, 0, "", 0, fmt.Errorf("parameter \"k\": %v", err)
+	// k=0 (or absent) is the parameter-free point query; the coordinator
+	// forwards whatever the client sent.
+	ki := 0
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if ki, err = strconv.Atoi(raw); err != nil {
+			return 0, 0, "", 0, fmt.Errorf("parameter \"k\": %v", err)
+		}
 	}
 	m, err = trussdiv.ParseMeasure(r.URL.Query().Get("measure"))
 	if err != nil {
@@ -275,7 +279,12 @@ func (w *Worker) handleScore(rw http.ResponseWriter, r *http.Request) {
 		writeStale(rw, stale)
 		return
 	}
-	score, err := snap.ScoreMeasure(r.Context(), v, k, m)
+	var score int
+	if k == 0 {
+		score, err = snap.ScorePFree(r.Context(), v, m)
+	} else {
+		score, err = snap.ScoreMeasure(r.Context(), v, k, m)
+	}
 	if err != nil {
 		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
 		return
@@ -296,7 +305,12 @@ func (w *Worker) handleContexts(rw http.ResponseWriter, r *http.Request) {
 		writeStale(rw, stale)
 		return
 	}
-	contexts, err := snap.ContextsMeasure(r.Context(), v, k, m)
+	var contexts [][]int32
+	if k == 0 {
+		contexts, err = snap.ContextsPFree(r.Context(), v, m)
+	} else {
+		contexts, err = snap.ContextsMeasure(r.Context(), v, k, m)
+	}
 	if err != nil {
 		writeWireError(rw, http.StatusBadRequest, "bad_request", "%v", err)
 		return

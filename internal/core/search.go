@@ -65,6 +65,19 @@ func (p Params) normalized(n int) (Params, error) {
 	if p.K < 2 {
 		return p, fmt.Errorf("core: trussness threshold k = %d, must be >= 2", p.K)
 	}
+	return p.normalizedNoK(n)
+}
+
+// NormalizedNoK validates p for a parameter-free search: identical to
+// the fixed-k engines' validation except that K is ignored — the
+// parameter-free objective has no trussness threshold.
+func (p Params) NormalizedNoK(n int) (Params, error) {
+	return p.normalizedNoK(n)
+}
+
+// normalizedNoK is the K-independent part of parameter validation: R,
+// measure, and candidate checks, candidate dedup, and the R cap.
+func (p Params) normalizedNoK(n int) (Params, error) {
 	if p.R < 1 {
 		return p, fmt.Errorf("core: r = %d, must be >= 1", p.R)
 	}

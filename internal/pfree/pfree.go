@@ -1,0 +1,252 @@
+// Package pfree implements parameter-free structural diversity search:
+// the sixth engine of the stack, after "Parameter-free Structural
+// Diversity Search" (arXiv:1908.11612, same authors as the base paper).
+//
+// Every other engine answers top-r for one fixed threshold k, forcing
+// users to guess a truss level before asking for diverse vertices. The
+// parameter-free objective removes the guess by aggregating the whole
+// per-k score vector s_m(v, ·) of a vertex into one number, an h-index
+// style fixpoint over the threshold axis:
+//
+//	pfree(v) = max{ h >= 1 : s_m(v, max(h, 2)) >= h },  0 if no h qualifies
+//
+// where s_m(v, k) is the structural diversity score of v at threshold k
+// under measure m (k-truss components of the ego network, connected
+// components of size >= k, or k-core components). The max(h, 2) clamp
+// exists because every measure's threshold axis starts at k = 2: h = 1
+// ("at least one context at the weakest level") and h = 2 are both
+// witnessed at level 2. A vertex is diverse parameter-freely when it has
+// many contexts at a proportionally strong cohesion level — a few huge
+// communities or many trivial ones both score low, exactly the
+// trade-off fixed-k search forces users to navigate by hand.
+//
+// The discriminating level k*(v) = max(pfree(v), 2) is the threshold
+// that witnesses the score; the pfree contexts of v are the measure's
+// contexts at k*(v). Like every engine in this repository, answers are
+// produced under the canonical total order (score descending, vertex id
+// ascending), so serial, parallel, Batch, and cluster scatter-gather
+// executions are byte-identical.
+//
+// Two execution paths produce identical bytes: a prepared path that
+// reads a precomputed pfree ranking (derived in O(table) from the per-k
+// rankings the hybrid/baseline engines already build, or loaded from the
+// store's pfree slab), and an online fallback that scores one ego
+// network at a time through core.ScoresAllK for cold or small graphs.
+package pfree
+
+import (
+	"context"
+
+	"trussdiv/internal/core"
+	"trussdiv/internal/graph"
+)
+
+// Score aggregates one vertex's per-k score vector (as returned by
+// core.ScoresAllK: indexed by k, entries 0 and 1 unused, nil when the
+// vertex has no contexts at any level) into its parameter-free
+// diversity score. Per level: k == 2 witnesses h = min(s, 2); a level
+// k >= 3 witnesses h = k iff s >= k. The score is the maximum witnessed
+// h over all levels, 0 when none qualifies.
+func Score(allK []int) int {
+	best := 0
+	for k := 2; k < len(allK); k++ {
+		s := allK[k]
+		if s <= 0 {
+			continue
+		}
+		h := 0
+		switch {
+		case k == 2 && s >= 2:
+			h = 2
+		case k == 2:
+			h = 1
+		case s >= k:
+			h = k
+		}
+		if h > best {
+			best = h
+		}
+	}
+	return best
+}
+
+// Level returns the discriminating level k*(v) = max(Score, 2) — the
+// threshold that witnesses the parameter-free score and at which the
+// pfree contexts of the vertex live. 0 when the score is 0 (no
+// contexts at any level).
+func Level(allK []int) int32 {
+	h := Score(allK)
+	if h == 0 {
+		return 0
+	}
+	if h < 2 {
+		return 2
+	}
+	return int32(h)
+}
+
+// ScoreAt computes the parameter-free score of one vertex online: one
+// ego-network extraction and one all-k decomposition under measure m.
+func ScoreAt(g *graph.Graph, v int32, m core.Measure) int {
+	return Score(core.ScoresAllK(g, v, m))
+}
+
+// ContextsAt recovers the pfree contexts of one vertex online: the
+// measure's contexts at the discriminating level. Nil when the score
+// is 0.
+func ContextsAt(g *graph.Graph, v int32, m core.Measure) [][]int32 {
+	lvl := Level(core.ScoresAllK(g, v, m))
+	if lvl == 0 {
+		return nil
+	}
+	return core.NewMeasureScorer(g, m).Contexts(v, lvl)
+}
+
+// BuildRanking scores every vertex online and returns the canonical
+// pfree ranking under measure m: sorted score descending / id
+// ascending, zero scores omitted. The result is always non-nil (an
+// empty ranking is still a prepared ranking — "nobody scores" is an
+// answer, not an absence).
+func BuildRanking(g *graph.Graph, m core.Measure) []core.VertexScore {
+	list := make([]core.VertexScore, 0)
+	for v := int32(0); int(v) < g.N(); v++ {
+		if s := Score(core.ScoresAllK(g, v, m)); s > 0 {
+			list = append(list, core.VertexScore{V: v, Score: s})
+		}
+	}
+	core.SortCanonical(list)
+	return list
+}
+
+// RankingFromPerK derives the pfree ranking from per-k rankings already
+// built for a fixed-k engine (hybrid's truss rankings, or the
+// component/core tables of core.BuildMeasureRankings): perK[k] lists
+// the vertices with s(v, k) > 0 canonically. Because every listed
+// (v, k, s) entry witnesses exactly the per-level h of Score, one
+// O(total entries) sweep replaces a full per-vertex ego pass — the
+// prepared fast path. Byte-identical to BuildRanking on the same graph.
+func RankingFromPerK(perK [][]core.VertexScore) []core.VertexScore {
+	best := make(map[int32]int)
+	for k := 2; k < len(perK); k++ {
+		for _, e := range perK[k] {
+			h := 0
+			switch {
+			case k == 2 && e.Score >= 2:
+				h = 2
+			case k == 2 && e.Score >= 1:
+				h = 1
+			case k >= 3 && e.Score >= k:
+				h = k
+			}
+			if h > best[e.V] {
+				best[e.V] = h
+			}
+		}
+	}
+	list := make([]core.VertexScore, 0, len(best))
+	for v, s := range best {
+		list = append(list, core.VertexScore{V: v, Score: s})
+	}
+	core.SortCanonical(list)
+	return list
+}
+
+// PatchRanking splices the affected vertices of an edge-update batch
+// into an existing pfree ranking: re-score exactly the affected set
+// online, merge canonically with the unaffected survivors. O(affected)
+// ego decompositions instead of a full rebuild; byte-identical to
+// BuildRanking on the new graph. Never aliases old.
+func PatchRanking(g *graph.Graph, m core.Measure, old []core.VertexScore, affected []int32) []core.VertexScore {
+	aff := make(map[int32]bool, len(affected))
+	fresh := make([]core.VertexScore, 0, len(affected))
+	for _, v := range affected {
+		if aff[v] {
+			continue
+		}
+		aff[v] = true
+		if s := Score(core.ScoresAllK(g, v, m)); s > 0 {
+			fresh = append(fresh, core.VertexScore{V: v, Score: s})
+		}
+	}
+	core.SortCanonical(fresh)
+	return core.MergeRanked(old, fresh, aff)
+}
+
+// Searcher answers parameter-free top-r queries for one (graph,
+// measure) pair. With a prepared ranking it is an O(r) canonical prefix
+// read; without one it falls back to the online scan. Both paths answer
+// byte-identically. Safe for concurrent use.
+type Searcher struct {
+	g      *graph.Graph
+	m      core.Measure
+	scorer core.DivScorer
+	ranked []core.VertexScore
+}
+
+// NewSearcher builds a Searcher for measure m. ranked, when non-nil, is
+// a prepared canonical pfree ranking (BuildRanking / RankingFromPerK /
+// a store slab) enabling the O(r) fast path; nil selects the online
+// fallback.
+func NewSearcher(g *graph.Graph, m core.Measure, ranked []core.VertexScore) *Searcher {
+	m = m.Normalize()
+	return &Searcher{g: g, m: m, scorer: core.NewMeasureScorer(g, m), ranked: ranked}
+}
+
+// Contexts recovers the pfree contexts of one answer vertex (the
+// measure's contexts at the discriminating level); nil for zero-score
+// vertices. Safe for concurrent calls.
+func (s *Searcher) Contexts(v int32) [][]int32 {
+	lvl := Level(core.ScoresAllK(s.g, v, s.m))
+	if lvl == 0 {
+		return nil
+	}
+	return s.scorer.Contexts(v, lvl)
+}
+
+// Search answers the parameter-free top-r query. p.K is ignored — the
+// objective has no threshold; validation of the remaining parameters is
+// identical to the fixed-k engines'.
+func (s *Searcher) Search(ctx context.Context, p core.Params) (*core.Result, *core.Stats, error) {
+	p, err := p.NormalizedNoK(s.g.N())
+	if err != nil {
+		return nil, nil, err
+	}
+	if m := p.Measure.Normalize(); m != s.m {
+		return nil, nil, &core.UnsupportedMeasureError{Engine: "pfree[" + string(s.m) + "]", Measure: m}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	stats := &core.Stats{}
+	var answer []core.VertexScore
+	if s.ranked != nil {
+		answer, stats.Candidates = core.RankedAnswer(s.ranked, s.g.N(), p)
+		if !p.SkipContexts {
+			// Context recovery is the only decomposition work on this path.
+			stats.ScoreComputations = len(answer)
+		}
+	} else {
+		var scored int
+		answer, scored, err = core.ScanCanonical(ctx, s.g.N(), p, func() func(v int32) int {
+			return func(v int32) int { return Score(core.ScoresAllK(s.g, v, s.m)) }
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.Candidates = scored
+		stats.ScoreComputations = scored
+		if !p.SkipContexts {
+			stats.ScoreComputations += len(answer)
+		}
+	}
+
+	res, err := core.FinishResult(ctx, answer, p, s.Contexts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.SkipStats {
+		return res, nil, nil
+	}
+	return res, stats, nil
+}

@@ -17,6 +17,12 @@
 //	GET  /score?v=17&k=4                 one vertex's diversity score
 //	GET  /contexts?v=17&k=4              one vertex's social contexts
 //
+// k is optional everywhere it appears: a /topr request without k is a
+// parameter-free query and routes to the pfree engine (engine=pfree pins
+// it), which picks each vertex's own discriminating level instead of
+// taking a threshold; /score and /contexts without k (or with
+// engine=pfree) answer the parameter-free point query the same way.
+//
 // The topr endpoint accepts workers=N to shard the search across a
 // worker pool; /batch accepts the same per query. Answers are identical
 // for every worker count.
@@ -120,13 +126,23 @@ func New(g *graph.Graph, opts ...Option) *Server {
 	s.built = time.Since(start)
 	s.metrics.Gauge("result_cache", func() map[string]uint64 {
 		rc := db.ResultCacheStats()
-		return map[string]uint64{
+		out := map[string]uint64{
 			"hits":        rc.Hits,
 			"misses":      rc.Misses,
 			"invalidated": rc.Invalidated,
 			"size":        uint64(rc.Size),
 			"capacity":    uint64(rc.Capacity),
 		}
+		// Per-engine split, flattened for the uint64 metrics map: which
+		// engines the cache actually serves (pfree keys differently from the
+		// fixed-k engines, so its hit rate is worth watching on its own).
+		for name, n := range rc.HitsByEngine {
+			out["hits_engine_"+name] = n
+		}
+		for name, n := range rc.MissesByEngine {
+			out["misses_engine_"+name] = n
+		}
+		return out
 	})
 	return s
 }
@@ -213,13 +229,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"requests": s.metrics.Totals(),
 	}
 	if rc := s.db.ResultCacheStats(); rc.Enabled {
-		body["result_cache"] = map[string]any{
+		cache := map[string]any{
 			"hits":        rc.Hits,
 			"misses":      rc.Misses,
 			"invalidated": rc.Invalidated,
 			"size":        rc.Size,
 			"capacity":    rc.Capacity,
 		}
+		if len(rc.HitsByEngine) > 0 {
+			cache["hits_by_engine"] = rc.HitsByEngine
+		}
+		if len(rc.MissesByEngine) > 0 {
+			cache["misses_by_engine"] = rc.MissesByEngine
+		}
+		body["result_cache"] = cache
 	}
 	if st := snap.StoreStatus(); st.Dir != "" {
 		source := "cold"
@@ -333,7 +356,9 @@ type topRResult struct {
 }
 
 func (s *Server) handleTopR(w http.ResponseWriter, r *http.Request) {
-	k, err := intParam(r, "k")
+	// k is optional: absent (or 0) builds a parameter-free query, which
+	// routes to the pfree engine — the objective picks each vertex's level.
+	k, err := optionalIntParam(r, "k")
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -633,20 +658,37 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) vertexParam(r *http.Request) (int32, int32, error) {
-	v, err := intParam(r, "v")
+// vertexParam parses the point-query axes: the vertex (required), the
+// threshold k, and whether the request is parameter-free. k is optional
+// — absent or 0 means pfree semantics (the objective chooses the
+// level), matching /topr; engine=pfree makes that explicit and rejects
+// a non-zero k with 400, mirroring the library's BadQueryError.
+func (s *Server) vertexParam(r *http.Request) (v, k int32, pf bool, err error) {
+	vi, err := intParam(r, "v")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	k, err := intParam(r, "k")
+	ki, err := optionalIntParam(r, "k")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
-	return int32(v), int32(k), nil
+	switch eng := r.URL.Query().Get("engine"); eng {
+	case "", "pfree":
+		// pfree is the only engine with point semantics of its own; any
+		// other name would silently answer with default-path semantics, so
+		// reject it rather than mislabel the response.
+	default:
+		return 0, 0, false, fmt.Errorf("parameter \"engine\": point queries accept only engine=pfree, got %q", eng)
+	}
+	pf = ki == 0
+	if r.URL.Query().Get("engine") == "pfree" && ki != 0 {
+		return 0, 0, false, fmt.Errorf("engine \"pfree\" is parameter-free: leave k unset, got k=%d", ki)
+	}
+	return int32(vi), int32(ki), pf, nil
 }
 
 func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
-	v, k, err := s.vertexParam(r)
+	v, k, pf, err := s.vertexParam(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -658,7 +700,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	score, err := s.db.ScoreMeasure(ctx, v, k, measure)
+	var score int
+	if pf {
+		score, err = s.db.ScorePFree(ctx, v, measure)
+	} else {
+		score, err = s.db.ScoreMeasure(ctx, v, k, measure)
+	}
 	if err != nil {
 		searchError(w, err)
 		return
@@ -672,7 +719,7 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
-	v, k, err := s.vertexParam(r)
+	v, k, pf, err := s.vertexParam(r)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -684,7 +731,12 @@ func (s *Server) handleContexts(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	contexts, err := s.db.ContextsMeasure(ctx, v, k, measure)
+	var contexts [][]int32
+	if pf {
+		contexts, err = s.db.ContextsPFree(ctx, v, measure)
+	} else {
+		contexts, err = s.db.ContextsMeasure(ctx, v, k, measure)
+	}
 	if err != nil {
 		searchError(w, err)
 		return

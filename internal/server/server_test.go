@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -97,18 +98,50 @@ func TestScoreAndContextsEndpoints(t *testing.T) {
 func TestValidationErrors(t *testing.T) {
 	ts := newTestServer(t)
 	for _, url := range []string{
-		"/topr?r=1",              // missing k
-		"/topr?k=4",              // missing r
-		"/topr?k=4&r=1&engine=x", // unknown engine
-		"/topr?k=1&r=1",          // k too small
-		"/score?v=99&k=4",        // vertex out of range
-		"/score?v=0&k=1",         // k too small
-		"/contexts?v=abc&k=4",    // non-integer
+		"/topr?k=4",                    // missing r
+		"/topr?k=4&r=1&engine=x",       // unknown engine
+		"/topr?k=1&r=1",                // k too small (and not parameter-free)
+		"/topr?r=1&engine=gct",         // fixed-k engine pinned without k
+		"/topr?k=4&r=1&engine=pfree",   // parameter-free engine pinned with k
+		"/score?v=99&k=4",              // vertex out of range
+		"/score?v=0&k=1",               // k too small
+		"/score?v=0&k=4&engine=online", // only pfree has point semantics
+		"/score?v=0&k=4&engine=pfree",  // pfree forbids a threshold
+		"/contexts?v=abc&k=4",          // non-integer
 	} {
 		body := getJSON(t, ts.URL+url, http.StatusBadRequest)
 		if body["error"] == "" {
 			t.Fatalf("%s: missing error body", url)
 		}
+	}
+}
+
+// TestParameterFreeEndpoints drives the k-less paths: /topr without k
+// routes to pfree, engine=pfree pins it, and /score answers the
+// parameter-free point query when k is absent.
+func TestParameterFreeEndpoints(t *testing.T) {
+	ts := newTestServer(t)
+	body := getJSON(t, ts.URL+"/topr?r=3", http.StatusOK)
+	if body["engine"] != "pfree" || body["routed"] != true {
+		t.Fatalf("k-less /topr: engine=%v routed=%v, want pfree/true", body["engine"], body["routed"])
+	}
+	pinned := getJSON(t, ts.URL+"/topr?r=3&engine=pfree", http.StatusOK)
+	if fmt.Sprint(pinned["results"]) != fmt.Sprint(body["results"]) {
+		t.Fatalf("pinned pfree diverges from routed k-less query:\n got %v\nwant %v",
+			pinned["results"], body["results"])
+	}
+	// The point path: absent k (or engine=pfree) means parameter-free.
+	score := getJSON(t, ts.URL+"/score?v=0", http.StatusOK)
+	if score["score"].(float64) < 1 {
+		t.Fatalf("parameter-free score of a clique member = %v, want >= 1", score["score"])
+	}
+	explicit := getJSON(t, ts.URL+"/score?v=0&engine=pfree", http.StatusOK)
+	if explicit["score"] != score["score"] {
+		t.Fatalf("engine=pfree score %v != k-less score %v", explicit["score"], score["score"])
+	}
+	cx := getJSON(t, ts.URL+"/contexts?v=0", http.StatusOK)
+	if cx["contexts"] == nil {
+		t.Fatalf("parameter-free contexts missing: %v", cx)
 	}
 }
 
@@ -138,8 +171,8 @@ func TestEnginesEndpoint(t *testing.T) {
 	ts := newTestServer(t)
 	body := getJSON(t, ts.URL+"/engines", http.StatusOK)
 	engines := body["engines"].([]any)
-	if len(engines) != 7 {
-		t.Fatalf("engines = %v, want 7 entries", engines)
+	if len(engines) != 8 {
+		t.Fatalf("engines = %v, want 8 entries", engines)
 	}
 }
 
@@ -407,8 +440,8 @@ func TestMeasuresEndpoint(t *testing.T) {
 		t.Fatalf("first measure = %v, want the truss default", first)
 	}
 	engines := first["engines"].([]any)
-	if len(engines) != 5 {
-		t.Fatalf("truss engines = %v, want the five paper engines", engines)
+	if len(engines) != 6 {
+		t.Fatalf("truss engines = %v, want the five paper engines plus pfree", engines)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"trussdiv/internal/core"
 	"trussdiv/internal/gen"
 	"trussdiv/internal/graph"
+	"trussdiv/internal/pfree"
 	"trussdiv/internal/truss"
 )
 
@@ -235,6 +236,59 @@ func TestGoldenFormat(t *testing.T) {
 	}
 }
 
+// TestGoldenFormatPFree pins the byte-exact layout of a v3 file that
+// additionally carries the parameter-free rankings (one measure-tagged
+// pfree section per measure). The plain-v3 golden above is untouched —
+// pfree sections are only emitted when present, so pre-pfree files stay
+// byte-identical. Regenerate deliberately with
+// `go test ./internal/store -run TestGoldenFormatPFree -update`.
+func TestGoldenFormatPFree(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.MeasureRankings = map[core.Measure][][]core.VertexScore{
+		core.MeasureComponent: core.BuildMeasureRankings(g, core.MeasureComponent),
+		core.MeasureCore:      core.BuildMeasureRankings(g, core.MeasureCore),
+	}
+	ix.PFree = map[core.Measure][]core.VertexScore{}
+	for _, m := range core.AllMeasures() {
+		ix.PFree[m] = pfree.BuildRanking(g, m)
+	}
+	var buf bytes.Buffer
+	if _, err := Write(&buf, g, ix); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_fig1_v3_pfree.tdx")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("serialized store (%d bytes) differs from golden file (%d bytes); "+
+			"a pfree slab layout change needs a Version bump and -update", buf.Len(), len(want))
+	}
+	// And the golden keeps loading: every pfree section decodes to what
+	// a fresh build produces.
+	f, err := OpenFile(golden, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, m := range core.AllMeasures() {
+		ranked, err := f.PFreeRanking(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !reflect.DeepEqual(ranked, ix.PFree[m]) {
+			t.Fatalf("%s pfree ranking in the golden diverges from a fresh build", m)
+		}
+	}
+}
+
 // TestV1GoldenStillLoads is the backward-compatibility gate: the
 // checked-in golden_fig1.tdx was written by the version-1 writer (before
 // the measure axis existed) and must keep loading — every section
@@ -373,6 +427,117 @@ func TestMeasureRankingsRoundTrip(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestPFreeRankingRoundTrip pins the parameter-free slab: one
+// measure-tagged pfree section per measure survives the round trip
+// intact through both read modes, without polluting the truss sections,
+// and an empty-but-present ranking stays non-nil (present ≠ absent).
+func TestPFreeRankingRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.PFree = map[core.Measure][]core.VertexScore{
+		core.MeasureTruss:     pfree.BuildRanking(g, core.MeasureTruss),
+		core.MeasureComponent: pfree.BuildRanking(g, core.MeasureComponent),
+		core.MeasureCore:      {},
+	}
+	path := saveTo(t, g, ix)
+	back, err := ReadAll(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range core.AllMeasures() {
+		if !reflect.DeepEqual(back.PFree[m], ix.PFree[m]) {
+			t.Errorf("%s pfree ranking changed across the round trip", m)
+		}
+	}
+	if back.PFree[core.MeasureCore] == nil {
+		t.Error("empty pfree ranking decoded to nil; empty must stay distinct from absent")
+	}
+	if !reflect.DeepEqual(back.Rankings, ix.Rankings) {
+		t.Error("truss rankings polluted by pfree sections")
+	}
+	bothModes(t, func(t *testing.T, mode Mode) {
+		f, err := OpenFile(path, g, WithMode(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for _, m := range core.AllMeasures() {
+			if !f.HasMeasure(SecPFree, m) {
+				t.Fatalf("%s pfree section missing from the TOC", m)
+			}
+			ranked, err := f.PFreeRanking(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ranked, ix.PFree[m]) {
+				t.Errorf("%s pfree ranking changed through the %v handle", m, mode)
+			}
+		}
+	})
+}
+
+// TestPFreeSlabRejectsCorruption walks the pfree slab's structural
+// validation: a count above the vertex budget and an out-of-range
+// vertex id both surface as ErrCorrupt (the mmap path relies on these
+// checks, its CRC pass being deferred).
+func TestPFreeSlabRejectsCorruption(t *testing.T) {
+	g := testGraph(t)
+	ix := buildIndexes(g)
+	ix.PFree = map[core.Measure][]core.VertexScore{
+		core.MeasureTruss: pfree.BuildRanking(g, core.MeasureTruss),
+	}
+	path := saveTo(t, g, ix)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfreeOffset := func(b []byte) uint64 {
+		count := int(binary.LittleEndian.Uint32(b[40:44]))
+		for i := 0; i < count; i++ {
+			e := b[headerSize+tocEntrySize*i:]
+			if Section(binary.LittleEndian.Uint32(e[0:4])) == SecPFree {
+				return binary.LittleEndian.Uint64(e[12:20])
+			}
+		}
+		t.Fatal("no pfree section in the file")
+		return 0
+	}
+	damage := []struct {
+		name string
+		mut  func(payload []byte)
+	}{
+		{"count above budget", func(p []byte) {
+			binary.LittleEndian.PutUint64(p, uint64(g.N())+1)
+		}},
+		{"vertex out of range", func(p []byte) {
+			binary.LittleEndian.PutUint32(p[8:], uint32(g.N())) // first pair's vertex
+		}},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			bad := append([]byte(nil), blob...)
+			d.mut(bad[pfreeOffset(bad):])
+			badPath := filepath.Join(t.TempDir(), FileName)
+			if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			bothModes(t, func(t *testing.T, mode Mode) {
+				f, err := OpenFile(badPath, g, WithMode(mode))
+				if err != nil {
+					if errors.Is(err, ErrCorrupt) {
+						return // decode mode may reject at open via the CRC pass
+					}
+					t.Fatal(err)
+				}
+				defer f.Close()
+				if _, err := f.PFreeRanking(core.MeasureTruss); !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("err = %v, want ErrCorrupt", err)
+				}
+			})
+		})
+	}
 }
 
 // TestMmapMatchesDecode is the mode-equivalence gate: every section of a

@@ -2,8 +2,10 @@ package trussdiv
 
 import (
 	"context"
+	"fmt"
 
 	"trussdiv/internal/core"
+	"trussdiv/internal/pfree"
 )
 
 // Measure names one structural diversity definition — the axis the DB
@@ -128,6 +130,56 @@ func (db *DB) ScoreMeasure(ctx context.Context, v, k int32, m Measure) (int, err
 // measure m on the current snapshot.
 func (db *DB) ContextsMeasure(ctx context.Context, v, k int32, m Measure) ([][]int32, error) {
 	return db.Snapshot().ContextsMeasure(ctx, v, k, m)
+}
+
+// ScorePFree returns the parameter-free diversity score of v under
+// measure m on the current snapshot: the largest h with
+// score_m(v, max(h,2)) >= h, and 0 for vertices with no contexts. No
+// threshold is taken — the objective chooses the discriminating level
+// itself (the point-query twin of engine=pfree top-r search).
+func (db *DB) ScorePFree(ctx context.Context, v int32, m Measure) (int, error) {
+	return db.Snapshot().ScorePFree(ctx, v, m)
+}
+
+// ContextsPFree returns SC(v) at v's discriminating level
+// k* = max(ScorePFree(v), 2) under measure m; nil when the score is 0.
+func (db *DB) ContextsPFree(ctx context.Context, v int32, m Measure) ([][]int32, error) {
+	return db.Snapshot().ContextsPFree(ctx, v, m)
+}
+
+// ScorePFree returns the parameter-free score of v under measure m; see
+// DB.ScorePFree.
+func (s *Snapshot) ScorePFree(ctx context.Context, v int32, m Measure) (int, error) {
+	if err := s.pfreePointErr(ctx, v, &m); err != nil {
+		return 0, err
+	}
+	return pfree.ScoreAt(s.g, v, m), nil
+}
+
+// ContextsPFree returns SC(v) at v's discriminating level under measure
+// m; see DB.ContextsPFree.
+func (s *Snapshot) ContextsPFree(ctx context.Context, v int32, m Measure) ([][]int32, error) {
+	if err := s.pfreePointErr(ctx, v, &m); err != nil {
+		return nil, err
+	}
+	return pfree.ContextsAt(s.g, v, m), nil
+}
+
+// pfreePointErr validates a parameter-free point query and normalizes
+// the measure in place.
+func (s *Snapshot) pfreePointErr(ctx context.Context, v int32, m *Measure) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !m.Valid() {
+		_, err := ParseMeasure(string(*m))
+		return err
+	}
+	*m = m.Normalize()
+	if v < 0 || int(v) >= s.g.N() {
+		return fmt.Errorf("trussdiv: vertex %d out of range [0,%d)", v, s.g.N())
+	}
+	return nil
 }
 
 // ScoreMeasure returns score(v) at threshold k under measure m; see

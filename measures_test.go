@@ -143,9 +143,9 @@ func TestMeasuresListing(t *testing.T) {
 		t.Fatalf("Measures() = %v, want 3 entries", infos)
 	}
 	want := map[trussdiv.Measure][]string{
-		trussdiv.MeasureTruss:     {"online", "bound", "tsd", "gct", "hybrid"},
-		trussdiv.MeasureComponent: {"online", "bound", "comp"},
-		trussdiv.MeasureCore:      {"online", "bound", "kcore"},
+		trussdiv.MeasureTruss:     {"online", "bound", "tsd", "gct", "hybrid", "pfree"},
+		trussdiv.MeasureComponent: {"online", "bound", "comp", "pfree"},
+		trussdiv.MeasureCore:      {"online", "bound", "kcore", "pfree"},
 	}
 	for _, info := range infos {
 		if !reflect.DeepEqual(info.Engines, want[info.Measure]) {

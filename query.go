@@ -6,7 +6,12 @@ import "trussdiv/internal/core"
 // with NewQuery plus functional options, or fill the fields directly —
 // the zero value of the optional fields is the default behavior.
 type Query struct {
-	// K is the trussness threshold of the social contexts (>= 2).
+	// K is the trussness threshold of the social contexts (>= 2) for the
+	// fixed-k engines. Left at 0 the query is parameter-free: it routes
+	// to the pfree engine, which aggregates every threshold into one
+	// score and forbids a K. K = 1 (or a K given to a parameter-free
+	// engine, or a missing K on a fixed-k pin) fails with a
+	// *BadQueryError matching errors.Is(err, ErrBadQuery).
 	K int32
 	// R is the answer size (>= 1; capped at the candidate count).
 	R int
@@ -42,7 +47,8 @@ type Query struct {
 type QueryOption func(*Query)
 
 // NewQuery returns a Query for the top r vertices under trussness
-// threshold k, customized by opts.
+// threshold k, customized by opts. k = 0 builds a parameter-free query
+// (served by the pfree engine).
 func NewQuery(k int32, r int, opts ...QueryOption) Query {
 	q := Query{K: k, R: r}
 	for _, opt := range opts {

@@ -25,18 +25,27 @@ type resultCache struct {
 	entries map[resultKey]*list.Element
 
 	hits, misses, invalidated uint64
+	// Per-engine split of the same lookups, keyed by the resolved engine
+	// name of the key — allocated lazily on first count.
+	hitsByEngine, missesByEngine map[string]uint64
 }
 
 // resultKey identifies one cacheable query: the answering snapshot's
 // epoch, the resolved engine, and every answer-shaping Query field.
 // Workers is deliberately absent — answers are byte-identical for every
 // worker count. SkipStats is present because it decides whether a Stats
-// value was recorded alongside the Result.
+// value was recorded alongside the Result. noK distinguishes a
+// parameter-free query (K left at 0, the objective spans all k) from
+// any fixed-k query: K = 0 and K = 1 are both unservable fixed-k values
+// that never reach the cache, but folding the k-less case into a plain
+// k field would make "no k" collide with a hypothetical k = 0 entry, so
+// the axis is explicit.
 type resultKey struct {
 	epoch     Epoch
 	engine    string
 	measure   Measure
 	k         int32
+	noK       bool
 	r         int
 	contexts  bool
 	skipStats bool
@@ -76,6 +85,7 @@ func resultCacheKey(epoch Epoch, engine string, q Query) resultKey {
 		engine:    engine,
 		measure:   q.Measure.Normalize(),
 		k:         q.K,
+		noK:       q.K == 0,
 		r:         q.R,
 		contexts:  q.IncludeContexts,
 		skipStats: q.SkipStats,
@@ -107,6 +117,7 @@ func (c *resultCache) get(key resultKey, cands []int32) (*Result, *Stats, bool) 
 		if sameCandidates(e.cands, cands) {
 			c.lru.MoveToFront(el)
 			c.hits++
+			c.countByEngine(&c.hitsByEngine, key.engine)
 			var stats *Stats
 			if e.stats != nil {
 				cp := *e.stats
@@ -116,7 +127,17 @@ func (c *resultCache) get(key resultKey, cands []int32) (*Result, *Stats, bool) 
 		}
 	}
 	c.misses++
+	c.countByEngine(&c.missesByEngine, key.engine)
 	return nil, nil, false
+}
+
+// countByEngine bumps one engine's counter in a lazily allocated map.
+// Callers must hold c.mu.
+func (c *resultCache) countByEngine(m *map[string]uint64, engine string) {
+	if *m == nil {
+		*m = make(map[string]uint64)
+	}
+	(*m)[engine]++
 }
 
 // put records a computed answer, evicting the least recently used entry
@@ -185,6 +206,9 @@ type ResultCacheStats struct {
 	// Hits and Misses count lookups; Invalidated counts entries purged
 	// by Apply's epoch bump (LRU evictions are not counted).
 	Hits, Misses, Invalidated uint64
+	// HitsByEngine and MissesByEngine split the same lookups by the
+	// engine the query resolved to (nil until the first lookup).
+	HitsByEngine, MissesByEngine map[string]uint64
 	// Size and Capacity describe the LRU: live entries and the bound.
 	Size, Capacity int
 }
@@ -196,11 +220,24 @@ func (c *resultCache) statsSnapshot() ResultCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ResultCacheStats{
-		Enabled:     true,
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Invalidated: c.invalidated,
-		Size:        c.lru.Len(),
-		Capacity:    c.cap,
+		Enabled:        true,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Invalidated:    c.invalidated,
+		HitsByEngine:   copyCounts(c.hitsByEngine),
+		MissesByEngine: copyCounts(c.missesByEngine),
+		Size:           c.lru.Len(),
+		Capacity:       c.cap,
 	}
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]uint64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
 }

@@ -206,3 +206,96 @@ func TestWithResultCacheDisabled(t *testing.T) {
 		t.Fatalf("disabled cache reports activity: %+v", rc)
 	}
 }
+
+// TestResultCacheNoKKeying is the k = 0 collision regression: a
+// parameter-free query (k absent, i.e. 0) and fixed-k queries at small
+// k must occupy distinct cache entries — the key carries an explicit
+// noK bit, so "no threshold" can never alias a real threshold. k = 1
+// fails validation and must leave the cache untouched entirely.
+func TestResultCacheNoKKeying(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	qs := []trussdiv.Query{
+		trussdiv.NewQuery(0, 10), // parameter-free, routes to pfree
+		trussdiv.NewQuery(2, 10),
+		trussdiv.NewQuery(3, 10),
+	}
+	first := make([]*trussdiv.Result, len(qs))
+	for i, q := range qs {
+		res, _, err := db.TopR(ctx, q)
+		if err != nil {
+			t.Fatalf("k=%d: %v", q.K, err)
+		}
+		first[i] = res
+	}
+	if rc := db.ResultCacheStats(); rc.Size != len(qs) || rc.Misses != uint64(len(qs)) || rc.Hits != 0 {
+		t.Fatalf("the three k shapes did not get three distinct entries: %+v", rc)
+	}
+	// Replaying each query hits its own entry and returns its own bytes.
+	for i, q := range qs {
+		res, _, err := db.TopR(ctx, q)
+		if err != nil {
+			t.Fatalf("k=%d replay: %v", q.K, err)
+		}
+		if !reflect.DeepEqual(res, first[i]) {
+			t.Fatalf("k=%d replay returned another entry's answer", q.K)
+		}
+	}
+	if rc := db.ResultCacheStats(); rc.Hits != uint64(len(qs)) || rc.Misses != uint64(len(qs)) {
+		t.Fatalf("replays were not all hits: %+v", rc)
+	}
+	// k = 1 is invalid for every engine: rejected before the cache.
+	if _, _, err := db.TopR(ctx, trussdiv.NewQuery(1, 10)); err == nil {
+		t.Fatal("k=1 query succeeded")
+	}
+	if rc := db.ResultCacheStats(); rc.Misses != uint64(len(qs)) || rc.Size != len(qs) {
+		t.Fatalf("invalid k=1 query touched the cache: %+v", rc)
+	}
+}
+
+// TestResultCachePerEngineStats: ResultCacheStats splits hits and
+// misses by the engine each query resolved to, so a mixed workload's
+// cache behavior is attributable per engine.
+func TestResultCachePerEngineStats(t *testing.T) {
+	db, err := trussdiv.Open(overlayGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	pf := trussdiv.NewQuery(0, 8)                               // routes to pfree
+	fixed := trussdiv.NewQuery(4, 8, trussdiv.ViaEngine("gct")) // pinned fixed-k
+	for i := 0; i < 3; i++ { // 1 miss + 2 hits each
+		if _, _, err := db.TopR(ctx, pf); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.TopR(ctx, fixed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc := db.ResultCacheStats()
+	if rc.Hits != 4 || rc.Misses != 2 {
+		t.Fatalf("totals: %+v", rc)
+	}
+	for engine, wantMiss := range map[string]uint64{"pfree": 1, "gct": 1} {
+		if got := rc.MissesByEngine[engine]; got != wantMiss {
+			t.Fatalf("MissesByEngine[%q] = %d, want %d (%+v)", engine, got, wantMiss, rc.MissesByEngine)
+		}
+		if got := rc.HitsByEngine[engine]; got != 2 {
+			t.Fatalf("HitsByEngine[%q] = %d, want 2 (%+v)", engine, got, rc.HitsByEngine)
+		}
+	}
+	// The per-engine split always sums to the totals.
+	var hits, misses uint64
+	for _, n := range rc.HitsByEngine {
+		hits += n
+	}
+	for _, n := range rc.MissesByEngine {
+		misses += n
+	}
+	if hits != rc.Hits || misses != rc.Misses {
+		t.Fatalf("per-engine split does not sum to totals: %+v", rc)
+	}
+}

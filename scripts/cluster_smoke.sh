@@ -79,6 +79,13 @@ answers() {
         grep -E '^\s*[0-9]+\. vertex|^\s+context '
 }
 
+# Parameter-free leg: -algo pfree sends a k-less query; every shard must
+# route it to its pfree engine and the merge must stay byte-identical.
+pfree_answers() {
+    "$tmp/tsdsearch" -server "http://127.0.0.1:$1" -algo pfree -r 10 -measure "$2" -contexts |
+        grep -E '^\s*[0-9]+\. vertex|^\s+context '
+}
+
 status=0
 for measure in truss component core; do
     single_out="$(answers "$SINGLE_PORT" "$measure")"
@@ -89,6 +96,16 @@ for measure in truss component core; do
         status=1
     else
         echo "OK: measure=$measure: cluster answer matches single node ($(echo "$single_out" | grep -c 'vertex') rows)"
+    fi
+
+    single_pf="$(pfree_answers "$SINGLE_PORT" "$measure")"
+    cluster_pf="$(pfree_answers "$COORD_PORT" "$measure")"
+    if [ "$single_pf" != "$cluster_pf" ]; then
+        echo "FAIL: measure=$measure engine=pfree: cluster answer differs from single node" >&2
+        diff <(echo "$single_pf") <(echo "$cluster_pf") >&2 || true
+        status=1
+    else
+        echo "OK: measure=$measure engine=pfree: cluster answer matches single node ($(echo "$single_pf" | grep -c 'vertex') rows)"
     fi
 done
 

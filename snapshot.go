@@ -108,6 +108,11 @@ func newSnapshot(epoch Epoch, g *Graph, cache *indexCache, forced string) (*Snap
 			model: NewCompDiv(g), g: g, w: s.w, cache: cache}, true},
 		{&baselineEngine{name: "kcore", measure: MeasureCore,
 			model: NewCoreDiv(g), g: g, w: s.w, cache: cache}, true},
+		// The parameter-free engine serves every measure but only the
+		// k-less queries (K == 0), which in turn route only to it — the
+		// K axis partitions the routing matrix, so the fixed-k engines'
+		// reachability is unchanged.
+		{&pfreeEngine{g: g, w: s.w, cache: cache}, true},
 	} {
 		if err := s.reg.add(reg.engine, reg.routable); err != nil {
 			return nil, err
@@ -149,9 +154,11 @@ func (s *Snapshot) Engine(name string) (Engine, error) { return s.reg.lookup(nam
 // is snapshot-aware: an index that survived the last Apply repaired or
 // patched (TSD, GCT, the truss decomposition, the rankings) keeps its
 // zero build cost, while one whose repair declined (region over budget)
-// prices its lazy rebuild back in. Route returns nil when no routable
-// engine serves the measure (or the measure name is unknown); the query
-// paths report that as an error.
+// prices its lazy rebuild back in. Routing is also K-aware: q.K == 0
+// selects among the parameter-free engines only, any other K among the
+// fixed-k engines only. Route returns nil when no routable engine
+// serves the measure (or the measure name is unknown); the query paths
+// report that as an error.
 func (s *Snapshot) Route(q Query) Engine {
 	if !q.Measure.Valid() {
 		return nil
@@ -159,6 +166,9 @@ func (s *Snapshot) Route(q Query) Engine {
 	var best Engine
 	bestCost := 0.0
 	for _, e := range s.reg.routableFor(q.Measure) {
+		if isParameterFree(e) != (q.K == 0) {
+			continue
+		}
 		if c := e.Cost(q).Total(); best == nil || c < bestCost {
 			best, bestCost = e, c
 		}
@@ -167,24 +177,34 @@ func (s *Snapshot) Route(q Query) Engine {
 }
 
 // routeAmortized is the single routing policy: per-query pin, then the
-// DB-level pin (both checked against the query's measure), then the
-// cheapest routable engine serving the measure with the index build cost
-// divided across batchSize queries (1 = the TopR single-query case,
-// where the division is a no-op).
+// DB-level pin (both checked against the query's measure and the
+// engine-aware K contract), then the cheapest routable engine serving
+// the measure with the index build cost divided across batchSize
+// queries (1 = the TopR single-query case, where the division is a
+// no-op). Queries without a K (q.K == 0) route among the
+// parameter-free engines only; fixed-k queries never see those.
 func (s *Snapshot) routeAmortized(q Query, batchSize int) (Engine, error) {
 	if q.Engine != "" {
-		return s.reg.lookupFor(q.Engine, q.Measure)
+		return s.lookupValidated(q.Engine, q)
 	}
 	if s.forced != "" {
-		return s.reg.lookupFor(s.forced, q.Measure)
+		return s.lookupValidated(s.forced, q)
 	}
 	if !q.Measure.Valid() {
 		_, err := ParseMeasure(string(q.Measure))
 		return nil, err
 	}
+	if q.K != 0 && q.K < 2 {
+		return nil, &BadQueryError{K: q.K,
+			Reason: "k must be >= 2, or 0 for parameter-free search"}
+	}
+	wantPF := q.K == 0
 	var best Engine
 	bestCost := 0.0
 	for _, e := range s.reg.routableFor(q.Measure) {
+		if isParameterFree(e) != wantPF {
+			continue
+		}
 		est := e.Cost(q)
 		c := est.Build/float64(batchSize) + est.Query
 		if best == nil || c < bestCost {
@@ -192,10 +212,28 @@ func (s *Snapshot) routeAmortized(q Query, batchSize int) (Engine, error) {
 		}
 	}
 	if best == nil {
+		if wantPF {
+			return nil, &BadQueryError{K: 0, Reason: fmt.Sprintf(
+				"no parameter-free engine is routable for measure %q; set k >= 2",
+				q.Measure.Normalize())}
+		}
 		return nil, fmt.Errorf("trussdiv: no routable engine registered for measure %q",
 			q.Measure.Normalize())
 	}
 	return best, nil
+}
+
+// lookupValidated resolves a pinned engine name and checks the query's
+// K against the engine's contract.
+func (s *Snapshot) lookupValidated(name string, q Query) (Engine, error) {
+	eng, err := s.reg.lookupFor(name, q.Measure)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateQueryK(eng, q); err != nil {
+		return nil, err
+	}
+	return eng, nil
 }
 
 // ResolveEngine resolves the engine that would answer q exactly as TopR
@@ -350,6 +388,14 @@ func (s *Snapshot) Prepare(ctx context.Context, names ...string) error {
 			s.cache.measureRankings(MeasureComponent, true)
 		case "kcore":
 			s.cache.measureRankings(MeasureCore, true)
+		case "pfree":
+			// The parameter-free engine is prepared for every measure it
+			// serves: each pfree ranking derives in O(table) from the per-k
+			// rankings (built here if missing), so a prepared pfree answers
+			// any measure's k-less top-r in O(r).
+			for _, m := range AllMeasures() {
+				s.cache.pfreeRanking(m, true)
+			}
 		case "online":
 			// stateless engine: nothing to prepare
 		default:
@@ -525,6 +571,11 @@ func (s *Snapshot) IndexStats() IndexStats {
 	for _, m := range AllMeasures() {
 		if c.mrank[m] != nil {
 			st.MeasureRankings = append(st.MeasureRankings, m)
+		}
+	}
+	for _, m := range AllMeasures() {
+		if c.pfrank[m] != nil {
+			st.PFreeRankings = append(st.PFreeRankings, m)
 		}
 	}
 	if c.tsd != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"os"
+	"reflect"
 	"testing"
 
 	"trussdiv/internal/core"
@@ -28,7 +29,12 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The default set plus pfree, so the store also carries the
+	// parameter-free rankings of every measure.
 	if err := seed.Prepare(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Prepare(ctx, "pfree"); err != nil {
 		t.Fatal(err)
 	}
 	if seed.Snapshot().cache.builds == 0 {
@@ -65,6 +71,13 @@ func TestWarmOpenNeverBuilds(t *testing.T) {
 	for _, engine := range []string{"online", "bound", "tsd", "gct", "hybrid"} {
 		if _, _, err := warm.TopR(ctx, NewQuery(3, 10, ViaEngine(engine), WithContexts())); err != nil {
 			t.Fatalf("%s: %v", engine, err)
+		}
+	}
+	// The k-less cell warm starts too: every measure's pfree ranking is
+	// served from the store slab, never re-derived.
+	for _, m := range AllMeasures() {
+		if _, _, err := warm.TopR(ctx, NewQuery(0, 10, ViaEngine("pfree"), WithMeasure(m))); err != nil {
+			t.Fatalf("pfree/%s: %v", m, err)
 		}
 	}
 	if _, err := warm.Score(ctx, 0, 3); err != nil {
@@ -209,5 +222,116 @@ func TestDamagedSectionKeepsSiblings(t *testing.T) {
 	}
 	if healed.Snapshot().cache.builds != 0 {
 		t.Fatalf("healed open built %d times; want 0", healed.Snapshot().cache.builds)
+	}
+}
+
+// TestDamagedPFreeSectionRebuildsAlone extends the corruption taxonomy
+// to the parameter-free slab, in both read modes: with one measure's
+// pfree section damaged (its count word inflated, so the decode CRC and
+// the mmap structural validation both reject it), the k-less query for
+// that measure still answers correctly — re-derived from the intact
+// per-k sections, without entering a builder — while the sibling pfree
+// sections keep loading from disk, and the rebuild's persist heals the
+// file for the next open.
+func TestDamagedPFreeSectionRebuildsAlone(t *testing.T) {
+	for _, mode := range []StoreMode{StoreMmap, StoreDecode} {
+		t.Run(mode.String(), func(t *testing.T) {
+			g := gen.CommunityOverlay(gen.OverlayConfig{
+				N: 300, Attach: 3, Cliques: 60, MinSize: 4, MaxSize: 7, Seed: 11,
+			})
+			dir := t.TempDir()
+			ctx := context.Background()
+
+			seed, err := Open(g, WithIndexDir(dir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := seed.Prepare(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if err := seed.Prepare(ctx, "pfree"); err != nil {
+				t.Fatal(err)
+			}
+			if st := seed.StoreStatus(); st.SaveErr != nil {
+				t.Fatal(st.SaveErr)
+			}
+			want := map[Measure]*Result{}
+			for _, m := range AllMeasures() {
+				res, _, err := seed.TopR(ctx, NewQuery(0, 10, ViaEngine("pfree"), WithMeasure(m)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[m] = res
+			}
+			path := store.PathIn(dir)
+
+			// Inflate the count word of the truss-measure pfree section: the
+			// decode CRC fails on the flipped bytes and the mmap validation
+			// rejects count > n, so both modes classify it corrupt.
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := int(binary.LittleEndian.Uint32(blob[40:44]))
+			found := false
+			for i := 0; i < count; i++ {
+				e := blob[44+28*i:]
+				if store.Section(binary.LittleEndian.Uint32(e[0:4])) == store.SecPFree &&
+					binary.LittleEndian.Uint32(e[4:8]) == 0 { // measure tag: truss
+					off := binary.LittleEndian.Uint64(e[12:20])
+					binary.LittleEndian.PutUint64(blob[off:], ^uint64(0))
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("no truss-measure pfree section in the persisted file")
+			}
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			db, err := Open(g, WithIndexDir(dir), WithStoreMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range AllMeasures() {
+				got, _, err := db.TopR(ctx, NewQuery(0, 10, ViaEngine("pfree"), WithMeasure(m)))
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				if !reflect.DeepEqual(got.TopR, want[m].TopR) {
+					t.Fatalf("%s: answer over the damaged store diverges from the seed", m)
+				}
+			}
+			if !errors.Is(db.StoreStatus().LoadErr, ErrIndexCorrupt) {
+				t.Fatalf("LoadErr = %v, want ErrIndexCorrupt", db.StoreStatus().LoadErr)
+			}
+			// The damaged slab was re-derived from the intact per-k sections
+			// in O(table) — no builder ran for it or for its siblings.
+			if n := db.Snapshot().cache.builds; n != 0 {
+				t.Fatalf("builds = %d, want 0 (pfree re-derives from per-k tables)", n)
+			}
+
+			// The re-derivation persisted: a fresh open is fully warm again.
+			healed, err := Open(g, WithIndexDir(dir), WithStoreMode(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := healed.StoreStatus(); st.LoadErr != nil {
+				t.Fatalf("healed store still rejects a section: %v", st.LoadErr)
+			}
+			for _, m := range AllMeasures() {
+				got, _, err := healed.TopR(ctx, NewQuery(0, 10, ViaEngine("pfree"), WithMeasure(m)))
+				if err != nil {
+					t.Fatalf("healed %s: %v", m, err)
+				}
+				if !reflect.DeepEqual(got.TopR, want[m].TopR) {
+					t.Fatalf("healed %s: answer diverges from the seed", m)
+				}
+			}
+			if n := healed.Snapshot().cache.builds; n != 0 {
+				t.Fatalf("healed open built %d times; want 0", n)
+			}
+		})
 	}
 }
