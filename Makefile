@@ -7,7 +7,7 @@
 # plus the tier-1 checks.
 GO ?= go
 
-.PHONY: ci check check-race fmt-check lint vet build test bench bench-parallel bench-artifacts check-parallel-baseline cluster-smoke cover fuzz
+.PHONY: ci check check-race fmt-check lint vet build test bench bench-allocs bench-parallel bench-artifacts check-parallel-baseline cluster-smoke cover fuzz
 
 ci: fmt-check lint check
 
@@ -46,6 +46,12 @@ test:
 # Quick-mode paper benchmarks (full versions: go run ./cmd/tsdbench).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Allocation regression gate: the AllocsPerRun suites pin the scoring hot
+# path — ego extraction and per-vertex scoring under every measure — at
+# zero steady-state allocations. Fast enough to run on every change.
+bench-allocs:
+	$(GO) test -run 'AllocFree' -count=1 -v ./internal/ego ./internal/core
 
 # Serial-vs-parallel engine timings; writes BENCH_parallel.json.
 bench-parallel:

@@ -68,12 +68,15 @@ type indexCache struct {
 	// Build entry points, swappable by tests that assert a warm open
 	// never builds; builds counts the from-scratch constructions. buildTau
 	// returns the supports alongside the decomposition — the incremental
-	// repair consumes them on the next Apply.
+	// repair consumes them on the next Apply. buildAllIdx is the
+	// single-pass multi-structure driver Prepare routes through when two
+	// or more ego-derived structures are missing at once.
 	buildTau    func(*Graph) (tau, sup []int32)
 	buildTSD    func(*Graph) *core.TSDIndex
 	buildGCT    func(*Graph) *core.GCTIndex
 	buildHybrid func(*core.GCTIndex) *core.Hybrid
 	buildMRank  func(*Graph, core.Measure) [][]core.VertexScore
+	buildAllIdx func(*Graph, core.BuildTargets) *core.BuildProducts
 	builds      int
 }
 
@@ -105,6 +108,9 @@ func newIndexCache(g *Graph, cfg dbConfig) *indexCache {
 		buildGCT:    core.BuildGCTIndex,
 		buildHybrid: core.BuildHybrid,
 		buildMRank:  core.BuildMeasureRankings,
+		buildAllIdx: func(g *Graph, t core.BuildTargets) *core.BuildProducts {
+			return core.BuildAll(g, t, workers)
+		},
 	}
 	if cfg.storeMode == StoreDecode {
 		c.mode = store.ModeDecode
@@ -200,6 +206,7 @@ func (c *indexCache) advance(newG *Graph, ins, del []Edge) (*indexCache, *core.U
 		buildGCT:    c.buildGCT,
 		buildHybrid: c.buildHybrid,
 		buildMRank:  c.buildMRank,
+		buildAllIdx: c.buildAllIdx,
 	}
 	// The repaired indexes below share every untouched per-vertex slice
 	// with this cache's structures — which may be zero-copy views into a
@@ -562,6 +569,83 @@ func (c *indexCache) onDiskMeasureRank(m Measure) bool {
 	defer c.mu.Unlock()
 	ref := store.SectionRef{Section: store.SecRankings, Measure: m}
 	return c.file != nil && c.file.HasMeasure(store.SecRankings, m) && !c.bad[ref]
+}
+
+// prepareShared is Prepare's fast path: it collects every ego-derived
+// structure the requested names will need that is in neither memory nor
+// the warm-start file, and — when two or more would each pay their own
+// per-vertex extraction pass — builds them all in one BuildAll sweep
+// (one ego extraction and one truss decomposition per vertex, shared by
+// every consumer). Structures found in memory or on disk are left for
+// the per-name loaders, so the warm-open contract (builds == 0) and the
+// per-section damage accounting are untouched. With fewer than two
+// missing structures it does nothing: the dedicated builders (and their
+// test tripwires) keep handling the singleton case.
+func (c *indexCache) prepareShared(names []string) {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	avail := func(ref store.SectionRef) bool {
+		return c.file != nil && c.file.HasMeasure(ref.Section, ref.Measure) && !c.bad[ref]
+	}
+	// pfree rankings derive in O(table) from per-k tables, so "pfree"
+	// needs a from-scratch build only for measures whose pfree slab AND
+	// per-k source are both missing everywhere.
+	pfreeNeeds := func(m core.Measure) bool {
+		return want["pfree"] && c.pfrank[m] == nil &&
+			!avail(store.SectionRef{Section: store.SecPFree, Measure: m})
+	}
+	var t core.BuildTargets
+	if want["tsd"] && c.tsd == nil && !avail(trussSec(store.SecTSD)) {
+		t.TSD = true
+	}
+	if want["gct"] && c.gct == nil && !avail(trussSec(store.SecGCT)) {
+		t.GCT = true
+	}
+	if (want["hybrid"] || pfreeNeeds(MeasureTruss)) &&
+		c.hybrid == nil && c.gct == nil && !avail(trussSec(store.SecRankings)) {
+		// With a GCT index in memory the hybrid build is a cheap index
+		// read, not an extraction pass — leave it to buildHybrid.
+		t.TrussRanks = true
+	}
+	for _, mc := range []struct {
+		name string
+		m    core.Measure
+	}{{"comp", MeasureComponent}, {"kcore", MeasureCore}} {
+		if (want[mc.name] || pfreeNeeds(mc.m)) && c.mrank[mc.m] == nil &&
+			!avail(store.SectionRef{Section: store.SecRankings, Measure: mc.m}) {
+			t.Measures = append(t.Measures, mc.m)
+		}
+	}
+	missing := len(t.Measures)
+	for _, b := range []bool{t.TSD, t.GCT, t.TrussRanks} {
+		if b {
+			missing++
+		}
+	}
+	if missing < 2 {
+		return
+	}
+	start := time.Now()
+	p := c.buildAllIdx(c.g, t)
+	c.buildTime += time.Since(start)
+	c.builds += missing
+	if t.TSD {
+		c.tsd = p.TSD
+	}
+	if t.GCT {
+		c.gct = p.GCT
+	}
+	if t.TrussRanks {
+		c.hybrid = core.NewHybridFromRankings(c.g, p.TrussRanks)
+	}
+	for _, m := range t.Measures {
+		c.setMeasureRankLocked(m, p.MeasureRanks[m])
+	}
+	c.persistAfterBuildLocked()
 }
 
 // persistAfterBuildLocked is the write path of every from-scratch build:

@@ -11,6 +11,7 @@
 //	tsdbench -exp measures                # per-measure serving cost (BENCH_measures.json)
 //	tsdbench -exp measures -measure core  # one measure only
 //	tsdbench -list                        # show available experiment IDs
+//	tsdbench -exp measures -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // The parallel experiment writes BENCH_parallel.json (serial vs -workers
 // wall times per engine) into -outdir, recording the perf trajectory of
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"trussdiv/internal/bench"
@@ -42,6 +45,9 @@ func main() {
 		measure = flag.String("measure", "", "restrict the measures experiment to one diversity measure: truss|component|core (default: all)")
 		outDir  = flag.String("outdir", "", "directory for machine-readable artifacts like BENCH_parallel.json (default: working dir)")
 		force   = flag.Bool("force", false, "overwrite guarded baselines (a GOMAXPROCS=1 run refuses to replace an existing BENCH_parallel.json without this)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	)
 	flag.Parse()
 
@@ -51,13 +57,55 @@ func main() {
 		}
 		return
 	}
-	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
-	// at first use, so a fresh checkout or CI workspace needs no mkdir.
-	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, Measure: *measure, OutDir: *outDir, Force: *force}
-	if err := runWithDeadline(*timeout, func() error { return run(*expID, cfg) }); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsdbench:", err)
 		os.Exit(1)
 	}
+	// A missing -outdir is created by the artifact writer (bench.writeArtifact)
+	// at first use, so a fresh checkout or CI workspace needs no mkdir.
+	cfg := bench.Config{Quick: *quick, Seed: *seed, MCRuns: *runs, Workers: *workers, Updates: *updates, Measure: *measure, OutDir: *outDir, Force: *force}
+	err = runWithDeadline(*timeout, func() error { return run(*expID, cfg) })
+	stopProfiles() // flush before any exit path: os.Exit skips defers
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsdbench:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles wires the optional -cpuprofile / -memprofile outputs.
+// The returned stop function ends CPU sampling and snapshots the heap
+// (post-GC, so the profile shows retention rather than churn).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tsdbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tsdbench: -memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func run(expID string, cfg bench.Config) error {

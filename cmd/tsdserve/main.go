@@ -53,7 +53,9 @@
 // with the single-node shapes plus GET /cluster for shard health.
 //
 // All modes shut down gracefully: SIGINT/SIGTERM stops accepting
-// connections and drains in-flight requests for up to -drain.
+// connections and drains in-flight requests for up to -drain. In every
+// mode -pprof additionally exposes Go's net/http/pprof endpoints under
+// /debug/pprof/ on the serving mux (off by default).
 //
 // Endpoints (single node): /healthz, /stats, /metrics, /engines,
 // /measures, /topr?k=&r=&engine=&measure=&contexts=&candidates=,
@@ -67,6 +69,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -88,6 +91,7 @@ func main() {
 		indexDir  = flag.String("indexdir", "", "persistent index store directory for warm starts (see cmd/tsdindex)")
 		storeMode = flag.String("storemode", "mmap", "index store read mode: mmap (zero-copy views, replicas share pages) or decode")
 		readOnly  = flag.Bool("readonly", false, "disable POST /edges live updates")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the serving mux")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 
 		coordMode = flag.Bool("coordinator", false, "run as cluster coordinator (requires -shards)")
@@ -106,6 +110,7 @@ func main() {
 	if err := run(options{
 		input: *input, dataset: *dataset, addr: *addr, timeout: *timeout,
 		indexDir: *indexDir, storeMode: mode, readOnly: *readOnly, drain: *drain,
+		pprof:     *pprofOn,
 		coordMode: *coordMode, shards: *shardsArg,
 		shardMode: *shardMode, rangeSpec: *rangeArg,
 	}); err != nil {
@@ -120,6 +125,7 @@ type options struct {
 	indexDir             string
 	storeMode            trussdiv.StoreMode
 	readOnly             bool
+	pprof                bool
 	coordMode            bool
 	shards               string
 	shardMode            bool
@@ -147,6 +153,20 @@ func run(o options) error {
 	default:
 		return runSingle(o)
 	}
+}
+
+// withPprof mounts the net/http/pprof handlers in front of h for the
+// cluster modes, whose handlers come from internal/cluster rather than
+// the single-node server (which registers pprof on its own mux).
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
 }
 
 // serve runs handler on addr until SIGINT/SIGTERM, then drains in-flight
@@ -188,6 +208,9 @@ func runSingle(o options) error {
 	}
 	if o.readOnly {
 		opts = append(opts, server.WithReadOnly())
+	}
+	if o.pprof {
+		opts = append(opts, server.WithPprof())
 	}
 	srv := server.New(g, opts...)
 	if st := srv.DB().StoreStatus(); st.Dir != "" {
@@ -244,7 +267,11 @@ func runShard(o options) error {
 	}
 	log.Printf("shard ready in %v: range [%d,%d) of %d vertices, epoch %d; serving on %s",
 		time.Since(start).Round(time.Millisecond), lo, hi, g.N(), db.Epoch(), o.addr)
-	return serve(o.addr, w.Handler(), o.drain)
+	h := http.Handler(w.Handler())
+	if o.pprof {
+		h = withPprof(h)
+	}
+	return serve(o.addr, h, o.drain)
 }
 
 func runCoordinator(o options) error {
@@ -262,7 +289,11 @@ func runCoordinator(o options) error {
 	srv := cluster.NewCoordinatorServer(coord, o.timeout)
 	log.Printf("coordinator ready: %d shards, epoch %d; serving on %s",
 		coord.Shards(), coord.Epoch(), o.addr)
-	return serve(o.addr, srv.Handler(), o.drain)
+	h := http.Handler(srv.Handler())
+	if o.pprof {
+		h = withPprof(h)
+	}
+	return serve(o.addr, h, o.drain)
 }
 
 func loadGraph(input, dataset string) (*graph.Graph, error) {

@@ -532,8 +532,8 @@ type IndexStats struct {
 	// ready in memory (Prepare("pfree"), a derivation on the query path,
 	// or a store pfree section).
 	PFreeRankings []Measure
-	BuildTime       time.Duration
-	LoadTime        time.Duration // time spent reading the index store
+	BuildTime     time.Duration
+	LoadTime      time.Duration // time spent reading the index store
 }
 
 // IndexStats reports which indexes of the current snapshot are ready,

@@ -32,6 +32,10 @@ type PFreeRow struct {
 	// Speedup is OnlineNS / RankedNS: what the prepared ranking buys over
 	// re-scoring every candidate's all-k vector per query.
 	Speedup float64 `json:"speedup"`
+	// AllocsPerOp and BytesPerOp are the mean heap allocations and bytes
+	// of one online (cold) pfree query — the all-k scoring hot path.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 	// Verified records that the online and prepared answers matched.
 	Verified bool `json:"verified"`
 }
@@ -40,6 +44,10 @@ type PFreeRow struct {
 type PFreeReport struct {
 	R    int        `json:"r"`
 	Rows []PFreeRow `json:"rows"`
+	// PrepareAll compares the cold Prepare("pfree") — one shared
+	// extraction pass building every measure's tables at once — against
+	// preparing the same end state one structure at a time.
+	PrepareAll []PrepareAllRow `json:"prepare_all,omitempty"`
 }
 
 // PFreeReportFile is the artifact runPFree writes.
@@ -59,7 +67,7 @@ func runPFree(w io.Writer, cfg Config) error {
 	report := PFreeReport{R: r}
 	t := &Table{
 		Title:   fmt.Sprintf("Parameter-free top-r serving cost, r=%d (extension)", r),
-		Headers: []string{"Network", "measure", "online", "prepare", "ranked", "speedup"},
+		Headers: []string{"Network", "measure", "online", "prepare", "ranked", "speedup", "allocs/op"},
 	}
 	for _, name := range cfg.perfDatasets() {
 		g := MustLoad(name)
@@ -103,21 +111,50 @@ func runPFree(w io.Writer, cfg Config) error {
 			if !reflect.DeepEqual(onlineRes.TopR, rankedRes.TopR) {
 				return fmt.Errorf("%s/%s: prepared answer not byte-identical", name, m)
 			}
+			// Allocation profile of the cold path, on its own fresh DB so
+			// the prepared ranking above cannot serve the scan.
+			coldDB, err := trussdiv.Open(g, trussdiv.WithResultCache(0))
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			allocs, bytes := allocsPerOp(queryReps, func() error {
+				_, _, err := coldDB.TopR(ctx, q)
+				return err
+			})
+
 			speedup := float64(online) / float64(max(ranked, time.Nanosecond))
 			report.Rows = append(report.Rows, PFreeRow{
-				Dataset:   name,
-				Measure:   string(m),
-				OnlineNS:  online.Nanoseconds(),
-				PrepareNS: prepare.Nanoseconds(),
-				RankedNS:  ranked.Nanoseconds(),
-				Speedup:   speedup,
-				Verified:  true,
+				Dataset:     name,
+				Measure:     string(m),
+				OnlineNS:    online.Nanoseconds(),
+				PrepareNS:   prepare.Nanoseconds(),
+				RankedNS:    ranked.Nanoseconds(),
+				Speedup:     speedup,
+				AllocsPerOp: allocs,
+				BytesPerOp:  bytes,
+				Verified:    true,
 			})
 			t.AddRow(name, string(m), online, prepare, ranked,
-				fmt.Sprintf("%.2fx", speedup))
+				fmt.Sprintf("%.2fx", speedup), fmt.Sprintf("%d", allocs))
+		}
+		if len(measures) == len(trussdiv.AllMeasures()) {
+			// Prepare("pfree") needs every measure's tables, so one call is
+			// the shared pass; the split path builds the same end state one
+			// structure at a time before the O(table) pfree derivation.
+			row, err := timePrepareAll(ctx, g,
+				[]string{"pfree"}, []string{"hybrid", "comp", "kcore", "pfree"})
+			if err != nil {
+				return fmt.Errorf("%s prepare-all: %w", name, err)
+			}
+			row.Dataset = name
+			report.PrepareAll = append(report.PrepareAll, row)
 		}
 	}
 	t.Fprint(w)
+	for _, row := range report.PrepareAll {
+		fmt.Fprintf(w, "prepare-all %-12s pfree: one pass %v vs one-at-a-time %v (%.2fx)\n",
+			row.Dataset, time.Duration(row.PrepareAllNS), time.Duration(row.PrepareSumNS), row.Speedup)
+	}
 	path, err := writeArtifact(cfg, PFreeReportFile, report)
 	if err != nil {
 		return err

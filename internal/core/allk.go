@@ -3,9 +3,7 @@ package core
 import (
 	"context"
 
-	"trussdiv/internal/ego"
 	"trussdiv/internal/graph"
-	"trussdiv/internal/truss"
 )
 
 // Exported hooks for the parameter-free search subsystem
@@ -27,23 +25,10 @@ import (
 // truss branch decomposes the ego-network once and counts the k-truss
 // components at every threshold the decomposition reaches.
 func ScoresAllK(g *graph.Graph, v int32, m Measure) []int {
-	if m.Normalize() != MeasureTruss {
-		return measureScoresAllK(g, v, m)
-	}
-	net := ego.ExtractOne(g, v)
-	if net.G.M() == 0 {
-		return nil
-	}
-	tau := truss.Decompose(net.G)
-	maxK := truss.MaxTrussness(tau)
-	if maxK < 2 {
-		return nil
-	}
-	scores := make([]int, maxK+1)
-	for k := int32(2); k <= maxK; k++ {
-		scores[k] = truss.CountComponents(net.G, tau, k)
-	}
-	return scores
+	// A one-shot VertexScorer: the returned vector aliases its scratch,
+	// which is never reused, so the slice is safe to keep. Loops should
+	// hold one VertexScorer and call its ScoresAllK instead.
+	return NewVertexScorer(g, m).ScoresAllK(v)
 }
 
 // SortCanonical orders entries under the library's total order: score

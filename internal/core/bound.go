@@ -112,10 +112,8 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 		// to the other models, so the non-truss bound pass prunes over the
 		// original graph with the measure's own upper bound and scorer.
 		mv := b.g.TrianglesPerVertex()
-		scorer := NewMeasureScorer(b.g, m)
-		return b.rankedSearch(ctx, p, b.g,
-			func(v int32, d int) int { return MeasureUpperBound(m, d, mv[v], p.K) },
-			scorer)
+		return b.rankedSearch(ctx, p, b.g, m,
+			func(v int32, d int) int { return MeasureUpperBound(m, d, mv[v], p.K) })
 	}
 	var sp *SparsifyResult
 	if b.tauFn != nil {
@@ -129,19 +127,20 @@ func (b *Bound) Search(ctx context.Context, p Params) (*Result, *Stats, error) {
 	// degree check inside rankedSearch.
 	sub := sp.Graph
 	mv := sub.TrianglesPerVertex()
-	return b.rankedSearch(ctx, p, sub,
-		func(v int32, d int) int { return UpperBound(d, mv[v], p.K) },
-		NewScorer(sub))
+	return b.rankedSearch(ctx, p, sub, MeasureTruss,
+		func(v int32, d int) int { return UpperBound(d, mv[v], p.K) })
 }
 
 // rankedSearch is the bound framework's shared skeleton, identical for
 // every measure: collect each candidate's upper bound over candG (the
 // sparsified graph for truss, the original otherwise), visit candidates
-// in decreasing bound order with early termination (scanRanked), pad to
-// the canonical answer, and recover contexts with the measure's scorer.
-// Keeping one copy is what pins the measure paths to the truss path's
-// tie-break and padding rules — the byte-parity contract.
-func (b *Bound) rankedSearch(ctx context.Context, p Params, candG *graph.Graph, ub func(v int32, d int) int, scorer DivScorer) (*Result, *Stats, error) {
+// in decreasing bound order with early termination (scanRanked, one
+// VertexScorer per worker), pad to the canonical answer, and recover
+// contexts with the measure's shared scorer over candG. Keeping one copy
+// is what pins the measure paths to the truss path's tie-break and
+// padding rules — the byte-parity contract.
+func (b *Bound) rankedSearch(ctx context.Context, p Params, candG *graph.Graph, m Measure, ub func(v int32, d int) int) (*Result, *Stats, error) {
+	scorer := NewMeasureScorer(candG, m)
 	stats := &Stats{}
 	cands := make([]rankedCand, 0, candG.N())
 	err := forEachCandidate(ctx, candG.N(), p.Candidates, false, func(v int32) {
@@ -165,7 +164,8 @@ func (b *Bound) rankedSearch(ctx context.Context, p Params, candG *graph.Graph, 
 	})
 	heap, scored, err := scanRanked(ctx, cands, p.R, p.workers(),
 		func() func(v int32) int {
-			return func(v int32) int { return scorer.Score(v, p.K) }
+			vs := NewVertexScorer(candG, m)
+			return func(v int32) int { return vs.Score(v, p.K) }
 		})
 	if err != nil {
 		return nil, nil, err

@@ -146,15 +146,17 @@ func (idx *TSDIndex) UpdateOnto(newG *graph.Graph, insert, remove []graph.Edge) 
 		mv:    append([]int32(nil), idx.mv...),
 		vtCum: append([][]int32(nil), idx.vtCum...),
 	}
+	var es ego.Scratch // one scratch reused across the affected set
+	var ts truss.Scratch
 	for _, v := range affected {
-		net := ego.ExtractOne(newG, v)
+		net := ego.ExtractOneInto(&es, newG, v)
 		out.mv[v] = int32(net.G.M())
 		if net.G.M() == 0 {
 			out.edges[v] = nil
 			out.vtCum[v] = nil
 			continue
 		}
-		tau := truss.Decompose(net.G)
+		tau := ts.DecomposeInto(net.G)
 		out.edges[v] = maxSpanningForest(net.G, tau)
 		out.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
 	}
@@ -183,9 +185,10 @@ func (idx *GCTIndex) UpdateOnto(newG *graph.Graph, insert, remove []graph.Edge) 
 	oldG := idx.g
 	affected := affectedVertices(oldG, newG, insert, remove)
 	out := &GCTIndex{g: newG, verts: append([]gctVertex(nil), idx.verts...)}
+	var es ego.Scratch // one scratch reused across the affected set
 	var decomposer truss.BitmapDecomposer
 	for _, v := range affected {
-		net := ego.ExtractOne(newG, v)
+		net := ego.ExtractOneInto(&es, newG, v)
 		if net.G.M() == 0 {
 			out.verts[v] = gctVertex{}
 			continue

@@ -45,12 +45,13 @@ func BuildGCTIndex(g *graph.Graph) *GCTIndex {
 	n := g.N()
 	idx := &GCTIndex{g: g, verts: make([]gctVertex, n)}
 	all := ego.ExtractAll(g)
+	var es ego.Scratch
 	var decomposer truss.BitmapDecomposer
 	for v := int32(0); int(v) < n; v++ {
 		if all.EdgeCount(v) == 0 {
 			continue
 		}
-		net := all.Network(v)
+		net := all.NetworkInto(&es, v)
 		tau := decomposer.Decompose(net.G)
 		idx.verts[v] = buildGCTVertex(net.G, tau)
 	}

@@ -4,11 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
-	"trussdiv/internal/baseline"
-	"trussdiv/internal/ego"
 	"trussdiv/internal/graph"
-	"trussdiv/internal/kcore"
 )
 
 // Measure names one structural diversity definition — the axis the
@@ -87,24 +85,57 @@ func (e *UnsupportedMeasureError) Is(target error) bool { return target == ErrUn
 // DivScorer is the per-vertex interface a measure provides to the
 // generic engines: an exact score and the social contexts behind it.
 // Implementations must be safe for concurrent use (the stock scorers
-// carry no mutable state beyond the graph reference).
+// pool per-worker scratch internally).
 type DivScorer interface {
 	Score(v int32, k int32) int
 	Contexts(v int32, k int32) [][]int32
 }
 
-// NewMeasureScorer returns the scorer computing measure m over g: the
-// truss Scorer (Algorithm 2), or the baseline Comp-Div / Core-Div
-// models promoted to first-class measures.
+// NewMeasureScorer returns the shared, concurrency-safe scorer computing
+// measure m over g: the truss Scorer (Algorithm 2) or a pooled scratch
+// scorer byte-identical to the baseline Comp-Div / Core-Div models. Scan
+// loops that own their workers should hold a NewVertexScorer per worker
+// instead of sharing one of these.
 func NewMeasureScorer(g *graph.Graph, m Measure) DivScorer {
-	switch m.Normalize() {
+	switch m := m.Normalize(); m {
 	case MeasureComponent:
-		return baseline.NewCompDiv(g)
+		p := &pooledScorer{name: "Comp-Div"}
+		p.pool.New = func() any { return NewVertexScorer(g, m) }
+		return p
 	case MeasureCore:
-		return baseline.NewCoreDiv(g)
+		p := &pooledScorer{name: "Core-Div"}
+		p.pool.New = func() any { return NewVertexScorer(g, m) }
+		return p
 	default:
 		return NewScorer(g)
 	}
+}
+
+// pooledScorer adapts the single-worker VertexScorer to the shared
+// DivScorer contract by borrowing one per call from a sync.Pool. It keeps
+// the baseline model name so it still satisfies baseline.Model, which the
+// parity tests (and report labels) rely on.
+type pooledScorer struct {
+	name string
+	pool sync.Pool
+}
+
+// Name identifies the measure's model in reports, matching the
+// internal/baseline naming.
+func (p *pooledScorer) Name() string { return p.name }
+
+func (p *pooledScorer) Score(v int32, k int32) int {
+	vs := p.pool.Get().(*VertexScorer)
+	score := vs.Score(v, k)
+	p.pool.Put(vs)
+	return score
+}
+
+func (p *pooledScorer) Contexts(v int32, k int32) [][]int32 {
+	vs := p.pool.Get().(*VertexScorer)
+	out := vs.Contexts(v, k)
+	p.pool.Put(vs)
+	return out
 }
 
 // MeasureUpperBound bounds score(v) under measure m from two quantities
@@ -140,27 +171,24 @@ func MeasureUpperBound(m Measure, degree int, egoEdges int32, k int32) int {
 // descending then vertex ascending and omits zero scores; entries below
 // k=2 are nil. MeasureTruss rankings come from BuildHybrid instead.
 func BuildMeasureRankings(g *graph.Graph, m Measure) [][]VertexScore {
-	perVertex := make([][]int, g.N()) // perVertex[v][k] = score(v, k), index 0/1 unused
-	maxK := int32(2)
+	scorer := NewVertexScorer(g, m)
+	// Stream each vertex's all-k vector straight into the per-k lists
+	// (ascending v, so each list is already vertex-ordered before the
+	// canonical sort) instead of materializing an n × maxK table.
+	perK := make([][]VertexScore, 3) // grown on demand; entries below k=2 stay nil
 	for v := int32(0); int(v) < g.N(); v++ {
-		scores := measureScoresAllK(g, v, m)
-		perVertex[v] = scores
-		if top := int32(len(scores)) - 1; top > maxK {
-			maxK = top
+		scores := scorer.ScoresAllK(v)
+		for len(perK) < len(scores) {
+			perK = append(perK, nil)
 		}
-	}
-	perK := make([][]VertexScore, maxK+1)
-	for k := int32(2); k <= maxK; k++ {
-		var list []VertexScore
-		for v := int32(0); int(v) < g.N(); v++ {
-			if int(k) < len(perVertex[v]) {
-				if s := perVertex[v][k]; s > 0 {
-					list = append(list, VertexScore{V: v, Score: s})
-				}
+		for k := 2; k < len(scores); k++ {
+			if s := scores[k]; s > 0 {
+				perK[k] = append(perK[k], VertexScore{V: v, Score: s})
 			}
 		}
-		sortAnswer(list)
-		perK[k] = list
+	}
+	for k := 2; k < len(perK); k++ {
+		sortAnswer(perK[k])
 	}
 	return perK
 }
@@ -219,53 +247,4 @@ func (r *Ranked) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 		stats.ScoreComputations = len(answer)
 	}
 	return res, exportStats(stats, p), nil
-}
-
-// measureScoresAllK computes score(v, k) for every k >= 2 with a
-// positive score, from one ego-network decomposition. The returned
-// slice is indexed by k (length maxK+1, entries 0 and 1 unused).
-func measureScoresAllK(g *graph.Graph, v int32, m Measure) []int {
-	net := ego.ExtractOne(g, v)
-	if net.G.M() == 0 {
-		return nil
-	}
-	switch m.Normalize() {
-	case MeasureComponent:
-		// Component sizes give every threshold at once: a size-s component
-		// counts toward score(v, k) for every k <= s.
-		labels, count := net.G.ConnectedComponents()
-		sizes := make([]int32, count)
-		for _, lbl := range labels {
-			sizes[lbl]++
-		}
-		maxS := int32(0)
-		for _, s := range sizes {
-			if s > maxS {
-				maxS = s
-			}
-		}
-		if maxS < 2 {
-			return nil
-		}
-		scores := make([]int, maxS+1)
-		for _, s := range sizes {
-			for k := int32(2); k <= s; k++ {
-				scores[k]++
-			}
-		}
-		return scores
-	case MeasureCore:
-		core := kcore.Decompose(net.G)
-		maxC := kcore.Degeneracy(core)
-		if maxC < 2 {
-			return nil
-		}
-		scores := make([]int, maxC+1)
-		for k := int32(2); k <= maxC; k++ {
-			scores[k] = kcore.CountComponents(net.G, core, k)
-		}
-		return scores
-	default:
-		panic("core: BuildMeasureRankings is for the non-truss measures; use BuildHybrid")
-	}
 }

@@ -26,8 +26,9 @@ func (o *Online) TopR(k int32, r int) (*Result, *Stats, error) {
 }
 
 // Search runs Algorithm 3 over the candidate set, sharded across
-// p.Workers goroutines (the scorers are stateless, so workers share
-// one). Each candidate costs one ego-network decomposition, so
+// p.Workers goroutines; every worker owns one VertexScorer, so the scan
+// is allocation-free in steady state and byte-identical to the serial
+// order. Each candidate costs one ego-network decomposition, so
 // cancellation is checked before every score computation. The search is
 // measure-generic: p.Measure swaps the truss scorer for the
 // component-based or core-based one, same scan either way.
@@ -37,13 +38,15 @@ func (o *Online) Search(ctx context.Context, p Params) (*Result, *Stats, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	m := p.Measure.Normalize()
 	scorer := DivScorer(o.scorer)
-	if m := p.Measure.Normalize(); m != MeasureTruss {
+	if m != MeasureTruss {
 		scorer = NewMeasureScorer(g, m)
 	}
 	heap, scored, err := scanTopR(ctx, g.N(), p.Candidates, p.R, p.workers(), true,
 		func() func(v int32) int {
-			return func(v int32) int { return scorer.Score(v, p.K) }
+			vs := NewVertexScorer(g, m)
+			return func(v int32) int { return vs.Score(v, p.K) }
 		})
 	if err != nil {
 		return nil, nil, err

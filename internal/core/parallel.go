@@ -38,18 +38,20 @@ func BuildTSDIndexParallel(g *graph.Graph, workers int) *TSDIndex {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var es ego.Scratch // per-worker extraction + decomposition scratch
+			var ts truss.Scratch
 			for lo := range blocks {
 				hi := lo + block
 				if hi > int32(n) {
 					hi = int32(n)
 				}
 				for v := lo; v < hi; v++ {
-					net := ego.ExtractOne(g, v)
+					net := ego.ExtractOneInto(&es, g, v)
 					idx.mv[v] = int32(net.G.M())
 					if net.G.M() == 0 {
 						continue
 					}
-					tau := truss.Decompose(net.G)
+					tau := ts.DecomposeInto(net.G)
 					idx.edges[v] = maxSpanningForest(net.G, tau)
 					idx.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
 				}
@@ -83,6 +85,7 @@ func BuildGCTIndexParallel(g *graph.Graph, workers int) *GCTIndex {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var es ego.Scratch                    // per-worker CSR assembly scratch
 			var decomposer truss.BitmapDecomposer // per-worker pool
 			for lo := range blocks {
 				hi := lo + block
@@ -93,7 +96,7 @@ func BuildGCTIndexParallel(g *graph.Graph, workers int) *GCTIndex {
 					if all.EdgeCount(v) == 0 {
 						continue
 					}
-					net := all.Network(v)
+					net := all.NetworkInto(&es, v)
 					tau := decomposer.Decompose(net.G)
 					idx.verts[v] = buildGCTVertex(net.G, tau)
 				}

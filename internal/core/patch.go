@@ -73,9 +73,12 @@ func PatchMeasureRankings(g *graph.Graph, m Measure, old [][]VertexScore, affect
 	if maxK < 2 {
 		maxK = 2
 	}
+	scorer := NewVertexScorer(g, m)
 	for _, v := range affected {
 		aff[v] = true
-		s := measureScoresAllK(g, v, m)
+		// ScoresAllK hands back scratch-owned storage; copy before the
+		// next iteration reuses it.
+		s := append([]int(nil), scorer.ScoresAllK(v)...)
 		freshScores[v] = s
 		if top := int32(len(s)) - 1; top > maxK {
 			maxK = top

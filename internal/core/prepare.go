@@ -1,0 +1,230 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"trussdiv/internal/ego"
+	"trussdiv/internal/graph"
+	"trussdiv/internal/kcore"
+	"trussdiv/internal/truss"
+)
+
+// Single-pass multi-structure construction. Every accelerator this
+// package builds — the TSD forests, the GCT supernode structures, the
+// hybrid per-k truss rankings, and the per-measure rankings — starts
+// from the same two per-vertex steps: extract the ego-network and
+// decompose it. Building the structures one at a time repeats those
+// steps once per structure; BuildAll walks each vertex exactly once and
+// feeds the shared extraction (and, for the truss-derived structures,
+// the shared decomposition) to every requested consumer, so preparing N
+// structures pays for one extraction pass instead of N.
+
+// BuildTargets selects which structures one BuildAll pass produces.
+type BuildTargets struct {
+	// TSD requests the per-vertex maximum spanning forests (BuildTSDIndex).
+	TSD bool
+	// GCT requests the compressed supernode structures (BuildGCTIndex).
+	GCT bool
+	// TrussRanks requests the hybrid engine's per-k truss rankings,
+	// byte-identical to BuildHybrid(BuildGCTIndex(g)).Rankings(): by
+	// Lemma 3, the supernode/superedge count N_k - M_k a GCT index scores
+	// with equals the k-truss component count read straight off the shared
+	// decomposition.
+	TrussRanks bool
+	// Measures requests per-k rankings for the named non-truss measures,
+	// byte-identical to BuildMeasureRankings. MeasureTruss entries are
+	// ignored (truss rankings are TrussRanks).
+	Measures []Measure
+}
+
+// BuildProducts carries the structures one BuildAll pass produced;
+// fields for unrequested targets stay zero.
+type BuildProducts struct {
+	TSD          *TSDIndex
+	GCT          *GCTIndex
+	TrussRanks   [][]VertexScore // feed NewHybridFromRankings
+	MeasureRanks map[Measure][][]VertexScore
+}
+
+// BuildAll builds every requested structure in one pass over the
+// vertices, sharded across `workers` goroutines (0 or negative =
+// GOMAXPROCS). Each worker owns one extraction/decomposition scratch
+// set and writes per-vertex results into disjoint slots, so the
+// assembled products are byte-identical to the dedicated builders'
+// regardless of worker count.
+func BuildAll(g *graph.Graph, t BuildTargets, workers int) *BuildProducts {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.N()
+	p := &BuildProducts{}
+
+	var tsd *TSDIndex
+	if t.TSD {
+		tsd = &TSDIndex{
+			g:     g,
+			edges: make([][]TSDEdge, n),
+			mv:    make([]int32, n),
+			vtCum: make([][]int32, n),
+		}
+	}
+	var gct *GCTIndex
+	if t.GCT {
+		gct = &GCTIndex{g: g, verts: make([]gctVertex, n)}
+	}
+	var trussVec [][]int32 // per-vertex all-k truss score vectors
+	if t.TrussRanks {
+		trussVec = make([][]int32, n)
+	}
+	var compVec, coreVec [][]int32
+	for _, m := range t.Measures {
+		switch m.Normalize() {
+		case MeasureComponent:
+			compVec = make([][]int32, n)
+		case MeasureCore:
+			coreVec = make([][]int32, n)
+		}
+	}
+	needTruss := tsd != nil || gct != nil || trussVec != nil
+
+	const block = 256
+	blocks := make(chan int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var es ego.Scratch // per-worker scratch, reused across vertices
+			var ts truss.Scratch
+			var ks kcore.Scratch
+			var cs compScratch
+			var allk []int
+			for lo := range blocks {
+				hi := lo + block
+				if hi > int32(n) {
+					hi = int32(n)
+				}
+				for v := lo; v < hi; v++ {
+					net := ego.ExtractOneInto(&es, g, v)
+					if tsd != nil {
+						tsd.mv[v] = int32(net.G.M())
+					}
+					if net.G.M() == 0 {
+						// No triangles through v: every consumer records
+						// "no structure" for it, exactly as the dedicated
+						// builders do.
+						continue
+					}
+					if needTruss {
+						tau := ts.DecomposeInto(net.G)
+						if tsd != nil {
+							tsd.edges[v] = maxSpanningForest(net.G, tau)
+							tsd.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
+						}
+						if gct != nil {
+							gct.verts[v] = buildGCTVertex(net.G, tau)
+						}
+						if trussVec != nil {
+							allk = trussAllK(&ts, net.G, tau, allk)
+							trussVec[v] = copyAllK(allk)
+						}
+					}
+					if compVec != nil {
+						allk = compAllK(&cs, net.G, allk)
+						compVec[v] = copyAllK(allk)
+					}
+					if coreVec != nil {
+						allk = coreAllK(&ks, net.G, allk)
+						coreVec[v] = copyAllK(allk)
+					}
+				}
+			}
+		}()
+	}
+	for lo := int32(0); lo < int32(n); lo += block {
+		blocks <- lo
+	}
+	close(blocks)
+	wg.Wait()
+
+	p.TSD = tsd
+	p.GCT = gct
+	if trussVec != nil {
+		p.TrussRanks = assembleTrussRanks(trussVec, n)
+	}
+	if compVec != nil || coreVec != nil {
+		p.MeasureRanks = make(map[Measure][][]VertexScore, 2)
+		if compVec != nil {
+			p.MeasureRanks[MeasureComponent] = assembleMeasureRanks(compVec, n)
+		}
+		if coreVec != nil {
+			p.MeasureRanks[MeasureCore] = assembleMeasureRanks(coreVec, n)
+		}
+	}
+	return p
+}
+
+// copyAllK snapshots a scratch-owned all-k vector (indexed by k, entries
+// 0 and 1 unused) so it survives the worker's next vertex.
+func copyAllK(allk []int) []int32 {
+	if len(allk) == 0 {
+		return nil
+	}
+	out := make([]int32, len(allk))
+	for i, s := range allk {
+		out[i] = int32(s)
+	}
+	return out
+}
+
+// assembleTrussRanks shapes the per-vertex truss vectors into the hybrid
+// engine's per-k rankings, matching BuildHybrid byte for byte: perK[k]
+// non-nil for every k in [2, maxK] (even when empty), entries in
+// canonical order, maxK clamped to at least 2.
+func assembleTrussRanks(vecs [][]int32, n int) [][]VertexScore {
+	maxK := 2
+	for _, vec := range vecs {
+		if top := len(vec) - 1; top > maxK {
+			maxK = top
+		}
+	}
+	perK := make([][]VertexScore, maxK+1)
+	for k := 2; k <= maxK; k++ {
+		perK[k] = make([]VertexScore, 0)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		vec := vecs[v]
+		for k := 2; k < len(vec); k++ {
+			if s := vec[k]; s > 0 {
+				perK[k] = append(perK[k], VertexScore{V: v, Score: int(s)})
+			}
+		}
+	}
+	for k := 2; k <= maxK; k++ {
+		sortAnswer(perK[k])
+	}
+	return perK
+}
+
+// assembleMeasureRanks shapes the per-vertex measure vectors into per-k
+// rankings, matching BuildMeasureRankings byte for byte: minimum table
+// length 3, empty entries nil, canonical order per k.
+func assembleMeasureRanks(vecs [][]int32, n int) [][]VertexScore {
+	perK := make([][]VertexScore, 3)
+	for v := int32(0); int(v) < n; v++ {
+		vec := vecs[v]
+		for len(perK) < len(vec) {
+			perK = append(perK, nil)
+		}
+		for k := 2; k < len(vec); k++ {
+			if s := vec[k]; s > 0 {
+				perK[k] = append(perK[k], VertexScore{V: v, Score: int(s)})
+			}
+		}
+	}
+	for k := 2; k < len(perK); k++ {
+		sortAnswer(perK[k])
+	}
+	return perK
+}

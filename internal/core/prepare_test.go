@@ -1,0 +1,74 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"trussdiv/internal/gen"
+	"trussdiv/internal/testutil"
+)
+
+// TestBuildAllMatchesDedicatedBuilders pins the single-pass driver's
+// contract: every product of one BuildAll pass is deep-equal to the
+// structure the dedicated builder produces, across worker counts. The
+// truss rankings in particular must match BuildHybrid (scored through a
+// GCT index via Lemma 3) even though BuildAll reads the component counts
+// straight off the shared decomposition.
+func TestBuildAllMatchesDedicatedBuilders(t *testing.T) {
+	rng := testutil.Rand(t, 777)
+	graphs := []conformanceGraph{
+		{"fig1", gen.Fig1Graph()},
+		{"overlay", gen.CommunityOverlay(gen.OverlayConfig{
+			N: 200, Attach: 3, Cliques: 50, MinSize: 4, MaxSize: 8, Seed: rng.Int63(),
+		})},
+		{"ba", gen.BarabasiAlbert(150, 4, rng.Int63())},
+		{"er", gen.ErdosRenyiGNM(120, 600, rng.Int63())},
+		{"empty", gen.ErdosRenyiGNM(30, 0, 1)},
+	}
+	targets := BuildTargets{
+		TSD:        true,
+		GCT:        true,
+		TrussRanks: true,
+		Measures:   []Measure{MeasureComponent, MeasureCore},
+	}
+	for _, tc := range graphs {
+		g := tc.g
+		wantTSD := BuildTSDIndex(g)
+		wantGCT := BuildGCTIndex(g)
+		wantHybrid := BuildHybrid(wantGCT).Rankings()
+		wantComp := BuildMeasureRankings(g, MeasureComponent)
+		wantCore := BuildMeasureRankings(g, MeasureCore)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			p := BuildAll(g, targets, workers)
+			if !reflect.DeepEqual(p.TSD, wantTSD) {
+				t.Fatalf("%s/w=%d: BuildAll TSD index diverges from BuildTSDIndex", tc.name, workers)
+			}
+			if !reflect.DeepEqual(p.GCT, wantGCT) {
+				t.Fatalf("%s/w=%d: BuildAll GCT index diverges from BuildGCTIndex", tc.name, workers)
+			}
+			if !reflect.DeepEqual(p.TrussRanks, wantHybrid) {
+				t.Fatalf("%s/w=%d: BuildAll truss rankings diverge from BuildHybrid\n got %v\nwant %v",
+					tc.name, workers, p.TrussRanks, wantHybrid)
+			}
+			if !reflect.DeepEqual(p.MeasureRanks[MeasureComponent], wantComp) {
+				t.Fatalf("%s/w=%d: BuildAll component rankings diverge from BuildMeasureRankings",
+					tc.name, workers)
+			}
+			if !reflect.DeepEqual(p.MeasureRanks[MeasureCore], wantCore) {
+				t.Fatalf("%s/w=%d: BuildAll core rankings diverge from BuildMeasureRankings",
+					tc.name, workers)
+			}
+		}
+	}
+
+	// Partial target sets leave the unrequested products zero.
+	g := gen.Fig1Graph()
+	p := BuildAll(g, BuildTargets{TrussRanks: true}, 0)
+	if p.TSD != nil || p.GCT != nil || p.MeasureRanks != nil {
+		t.Fatal("unrequested products were built")
+	}
+	if !reflect.DeepEqual(p.TrussRanks, BuildHybrid(BuildGCTIndex(g)).Rankings()) {
+		t.Fatal("TrussRanks-only BuildAll diverges from BuildHybrid")
+	}
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"sync"
+
 	"trussdiv/internal/ego"
 	"trussdiv/internal/graph"
-	"trussdiv/internal/truss"
 )
 
 // Scorer computes truss-based structural diversity scores and social
@@ -11,14 +12,22 @@ import (
 // decompose it, drop edges below the threshold, and count the connected
 // components that remain.
 //
-// A Scorer carries no mutable state beyond the graph reference and is safe
-// for concurrent use.
+// A Scorer is safe for concurrent use: calls borrow a per-worker
+// VertexScorer from an internal pool, so steady-state scoring stays
+// allocation-free without giving up the shared-scorer contract. Scan
+// loops that own their workers should hold a VertexScorer directly and
+// skip the pool round-trip.
 type Scorer struct {
-	g *graph.Graph
+	g    *graph.Graph
+	pool sync.Pool // of *VertexScorer with the truss measure
 }
 
 // NewScorer returns a Scorer over g.
-func NewScorer(g *graph.Graph) *Scorer { return &Scorer{g: g} }
+func NewScorer(g *graph.Graph) *Scorer {
+	s := &Scorer{g: g}
+	s.pool.New = func() any { return NewVertexScorer(g, MeasureTruss) }
+	return s
+}
 
 // Graph returns the underlying graph.
 func (s *Scorer) Graph() *graph.Graph { return s.g }
@@ -26,34 +35,32 @@ func (s *Scorer) Graph() *graph.Graph { return s.g }
 // Score returns score(v) w.r.t. trussness threshold k (paper Def. 3).
 // k must be >= 2.
 func (s *Scorer) Score(v int32, k int32) int {
-	net := ego.ExtractOne(s.g, v)
-	if net.G.M() == 0 {
-		return 0
-	}
-	tau := truss.Decompose(net.G)
-	return truss.CountComponents(net.G, tau, k)
+	vs := s.pool.Get().(*VertexScorer)
+	score := vs.Score(v, k)
+	s.pool.Put(vs)
+	return score
 }
 
 // Contexts returns the social contexts SC(v): the vertex sets (global IDs,
 // each sorted) of the maximal connected k-trusses of v's ego-network
 // (paper Def. 2).
 func (s *Scorer) Contexts(v int32, k int32) [][]int32 {
-	net := ego.ExtractOne(s.g, v)
-	if net.G.M() == 0 {
-		return nil
-	}
-	tau := truss.Decompose(net.G)
-	return net.GlobalSets(truss.Components(net.G, tau, k))
+	vs := s.pool.Get().(*VertexScorer)
+	out := vs.Contexts(v, k)
+	s.pool.Put(vs)
+	return out
 }
 
 // ScoreAndContexts computes both in one ego decomposition.
 func (s *Scorer) ScoreAndContexts(v int32, k int32) (int, [][]int32) {
-	net := ego.ExtractOne(s.g, v)
+	vs := s.pool.Get().(*VertexScorer)
+	defer s.pool.Put(vs)
+	net := ego.ExtractOneInto(&vs.ego, s.g, v)
 	if net.G.M() == 0 {
 		return 0, nil
 	}
-	tau := truss.Decompose(net.G)
-	comps := truss.Components(net.G, tau, k)
+	tau := vs.tr.DecomposeInto(net.G)
+	comps := vs.tr.Components(net.G, tau, k)
 	return len(comps), net.GlobalSets(comps)
 }
 
@@ -62,7 +69,9 @@ func (s *Scorer) ScoreAndContexts(v int32, k int32) (int, [][]int32) {
 // quantity τ_{G_N(v)}(a,b) from the paper's non-symmetry discussion
 // (Observation 1) for analysis and tests.
 func (s *Scorer) EgoTrussness(v, a, b int32) int32 {
-	net := ego.ExtractOne(s.g, v)
+	vs := s.pool.Get().(*VertexScorer)
+	defer s.pool.Put(vs)
+	net := ego.ExtractOneInto(&vs.ego, s.g, v)
 	la, lb := net.Local(a), net.Local(b)
 	if la < 0 || lb < 0 {
 		return 0
@@ -71,5 +80,5 @@ func (s *Scorer) EgoTrussness(v, a, b int32) int32 {
 	if id < 0 {
 		return 0
 	}
-	return truss.Decompose(net.G)[id]
+	return vs.tr.DecomposeInto(net.G)[id]
 }

@@ -43,7 +43,9 @@ type TSDIndex struct {
 
 // BuildTSDIndex runs Algorithm 5: per-vertex ego-network extraction, truss
 // decomposition, then Kruskal's maximum spanning forest over the
-// trussness-weighted ego-network.
+// trussness-weighted ego-network. One extraction and one decomposition
+// scratch serve every vertex, so the build allocates only the index
+// storage itself.
 func BuildTSDIndex(g *graph.Graph) *TSDIndex {
 	n := g.N()
 	idx := &TSDIndex{
@@ -52,13 +54,15 @@ func BuildTSDIndex(g *graph.Graph) *TSDIndex {
 		mv:    make([]int32, n),
 		vtCum: make([][]int32, n),
 	}
+	var es ego.Scratch
+	var ts truss.Scratch
 	for v := int32(0); int(v) < n; v++ {
-		net := ego.ExtractOne(g, v)
+		net := ego.ExtractOneInto(&es, g, v)
 		idx.mv[v] = int32(net.G.M())
 		if net.G.M() == 0 {
 			continue
 		}
-		tau := truss.Decompose(net.G)
+		tau := ts.DecomposeInto(net.G)
 		idx.edges[v] = maxSpanningForest(net.G, tau)
 		idx.vtCum[v] = cumulativeVertexTrussness(net.G, tau)
 	}

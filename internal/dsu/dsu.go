@@ -22,6 +22,19 @@ func New(n int) *DSU {
 	return d
 }
 
+// Init resets d to n singleton sets, reusing (and growing only when
+// needed) its storage — the allocation-free counterpart of New for
+// scratch structures that are re-targeted at graphs of varying size.
+func (d *DSU) Init(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int32, n)
+		d.size = make([]int32, n)
+	}
+	d.parent = d.parent[:n]
+	d.size = d.size[:n]
+	d.Reset()
+}
+
 // Reset returns every element to its own singleton set.
 func (d *DSU) Reset() {
 	for i := range d.parent {

@@ -42,25 +42,45 @@ func (n *Network) Local(global int32) int32 {
 }
 
 // GlobalSets converts local vertex groups (e.g. social contexts) to global
-// vertex IDs.
+// vertex IDs. All groups share one flat backing array (each capped with a
+// three-index subslice), so the conversion costs two allocations total
+// instead of one per group.
 func (n *Network) GlobalSets(local [][]int32) [][]int32 {
+	total := 0
+	for _, grp := range local {
+		total += len(grp)
+	}
+	flat := make([]int32, 0, total)
 	out := make([][]int32, len(local))
 	for i, grp := range local {
-		g := make([]int32, len(grp))
-		for j, lv := range grp {
-			g[j] = n.Verts[lv]
+		start := len(flat)
+		for _, lv := range grp {
+			flat = append(flat, n.Verts[lv])
 		}
-		out[i] = g
+		out[i] = flat[start:len(flat):len(flat)]
 	}
 	return out
 }
 
-// ExtractOne builds the ego-network of v by local triangle listing: for
-// every neighbor u of v, the edge (u,w) is added for each w in
-// N(u) ∩ N(v) with w > u, via a merge of the sorted adjacency lists.
-func ExtractOne(g *graph.Graph, v int32) *Network {
+// Scratch owns the reusable storage one worker needs to extract
+// ego-networks without allocating in steady state: the builder's edge
+// slab, the local graph's CSR slabs, and the Network header itself. The
+// zero value is ready to use. A Scratch is not safe for concurrent use —
+// each worker owns exactly one — and the Network returned by
+// ExtractOneInto or All.NetworkInto (plus everything reachable from it)
+// is a view over the Scratch, valid only until the next extraction into
+// the same Scratch. See DESIGN.md "Scratch ownership contract".
+type Scratch struct {
+	b   graph.Builder
+	csr graph.Scratch
+	net Network
+}
+
+// ExtractOneInto is ExtractOne into recycled storage: the returned
+// Network aliases s and is invalidated by the next extraction into s.
+func ExtractOneInto(s *Scratch, g *graph.Graph, v int32) *Network {
 	verts := g.Neighbors(v)
-	b := graph.NewBuilder(len(verts))
+	s.b.Reset(len(verts))
 	for lu, u := range verts {
 		// Merge N(u) with verts, tracking the local index of matches.
 		nu := g.Neighbors(u)
@@ -73,14 +93,27 @@ func ExtractOne(g *graph.Graph, v int32) *Network {
 				j++
 			default:
 				if verts[j] > u { // count each ego edge once
-					b.AddEdge(int32(lu), int32(j))
+					s.b.AddEdge(int32(lu), int32(j))
 				}
 				i++
 				j++
 			}
 		}
 	}
-	return &Network{Center: v, Verts: verts, G: b.Build()}
+	s.net.Center = v
+	s.net.Verts = verts
+	s.net.G = s.b.BuildInto(&s.csr)
+	return &s.net
+}
+
+// ExtractOne builds the ego-network of v by local triangle listing: for
+// every neighbor u of v, the edge (u,w) is added for each w in
+// N(u) ∩ N(v) with w > u, via a merge of the sorted adjacency lists.
+// It extracts into a private one-shot Scratch, so the result is never
+// invalidated; loops over many vertices should reuse one Scratch via
+// ExtractOneInto instead.
+func ExtractOne(g *graph.Graph, v int32) *Network {
+	return ExtractOneInto(new(Scratch), g, v)
 }
 
 // All holds the materialized ego-network edge lists of every vertex,
@@ -126,15 +159,26 @@ func ExtractAll(g *graph.Graph) *All {
 func (a *All) EdgeCount(v int32) int { return int(a.off[v+1] - a.off[v]) }
 
 // Network materializes the ego-network of v from the precollected edges.
+// Like ExtractOne it uses a private one-shot Scratch, so the result is
+// never invalidated.
 func (a *All) Network(v int32) *Network {
+	return a.NetworkInto(new(Scratch), v)
+}
+
+// NetworkInto is Network into recycled storage: the returned Network
+// aliases s and is invalidated by the next extraction into s.
+func (a *All) NetworkInto(s *Scratch, v int32) *Network {
 	verts := a.g.Neighbors(v)
-	b := graph.NewBuilder(len(verts))
+	s.b.Reset(len(verts))
 	lookup := func(global int32) int32 {
 		i := sort.Search(len(verts), func(i int) bool { return verts[i] >= global })
 		return int32(i) // caller guarantees membership
 	}
 	for _, e := range a.edges[a.off[v]:a.off[v+1]] {
-		b.AddEdge(lookup(e.U), lookup(e.V))
+		s.b.AddEdge(lookup(e.U), lookup(e.V))
 	}
-	return &Network{Center: v, Verts: verts, G: b.Build()}
+	s.net.Center = v
+	s.net.Verts = verts
+	s.net.G = s.b.BuildInto(&s.csr)
+	return &s.net
 }

@@ -125,3 +125,119 @@ func TestEgoOfIsolatedAndLeaf(t *testing.T) {
 		t.Fatal("leaf ego-network should be a single isolated vertex")
 	}
 }
+
+// TestExtractOneIntoMatchesExtractOne pins the scratch contract: one
+// Scratch reused across every vertex (with stale state from prior,
+// larger ego-networks) extracts networks identical to the fresh
+// allocate-path extraction.
+func TestExtractOneIntoMatchesExtractOne(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(t, 30, 140, seed+100)
+		var s Scratch
+		// Two sweeps: descending then ascending, so the reused scratch
+		// shrinks and grows across calls.
+		order := make([]int32, 0, 2*g.N())
+		for v := int32(g.N()) - 1; v >= 0; v-- {
+			order = append(order, v)
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			order = append(order, v)
+		}
+		for _, v := range order {
+			got := ExtractOneInto(&s, g, v)
+			want := ExtractOne(g, v)
+			if got.Center != want.Center || len(got.Verts) != len(want.Verts) {
+				t.Fatalf("seed %d v %d: header mismatch", seed, v)
+			}
+			for i := range want.Verts {
+				if got.Verts[i] != want.Verts[i] {
+					t.Fatalf("seed %d v %d: Verts[%d] = %d, want %d",
+						seed, v, i, got.Verts[i], want.Verts[i])
+				}
+			}
+			sameGraph(t, got.G, want.G, "ExtractOneInto")
+			if got.G.Fingerprint() != want.G.Fingerprint() {
+				t.Fatalf("seed %d v %d: fingerprint of reused-scratch graph diverges", seed, v)
+			}
+		}
+	}
+}
+
+// TestNetworkIntoMatchesNetwork pins the batch-extraction scratch path
+// the same way.
+func TestNetworkIntoMatchesNetwork(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(t, 35, 180, seed+200)
+		all := ExtractAll(g)
+		var s Scratch
+		for v := int32(0); int(v) < g.N(); v++ {
+			got := all.NetworkInto(&s, v)
+			want := all.Network(v)
+			if len(got.Verts) != len(want.Verts) {
+				t.Fatalf("seed %d v %d: vertex count mismatch", seed, v)
+			}
+			sameGraph(t, got.G, want.G, "NetworkInto")
+		}
+	}
+}
+
+// TestGlobalSetsFlatBacking pins the flat-buffer conversion: group
+// values identical to a per-group conversion, and writes into one
+// returned group can never bleed into a sibling (full-capacity
+// subslices).
+func TestGlobalSetsFlatBacking(t *testing.T) {
+	g := randomGraph(t, 25, 120, 7)
+	var v int32 = -1
+	for u := int32(0); int(u) < g.N(); u++ {
+		if g.Degree(u) >= 4 {
+			v = u
+			break
+		}
+	}
+	if v < 0 {
+		t.Skip("no vertex with degree >= 4")
+	}
+	net := ExtractOne(g, v)
+	n := int32(len(net.Verts))
+	local := [][]int32{{0, 1}, {2}, {n - 1, n - 2, 0}, {}}
+	out := net.GlobalSets(local)
+	if len(out) != len(local) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(local))
+	}
+	for i, grp := range local {
+		if len(out[i]) != len(grp) {
+			t.Fatalf("group %d: len %d, want %d", i, len(out[i]), len(grp))
+		}
+		for j, lv := range grp {
+			if out[i][j] != net.Verts[lv] {
+				t.Fatalf("group %d[%d] = %d, want %d", i, j, out[i][j], net.Verts[lv])
+			}
+		}
+	}
+	// Appending through one group must not overwrite the next group's
+	// first element (three-index subslices cap each group).
+	first := out[1][0]
+	_ = append(out[0], -1) //nolint:staticcheck // probing capacity on purpose
+	if out[1][0] != first {
+		t.Fatal("append to one group clobbered its sibling: groups share spare capacity")
+	}
+}
+
+// TestExtractOneIntoAllocFree pins the tentpole: steady-state extraction
+// through a reused Scratch performs zero allocations.
+func TestExtractOneIntoAllocFree(t *testing.T) {
+	g := randomGraph(t, 60, 600, 11)
+	var s Scratch
+	// Warm the scratch to the largest ego-network first.
+	for v := int32(0); int(v) < g.N(); v++ {
+		ExtractOneInto(&s, g, v)
+	}
+	v := int32(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		ExtractOneInto(&s, g, v)
+		v = (v + 1) % int32(g.N())
+	})
+	if allocs != 0 {
+		t.Fatalf("ExtractOneInto allocates %.1f objects per call in steady state, want 0", allocs)
+	}
+}

@@ -14,7 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // Edge is an undirected edge with canonical orientation U < V.
@@ -33,8 +33,11 @@ type Graph struct {
 	eid   []int32 // len 2*M(); edge ID parallel to adj
 	edges []Edge  // len M(); edges[id] is the canonical endpoint pair
 
-	fpOnce sync.Once
-	fp     [32]byte
+	// fp memoizes Fingerprint. An atomic pointer rather than a sync.Once
+	// so Builder.BuildInto can reset it when a Scratch-owned Graph is
+	// relaid over recycled slabs; racing recomputations store identical
+	// digests, so last-write-wins is safe.
+	fp atomic.Pointer[[32]byte]
 }
 
 // N returns the number of vertices.
@@ -70,31 +73,34 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // is immutable — so repeated callers (index persistence, store validation)
 // pay the hash exactly once per process.
 func (g *Graph) Fingerprint() [32]byte {
-	g.fpOnce.Do(func() {
-		h := sha256.New()
-		h.Write([]byte("trussdiv-graph-v1"))
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
-		binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
-		h.Write(hdr[:])
-		// Encode edges by hand in bounded chunks: reflection-based encoding
-		// of the whole edge list would dominate the hash itself.
-		const chunk = 1 << 13
-		buf := make([]byte, 0, 8*chunk)
-		edges := g.edges
-		for len(edges) > 0 {
-			n := min(len(edges), chunk)
-			buf = buf[:0]
-			for _, e := range edges[:n] {
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
-				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
-			}
-			h.Write(buf)
-			edges = edges[n:]
+	if p := g.fp.Load(); p != nil {
+		return *p
+	}
+	h := sha256.New()
+	h.Write([]byte("trussdiv-graph-v1"))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(g.N()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(g.M()))
+	h.Write(hdr[:])
+	// Encode edges by hand in bounded chunks: reflection-based encoding
+	// of the whole edge list would dominate the hash itself.
+	const chunk = 1 << 13
+	buf := make([]byte, 0, 8*chunk)
+	edges := g.edges
+	for len(edges) > 0 {
+		n := min(len(edges), chunk)
+		buf = buf[:0]
+		for _, e := range edges[:n] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
 		}
-		h.Sum(g.fp[:0])
-	})
-	return g.fp
+		h.Write(buf)
+		edges = edges[n:]
+	}
+	var fp [32]byte
+	h.Sum(fp[:0])
+	g.fp.Store(&fp)
+	return fp
 }
 
 // CSR returns the four raw CSR arrays: the arc offset table (len N()+1),

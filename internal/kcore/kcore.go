@@ -7,9 +7,6 @@
 package kcore
 
 import (
-	"sort"
-
-	"trussdiv/internal/dsu"
 	"trussdiv/internal/graph"
 )
 
@@ -76,55 +73,17 @@ func Decompose(g *graph.Graph) []int32 {
 // number >= k, each sorted, ordered by first vertex. For k >= 1 vertices
 // with no qualifying neighbor still form singleton components only if
 // their core number qualifies (which for k >= 1 implies an edge, so
-// singletons appear only for k = 0).
+// singletons appear only for k = 0). All groups share one flat backing
+// array; loops should reuse a Scratch via Scratch.Components instead.
 func Components(g *graph.Graph, core []int32, k int32) [][]int32 {
-	d := dsu.New(g.N())
-	member := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
-		if core[v] >= k {
-			member[v] = true
-		}
-	}
-	for _, e := range g.Edges() {
-		if member[e.U] && member[e.V] {
-			d.Union(e.U, e.V)
-		}
-	}
-	groups := map[int32][]int32{}
-	for v := int32(0); int(v) < g.N(); v++ {
-		if member[v] {
-			r := d.Find(v)
-			groups[r] = append(groups[r], v)
-		}
-	}
-	out := make([][]int32, 0, len(groups))
-	for _, members := range groups {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		out = append(out, members)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
+	return new(Scratch).Components(g, core, k)
 }
 
 // CountComponents returns the number of maximal connected k-cores without
-// materializing them.
+// materializing them. Loops should reuse a Scratch via
+// Scratch.CountComponents instead.
 func CountComponents(g *graph.Graph, core []int32, k int32) int {
-	n := g.N()
-	member := make([]bool, n)
-	count := 0
-	for v := 0; v < n; v++ {
-		if core[v] >= k {
-			member[v] = true
-			count++
-		}
-	}
-	d := dsu.New(n)
-	for _, e := range g.Edges() {
-		if member[e.U] && member[e.V] && d.Union(e.U, e.V) {
-			count--
-		}
-	}
-	return count
+	return new(Scratch).CountComponents(g, core, k)
 }
 
 // Degeneracy returns the maximum core number, a classical upper bound on

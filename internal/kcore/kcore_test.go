@@ -48,6 +48,15 @@ func naiveCore(g *graph.Graph) []int32 {
 	return core
 }
 
+func randGraph(n, extra int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < extra; i++ {
+		b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
 func TestDecomposeClique(t *testing.T) {
 	g := gen.Clique(6)
 	for v, c := range Decompose(g) {
@@ -141,5 +150,55 @@ func TestCoreInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScratchMatchesAllocatePath pins the reusable-Scratch contract for
+// the core-based measure: one Scratch reused across many graphs matches
+// the allocate-path Decompose/Components/CountComponents exactly.
+func TestScratchMatchesAllocatePath(t *testing.T) {
+	var s Scratch
+	graphs := []*graph.Graph{
+		gen.Fig1Graph(),
+		randGraph(40, 300, 41),
+		randGraph(12, 40, 42),
+		randGraph(60, 500, 43),
+		randGraph(5, 0, 44),
+	}
+	for gi, g := range graphs {
+		wantCore := Decompose(g)
+		gotCore := s.DecomposeInto(g)
+		for v := range wantCore {
+			if gotCore[v] != wantCore[v] {
+				t.Fatalf("graph %d: core[%d] = %d, want %d", gi, v, gotCore[v], wantCore[v])
+			}
+		}
+		maxC := int32(0)
+		for _, c := range wantCore {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		for k := int32(1); k <= maxC+1; k++ {
+			want := new(Scratch).Components(g, wantCore, k)
+			got := s.Components(g, gotCore, k)
+			if len(got) != len(want) {
+				t.Fatalf("graph %d k=%d: %d components, want %d", gi, k, len(got), len(want))
+			}
+			for ci := range want {
+				if len(got[ci]) != len(want[ci]) {
+					t.Fatalf("graph %d k=%d comp %d: size mismatch", gi, k, ci)
+				}
+				for vi := range want[ci] {
+					if got[ci][vi] != want[ci][vi] {
+						t.Fatalf("graph %d k=%d comp %d[%d]: %d want %d",
+							gi, k, ci, vi, got[ci][vi], want[ci][vi])
+					}
+				}
+			}
+			if n := s.CountComponents(g, gotCore, k); n != len(want) {
+				t.Fatalf("graph %d k=%d: CountComponents = %d, want %d", gi, k, n, len(want))
+			}
+		}
 	}
 }

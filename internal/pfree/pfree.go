@@ -108,9 +108,12 @@ func ContextsAt(g *graph.Graph, v int32, m core.Measure) [][]int32 {
 // empty ranking is still a prepared ranking — "nobody scores" is an
 // answer, not an absence).
 func BuildRanking(g *graph.Graph, m core.Measure) []core.VertexScore {
+	scorer := core.NewVertexScorer(g, m)
 	list := make([]core.VertexScore, 0)
 	for v := int32(0); int(v) < g.N(); v++ {
-		if s := Score(core.ScoresAllK(g, v, m)); s > 0 {
+		// ScoresAllK hands back scratch-owned storage; Score reads it
+		// before the next iteration overwrites it.
+		if s := Score(scorer.ScoresAllK(v)); s > 0 {
 			list = append(list, core.VertexScore{V: v, Score: s})
 		}
 	}
@@ -157,6 +160,7 @@ func RankingFromPerK(perK [][]core.VertexScore) []core.VertexScore {
 // ego decompositions instead of a full rebuild; byte-identical to
 // BuildRanking on the new graph. Never aliases old.
 func PatchRanking(g *graph.Graph, m core.Measure, old []core.VertexScore, affected []int32) []core.VertexScore {
+	scorer := core.NewVertexScorer(g, m)
 	aff := make(map[int32]bool, len(affected))
 	fresh := make([]core.VertexScore, 0, len(affected))
 	for _, v := range affected {
@@ -164,7 +168,7 @@ func PatchRanking(g *graph.Graph, m core.Measure, old []core.VertexScore, affect
 			continue
 		}
 		aff[v] = true
-		if s := Score(core.ScoresAllK(g, v, m)); s > 0 {
+		if s := Score(scorer.ScoresAllK(v)); s > 0 {
 			fresh = append(fresh, core.VertexScore{V: v, Score: s})
 		}
 	}
@@ -229,7 +233,8 @@ func (s *Searcher) Search(ctx context.Context, p core.Params) (*core.Result, *co
 	} else {
 		var scored int
 		answer, scored, err = core.ScanCanonical(ctx, s.g.N(), p, func() func(v int32) int {
-			return func(v int32) int { return Score(core.ScoresAllK(s.g, v, s.m)) }
+			vs := core.NewVertexScorer(s.g, s.m) // one scratch per worker
+			return func(v int32) int { return Score(vs.ScoresAllK(v)) }
 		})
 		if err != nil {
 			return nil, nil, err

@@ -48,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -65,6 +66,7 @@ type Server struct {
 	indexDir  string
 	storeMode trussdiv.StoreMode
 	readOnly  bool
+	pprof     bool
 	built     time.Duration
 	metrics   *metrics.Registry
 }
@@ -100,6 +102,15 @@ func WithStoreMode(m trussdiv.StoreMode) Option {
 // fails with 403 and the graph stays exactly as loaded.
 func WithReadOnly() Option {
 	return func(s *Server) { s.readOnly = true }
+}
+
+// WithPprof registers the net/http/pprof handlers under /debug/pprof/
+// on the same mux as the query endpoints, so a CPU or heap profile can
+// be pulled from a serving replica without a second listener. Off by
+// default: the profile endpoints expose internals and cost CPU while
+// sampling, so they are strictly opt-in (tsdserve -pprof).
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
 }
 
 // New prepares the indexes for g — loading them from the index store
@@ -169,6 +180,15 @@ func (s *Server) Handler() http.Handler {
 	instr("GET /score", "/score", s.handleScore)
 	instr("GET /contexts", "/contexts", s.handleContexts)
 	mux.HandleFunc("GET /metrics", s.metrics.Handler())
+	if s.pprof {
+		// Deliberately uninstrumented: a 30s CPU profile pull would
+		// dominate every latency histogram it lands in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -609,3 +609,28 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("stats requests[/topr] = %v, want 3", reqs["/topr"])
 	}
 }
+
+// TestPprofOptIn: the profiling endpoints exist only under WithPprof —
+// a default server must not leak them.
+func TestPprofOptIn(t *testing.T) {
+	get := func(ts *httptest.Server) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/pprof/heap?debug=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	off := newTestServer(t)
+	if code := get(off); code != http.StatusNotFound {
+		t.Fatalf("pprof off: /debug/pprof/heap status %d, want 404", code)
+	}
+
+	on := httptest.NewServer(New(gen.Fig1Graph(), WithPprof()).Handler())
+	t.Cleanup(on.Close)
+	if code := get(on); code != http.StatusOK {
+		t.Fatalf("pprof on: /debug/pprof/heap status %d, want 200", code)
+	}
+}

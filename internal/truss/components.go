@@ -1,9 +1,6 @@
 package truss
 
 import (
-	"sort"
-
-	"trussdiv/internal/dsu"
 	"trussdiv/internal/graph"
 )
 
@@ -12,61 +9,16 @@ import (
 // trussness >= k (paper Def. 2 applies this to ego-networks). Each
 // component is a sorted vertex list; components are sorted by their first
 // vertex. Vertices incident to no qualifying edge appear in no component.
+// All groups share one flat backing array; loops should reuse a Scratch
+// via Scratch.Components instead.
 func Components(g *graph.Graph, tau []int32, k int32) [][]int32 {
-	d := dsu.New(g.N())
-	touched := make([]int32, 0, 64)
-	seen := make(map[int32]struct{}, 64)
-	for id, e := range g.Edges() {
-		if tau[id] < k {
-			continue
-		}
-		d.Union(e.U, e.V)
-		for _, v := range [2]int32{e.U, e.V} {
-			if _, dup := seen[v]; !dup {
-				seen[v] = struct{}{}
-				touched = append(touched, v)
-			}
-		}
-	}
-	groups := map[int32][]int32{}
-	for _, v := range touched {
-		r := d.Find(v)
-		groups[r] = append(groups[r], v)
-	}
-	out := make([][]int32, 0, len(groups))
-	for _, members := range groups {
-		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-		out = append(out, members)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
+	return new(Scratch).Components(g, tau, k)
 }
 
 // CountComponents returns only the number of maximal connected k-trusses,
 // without materializing the vertex sets. This is the quantity score(v)
-// measures on ego-networks (paper Def. 3).
+// measures on ego-networks (paper Def. 3). Loops should reuse a Scratch
+// via Scratch.CountComponents instead.
 func CountComponents(g *graph.Graph, tau []int32, k int32) int {
-	// In the edge-induced subgraph every component is a connected set of
-	// edges, so components = touchedVertices - effectiveMerges.
-	seen := make([]bool, g.N())
-	touched := 0
-	d := dsu.New(g.N())
-	merges := 0
-	for id, e := range g.Edges() {
-		if tau[id] < k {
-			continue
-		}
-		if !seen[e.U] {
-			seen[e.U] = true
-			touched++
-		}
-		if !seen[e.V] {
-			seen[e.V] = true
-			touched++
-		}
-		if d.Union(e.U, e.V) {
-			merges++
-		}
-	}
-	return touched - merges
+	return new(Scratch).CountComponents(g, tau, k)
 }

@@ -1,0 +1,267 @@
+package truss
+
+import (
+	"math"
+
+	"trussdiv/internal/dsu"
+	"trussdiv/internal/graph"
+)
+
+// Scratch owns the reusable peeling and counting state one worker needs
+// to decompose and score ego-network-sized graphs without allocating in
+// steady state. The zero value is ready to use. A Scratch is not safe
+// for concurrent use — each worker owns exactly one — and the slices
+// returned by DecomposeInto are views over the Scratch, valid only
+// until its next use. See DESIGN.md "Scratch ownership contract".
+type Scratch struct {
+	// peeling state (DecomposeInto)
+	sup      []int32
+	tau      []int32
+	binStart []int32
+	sorted   []int32
+	pos      []int32
+	cursor   []int32
+	removed  []bool
+
+	// component state (CountComponents / Components)
+	d         dsu.DSU
+	seen      []int32 // stamped membership marks
+	stamp     int32
+	rootGroup []int32 // stamped root vertex -> dense group index
+	rootStamp []int32
+	groupLen  []int32
+}
+
+// DecomposeInto is Decompose over s's recycled storage: supports are
+// counted by merging each edge's two sorted adjacency lists (the local
+// equivalent of the global triangle pass, suited to ego-network-sized
+// inputs) and the peel runs in the scratch bins. The returned tau is
+// owned by s and valid only until the next DecomposeInto.
+func (s *Scratch) DecomposeInto(g *graph.Graph) []int32 {
+	m := g.M()
+	s.sup = growI32(s.sup, m)
+	for id := range s.sup {
+		s.sup[id] = 0
+	}
+	for id, e := range g.Edges() {
+		c := int32(0)
+		forEachCommonArc(g, e.U, e.V, func(_, _, _ int32) { c++ })
+		s.sup[id] = c
+	}
+	return s.peel(g)
+}
+
+// peel is Algorithm 1 over scratch storage. It consumes s.sup.
+func (s *Scratch) peel(g *graph.Graph) []int32 {
+	m := g.M()
+	s.tau = growI32(s.tau, m)
+	if m == 0 {
+		return s.tau
+	}
+	sup := s.sup
+	maxSup := int32(0)
+	for _, v := range sup {
+		if v > maxSup {
+			maxSup = v
+		}
+	}
+	// Bin sort edges by support: sorted is ascending by sup, pos[e] is the
+	// index of e in sorted, binStart[x] is the first index of support x.
+	s.binStart = growI32(s.binStart, int(maxSup)+2)
+	binStart := s.binStart
+	for i := range binStart {
+		binStart[i] = 0
+	}
+	for _, v := range sup {
+		binStart[v]++
+	}
+	start := int32(0)
+	for x := int32(0); x <= maxSup; x++ {
+		c := binStart[x]
+		binStart[x] = start
+		start += c
+	}
+	binStart[maxSup+1] = start
+	s.sorted = growI32(s.sorted, m)
+	s.pos = growI32(s.pos, m)
+	s.cursor = growI32(s.cursor, int(maxSup)+1)
+	sorted, pos, cursor := s.sorted, s.pos, s.cursor
+	copy(cursor, binStart[:maxSup+1])
+	for e := int32(0); int(e) < m; e++ {
+		x := sup[e]
+		sorted[cursor[x]] = e
+		pos[e] = cursor[x]
+		cursor[x]++
+	}
+
+	s.removed = growBool(s.removed, m)
+	removed := s.removed
+	for i := range removed {
+		removed[i] = false
+	}
+	tau := s.tau
+	// dec moves edge e one support bin down, unless it is already at the
+	// current peeling floor.
+	dec := func(e, floor int32) {
+		x := sup[e]
+		if x <= floor {
+			return
+		}
+		p, q := pos[e], binStart[x]
+		if p != q {
+			other := sorted[q]
+			sorted[p], sorted[q] = other, e
+			pos[e], pos[other] = q, p
+		}
+		binStart[x]++
+		sup[e] = x - 1
+	}
+
+	k := int32(2)
+	for i := 0; i < m; i++ {
+		e := sorted[i]
+		if sup[e] > k-2 {
+			k = sup[e] + 2
+		}
+		tau[e] = k
+		removed[e] = true
+		ed := g.Edge(e)
+		forEachCommonArc(g, ed.U, ed.V, func(_ int32, euw, evw int32) {
+			if removed[euw] || removed[evw] {
+				return
+			}
+			dec(euw, k-2)
+			dec(evw, k-2)
+		})
+	}
+	return tau
+}
+
+// CountComponents is the package-level CountComponents over scratch
+// storage: zero allocations in steady state.
+func (s *Scratch) CountComponents(g *graph.Graph, tau []int32, k int32) int {
+	n := g.N()
+	s.d.Init(n)
+	stamp := s.nextStamp(n)
+	touched, merges := 0, 0
+	for id, e := range g.Edges() {
+		if tau[id] < k {
+			continue
+		}
+		if s.seen[e.U] != stamp {
+			s.seen[e.U] = stamp
+			touched++
+		}
+		if s.seen[e.V] != stamp {
+			s.seen[e.V] = stamp
+			touched++
+		}
+		if s.d.Union(e.U, e.V) {
+			merges++
+		}
+	}
+	return touched - merges
+}
+
+// Components is the package-level Components with scratch-backed
+// transients: only the returned groups (one flat member array plus the
+// group headers) are allocated. Groups come out sorted by first member
+// with ascending members, identical to Components.
+func (s *Scratch) Components(g *graph.Graph, tau []int32, k int32) [][]int32 {
+	n := g.N()
+	s.d.Init(n)
+	stamp := s.nextStamp(n)
+	members := 0
+	for id, e := range g.Edges() {
+		if tau[id] < k {
+			continue
+		}
+		if s.seen[e.U] != stamp {
+			s.seen[e.U] = stamp
+			members++
+		}
+		if s.seen[e.V] != stamp {
+			s.seen[e.V] = stamp
+			members++
+		}
+		s.d.Union(e.U, e.V)
+	}
+	return s.groupMembers(n, members, stamp, func(v int32) bool { return s.seen[v] == stamp })
+}
+
+// groupMembers assembles the component groups of every vertex accepted
+// by member, scanning ascending so groups appear in order of their first
+// (smallest) member with members ascending — the canonical component
+// order. members is the accepted-vertex count; the union-find in s.d
+// must already reflect the qualifying edges.
+func (s *Scratch) groupMembers(n, members int, stamp int32, member func(v int32) bool) [][]int32 {
+	s.rootGroup = growI32(s.rootGroup, n)
+	s.rootStamp = growI32(s.rootStamp, n)
+	s.groupLen = s.groupLen[:0]
+	for v := int32(0); int(v) < n; v++ {
+		if !member(v) {
+			continue
+		}
+		r := s.d.Find(v)
+		if s.rootStamp[r] != stamp {
+			s.rootStamp[r] = stamp
+			s.rootGroup[r] = int32(len(s.groupLen))
+			s.groupLen = append(s.groupLen, 0)
+		}
+		s.groupLen[s.rootGroup[r]]++
+	}
+	flat := make([]int32, 0, members)
+	out := make([][]int32, 0, len(s.groupLen))
+	for _, l := range s.groupLen {
+		start := len(flat)
+		out = append(out, flat[start:start:start+int(l)])
+		flat = flat[:start+int(l)]
+	}
+	for v := int32(0); int(v) < n; v++ {
+		if !member(v) {
+			continue
+		}
+		gi := s.rootGroup[s.d.Find(v)]
+		out[gi] = append(out[gi], v)
+	}
+	return out
+}
+
+// nextStamp sizes the stamped membership array for n vertices and
+// returns a fresh stamp value. The stamp trick replaces clearing the
+// array on every call; on (astronomically rare) wraparound the arrays
+// are cleared for real.
+func (s *Scratch) nextStamp(n int) int32 {
+	if cap(s.seen) < n {
+		s.seen = make([]int32, n)
+	}
+	s.seen = s.seen[:n]
+	if cap(s.rootStamp) >= n {
+		s.rootStamp = s.rootStamp[:n]
+	}
+	if s.stamp == math.MaxInt32 {
+		for i := range s.seen {
+			s.seen[i] = 0
+		}
+		for i := range s.rootStamp {
+			s.rootStamp[i] = 0
+		}
+		s.stamp = 0
+	}
+	s.stamp++
+	return s.stamp
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -267,7 +267,7 @@ func TestResultCachePerEngineStats(t *testing.T) {
 	ctx := context.Background()
 	pf := trussdiv.NewQuery(0, 8)                               // routes to pfree
 	fixed := trussdiv.NewQuery(4, 8, trussdiv.ViaEngine("gct")) // pinned fixed-k
-	for i := 0; i < 3; i++ { // 1 miss + 2 hits each
+	for i := 0; i < 3; i++ {                                    // 1 miss + 2 hits each
 		if _, _, err := db.TopR(ctx, pf); err != nil {
 			t.Fatal(err)
 		}

@@ -366,6 +366,13 @@ func (s *Snapshot) Prepare(ctx context.Context, names ...string) error {
 	// One store rewrite at the end instead of one per built accelerator.
 	s.cache.beginDeferredPersist()
 	defer s.cache.endDeferredPersist()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// When several of the requested structures are missing, build them in
+	// one shared per-vertex extraction pass instead of one pass each; the
+	// loop below then finds them in memory. See indexCache.prepareShared.
+	s.cache.prepareShared(names)
 	for _, name := range names {
 		if err := ctx.Err(); err != nil {
 			return err
